@@ -1,0 +1,51 @@
+"""Figure 2 — required GFLOPs per sequence: Switch (MoE) vs dense T5.
+
+Paper result: the MoE models' compute cost is flat in the number of experts
+and essentially equal to the FLOPs-equivalent dense model, for both Base and
+Large variants.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis import FigureReport
+from repro.moe import get_config, gflops_per_sequence
+
+SEQ_LEN = 256
+
+SERIES = [
+    ("Switch-Base", "t5_base", ["switch_base_8", "switch_base_64", "switch_base_128",
+                                "switch_base_256"]),
+    ("Switch-Large", "t5_large", ["switch_large_128"]),
+]
+
+
+def compute_figure2():
+    rows = []
+    for family, dense_name, moe_names in SERIES:
+        dense = gflops_per_sequence(get_config(dense_name), SEQ_LEN)
+        rows.append([family, "dense (1 expert)", round(dense, 1)])
+        for name in moe_names:
+            config = get_config(name)
+            rows.append([family, f"MoE ({config.num_experts} experts)",
+                         round(gflops_per_sequence(config, SEQ_LEN), 1)])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig02")
+def test_fig02_flops_per_sequence(benchmark, results_dir):
+    rows = benchmark(compute_figure2)
+    report = FigureReport(
+        figure="Figure 2",
+        description=f"GFLOPs per sequence (seq_len={SEQ_LEN}), MoE vs dense",
+        headers=["family", "model", "GFLOPs/seq"],
+        rows=rows,
+        paper_reference="MoE curves are flat vs expert count and ~equal to the dense model "
+                        "(~100-120 GFLOPs for Base, ~400 for Large).",
+    )
+    emit(report, results_dir, "fig02_flops.csv")
+
+    # Shape assertions: flat in expert count, close to dense.
+    base = {row[1]: row[2] for row in rows if row[0] == "Switch-Base"}
+    assert base["MoE (256 experts)"] == pytest.approx(base["MoE (8 experts)"], rel=0.02)
+    assert base["MoE (128 experts)"] == pytest.approx(base["dense (1 expert)"], rel=0.1)

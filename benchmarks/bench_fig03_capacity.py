@@ -1,0 +1,44 @@
+"""Figure 3 — model capacity (GB), split into MoE vs non-MoE parameters.
+
+Paper result: expert parameters account for the overwhelming majority of an
+MoE model's memory footprint (up to ~75x the dense T5 equivalent).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis import FigureReport
+from repro.moe import capacity_breakdown, get_config, memory_ratio
+
+CONFIGS = ["t5_base", "switch_base_8", "switch_base_64", "switch_base_128", "switch_base_256",
+           "t5_large", "switch_large_128"]
+
+
+def compute_figure3():
+    rows = []
+    for name in CONFIGS:
+        breakdown = capacity_breakdown(get_config(name))
+        gb = breakdown.gigabytes()
+        rows.append([name, round(gb["moe"], 1), round(gb["non_moe"], 1), round(gb["total"], 1),
+                     round(100 * breakdown.moe_fraction, 1)])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_capacity_breakdown(benchmark, results_dir):
+    rows = benchmark(compute_figure3)
+    report = FigureReport(
+        figure="Figure 3",
+        description="Memory capacity requirement, MoE vs non-MoE parameters (GB)",
+        headers=["model", "MoE GB", "non-MoE GB", "total GB", "MoE %"],
+        rows=rows,
+        paper_reference="Switch-Base-128 ~30GB, Switch-Large-128 ~105.6GB; "
+                        "MoE params dominate (up to 75x dense T5).",
+    )
+    emit(report, results_dir, "fig03_capacity.csv")
+
+    by_name = {row[0]: row for row in rows}
+    assert by_name["switch_base_128"][3] == pytest.approx(30.0, rel=0.15)
+    assert by_name["switch_large_128"][3] == pytest.approx(105.6, rel=0.15)
+    assert by_name["switch_base_256"][4] > 90.0
+    assert 50 < memory_ratio(get_config("switch_base_256"), get_config("t5_base")) < 90

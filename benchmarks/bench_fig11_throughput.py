@@ -1,0 +1,59 @@
+"""Figure 11 — end-to-end inference throughput (tokens/second).
+
+Paper result: Pre-gated MoE reaches ~111 tokens/s on Switch-Base (81% of
+GPU-only), ~1.5x over MoE-OnDemand and ~27x (up to 55x) over MoE-Prefetch;
+42 tokens/s on Switch-Large where GPU-only OOMs.
+"""
+
+import pytest
+
+from conftest import ENGINE_CONFIG, PERF_WORKLOAD, emit
+from repro.analysis import FigureReport
+from repro.moe import PERFORMANCE_CONFIGS, get_config
+from repro.serving import DESIGN_LABELS, compare_designs
+from repro.workloads import generate_traces
+
+DESIGNS = ("gpu_only", "pregated", "ondemand", "prefetch_all")
+
+
+def run_throughput_study():
+    table = {}
+    for name in PERFORMANCE_CONFIGS:
+        config = get_config(name)
+        traces = generate_traces(config, PERF_WORKLOAD)
+        results = compare_designs(config, traces, designs=DESIGNS, engine_config=ENGINE_CONFIG)
+        table[name] = {
+            "throughput": {d: r.aggregate_tokens_per_second for d, r in results.items()
+                           if not r.oom},
+            "oom": [d for d, r in results.items() if r.oom],
+        }
+    return table
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_end_to_end_throughput(benchmark, results_dir):
+    table = benchmark.pedantic(run_throughput_study, rounds=1, iterations=1)
+    report = FigureReport(
+        figure="Figure 11",
+        description="End-to-end inference throughput (tokens/s)",
+        headers=["config", "design", "tokens/s"],
+        paper_reference="Pre-gated ~111 tok/s on Switch-Base (81% of GPU-only), "
+                        "1.5x over OnDemand, 27-55x over Prefetch; 42 tok/s on Switch-Large.",
+    )
+    for name, entry in table.items():
+        for design in DESIGNS:
+            if design in entry["oom"]:
+                report.add_row(name, DESIGN_LABELS[design], "OOM")
+            else:
+                report.add_row(name, DESIGN_LABELS[design],
+                               round(entry["throughput"][design], 1))
+    emit(report, results_dir, "throughputs.csv")
+
+    base_128 = table["switch_base_128"]["throughput"]
+    assert base_128["pregated"] / base_128["gpu_only"] > 0.5
+    assert base_128["pregated"] / base_128["ondemand"] > 1.2
+    assert base_128["pregated"] / base_128["prefetch_all"] > 15
+    large = table["switch_large_128"]
+    assert "gpu_only" in large["oom"]
+    assert large["throughput"]["pregated"] > large["throughput"]["ondemand"]
+    assert large["throughput"]["pregated"] / large["throughput"]["prefetch_all"] > 15

@@ -1,0 +1,72 @@
+"""Figure 12 — peak GPU memory consumption, normalised to GPU-only.
+
+Paper result: Pre-gated MoE consumes ~23% of GPU-only's peak GPU memory on
+average (a ~4.2x reduction), within ~0.2% of the memory-optimal
+MoE-OnDemand, while MoE-Prefetch needs ~51% of GPU-only; the savings grow
+with the number of experts (Switch-Base 256 included).
+"""
+
+import pytest
+
+from conftest import ENGINE_CONFIG, PERF_WORKLOAD, emit
+from repro.analysis import FigureReport, pick_reference
+from repro.core import peak_memory_comparison
+from repro.moe import get_config
+from repro.serving import DESIGN_LABELS, compare_designs
+from repro.workloads import generate_traces
+
+CONFIGS = ("switch_base_8", "switch_base_64", "switch_base_128", "switch_base_256",
+           "switch_large_128")
+DESIGNS = ("gpu_only", "pregated", "ondemand", "prefetch_all")
+
+
+def run_peak_memory_study():
+    table = {}
+    for name in CONFIGS:
+        config = get_config(name)
+        traces = generate_traces(config, PERF_WORKLOAD.with_overrides(num_requests=1,
+                                                                      output_length=8))
+        results = compare_designs(config, traces, designs=DESIGNS, engine_config=ENGINE_CONFIG)
+        peaks = {d: r.peak_gpu_bytes for d, r in results.items() if not r.oom}
+        oom = [d for d, r in results.items() if r.oom]
+        # The GPU-only peak for an OOM config is still well-defined analytically
+        # (it simply exceeds the GPU); use the analytic Equation-1 comparison there.
+        analytic = peak_memory_comparison(config)
+        reference = pick_reference(["gpu_only", "prefetch_all"], oom)
+        table[name] = {"peaks": peaks, "oom": oom, "analytic": analytic,
+                       "reference": reference}
+    return table
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_peak_gpu_memory(benchmark, results_dir):
+    table = benchmark.pedantic(run_peak_memory_study, rounds=1, iterations=1)
+    report = FigureReport(
+        figure="Figure 12",
+        description="Peak GPU memory usage (GB, engine-measured; normalised)",
+        headers=["config", "design", "peak GB", "normalised", "note"],
+        paper_reference="Pre-gated ~23% of GPU-only on average (4.2x less), "
+                        "+0.2% vs OnDemand; Prefetch ~51%; gap widens with experts.",
+        notes="Normalised to MoE-Prefetch when GPU-only is OOM (as in the paper).",
+    )
+    for name, entry in table.items():
+        reference_value = entry["peaks"][entry["reference"]]
+        for design in DESIGNS:
+            if design in entry["oom"]:
+                report.add_row(name, DESIGN_LABELS[design], "-", "-", "OOM")
+            else:
+                peak = entry["peaks"][design]
+                report.add_row(name, DESIGN_LABELS[design], round(peak / 1e9, 2),
+                               round(peak / reference_value, 3), f"vs {entry['reference']}")
+    emit(report, results_dir, "peak_mems.csv")
+
+    # Shape assertions.
+    ratios = []
+    for name in ("switch_base_8", "switch_base_64", "switch_base_128", "switch_base_256"):
+        peaks = table[name]["peaks"]
+        assert peaks["ondemand"] <= peaks["pregated"] <= peaks["prefetch_all"] <= peaks["gpu_only"]
+        ratios.append(peaks["pregated"] / peaks["gpu_only"])
+    # Savings grow with the number of experts and reach several-fold.
+    assert ratios == sorted(ratios, reverse=True)
+    assert ratios[2] < 0.5
+    assert "gpu_only" in table["switch_large_128"]["oom"]

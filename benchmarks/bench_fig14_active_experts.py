@@ -1,0 +1,62 @@
+"""Figure 14 — MoE block latency vs the number of activated experts.
+
+Paper result (Switch-Base 64, normalised to GPU-only): every CPU-offloading
+design degrades as more experts are activated (the model behaves more like a
+dense LLM), and the gap between MoE-Prefetch and Pre-gated MoE shrinks as
+activation approaches 100% because prefetching "everything" stops being
+wasteful.
+"""
+
+import pytest
+
+from conftest import ENGINE_CONFIG, emit
+from repro.analysis import FigureReport
+from repro.moe import get_config
+from repro.serving import DESIGN_LABELS, make_engine
+
+CONFIG = get_config("switch_base_64")
+DESIGNS = ("gpu_only", "pregated", "ondemand", "prefetch_all")
+ACTIVE_EXPERTS = (1, 4, 16, 32, 64)
+
+
+def run_active_expert_sweep():
+    num_blocks = CONFIG.num_moe_blocks("decoder")
+    table = {}
+    for k in ACTIVE_EXPERTS:
+        activations = [list(range(k)) for _ in range(num_blocks)]
+        latencies = {}
+        for design in DESIGNS:
+            engine = make_engine(design, CONFIG, engine_config=ENGINE_CONFIG)
+            result = engine.run_decoder_iteration(activations)
+            latencies[design] = result.mean_block_latency
+        table[k] = latencies
+    return table
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_block_latency_vs_active_experts(benchmark, results_dir):
+    table = benchmark.pedantic(run_active_expert_sweep, rounds=1, iterations=1)
+    report = FigureReport(
+        figure="Figure 14",
+        description="MoE block latency vs number of activated experts (Switch-Base 64)",
+        headers=["active experts", "activation %", "design", "latency (ms)",
+                 "normalised to GPU-only"],
+        paper_reference="All offloading designs degrade with more active experts; "
+                        "the Prefetch vs Pre-gated gap closes towards 100% activation.",
+    )
+    for k, latencies in table.items():
+        for design in DESIGNS:
+            report.add_row(k, round(100 * k / CONFIG.num_experts, 1), DESIGN_LABELS[design],
+                           round(latencies[design] * 1e3, 3),
+                           round(latencies[design] / latencies["gpu_only"], 2))
+    emit(report, results_dir, "fig14_active_experts.csv")
+
+    # Offloading designs lose more ground as activation grows.
+    ratio_1 = table[1]["pregated"] / table[1]["gpu_only"]
+    ratio_64 = table[64]["pregated"] / table[64]["gpu_only"]
+    assert ratio_64 > ratio_1
+    # The Prefetch/Pre-gated gap shrinks as the activation fraction rises.
+    gap_1 = table[1]["prefetch_all"] / table[1]["pregated"]
+    gap_64 = table[64]["prefetch_all"] / table[64]["pregated"]
+    assert gap_64 < gap_1
+    assert gap_64 < 3.0

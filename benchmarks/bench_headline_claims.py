@@ -1,0 +1,84 @@
+"""Section VI-A headline claims, aggregated across the Switch-Base configurations.
+
+Paper claims checked here:
+* Pre-gated MoE reduces MoE block latency by ~1.7x on average vs MoE-OnDemand
+  and by ~42x on average vs MoE-Prefetch.
+* Pre-gated MoE incurs only ~19-23% block-latency overhead vs GPU-only.
+* Pre-gated MoE reaches ~81% of GPU-only's end-to-end throughput.
+* Pre-gated MoE reduces peak GPU memory consumption by ~4.2x vs GPU-only and
+  stays within a whisker of the memory-optimal MoE-OnDemand.
+"""
+
+from statistics import mean
+
+import pytest
+
+from conftest import ENGINE_CONFIG, PERF_WORKLOAD, emit
+from repro.analysis import FigureReport
+from repro.moe import get_config
+from repro.serving import compare_designs
+from repro.workloads import generate_traces
+
+BASE_CONFIGS = ("switch_base_8", "switch_base_64", "switch_base_128")
+DESIGNS = ("gpu_only", "pregated", "ondemand", "prefetch_all")
+
+
+def run_headline_study():
+    per_config = {}
+    for name in BASE_CONFIGS:
+        config = get_config(name)
+        traces = generate_traces(config, PERF_WORKLOAD)
+        results = compare_designs(config, traces, designs=DESIGNS, engine_config=ENGINE_CONFIG)
+        per_config[name] = results
+    summary = {
+        "block_vs_ondemand": mean(
+            r["ondemand"].mean_block_latency / r["pregated"].mean_block_latency
+            for r in per_config.values()),
+        "block_vs_prefetch": mean(
+            r["prefetch_all"].mean_block_latency / r["pregated"].mean_block_latency
+            for r in per_config.values()),
+        "block_overhead_vs_gpu": mean(
+            r["pregated"].mean_block_latency / r["gpu_only"].mean_block_latency
+            for r in per_config.values()),
+        "throughput_fraction_of_gpu": mean(
+            r["pregated"].aggregate_tokens_per_second / r["gpu_only"].aggregate_tokens_per_second
+            for r in per_config.values()),
+        "memory_reduction_vs_gpu": mean(
+            r["gpu_only"].peak_gpu_bytes / r["pregated"].peak_gpu_bytes
+            for r in per_config.values()),
+        "memory_overhead_vs_ondemand": mean(
+            r["pregated"].peak_gpu_bytes / r["ondemand"].peak_gpu_bytes
+            for r in per_config.values()),
+    }
+    return summary
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_claims(benchmark, results_dir):
+    summary = benchmark.pedantic(run_headline_study, rounds=1, iterations=1)
+    report = FigureReport(
+        figure="Section VI-A/VI-B headline claims",
+        description="Averages over Switch-Base 8/64/128",
+        headers=["claim", "paper", "measured"],
+        paper_reference="Section VI-A and VI-B of the paper.",
+    )
+    report.add_row("block latency: Pre-gated speedup vs OnDemand", "~1.7x",
+                   f"{summary['block_vs_ondemand']:.2f}x")
+    report.add_row("block latency: Pre-gated speedup vs Prefetch", "~42x",
+                   f"{summary['block_vs_prefetch']:.1f}x")
+    report.add_row("block latency overhead vs GPU-only", "~1.19x",
+                   f"{summary['block_overhead_vs_gpu']:.2f}x")
+    report.add_row("throughput fraction of GPU-only", "~81%",
+                   f"{100 * summary['throughput_fraction_of_gpu']:.0f}%")
+    report.add_row("peak memory reduction vs GPU-only", "~4.2x",
+                   f"{summary['memory_reduction_vs_gpu']:.1f}x")
+    report.add_row("peak memory overhead vs OnDemand", "~1.002x",
+                   f"{summary['memory_overhead_vs_ondemand']:.3f}x")
+    emit(report, results_dir, "headline_claims.csv")
+
+    assert summary["block_vs_ondemand"] > 1.3
+    assert summary["block_vs_prefetch"] > 15
+    assert summary["block_overhead_vs_gpu"] < 1.6
+    assert summary["throughput_fraction_of_gpu"] > 0.5
+    assert summary["memory_reduction_vs_gpu"] > 2.0
+    assert summary["memory_overhead_vs_ondemand"] < 1.3

@@ -1,0 +1,49 @@
+"""Table I — model configurations of Google's SwitchTransformer.
+
+Paper values: Switch-Base 8/64/128 experts at 0.7B/3.8B/7.5B parameters
+(2.8/15.2/30.0 GB) and Switch-Large 128 at 26.4B parameters (105.6 GB).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis import FigureReport
+from repro.moe import get_config
+
+PAPER_TABLE1 = {
+    "switch_base_8": (8, 12, 0.7, 2.8),
+    "switch_base_64": (64, 12, 3.8, 15.2),
+    "switch_base_128": (128, 12, 7.5, 30.0),
+    "switch_large_128": (128, 24, 26.4, 105.6),
+}
+
+
+def compute_table1():
+    rows = []
+    for name, (experts, layers, params_b, capacity_gb) in PAPER_TABLE1.items():
+        config = get_config(name)
+        rows.append([
+            config.label, config.num_experts, config.num_moe_blocks("all"),
+            round(config.total_params() / 1e9, 2), round(config.total_bytes() / 1e9, 1),
+            params_b, capacity_gb,
+        ])
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_model_configurations(benchmark, results_dir):
+    rows = benchmark(compute_table1)
+    report = FigureReport(
+        figure="Table I",
+        description="SwitchTransformer configurations: measured vs paper",
+        headers=["model", "experts", "MoE layers", "params (B)", "capacity (GB)",
+                 "paper params (B)", "paper capacity (GB)"],
+        rows=rows,
+        paper_reference="Hwang et al., Table I",
+    )
+    emit(report, results_dir, "table1_configs.csv")
+
+    for row in rows:
+        measured_params, measured_gb, paper_params, paper_gb = row[3], row[4], row[5], row[6]
+        assert measured_params == pytest.approx(paper_params, rel=0.15)
+        assert measured_gb == pytest.approx(paper_gb, rel=0.15)

@@ -1,0 +1,57 @@
+"""Shared fixtures and reporting helpers for the figure/table benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures.  Results
+are printed as paper-style tables (run ``pytest benchmarks/ --benchmark-only
+-s`` to see them) and also written as CSV files under ``benchmarks/results/``
+— the same three outputs the paper's artifact produces (block latencies,
+throughputs, peak memories) plus one file per additional figure.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.analysis import FigureReport
+from repro.serving import EngineConfig
+from repro.workloads import WorkloadSpec
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Workload used by the performance figures (10, 11, 12, 16): single-batch
+#: QA-style serving, scaled down in request count so the full benchmark
+#: suite completes in minutes.
+PERF_WORKLOAD = WorkloadSpec(
+    name="bench_squad_single_batch",
+    num_requests=2,
+    input_length=16,
+    output_length=16,
+    batch_size=1,
+    seed=0,
+    description="Single-batch QA-style serving workload used by the benches.",
+)
+
+#: Engine configuration shared by all serving benchmarks.
+ENGINE_CONFIG = EngineConfig(activation_level=1)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def perf_workload() -> WorkloadSpec:
+    return PERF_WORKLOAD
+
+
+def emit(report: FigureReport, results_dir: str, filename: str) -> None:
+    """Print a figure report and persist it as CSV."""
+    print()
+    print(report.render())
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, filename), "w") as handle:
+        handle.write(report.as_csv())

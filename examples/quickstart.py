@@ -1,0 +1,87 @@
+"""Quickstart: the Pre-gated MoE algorithm and system in one script.
+
+This example walks through the two halves of the paper's co-design:
+
+1. **Algorithm** — build a tiny pre-gated Switch-Transformer, initialise it
+   from a conventional model's weights, fine-tune it briefly on a synthetic
+   closed-book QA task and show it matches the conventional model's accuracy.
+2. **System** — serve a paper-scale configuration (Switch-Base, 64 experts)
+   with all four system designs (GPU-only, Pre-gated, OnDemand, Prefetch) on
+   the simulated A100 + PCIe machine and compare per-block latency,
+   throughput and peak GPU memory.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_table
+from repro.data import ClosedBookQATask, default_vocabulary, train_eval_split
+from repro.moe import SwitchTransformer, get_config
+from repro.core import PreGatedSwitchTransformer
+from repro.serving import DESIGN_LABELS, compare_designs
+from repro.training import Trainer, TrainingConfig
+from repro.workloads import TraceGenerator
+
+
+def algorithm_demo() -> None:
+    print("=" * 70)
+    print("Part 1 — the pre-gate algorithm (tiny functional model)")
+    print("=" * 70)
+
+    config = get_config("tiny_moe_4")
+    tokenizer = default_vocabulary(config.vocab_size - 4)
+    task = ClosedBookQATask(tokenizer=tokenizer, seed=0)
+    train_set, eval_set = train_eval_split(task, train_size=96, eval_size=24,
+                                           tokenizer=tokenizer)
+    recipe = TrainingConfig(steps=60, batch_size=16, learning_rate=3e-3, seed=0)
+
+    conventional = SwitchTransformer(config, seed=0)
+    conventional_trainer = Trainer(conventional, recipe)
+    conventional_trainer.fit(train_set)
+    conventional_scores = conventional_trainer.evaluate(eval_set, tokenizer)
+
+    # The pre-gated model reuses the conventional weights (Section IV-B) and
+    # trains its pre-gates during the same fine-tuning recipe.
+    pregated = PreGatedSwitchTransformer(config, activation_level=1, seed=1)
+    pregated.load_from_conventional(conventional)
+    pregated_trainer = Trainer(pregated, recipe)
+    pregated_trainer.fit(train_set)
+    pregated_scores = pregated_trainer.evaluate(eval_set, tokenizer)
+
+    print(format_table(
+        ["architecture", "ExactMatch", "F1"],
+        [["conventional MoE", conventional_scores.exact_match, conventional_scores.f1],
+         ["Pre-gated MoE (N=1)", pregated_scores.exact_match, pregated_scores.f1]],
+        float_format="{:.1f}"))
+    print()
+
+
+def system_demo() -> None:
+    print("=" * 70)
+    print("Part 2 — the serving system (Switch-Base, 64 experts, simulated A100)")
+    print("=" * 70)
+
+    config = get_config("switch_base_64")
+    traces = TraceGenerator(config, seed=0).workload(
+        num_requests=2, input_length=16, output_length=16)
+    results = compare_designs(config, traces)
+
+    rows = []
+    for design, result in results.items():
+        if result.oom:
+            rows.append([DESIGN_LABELS[design], "OOM", "-", "-"])
+            continue
+        rows.append([DESIGN_LABELS[design],
+                     result.mean_block_latency * 1e3,
+                     result.aggregate_tokens_per_second,
+                     result.peak_gpu_bytes / 1e9])
+    print(format_table(
+        ["design", "MoE block latency (ms)", "throughput (tok/s)", "peak GPU mem (GB)"],
+        rows, float_format="{:.2f}"))
+    print()
+    print("Pre-gated MoE tracks the oracular GPU-only latency while using a")
+    print("fraction of its GPU memory — the paper's headline result.")
+
+
+if __name__ == "__main__":
+    algorithm_demo()
+    system_demo()

@@ -1,0 +1,59 @@
+"""Serving-system comparison across model scales (Figures 10-12 in one script).
+
+Sweeps the paper's model configurations (Switch-Base 8/64/128 experts and
+Switch-Large 128) through the four system designs and prints, per
+configuration:
+
+* average MoE block latency (normalised to GPU-only, or to Pre-gated MoE
+  when GPU-only is out of memory — exactly how the paper normalises),
+* end-to-end throughput in tokens per second,
+* peak GPU memory in GB.
+
+Run with:  python examples/serving_comparison.py
+"""
+
+from repro.analysis import format_table, pick_reference
+from repro.moe import PERFORMANCE_CONFIGS, get_config
+from repro.serving import DESIGN_LABELS, compare_designs
+from repro.workloads import SQUAD_SINGLE_BATCH, generate_traces
+
+DESIGNS = ("gpu_only", "pregated", "ondemand", "prefetch_all")
+WORKLOAD = SQUAD_SINGLE_BATCH.with_overrides(num_requests=2, input_length=16, output_length=16)
+
+
+def main() -> None:
+    for name in PERFORMANCE_CONFIGS:
+        config = get_config(name)
+        print("=" * 78)
+        print(f"{config.label}  —  {config.total_params() / 1e9:.1f}B parameters, "
+              f"{config.total_bytes() / 1e9:.1f} GB")
+        print("=" * 78)
+
+        traces = generate_traces(config, WORKLOAD)
+        results = compare_designs(config, traces, designs=DESIGNS)
+        oom = [d for d, r in results.items() if r.oom]
+        reference = pick_reference(["gpu_only", "pregated"], oom)
+        reference_latency = results[reference].mean_block_latency
+
+        rows = []
+        for design in DESIGNS:
+            result = results[design]
+            if result.oom:
+                rows.append([DESIGN_LABELS[design], "OOM", "-", "-", "-"])
+                continue
+            rows.append([
+                DESIGN_LABELS[design],
+                f"{result.mean_block_latency * 1e3:.3f}",
+                f"{result.mean_block_latency / reference_latency:.2f}x",
+                f"{result.aggregate_tokens_per_second:.1f}",
+                f"{result.peak_gpu_bytes / 1e9:.2f}",
+            ])
+        print(format_table(
+            ["design", "block latency (ms)", f"normalised (vs {DESIGN_LABELS[reference]})",
+             "tokens/s", "peak GPU (GB)"],
+            rows))
+        print()
+
+
+if __name__ == "__main__":
+    main()

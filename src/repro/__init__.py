@@ -1,0 +1,36 @@
+"""repro — reproduction of *Pre-gated MoE* (Hwang et al., ISCA 2024).
+
+The package is organised as an algorithm/system co-design, mirroring the
+paper:
+
+* :mod:`repro.tensor` — numpy autograd + NN substrate.
+* :mod:`repro.moe` — conventional Switch-Transformer MoE substrate
+  (routers, experts, model, FLOPs and capacity models).
+* :mod:`repro.core` — the Pre-gated MoE contribution: pre-gate function,
+  pre-gated model, preemptive migration planning, peak-memory model.
+* :mod:`repro.system` — hardware performance model, memory pools, the
+  dual-stream execution timeline and expert caches.
+* :mod:`repro.serving` — the four serving engines (GPU-only, MoE-OnDemand,
+  MoE-Prefetch, Pre-gated MoE) and their metrics.
+* :mod:`repro.training` — fine-tuning harness for the accuracy experiments.
+* :mod:`repro.data` — synthetic tasks, tokenizer and Rouge/EM/F1 metrics.
+* :mod:`repro.workloads` — inference workloads and expert-activation traces.
+* :mod:`repro.analysis` — reporting utilities used by the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, core, data, moe, serving, system, tensor, training, workloads
+
+__all__ = [
+    "analysis",
+    "core",
+    "data",
+    "moe",
+    "serving",
+    "system",
+    "tensor",
+    "training",
+    "workloads",
+    "__version__",
+]

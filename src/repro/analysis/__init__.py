@@ -1,0 +1,19 @@
+"""Reporting and figure/table reconstruction helpers."""
+
+from .report import (
+    FigureReport,
+    format_table,
+    normalise_series,
+    pick_reference,
+    to_csv,
+    write_csv,
+)
+
+__all__ = [
+    "FigureReport",
+    "format_table",
+    "normalise_series",
+    "pick_reference",
+    "to_csv",
+    "write_csv",
+]

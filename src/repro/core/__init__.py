@@ -1,0 +1,57 @@
+"""Pre-gated MoE — the paper's core algorithm-system contribution.
+
+* :mod:`repro.core.pregate` — the pre-gate function, pre-gate schedule and
+  pre-gated MoE block (algorithm side).
+* :mod:`repro.core.pregated_model` — the full pre-gated Switch-Transformer.
+* :mod:`repro.core.migration` — preemptive expert-migration planning
+  (system side).
+* :mod:`repro.core.peak_memory` — the peak GPU memory model (Equation 1).
+"""
+
+from .migration import (
+    ExpertTransfer,
+    MigrationKind,
+    MigrationPlan,
+    plan_for_design,
+    plan_gpu_only,
+    plan_on_demand,
+    plan_prefetch_all,
+    plan_pregated,
+)
+from .peak_memory import (
+    ActivationReserve,
+    activated_experts_per_block,
+    gpu_only_peak_memory,
+    ondemand_peak_memory,
+    peak_memory,
+    peak_memory_comparison,
+    prefetch_all_peak_memory,
+    pregated_peak_memory,
+)
+from .pregate import PreGate, PreGateSchedule, PreGatedMoEBlock
+from .pregated_model import PreGatedDecoderBlock, PreGatedEncoderBlock, PreGatedSwitchTransformer
+
+__all__ = [
+    "ExpertTransfer",
+    "MigrationKind",
+    "MigrationPlan",
+    "plan_for_design",
+    "plan_gpu_only",
+    "plan_on_demand",
+    "plan_prefetch_all",
+    "plan_pregated",
+    "ActivationReserve",
+    "activated_experts_per_block",
+    "gpu_only_peak_memory",
+    "ondemand_peak_memory",
+    "peak_memory",
+    "peak_memory_comparison",
+    "prefetch_all_peak_memory",
+    "pregated_peak_memory",
+    "PreGate",
+    "PreGateSchedule",
+    "PreGatedMoEBlock",
+    "PreGatedDecoderBlock",
+    "PreGatedEncoderBlock",
+    "PreGatedSwitchTransformer",
+]

@@ -1,0 +1,122 @@
+"""Peak GPU memory model (Equation 1 of the paper).
+
+Under the Pre-gated MoE system the GPU permanently stores the dense non-MoE
+parameters, while expert parameters are copied in on demand.  At any point
+during MoE block *N*'s execution the GPU must hold the activated experts of
+blocks *N* and *N+1* (the current block's experts are executing while the
+next block's activated experts are being prefetched), so:
+
+``peak = max_N ( NonMoE_M + sum_{L=N}^{N+1} ActExp_L )``
+
+The same framework expresses the peak memory of the baselines:
+
+* GPU-only: all parameters resident.
+* MoE-OnDemand: non-MoE parameters + the activated experts of the current
+  block only.
+* MoE-Prefetch: non-MoE parameters + *all* experts of two consecutive blocks
+  (the current block's full expert set plus the next block's being
+  prefetched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..moe.configs import ModelConfig
+
+
+@dataclass(frozen=True)
+class ActivationReserve:
+    """Working-set memory for activations and KV caches.
+
+    The paper's peak-memory equation focuses on parameters; activations for
+    single-batch decoding are comparatively tiny.  We still account for a
+    small reserve so the GPU-only OOM behaviour of Switch-Large on an 80 GB
+    A100 is reproduced faithfully.
+    """
+
+    batch_size: int = 1
+    sequence_length: int = 256
+    bytes_per_activation: int = 2
+
+    def bytes_for(self, config: ModelConfig) -> int:
+        # Hidden states + KV caches across layers for the configured batch.
+        per_token = config.d_model * self.bytes_per_activation
+        kv = 2 * config.num_decoder_layers * per_token
+        hidden = config.num_layers * per_token
+        return int(self.batch_size * self.sequence_length * (kv + hidden))
+
+
+def activated_experts_per_block(config: ModelConfig, batch_tokens: int = 1,
+                                top_k: Optional[int] = None) -> int:
+    """Upper bound on distinct experts activated by one MoE block.
+
+    With a batch of ``batch_tokens`` tokens and ``top_k`` routing, at most
+    ``batch_tokens * top_k`` distinct experts (capped by the expert count)
+    are activated.
+    """
+    k = top_k if top_k is not None else config.top_k
+    return min(config.num_experts, max(1, batch_tokens * k))
+
+
+def pregated_peak_memory(config: ModelConfig, batch_tokens: int = 1,
+                         top_k: Optional[int] = None,
+                         reserve: Optional[ActivationReserve] = None) -> int:
+    """Peak GPU memory (bytes) of the Pre-gated MoE system — Equation 1."""
+    reserve = reserve or ActivationReserve(batch_size=batch_tokens)
+    active = activated_experts_per_block(config, batch_tokens, top_k)
+    # Current block's activated experts + next block's activated experts.
+    expert_bytes = 2 * active * config.expert_bytes()
+    return config.non_moe_bytes() + expert_bytes + reserve.bytes_for(config)
+
+
+def ondemand_peak_memory(config: ModelConfig, batch_tokens: int = 1,
+                         top_k: Optional[int] = None,
+                         reserve: Optional[ActivationReserve] = None) -> int:
+    """Peak GPU memory of MoE-OnDemand: only the current block's activated experts."""
+    reserve = reserve or ActivationReserve(batch_size=batch_tokens)
+    active = activated_experts_per_block(config, batch_tokens, top_k)
+    return config.non_moe_bytes() + active * config.expert_bytes() + reserve.bytes_for(config)
+
+
+def prefetch_all_peak_memory(config: ModelConfig, batch_tokens: int = 1,
+                             reserve: Optional[ActivationReserve] = None) -> int:
+    """Peak GPU memory of MoE-Prefetch: two consecutive blocks' full expert sets."""
+    reserve = reserve or ActivationReserve(batch_size=batch_tokens)
+    expert_bytes = 2 * config.num_experts * config.expert_bytes()
+    return config.non_moe_bytes() + expert_bytes + reserve.bytes_for(config)
+
+
+def gpu_only_peak_memory(config: ModelConfig, batch_tokens: int = 1,
+                         reserve: Optional[ActivationReserve] = None) -> int:
+    """Peak GPU memory of the oracular GPU-only design: everything resident."""
+    reserve = reserve or ActivationReserve(batch_size=batch_tokens)
+    return config.total_bytes() + reserve.bytes_for(config)
+
+
+_DESIGN_FUNCS = {
+    "gpu_only": gpu_only_peak_memory,
+    "pregated": pregated_peak_memory,
+    "ondemand": ondemand_peak_memory,
+    "prefetch_all": prefetch_all_peak_memory,
+}
+
+
+def peak_memory(design: str, config: ModelConfig, batch_tokens: int = 1,
+                top_k: Optional[int] = None,
+                reserve: Optional[ActivationReserve] = None) -> int:
+    """Peak GPU memory of ``design`` (one of gpu_only / pregated / ondemand / prefetch_all)."""
+    if design not in _DESIGN_FUNCS:
+        raise ValueError(f"unknown design {design!r}; known: {sorted(_DESIGN_FUNCS)}")
+    func = _DESIGN_FUNCS[design]
+    if design in ("gpu_only", "prefetch_all"):
+        return func(config, batch_tokens=batch_tokens, reserve=reserve)
+    return func(config, batch_tokens=batch_tokens, top_k=top_k, reserve=reserve)
+
+
+def peak_memory_comparison(config: ModelConfig, batch_tokens: int = 1,
+                           top_k: Optional[int] = None) -> Dict[str, int]:
+    """Peak GPU memory of all four designs for one configuration (Figure 12 row)."""
+    return {design: peak_memory(design, config, batch_tokens=batch_tokens, top_k=top_k)
+            for design in _DESIGN_FUNCS}

@@ -1,0 +1,180 @@
+"""The pre-gate function and pre-gated MoE block (the paper's algorithm).
+
+In a conventional MoE block the gate selects experts for the *same* block,
+which forces expert selection and expert execution to serialise.  The
+pre-gate function in MoE block *N* instead selects the experts to activate
+for MoE block *N + activation_level* (the paper's default activation level
+is 1, i.e. the next block), removing the in-block data dependency and
+letting the system overlap expert migration with expert execution
+(Section IV-B, Figures 5-7).
+
+Block-boundary handling (Figure 6):
+
+* The **first** MoE block carries ``activation_level`` extra "first gates"
+  that select the experts for blocks ``0 .. activation_level-1`` (for the
+  default level of 1 this is exactly the paper's "two gate functions" in the
+  first block: one conventional first gate plus one pre-gate).
+* The **last** ``activation_level`` MoE blocks carry no pre-gate, because
+  there is no subsequent block within the same decoder iteration for them to
+  select for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..tensor import Module, ModuleList, Tensor
+from ..moe.expert import ExpertPool
+from ..moe.gating import Router, RoutingDecision
+
+
+@dataclass
+class PreGateSchedule:
+    """Static description of which gate selects experts for which MoE block.
+
+    For a stack of ``num_blocks`` MoE blocks and a given ``activation_level``
+    N, the experts of block *i* are selected by:
+
+    * a *first gate* evaluated at block 0, when ``i < N``;
+    * the *pre-gate* of block ``i - N`` otherwise.
+
+    The pre-gate of block *j* exists only when ``j + N < num_blocks``.
+    """
+
+    num_blocks: int
+    activation_level: int
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        if self.activation_level < 1:
+            raise ValueError("activation_level must be >= 1")
+
+    def selector_of(self, block_index: int) -> str:
+        """Which gate selects the experts of ``block_index``.
+
+        Returns ``"first_gate"`` or ``"pre_gate"``.
+        """
+        self._check(block_index)
+        return "first_gate" if block_index < self.activation_level else "pre_gate"
+
+    def selecting_block(self, block_index: int) -> int:
+        """Index of the MoE block whose gate selects experts for ``block_index``.
+
+        First-gate selections are attributed to block 0 (they are evaluated
+        there, before any expert execution).
+        """
+        self._check(block_index)
+        if block_index < self.activation_level:
+            return 0
+        return block_index - self.activation_level
+
+    def has_pre_gate(self, block_index: int) -> bool:
+        """Whether MoE block ``block_index`` carries a pre-gate function."""
+        self._check(block_index)
+        return block_index + self.activation_level < self.num_blocks
+
+    def num_first_gates(self) -> int:
+        """Number of first gates housed in MoE block 0."""
+        return min(self.activation_level, self.num_blocks)
+
+    def _check(self, block_index: int) -> None:
+        if not 0 <= block_index < self.num_blocks:
+            raise IndexError(f"block_index {block_index} out of range [0, {self.num_blocks})")
+
+
+class PreGate(Router):
+    """A gate function trained to select experts for a *future* MoE block.
+
+    Mechanically identical to :class:`~repro.moe.gating.Router`; the
+    difference is semantic — the routing decision it emits applies to the MoE
+    block ``activation_level`` positions ahead — and is tracked via
+    :attr:`target_offset` so the serving system knows which block's experts
+    to prefetch.
+    """
+
+    def __init__(self, d_model: int, num_experts: int, top_k: int = 1,
+                 target_offset: int = 1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(d_model, num_experts, top_k=top_k, rng=rng)
+        if target_offset < 1:
+            raise ValueError("target_offset must be >= 1")
+        self.target_offset = target_offset
+
+
+class PreGatedMoEBlock(Module):
+    """An MoE block whose experts are selected by an *earlier* block's pre-gate.
+
+    Parameters
+    ----------
+    d_model, d_ff, num_experts, top_k:
+        Expert pool dimensions (identical to the conventional MoE block).
+    block_index:
+        Index of this block within the stack's MoE-block ordering.
+    schedule:
+        The :class:`PreGateSchedule` of the stack this block belongs to.
+    """
+
+    def __init__(self, d_model: int, d_ff: int, num_experts: int, top_k: int = 1,
+                 block_index: int = 0, schedule: Optional[PreGateSchedule] = None,
+                 activation: str = "relu", rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.d_model = d_model
+        self.d_ff = d_ff
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.block_index = block_index
+        self.schedule = schedule or PreGateSchedule(num_blocks=block_index + 1, activation_level=1)
+        self.experts = ExpertPool(num_experts, d_model, d_ff, activation=activation, rng=rng)
+
+        # Pre-gate for the block `activation_level` positions ahead, if any.
+        if self.schedule.has_pre_gate(block_index):
+            self.pre_gate = PreGate(d_model, num_experts, top_k=top_k,
+                                    target_offset=self.schedule.activation_level, rng=rng)
+        else:
+            self.pre_gate = None
+
+        # First gates (housed in block 0 only): select experts for blocks
+        # 0 .. activation_level-1 using block 0's input representation.
+        if block_index == 0:
+            self.first_gates = ModuleList([
+                Router(d_model, num_experts, top_k=top_k, rng=rng)
+                for _ in range(self.schedule.num_first_gates())
+            ])
+        else:
+            self.first_gates = ModuleList([])
+
+    # ------------------------------------------------------------------
+    def select_first(self, hidden: Tensor, target_block: int,
+                     top_k: Optional[int] = None) -> RoutingDecision:
+        """Evaluate the first gate that selects experts for ``target_block``.
+
+        Only valid on MoE block 0 and for ``target_block < activation_level``.
+        """
+        if self.block_index != 0:
+            raise RuntimeError("first gates only exist on the first MoE block")
+        if not 0 <= target_block < len(self.first_gates):
+            raise IndexError(
+                f"no first gate for target block {target_block} "
+                f"(have {len(self.first_gates)})"
+            )
+        return self.first_gates[target_block](hidden, top_k=top_k)
+
+    def select_next(self, hidden: Tensor, top_k: Optional[int] = None) -> Optional[RoutingDecision]:
+        """Evaluate this block's pre-gate (selection for a future block).
+
+        Returns None for blocks that carry no pre-gate (the trailing blocks
+        of the stack).
+        """
+        if self.pre_gate is None:
+            return None
+        return self.pre_gate(hidden, top_k=top_k)
+
+    def execute(self, hidden: Tensor, routing: RoutingDecision) -> Tensor:
+        """Expert-execution stage using an externally supplied routing decision."""
+        return self.experts(hidden, routing)
+
+    def forward(self, hidden: Tensor, routing: RoutingDecision) -> Tensor:
+        return self.execute(hidden, routing)

@@ -1,0 +1,44 @@
+"""Synthetic datasets, tokenisation and evaluation metrics."""
+
+from .metrics import EvalScores, evaluate_predictions, exact_match, rouge1, rouge2, rouge_n, token_f1
+from .tasks import (
+    Batch,
+    ClosedBookQATask,
+    ExtractiveQATask,
+    PAPER_TASK_SUBSTITUTIONS,
+    Seq2SeqDataset,
+    Seq2SeqExample,
+    SummarizationTask,
+    SyntheticTask,
+    list_tasks,
+    make_task,
+    train_eval_split,
+)
+from .tokenizer import BOS_TOKEN, EOS_TOKEN, PAD_TOKEN, UNK_TOKEN, Tokenizer, default_vocabulary
+
+__all__ = [
+    "EvalScores",
+    "evaluate_predictions",
+    "exact_match",
+    "rouge1",
+    "rouge2",
+    "rouge_n",
+    "token_f1",
+    "Batch",
+    "ClosedBookQATask",
+    "ExtractiveQATask",
+    "PAPER_TASK_SUBSTITUTIONS",
+    "Seq2SeqDataset",
+    "Seq2SeqExample",
+    "SummarizationTask",
+    "SyntheticTask",
+    "list_tasks",
+    "make_task",
+    "train_eval_split",
+    "BOS_TOKEN",
+    "EOS_TOKEN",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "Tokenizer",
+    "default_vocabulary",
+]

@@ -1,0 +1,109 @@
+"""Evaluation metrics: Rouge-1, Rouge-2, ExactMatch and token-level F1.
+
+These are the metrics of Table II: Rouge-1/2 for the summarisation task and
+ExactMatch / F1 for the two question-answering tasks.  The implementations
+follow the standard definitions (Lin 2004 for ROUGE recall/precision/F1;
+SQuAD's answer-level EM and bag-of-tokens F1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Sequence, Tuple
+
+
+def _tokens(text: "str | Sequence[str]") -> List[str]:
+    if isinstance(text, str):
+        return text.split()
+    return [str(t) for t in text]
+
+
+def _ngrams(tokens: Sequence[str], n: int) -> Counter:
+    return Counter(tuple(tokens[i:i + n]) for i in range(len(tokens) - n + 1))
+
+
+def rouge_n(prediction: "str | Sequence[str]", reference: "str | Sequence[str]", n: int = 1) -> float:
+    """ROUGE-N F1 score between a prediction and a reference."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    pred = _ngrams(_tokens(prediction), n)
+    ref = _ngrams(_tokens(reference), n)
+    if not pred or not ref:
+        return 0.0
+    overlap = sum((pred & ref).values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / sum(pred.values())
+    recall = overlap / sum(ref.values())
+    return 2 * precision * recall / (precision + recall)
+
+
+def rouge1(prediction, reference) -> float:
+    """ROUGE-1 (unigram overlap) F1."""
+    return rouge_n(prediction, reference, n=1)
+
+
+def rouge2(prediction, reference) -> float:
+    """ROUGE-2 (bigram overlap) F1."""
+    return rouge_n(prediction, reference, n=2)
+
+
+def exact_match(prediction: "str | Sequence[str]", reference: "str | Sequence[str]") -> float:
+    """1.0 if the prediction exactly matches the reference, else 0.0."""
+    return 1.0 if _tokens(prediction) == _tokens(reference) else 0.0
+
+
+def token_f1(prediction: "str | Sequence[str]", reference: "str | Sequence[str]") -> float:
+    """SQuAD-style bag-of-tokens F1 between prediction and reference."""
+    pred = _tokens(prediction)
+    ref = _tokens(reference)
+    if not pred or not ref:
+        return 1.0 if pred == ref else 0.0
+    common = Counter(pred) & Counter(ref)
+    overlap = sum(common.values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(pred)
+    recall = overlap / len(ref)
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class EvalScores:
+    """Aggregate scores over a set of predictions (Table II row)."""
+
+    rouge1: float
+    rouge2: float
+    exact_match: float
+    f1: float
+    num_examples: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "rouge1": self.rouge1,
+            "rouge2": self.rouge2,
+            "exact_match": self.exact_match,
+            "f1": self.f1,
+            "num_examples": self.num_examples,
+        }
+
+
+def evaluate_predictions(predictions: Sequence[str], references: Sequence[str]) -> EvalScores:
+    """Compute all Table II metrics over parallel prediction/reference lists.
+
+    Scores are reported on a 0-100 scale, matching the paper's tables.
+    """
+    if len(predictions) != len(references):
+        raise ValueError(
+            f"got {len(predictions)} predictions but {len(references)} references")
+    if not predictions:
+        raise ValueError("cannot evaluate an empty prediction set")
+    return EvalScores(
+        rouge1=100.0 * mean(rouge1(p, r) for p, r in zip(predictions, references)),
+        rouge2=100.0 * mean(rouge2(p, r) for p, r in zip(predictions, references)),
+        exact_match=100.0 * mean(exact_match(p, r) for p, r in zip(predictions, references)),
+        f1=100.0 * mean(token_f1(p, r) for p, r in zip(predictions, references)),
+        num_examples=len(predictions),
+    )

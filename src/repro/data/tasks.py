@@ -1,0 +1,255 @@
+"""Synthetic downstream tasks standing in for Xsum, SQuAD and CB-WebQA.
+
+The paper fine-tunes Switch-Transformer on one summarisation task (Xsum) and
+two closed-book / extractive QA tasks (CB Web Questions, SQuAD) and shows
+that replacing the gates with pre-gates does not change the achievable
+accuracy.  We cannot ship those datasets (and a tiny numpy model could not
+learn them anyway), so each task is replaced by a synthetic seq2seq problem
+with the same *shape*:
+
+* :class:`SummarizationTask` ("xsum_like") — the input mixes tokens from
+  several topic clusters; the target is the dominant cluster's keyword
+  sequence, i.e. a content-selective compression of the input.  Evaluated
+  with Rouge-1/2.
+* :class:`ExtractiveQATask` ("squad_like") — the input is a context
+  containing ``key value`` pairs followed by a question key; the target is
+  the value adjacent to that key in the context.  Evaluated with
+  ExactMatch / F1.
+* :class:`ClosedBookQATask` ("webqa_like") — the input is only a question
+  about a fixed synthetic knowledge base; the answer must be memorised in
+  the model parameters (the defining property of *closed-book* QA).
+  Evaluated with ExactMatch / F1.
+
+All three exercise the MoE routing path: different clusters / keys / entities
+tend to specialise different experts, which is exactly the behaviour the
+pre-gate has to predict one block early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tokenizer import Tokenizer, default_vocabulary
+
+
+@dataclass(frozen=True)
+class Seq2SeqExample:
+    """One training / evaluation example."""
+
+    source: str
+    target: str
+
+
+class SyntheticTask:
+    """Base class for synthetic seq2seq task generators."""
+
+    name = "base"
+    metrics = ("exact_match", "f1")
+
+    def __init__(self, tokenizer: Optional[Tokenizer] = None, seed: int = 0) -> None:
+        self.tokenizer = tokenizer or default_vocabulary()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self, num_examples: int) -> List[Seq2SeqExample]:
+        """Generate ``num_examples`` examples."""
+        return [self._generate_one() for _ in range(num_examples)]
+
+    def _generate_one(self) -> Seq2SeqExample:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _content_words(self) -> List[str]:
+        # The tokenizer's non-special vocabulary.
+        return [f"w{i}" for i in range(self.tokenizer.vocab_size - 4)]
+
+
+class SummarizationTask(SyntheticTask):
+    """Xsum-like content-selection summarisation."""
+
+    name = "xsum_like"
+    metrics = ("rouge1", "rouge2")
+
+    def __init__(self, tokenizer: Optional[Tokenizer] = None, seed: int = 0,
+                 num_clusters: int = 6, doc_length: int = 12, summary_length: int = 3) -> None:
+        super().__init__(tokenizer, seed)
+        words = self._content_words()
+        if num_clusters * summary_length > len(words):
+            raise ValueError("vocabulary too small for the requested cluster structure")
+        self.num_clusters = num_clusters
+        self.doc_length = doc_length
+        self.summary_length = summary_length
+        # Partition the vocabulary into topic clusters; the first
+        # ``summary_length`` words of a cluster are its "keywords".
+        per_cluster = len(words) // num_clusters
+        self.clusters = [words[i * per_cluster:(i + 1) * per_cluster] for i in range(num_clusters)]
+
+    def _generate_one(self) -> Seq2SeqExample:
+        dominant = int(self._rng.integers(self.num_clusters))
+        other = int(self._rng.integers(self.num_clusters))
+        dominant_share = self.doc_length * 2 // 3
+        doc_tokens = list(self._rng.choice(self.clusters[dominant], size=dominant_share))
+        doc_tokens += list(self._rng.choice(self.clusters[other],
+                                            size=self.doc_length - dominant_share))
+        self._rng.shuffle(doc_tokens)
+        summary = self.clusters[dominant][:self.summary_length]
+        return Seq2SeqExample(source=" ".join(doc_tokens), target=" ".join(summary))
+
+
+class ExtractiveQATask(SyntheticTask):
+    """SQuAD-like extractive question answering over a short context."""
+
+    name = "squad_like"
+    metrics = ("exact_match", "f1")
+
+    def __init__(self, tokenizer: Optional[Tokenizer] = None, seed: int = 0,
+                 num_keys: int = 12, num_values: int = 12, facts_per_context: int = 3) -> None:
+        super().__init__(tokenizer, seed)
+        words = self._content_words()
+        if num_keys + num_values > len(words):
+            raise ValueError("vocabulary too small for the requested key/value space")
+        self.keys = words[:num_keys]
+        self.values = words[num_keys:num_keys + num_values]
+        self.facts_per_context = facts_per_context
+
+    def _generate_one(self) -> Seq2SeqExample:
+        key_ids = self._rng.choice(len(self.keys), size=self.facts_per_context, replace=False)
+        value_ids = self._rng.choice(len(self.values), size=self.facts_per_context, replace=True)
+        facts = [(self.keys[int(k)], self.values[int(v)]) for k, v in zip(key_ids, value_ids)]
+        asked = facts[int(self._rng.integers(len(facts)))]
+        context = " ".join(f"{k} {v}" for k, v in facts)
+        source = f"{context} {asked[0]}"
+        return Seq2SeqExample(source=source, target=asked[1])
+
+
+class ClosedBookQATask(SyntheticTask):
+    """CB-WebQA-like closed-book question answering over a fixed knowledge base."""
+
+    name = "webqa_like"
+    metrics = ("exact_match", "f1")
+
+    def __init__(self, tokenizer: Optional[Tokenizer] = None, seed: int = 0,
+                 num_entities: int = 20) -> None:
+        super().__init__(tokenizer, seed)
+        words = self._content_words()
+        if 2 * num_entities > len(words):
+            raise ValueError("vocabulary too small for the requested knowledge base")
+        kb_rng = np.random.default_rng(seed + 1)
+        entities = words[:num_entities]
+        answers = list(kb_rng.permutation(words[num_entities:2 * num_entities]))
+        #: The synthetic knowledge base: entity -> answer, fixed per task seed.
+        self.knowledge_base: Dict[str, str] = dict(zip(entities, answers))
+
+    def _generate_one(self) -> Seq2SeqExample:
+        entity = list(self.knowledge_base)[int(self._rng.integers(len(self.knowledge_base)))]
+        return Seq2SeqExample(source=entity, target=self.knowledge_base[entity])
+
+
+_TASKS = {
+    "xsum_like": SummarizationTask,
+    "squad_like": ExtractiveQATask,
+    "webqa_like": ClosedBookQATask,
+}
+
+#: The downstream task each paper dataset is substituted by.
+PAPER_TASK_SUBSTITUTIONS = {
+    "Xsum": "xsum_like",
+    "CB Web QA": "webqa_like",
+    "SQuAD": "squad_like",
+}
+
+
+def make_task(name: str, tokenizer: Optional[Tokenizer] = None, seed: int = 0, **kwargs) -> SyntheticTask:
+    """Instantiate a task generator by name."""
+    try:
+        cls = _TASKS[name]
+    except KeyError:
+        raise ValueError(f"unknown task {name!r}; known: {sorted(_TASKS)}") from None
+    return cls(tokenizer=tokenizer, seed=seed, **kwargs)
+
+
+def list_tasks() -> List[str]:
+    return sorted(_TASKS)
+
+
+# ----------------------------------------------------------------------
+# Batching
+# ----------------------------------------------------------------------
+@dataclass
+class Batch:
+    """A tokenised training batch for the seq2seq models."""
+
+    encoder_ids: np.ndarray        # (batch, src_len)
+    decoder_input_ids: np.ndarray  # (batch, tgt_len) — starts with BOS
+    decoder_target_ids: np.ndarray  # (batch, tgt_len) — ends with EOS
+    encoder_padding_mask: np.ndarray  # (batch, src_len) True at padding
+    sources: List[str] = field(default_factory=list)
+    targets: List[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return int(self.encoder_ids.shape[0])
+
+
+class Seq2SeqDataset:
+    """Tokenised dataset with deterministic batching.
+
+    Parameters
+    ----------
+    examples:
+        The task examples.
+    tokenizer:
+        Tokenizer shared with the model (its vocab must fit the model's
+        ``vocab_size``).
+    """
+
+    def __init__(self, examples: Sequence[Seq2SeqExample], tokenizer: Tokenizer) -> None:
+        if not examples:
+            raise ValueError("dataset must contain at least one example")
+        self.examples = list(examples)
+        self.tokenizer = tokenizer
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __getitem__(self, index: int) -> Seq2SeqExample:
+        return self.examples[index]
+
+    def to_batch(self, examples: Sequence[Seq2SeqExample]) -> Batch:
+        tok = self.tokenizer
+        src = tok.pad_batch([tok.encode(e.source) for e in examples])
+        tgt = [tok.encode(e.target, add_eos=True) for e in examples]
+        tgt_padded = tok.pad_batch(tgt)
+        decoder_in = [[tok.bos_id] + seq[:-1] for seq in tgt_padded]
+        src_arr = np.asarray(src, dtype=np.int64)
+        return Batch(
+            encoder_ids=src_arr,
+            decoder_input_ids=np.asarray(decoder_in, dtype=np.int64),
+            decoder_target_ids=np.asarray(tgt_padded, dtype=np.int64),
+            encoder_padding_mask=src_arr == tok.pad_id,
+            sources=[e.source for e in examples],
+            targets=[e.target for e in examples],
+        )
+
+    def batches(self, batch_size: int, shuffle: bool = False,
+                rng: Optional[np.random.Generator] = None) -> Iterator[Batch]:
+        """Iterate over the dataset in batches of ``batch_size``."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        order = np.arange(len(self.examples))
+        if shuffle:
+            (rng or np.random.default_rng()).shuffle(order)
+        for start in range(0, len(order), batch_size):
+            chunk = [self.examples[i] for i in order[start:start + batch_size]]
+            yield self.to_batch(chunk)
+
+
+def train_eval_split(task: SyntheticTask, train_size: int, eval_size: int,
+                     tokenizer: Optional[Tokenizer] = None) -> Tuple[Seq2SeqDataset, Seq2SeqDataset]:
+    """Generate disjoint train and eval datasets from one task generator."""
+    tokenizer = tokenizer or task.tokenizer
+    examples = task.generate(train_size + eval_size)
+    return (Seq2SeqDataset(examples[:train_size], tokenizer),
+            Seq2SeqDataset(examples[train_size:], tokenizer))

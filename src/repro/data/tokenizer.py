@@ -1,0 +1,101 @@
+"""A small word-level tokenizer for the synthetic task substrate.
+
+The paper fine-tunes on Xsum / SQuAD / CB-WebQA with a sentencepiece
+vocabulary; the functional reproduction uses synthetic tasks over a compact
+vocabulary, so a deterministic word-level tokenizer is sufficient and keeps
+the accuracy experiments fast and fully reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+PAD_TOKEN = "<pad>"
+BOS_TOKEN = "<bos>"
+EOS_TOKEN = "<eos>"
+UNK_TOKEN = "<unk>"
+
+SPECIAL_TOKENS = (PAD_TOKEN, BOS_TOKEN, EOS_TOKEN, UNK_TOKEN)
+
+
+class Tokenizer:
+    """Word-level tokenizer with a fixed vocabulary.
+
+    Token ids 0..3 are reserved for the special tokens (pad, bos, eos, unk)
+    so model configs only need ``vocab_size >= len(words) + 4``.
+    """
+
+    def __init__(self, words: Sequence[str]) -> None:
+        self._id_to_token: List[str] = list(SPECIAL_TOKENS) + list(words)
+        if len(set(self._id_to_token)) != len(self._id_to_token):
+            raise ValueError("vocabulary contains duplicate tokens")
+        self._token_to_id: Dict[str, int] = {t: i for i, t in enumerate(self._id_to_token)}
+
+    # ------------------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[BOS_TOKEN]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[EOS_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._id_to_token)
+
+    def __len__(self) -> int:
+        return self.vocab_size
+
+    # ------------------------------------------------------------------
+    def encode(self, text: "str | Sequence[str]", add_eos: bool = False,
+               add_bos: bool = False) -> List[int]:
+        """Encode a whitespace-separated string (or token list) into ids."""
+        tokens = text.split() if isinstance(text, str) else list(text)
+        ids = [self._token_to_id.get(token, self.unk_id) for token in tokens]
+        if add_bos:
+            ids = [self.bos_id] + ids
+        if add_eos:
+            ids = ids + [self.eos_id]
+        return ids
+
+    def decode(self, ids: Iterable[int], skip_special: bool = True) -> str:
+        """Decode token ids back to a whitespace-joined string."""
+        tokens = []
+        for token_id in ids:
+            token_id = int(token_id)
+            if not 0 <= token_id < self.vocab_size:
+                raise IndexError(f"token id {token_id} out of range")
+            token = self._id_to_token[token_id]
+            if skip_special and token in SPECIAL_TOKENS:
+                continue
+            tokens.append(token)
+        return " ".join(tokens)
+
+    def pad_batch(self, sequences: Sequence[Sequence[int]],
+                  max_length: Optional[int] = None) -> List[List[int]]:
+        """Right-pad a batch of id sequences to a common length."""
+        if not sequences:
+            return []
+        target = max_length if max_length is not None else max(len(s) for s in sequences)
+        batch = []
+        for seq in sequences:
+            seq = list(seq)[:target]
+            batch.append(seq + [self.pad_id] * (target - len(seq)))
+        return batch
+
+
+def default_vocabulary(num_content_words: int = 60) -> Tokenizer:
+    """Build the default synthetic vocabulary (``w0`` .. ``w{n-1}``)."""
+    if num_content_words < 1:
+        raise ValueError("num_content_words must be >= 1")
+    return Tokenizer([f"w{i}" for i in range(num_content_words)])

@@ -1,0 +1,59 @@
+"""Conventional Mixture-of-Experts (Switch-Transformer) substrate.
+
+Contains the baseline MoE model architecture the paper builds on: routers,
+experts, MoE blocks, the Switch-Transformer encoder-decoder, the model
+configuration registry, and the analytical FLOPs / capacity models used by
+Figures 2 and 3.
+"""
+
+from .capacity import CapacityBreakdown, capacity_breakdown, capacity_table, fits_in_memory, memory_ratio
+from .configs import (
+    BYTES_FP16,
+    BYTES_FP32,
+    PERFORMANCE_CONFIGS,
+    TABLE1_CONFIGS,
+    ModelConfig,
+    get_config,
+    list_configs,
+)
+from .expert import Expert, ExpertPool
+from .flops import FlopsBreakdown, gflops_per_sequence, moe_block_flops, sequence_flops
+from .gating import Router, RoutingDecision, load_balancing_loss
+from .moe_block import MoEBlock
+from .transformer import (
+    DecoderBlock,
+    EncoderBlock,
+    RoutingTraceEntry,
+    Seq2SeqOutput,
+    SwitchTransformer,
+)
+
+__all__ = [
+    "CapacityBreakdown",
+    "capacity_breakdown",
+    "capacity_table",
+    "fits_in_memory",
+    "memory_ratio",
+    "BYTES_FP16",
+    "BYTES_FP32",
+    "PERFORMANCE_CONFIGS",
+    "TABLE1_CONFIGS",
+    "ModelConfig",
+    "get_config",
+    "list_configs",
+    "Expert",
+    "ExpertPool",
+    "FlopsBreakdown",
+    "gflops_per_sequence",
+    "moe_block_flops",
+    "sequence_flops",
+    "Router",
+    "RoutingDecision",
+    "load_balancing_loss",
+    "MoEBlock",
+    "DecoderBlock",
+    "EncoderBlock",
+    "RoutingTraceEntry",
+    "Seq2SeqOutput",
+    "SwitchTransformer",
+]

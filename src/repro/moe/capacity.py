@@ -1,0 +1,88 @@
+"""Model-capacity (memory footprint) analysis.
+
+Reproduces Figure 3 and the capacity column of Table I: the breakdown of a
+model's memory footprint into MoE parameters (experts + gate functions) and
+non-MoE parameters (attention, dense FFNs, norms, embeddings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from .configs import ModelConfig, get_config
+
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class CapacityBreakdown:
+    """Memory capacity of one model configuration, split MoE vs non-MoE."""
+
+    config_name: str
+    moe_bytes: int
+    non_moe_bytes: int
+    moe_params: int
+    non_moe_params: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.moe_bytes + self.non_moe_bytes
+
+    @property
+    def total_params(self) -> int:
+        return self.moe_params + self.non_moe_params
+
+    @property
+    def moe_fraction(self) -> float:
+        """Fraction of the model capacity taken by MoE parameters."""
+        total = self.total_bytes
+        return self.moe_bytes / total if total else 0.0
+
+    def gigabytes(self) -> Dict[str, float]:
+        return {
+            "moe": self.moe_bytes / GB,
+            "non_moe": self.non_moe_bytes / GB,
+            "total": self.total_bytes / GB,
+        }
+
+
+def capacity_breakdown(config: ModelConfig) -> CapacityBreakdown:
+    """Compute the MoE vs non-MoE capacity split for a configuration."""
+    return CapacityBreakdown(
+        config_name=config.name,
+        moe_bytes=config.moe_bytes(),
+        non_moe_bytes=config.non_moe_bytes(),
+        moe_params=config.moe_params(),
+        non_moe_params=config.non_moe_params(),
+    )
+
+
+def capacity_table(config_names: Iterable[str]) -> List[CapacityBreakdown]:
+    """Capacity breakdowns for a list of registry names (Figure 3 series)."""
+    return [capacity_breakdown(get_config(name)) for name in config_names]
+
+
+def memory_ratio(moe_config: ModelConfig, dense_config: ModelConfig) -> float:
+    """How many times more memory the MoE model needs than its dense counterpart.
+
+    The paper quotes "up to 75x" for SwitchTransformer vs the FLOPs-equivalent
+    T5 (Section I / Figure 3).
+    """
+    dense_total = dense_config.total_bytes()
+    if dense_total == 0:
+        raise ValueError("dense model has zero capacity")
+    return moe_config.total_bytes() / dense_total
+
+
+def fits_in_memory(config: ModelConfig, memory_bytes: int,
+                   activation_reserve_fraction: float = 0.05) -> bool:
+    """Whether the whole model (plus an activation reserve) fits in ``memory_bytes``.
+
+    Used to reproduce the GPU-only OOM result for Switch-Large on an 80GB
+    A100 (Figures 10-12).
+    """
+    if not 0.0 <= activation_reserve_fraction < 1.0:
+        raise ValueError("activation_reserve_fraction must be in [0, 1)")
+    usable = memory_bytes * (1.0 - activation_reserve_fraction)
+    return config.total_bytes() <= usable

@@ -1,0 +1,322 @@
+"""Model configuration registry for Switch-Transformer and dense T5.
+
+The registry covers every configuration the paper evaluates (Table I plus the
+Switch-Base-256 point of Figure 12 and the Switch-XXL point of Figure 16),
+along with the FLOPs-equivalent dense T5 models used in Figures 2 and 3.
+
+Two kinds of configurations exist:
+
+* **Paper-scale** configurations (``switch_base_8`` ... ``switch_xxl``) carry
+  the real model dimensions and are used for parameter-count arithmetic, the
+  capacity model and the hardware performance model.  They are never
+  instantiated as numpy weights (Switch-Large alone would need >100 GB).
+* **Tiny** configurations (``tiny_*``) are functional, trainable models used
+  for the accuracy experiments (Table II, Figure 13) and for integration
+  tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+#: Bytes per parameter.  Table I's capacity column corresponds to 4 bytes per
+#: parameter (fp32 master weights); Switch-XXL is served quantised.
+BYTES_FP32 = 4
+BYTES_FP16 = 2
+BYTES_INT8 = 1
+#: Effective bytes/param of the quantised Switch-XXL deployment: the paper
+#: reports 395B parameters and 217GB of model capacity after quantisation.
+BYTES_XXL_QUANTISED = 217e9 / 395e9
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters of an (MoE) encoder-decoder transformer.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"switch_base_128"``.
+    d_model:
+        Embedding / hidden dimension.
+    d_ff:
+        Inner dimension of each FFN / expert layer.
+    num_heads:
+        Attention heads.
+    num_encoder_layers / num_decoder_layers:
+        Transformer block counts for encoder and decoder.
+    num_experts:
+        Experts per MoE block (1 means a dense model: the FFN is the single
+        "expert" and no gate exists).
+    top_k:
+        Number of experts activated per token (Switch uses top-1).
+    moe_layer_frequency:
+        Every ``moe_layer_frequency``-th FFN layer is an MoE block
+        (Switch-Transformer replaces every other FFN, i.e. frequency 2).
+    vocab_size:
+        Vocabulary size (T5/Switch use 32k sentencepiece).
+    bytes_per_param:
+        Precision used when computing deployment capacity.
+    """
+
+    name: str
+    d_model: int
+    d_ff: int
+    num_heads: int
+    num_encoder_layers: int
+    num_decoder_layers: int
+    num_experts: int = 1
+    top_k: int = 1
+    moe_layer_frequency: int = 2
+    vocab_size: int = 32128
+    d_kv: Optional[int] = None
+    bytes_per_param: float = BYTES_FP32
+    label: str = ""
+
+    # ------------------------------------------------------------------
+    # Derived structural quantities
+    # ------------------------------------------------------------------
+    @property
+    def is_moe(self) -> bool:
+        return self.num_experts > 1
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_kv if self.d_kv is not None else self.d_model // self.num_heads
+
+    @property
+    def num_layers(self) -> int:
+        """Total number of transformer blocks (encoder + decoder)."""
+        return self.num_encoder_layers + self.num_decoder_layers
+
+    def num_moe_blocks(self, part: str = "all") -> int:
+        """Number of FFN positions that are MoE blocks.
+
+        Parameters
+        ----------
+        part:
+            ``"encoder"``, ``"decoder"`` or ``"all"``.
+        """
+        if not self.is_moe:
+            return 0
+        counts = {
+            "encoder": self.num_encoder_layers // self.moe_layer_frequency,
+            "decoder": self.num_decoder_layers // self.moe_layer_frequency,
+        }
+        counts["all"] = counts["encoder"] + counts["decoder"]
+        if part not in counts:
+            raise ValueError(f"part must be one of {sorted(counts)}, got {part!r}")
+        return counts[part]
+
+    def num_dense_ffn_blocks(self, part: str = "all") -> int:
+        """Number of FFN positions that remain dense FFNs."""
+        totals = {
+            "encoder": self.num_encoder_layers,
+            "decoder": self.num_decoder_layers,
+            "all": self.num_layers,
+        }
+        return totals[part] - self.num_moe_blocks(part)
+
+    # ------------------------------------------------------------------
+    # Parameter counting
+    # ------------------------------------------------------------------
+    @property
+    def attention_params_per_layer(self) -> int:
+        """Parameters of one multi-head attention (Q, K, V, O projections)."""
+        return 4 * self.d_model * self.num_heads * self.head_dim
+
+    @property
+    def ffn_params(self) -> int:
+        """Parameters of one dense FFN (= one expert)."""
+        return 2 * self.d_model * self.d_ff
+
+    @property
+    def expert_params(self) -> int:
+        """Parameters of a single expert layer (identical to a dense FFN)."""
+        return self.ffn_params
+
+    @property
+    def gate_params(self) -> int:
+        """Parameters of one gate (router) function: a d_model x E projection."""
+        return self.d_model * self.num_experts if self.is_moe else 0
+
+    @property
+    def layernorm_params_per_layer(self) -> int:
+        # Two norms per encoder block, three per decoder block (self-attn,
+        # cross-attn, FFN); we approximate with 2 scale+shift pairs for the
+        # encoder and 3 for the decoder when counting exactly in
+        # capacity.py.  Here we expose the per-norm size.
+        return 2 * self.d_model
+
+    @property
+    def embedding_params(self) -> int:
+        """Shared input/output token embedding."""
+        return self.vocab_size * self.d_model
+
+    def moe_params(self) -> int:
+        """Total MoE parameters: all experts plus all gate functions."""
+        if not self.is_moe:
+            return 0
+        blocks = self.num_moe_blocks("all")
+        return blocks * (self.num_experts * self.expert_params + self.gate_params)
+
+    def non_moe_params(self) -> int:
+        """Total dense (always-resident) parameters."""
+        attention = 0
+        norms = 0
+        # Encoder blocks: self-attention + 2 norms.
+        attention += self.num_encoder_layers * self.attention_params_per_layer
+        norms += self.num_encoder_layers * 2 * (2 * self.d_model)
+        # Decoder blocks: self-attention + cross-attention + 3 norms.
+        attention += self.num_decoder_layers * 2 * self.attention_params_per_layer
+        norms += self.num_decoder_layers * 3 * (2 * self.d_model)
+        dense_ffn = self.num_dense_ffn_blocks("all") * self.ffn_params
+        final_norms = 2 * (2 * self.d_model)
+        return attention + norms + dense_ffn + final_norms + self.embedding_params
+
+    def total_params(self) -> int:
+        return self.moe_params() + self.non_moe_params()
+
+    # ------------------------------------------------------------------
+    # Byte-level capacity
+    # ------------------------------------------------------------------
+    def expert_bytes(self) -> int:
+        """Size in bytes of a single expert's parameters."""
+        return int(self.expert_params * self.bytes_per_param)
+
+    def moe_bytes(self) -> int:
+        return int(self.moe_params() * self.bytes_per_param)
+
+    def non_moe_bytes(self) -> int:
+        return int(self.non_moe_params() * self.bytes_per_param)
+
+    def total_bytes(self) -> int:
+        return int(self.total_params() * self.bytes_per_param)
+
+    # ------------------------------------------------------------------
+    def scaled(self, **overrides) -> "ModelConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, ModelConfig] = {}
+
+
+def register(config: ModelConfig) -> ModelConfig:
+    if config.name in _REGISTRY:
+        raise ValueError(f"duplicate model config {config.name!r}")
+    _REGISTRY[config.name] = config
+    return config
+
+
+def get_config(name: str) -> ModelConfig:
+    """Look up a configuration by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown model config {name!r}; known: {sorted(_REGISTRY)}") from None
+
+
+def list_configs() -> Dict[str, ModelConfig]:
+    """Return a copy of the full registry."""
+    return dict(_REGISTRY)
+
+
+# --- Paper-scale Switch-Transformer configurations (Table I) ------------
+# Switch-Base mirrors T5-Base: d_model=768, d_ff=3072, 12 enc + 12 dec
+# layers.  The paper's Table I reports "Layers: 12" meaning 12 MoE layers
+# (every other FFN across the 24 transformer blocks).
+SWITCH_BASE_8 = register(ModelConfig(
+    name="switch_base_8", label="Switch-Base (8 experts)",
+    d_model=768, d_ff=3072, num_heads=12,
+    num_encoder_layers=12, num_decoder_layers=12,
+    num_experts=8, top_k=1,
+))
+
+SWITCH_BASE_64 = register(SWITCH_BASE_8.scaled(
+    name="switch_base_64", label="Switch-Base (64 experts)", num_experts=64))
+
+SWITCH_BASE_128 = register(SWITCH_BASE_8.scaled(
+    name="switch_base_128", label="Switch-Base (128 experts)", num_experts=128))
+
+SWITCH_BASE_256 = register(SWITCH_BASE_8.scaled(
+    name="switch_base_256", label="Switch-Base (256 experts)", num_experts=256))
+
+# Switch-Large mirrors T5-Large: d_model=1024, d_ff=4096, 24+24 layers,
+# 16 heads, 128 experts (24 MoE layers -> Table I "Layers: 24").
+SWITCH_LARGE_128 = register(ModelConfig(
+    name="switch_large_128", label="Switch-Large (128 experts)",
+    d_model=1024, d_ff=4096, num_heads=16,
+    num_encoder_layers=24, num_decoder_layers=24,
+    num_experts=128, top_k=1,
+))
+
+# Switch-XXL (Figure 16): same layer structure as Switch-Large but the
+# feature dimension and head count scaled 4x, ~395B parameters, served
+# quantised (217 GB).
+SWITCH_XXL = register(ModelConfig(
+    name="switch_xxl", label="Switch-XXL (128 experts)",
+    d_model=4096, d_ff=16384, num_heads=64,
+    num_encoder_layers=24, num_decoder_layers=24,
+    num_experts=128, top_k=1,
+    bytes_per_param=BYTES_XXL_QUANTISED,
+))
+
+# --- Dense T5 baselines (single "expert", no gate) -----------------------
+T5_BASE = register(ModelConfig(
+    name="t5_base", label="T5-Base (dense)",
+    d_model=768, d_ff=3072, num_heads=12,
+    num_encoder_layers=12, num_decoder_layers=12,
+    num_experts=1,
+))
+
+T5_LARGE = register(ModelConfig(
+    name="t5_large", label="T5-Large (dense)",
+    d_model=1024, d_ff=4096, num_heads=16,
+    num_encoder_layers=24, num_decoder_layers=24,
+    num_experts=1,
+))
+
+# --- Tiny functional configurations (trainable on CPU) -------------------
+TINY_DENSE = register(ModelConfig(
+    name="tiny_dense", label="Tiny dense (functional tests)",
+    d_model=32, d_ff=64, num_heads=4,
+    num_encoder_layers=2, num_decoder_layers=2,
+    num_experts=1, vocab_size=64, bytes_per_param=BYTES_FP32,
+))
+
+TINY_MOE_4 = register(ModelConfig(
+    name="tiny_moe_4", label="Tiny MoE (4 experts)",
+    d_model=32, d_ff=64, num_heads=4,
+    num_encoder_layers=2, num_decoder_layers=4,
+    num_experts=4, top_k=1, moe_layer_frequency=1,
+    vocab_size=64, bytes_per_param=BYTES_FP32,
+))
+
+TINY_MOE_8 = register(ModelConfig(
+    name="tiny_moe_8", label="Tiny MoE (8 experts)",
+    d_model=32, d_ff=64, num_heads=4,
+    num_encoder_layers=2, num_decoder_layers=4,
+    num_experts=8, top_k=1, moe_layer_frequency=1,
+    vocab_size=64, bytes_per_param=BYTES_FP32,
+))
+
+#: Configurations evaluated in the latency/throughput figures (Figs. 10-12).
+PERFORMANCE_CONFIGS = (
+    "switch_base_8",
+    "switch_base_64",
+    "switch_base_128",
+    "switch_large_128",
+)
+
+#: Configurations evaluated in Table I.
+TABLE1_CONFIGS = (
+    "switch_base_8",
+    "switch_base_64",
+    "switch_base_128",
+    "switch_large_128",
+)

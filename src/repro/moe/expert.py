@@ -1,0 +1,107 @@
+"""Expert layers for MoE blocks.
+
+An expert is a position-wise FFN with the same dimensions as the dense FFN
+it replaces (Figure 1b of the paper).  :class:`ExpertPool` holds the set of
+experts that live inside one MoE block and executes a routed batch of tokens
+through the activated experts only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..tensor import FeedForward, Module, ModuleList, Tensor
+from .gating import RoutingDecision
+
+
+class Expert(Module):
+    """A single expert: a dense FFN identified by ``expert_id``."""
+
+    def __init__(self, expert_id: int, d_model: int, d_ff: int, activation: str = "relu",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.expert_id = expert_id
+        self.ffn = FeedForward(d_model, d_ff, activation=activation, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.ffn(x)
+
+    @property
+    def num_params(self) -> int:
+        return self.num_parameters()
+
+
+class ExpertPool(Module):
+    """The collection of experts inside one MoE block.
+
+    The pool implements the *expert execution* stage: given a
+    :class:`~repro.moe.gating.RoutingDecision` it dispatches each token to
+    its selected experts, executes only the activated experts, and combines
+    the expert outputs weighted by the (renormalised) router probabilities.
+    """
+
+    def __init__(self, num_experts: int, d_model: int, d_ff: int, activation: str = "relu",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if num_experts < 1:
+            raise ValueError("num_experts must be >= 1")
+        self.num_experts = num_experts
+        self.d_model = d_model
+        self.d_ff = d_ff
+        self.experts = ModuleList([
+            Expert(i, d_model, d_ff, activation=activation, rng=rng) for i in range(num_experts)
+        ])
+
+    def __len__(self) -> int:
+        return self.num_experts
+
+    def __getitem__(self, expert_id: int) -> Expert:
+        return self.experts[expert_id]
+
+    def forward(self, hidden: Tensor, routing: RoutingDecision) -> Tensor:
+        """Execute the activated experts on their routed tokens.
+
+        Parameters
+        ----------
+        hidden:
+            Token representations, shape ``(tokens, d_model)``.
+        routing:
+            Routing decision produced by the block's gate (or, for pre-gated
+            blocks, by the *previous* block's pre-gate).
+
+        Returns
+        -------
+        Tensor of shape ``(tokens, d_model)`` — the weighted combination of
+        expert outputs for each token.
+        """
+        tokens = hidden.shape[0]
+        if routing.expert_indices.shape[0] != tokens:
+            raise ValueError(
+                f"routing covers {routing.expert_indices.shape[0]} tokens but hidden has {tokens}"
+            )
+        output = Tensor(np.zeros_like(hidden.numpy()))
+        k = routing.top_k
+        for slot in range(k):
+            slot_experts = routing.expert_indices[:, slot]
+            slot_weights = routing.expert_weights[:, slot]
+            for expert_id in np.unique(slot_experts):
+                token_mask = slot_experts == expert_id
+                token_idx = np.nonzero(token_mask)[0]
+                expert_out = self.experts[int(expert_id)](hidden[token_idx])
+                weights = Tensor(slot_weights[token_idx][:, None])
+                contribution = expert_out * weights
+                # Scatter-add the contribution back into the output tensor.
+                scatter = np.zeros((tokens, len(token_idx)))
+                scatter[token_idx, np.arange(len(token_idx))] = 1.0
+                output = output + Tensor(scatter).matmul(contribution)
+        return output
+
+    def expert_param_counts(self) -> Dict[int, int]:
+        """Parameter count per expert (used by the capacity model tests)."""
+        return {expert.expert_id: expert.num_parameters() for expert in self.experts}
+
+    def activated_subset(self, routing: RoutingDecision) -> List[int]:
+        """Expert ids that must be resident to execute ``routing``."""
+        return list(routing.activated_experts)

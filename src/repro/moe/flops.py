@@ -1,0 +1,110 @@
+"""Analytical FLOPs model for MoE vs dense transformer inference.
+
+Reproduces the computation behind Figure 2 of the paper: the number of
+floating-point operations required to process one sequence is (nearly)
+independent of the number of experts, because only ``top_k`` experts are
+activated per token regardless of how many exist.
+
+FLOPs are counted as multiply-accumulate pairs (2 FLOPs per MAC), the usual
+convention for transformer FLOPs estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .configs import ModelConfig
+
+
+@dataclass(frozen=True)
+class FlopsBreakdown:
+    """Per-component FLOPs for processing one sequence."""
+
+    attention: float
+    dense_ffn: float
+    expert_ffn: float
+    gate: float
+    embedding: float
+
+    @property
+    def total(self) -> float:
+        return self.attention + self.dense_ffn + self.expert_ffn + self.gate + self.embedding
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "attention": self.attention,
+            "dense_ffn": self.dense_ffn,
+            "expert_ffn": self.expert_ffn,
+            "gate": self.gate,
+            "embedding": self.embedding,
+            "total": self.total,
+        }
+
+
+def attention_flops(config: ModelConfig, seq_len: int) -> float:
+    """FLOPs of one multi-head attention layer over a sequence.
+
+    Includes the four projections plus the score and context matmuls.
+    """
+    d = config.d_model
+    proj = 4 * 2.0 * seq_len * d * d
+    scores = 2.0 * seq_len * seq_len * d
+    context = 2.0 * seq_len * seq_len * d
+    return proj + scores + context
+
+
+def ffn_flops(config: ModelConfig, seq_len: int) -> float:
+    """FLOPs of one dense FFN (equivalently one expert) over a sequence."""
+    return 2 * 2.0 * seq_len * config.d_model * config.d_ff
+
+
+def gate_flops(config: ModelConfig, seq_len: int) -> float:
+    """FLOPs of one gate function evaluation over a sequence."""
+    if not config.is_moe:
+        return 0.0
+    return 2.0 * seq_len * config.d_model * config.num_experts
+
+
+def logits_flops(config: ModelConfig, seq_len: int) -> float:
+    """FLOPs of the final LM-head projection."""
+    return 2.0 * seq_len * config.d_model * config.vocab_size
+
+
+def sequence_flops(config: ModelConfig, seq_len: int = 256,
+                   top_k: int | None = None) -> FlopsBreakdown:
+    """FLOPs required to process one sequence of ``seq_len`` tokens.
+
+    For MoE configurations each token only executes ``top_k`` experts, so the
+    expert-FFN term scales with ``top_k`` — not with ``num_experts``.  This is
+    the mechanism behind the flat MoE curves of Figure 2.
+    """
+    k = top_k if top_k is not None else config.top_k
+    attn_layers = config.num_encoder_layers + 2 * config.num_decoder_layers
+    attention = attn_layers * attention_flops(config, seq_len)
+
+    dense_ffn_blocks = config.num_dense_ffn_blocks("all")
+    moe_blocks = config.num_moe_blocks("all")
+    dense = dense_ffn_blocks * ffn_flops(config, seq_len)
+    experts = moe_blocks * k * ffn_flops(config, seq_len)
+    gates = moe_blocks * gate_flops(config, seq_len)
+    embedding = logits_flops(config, seq_len)
+    return FlopsBreakdown(attention=attention, dense_ffn=dense, expert_ffn=experts,
+                          gate=gates, embedding=embedding)
+
+
+def gflops_per_sequence(config: ModelConfig, seq_len: int = 256,
+                        top_k: int | None = None) -> float:
+    """Convenience wrapper returning Figure 2's metric (GFLOPs/sequence)."""
+    return sequence_flops(config, seq_len, top_k=top_k).total / 1e9
+
+
+def moe_block_flops(config: ModelConfig, tokens: int, num_active_experts: int | None = None) -> float:
+    """FLOPs of a single MoE block execution over ``tokens`` routed tokens.
+
+    ``num_active_experts`` defaults to ``config.top_k`` (per token).  When the
+    Figure 14 sweep manually activates more experts per token, each token's
+    representation is processed by that many experts.
+    """
+    k = num_active_experts if num_active_experts is not None else config.top_k
+    return gate_flops(config, tokens) + k * ffn_flops(config, tokens)

@@ -1,0 +1,68 @@
+"""The conventional (sparse) MoE block.
+
+A conventional MoE block couples a gate function and an expert pool: the
+gate *selects* which experts to activate for the current block, and the
+expert pool *executes* them.  Because the selection is input-dependent, the
+two stages are inherently sequential — this is exactly the data dependency
+the pre-gate function of :mod:`repro.core` removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Module, Tensor
+from .expert import ExpertPool
+from .gating import Router, RoutingDecision
+
+
+class MoEBlock(Module):
+    """Gate + expert pool, evaluated sequentially (Figure 1b).
+
+    Parameters
+    ----------
+    d_model / d_ff:
+        Token representation and expert hidden dimensions.
+    num_experts:
+        Number of experts in the pool.
+    top_k:
+        Experts activated per token.
+    block_index:
+        Position of this MoE block in the model's MoE-block ordering; the
+        serving system uses it to attribute expert migrations.
+    """
+
+    def __init__(self, d_model: int, d_ff: int, num_experts: int, top_k: int = 1,
+                 block_index: int = 0, activation: str = "relu",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.d_model = d_model
+        self.d_ff = d_ff
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.block_index = block_index
+        self.gate = Router(d_model, num_experts, top_k=top_k, rng=rng)
+        self.experts = ExpertPool(num_experts, d_model, d_ff, activation=activation, rng=rng)
+
+    def forward(self, hidden: Tensor, top_k: Optional[int] = None) -> Tuple[Tensor, RoutingDecision]:
+        """Run expert selection followed by expert execution.
+
+        ``hidden`` has shape ``(tokens, d_model)``; callers flatten the
+        batch/sequence dimensions before dispatching to the MoE block.
+
+        Returns the block output and the :class:`RoutingDecision`, which the
+        serving layer consumes as the expert-activation trace.
+        """
+        routing = self.gate(hidden, top_k=top_k)
+        output = self.experts(hidden, routing)
+        return output, routing
+
+    def execute_with_routing(self, hidden: Tensor, routing: RoutingDecision) -> Tensor:
+        """Expert-execution stage only, with an externally supplied routing.
+
+        Used by the pre-gated architecture where the routing decision for
+        this block was produced by the *previous* block's pre-gate function.
+        """
+        return self.experts(hidden, routing)

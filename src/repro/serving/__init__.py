@@ -1,0 +1,37 @@
+"""Serving engines for the four MoE inference system designs."""
+
+from .engine import (
+    DESIGN_LABELS,
+    EngineConfig,
+    GPUOnlyEngine,
+    OnDemandEngine,
+    PreGatedEngine,
+    PrefetchAllEngine,
+    ServingEngine,
+    compare_designs,
+    make_engine,
+)
+from .metrics import (
+    BlockLatencyRecord,
+    IterationResult,
+    RequestResult,
+    WorkloadResult,
+    normalise,
+)
+
+__all__ = [
+    "DESIGN_LABELS",
+    "EngineConfig",
+    "GPUOnlyEngine",
+    "OnDemandEngine",
+    "PreGatedEngine",
+    "PrefetchAllEngine",
+    "ServingEngine",
+    "compare_designs",
+    "make_engine",
+    "BlockLatencyRecord",
+    "IterationResult",
+    "RequestResult",
+    "WorkloadResult",
+    "normalise",
+]

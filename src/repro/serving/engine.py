@@ -1,0 +1,443 @@
+"""Serving engines for the four MoE inference system designs.
+
+Each engine simulates single-GPU serving of a (paper-scale) Switch-
+Transformer configuration on a :class:`~repro.system.hardware.SystemSpec`,
+using the dual-stream :class:`~repro.system.timeline.ExecutionTimeline` to
+model the interaction between GPU compute and CPU→GPU expert migration:
+
+* :class:`GPUOnlyEngine` — the oracular baseline: every parameter resident
+  in GPU memory, no expert migration (OOMs when the model does not fit).
+* :class:`OnDemandEngine` — MoE-OnDemand: experts offloaded to host memory
+  and fetched after each block's gate, serialising selection, migration and
+  execution.
+* :class:`PrefetchAllEngine` — MoE-Prefetch (SE-MoE): the *entire* expert
+  set of the next block is transferred while the current block executes.
+* :class:`PreGatedEngine` — the paper's system: the pre-gate evaluated in
+  block *N* identifies the activated experts of block *N+1*, so only those
+  are transferred, overlapped with block *N*'s execution.
+
+The engines consume expert-activation traces
+(:class:`~repro.workloads.traces.RequestTrace`) and emit the same metrics
+the paper's artifact reports: per-MoE-block latency, end-to-end throughput
+in tokens/second and peak GPU memory usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.migration import MigrationPlan, plan_for_design
+from ..moe.configs import ModelConfig, get_config
+from ..moe.transformer import _moe_layer_positions
+from ..core.pregate import PreGateSchedule
+from ..system.cache import ExpertCache
+from ..system.hardware import PAPER_SYSTEM, SystemSpec
+from ..system.memory import MemoryHierarchy, MemoryPool, OutOfMemoryError
+from ..system.performance import GpuLatencyModel
+from ..system.timeline import ExecutionTimeline, TimelineOp
+from ..workloads.traces import IterationActivations, RequestTrace
+from .metrics import BlockLatencyRecord, IterationResult, RequestResult, WorkloadResult
+
+#: Fixed GPU memory consumed by the runtime itself (CUDA context, cuBLAS
+#: workspaces, FasterTransformer's pre-allocated activation buffers).  The
+#: paper's measured peak-memory numbers include this overhead, so the
+#: simulator accounts for it explicitly.
+DEFAULT_RUNTIME_WORKSPACE_BYTES = int(2e9)
+
+
+@dataclass
+class EngineConfig:
+    """Tunable knobs shared by all engines."""
+
+    activation_level: int = 1
+    runtime_workspace_bytes: int = DEFAULT_RUNTIME_WORKSPACE_BYTES
+    #: Whether to keep simulating when the GPU pool would be exceeded
+    #: (used by analyses that want to measure how far over budget a design is).
+    allow_oversubscription: bool = False
+
+
+class ServingEngine:
+    """Base class implementing the shared simulation machinery.
+
+    Subclasses set :attr:`design` and the migration behaviour is selected
+    through :func:`repro.core.migration.plan_for_design`.
+    """
+
+    design: str = "base"
+
+    def __init__(self, config: "ModelConfig | str", system: SystemSpec = PAPER_SYSTEM,
+                 latency_model: Optional[GpuLatencyModel] = None,
+                 cache: Optional[ExpertCache] = None,
+                 engine_config: Optional[EngineConfig] = None) -> None:
+        self.config = get_config(config) if isinstance(config, str) else config
+        self.system = system
+        self.latency = latency_model or GpuLatencyModel(system.gpu)
+        self.cache = cache
+        self.engine_config = engine_config or EngineConfig()
+        self.memory = MemoryHierarchy.from_system(system)
+        self.gpu_pool: MemoryPool = self.memory.gpu
+        self._loaded = False
+        self._expert_seq = 0
+
+        if self.config.is_moe:
+            self._encoder_moe_positions = _moe_layer_positions(
+                self.config.num_encoder_layers, self.config.moe_layer_frequency)
+            self._decoder_moe_positions = _moe_layer_positions(
+                self.config.num_decoder_layers, self.config.moe_layer_frequency)
+        else:
+            self._encoder_moe_positions = []
+            self._decoder_moe_positions = []
+
+    # ------------------------------------------------------------------
+    # Model loading / parameter placement (Figure 4)
+    # ------------------------------------------------------------------
+    @property
+    def offloads_experts(self) -> bool:
+        return self.design != "gpu_only"
+
+    def load_model(self) -> None:
+        """Place model parameters according to the design's storage policy.
+
+        Raises :class:`OutOfMemoryError` if the GPU cannot hold its share of
+        the parameters (the GPU-only OOM case for Switch-Large in
+        Figures 10-12).
+        """
+        if self._loaded:
+            return
+        allow = self.engine_config.allow_oversubscription
+        self.gpu_pool.allocate("runtime_workspace", self.engine_config.runtime_workspace_bytes,
+                               category="workspace", allow_oversubscribe=allow)
+        self.gpu_pool.allocate("non_moe_params", self.config.non_moe_bytes(),
+                               category="non_moe", allow_oversubscribe=allow)
+        if self.offloads_experts:
+            offload_pool = self.memory.offload_pool(self.system.offload_tier)
+            offload_pool.allocate("moe_params", self.config.moe_bytes(), category="moe")
+        else:
+            self.gpu_pool.allocate("moe_params", self.config.moe_bytes(),
+                                   category="moe", allow_oversubscribe=allow)
+        self._loaded = True
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _moe_positions(self, part: str) -> List[int]:
+        return self._encoder_moe_positions if part == "encoder" else self._decoder_moe_positions
+
+    def _global_block_index(self, part: str, block_index: int) -> int:
+        if part == "encoder":
+            return block_index
+        return len(self._encoder_moe_positions) + block_index
+
+    def _cache_resident(self, part: str, num_blocks: int) -> List[Set[int]]:
+        """Per-block sets of experts already resident in the GPU expert cache."""
+        resident: List[Set[int]] = []
+        for block in range(num_blocks):
+            if self.cache is None or not self.cache.enabled:
+                resident.append(set())
+            else:
+                key_block = self._global_block_index(part, block)
+                resident.append(set(self.cache.resident_for_block(key_block)))
+        return resident
+
+    def _allocate_expert(self, part: str, block_index: int, expert_id: int) -> str:
+        """Reserve GPU memory for one migrated expert; returns the allocation tag."""
+        gb = self._global_block_index(part, block_index)
+        if self.cache is not None and self.cache.enabled:
+            tag = f"cached_expert:{gb}:{expert_id}"
+            if self.gpu_pool.has(tag):
+                return tag
+        else:
+            self._expert_seq += 1
+            tag = f"expert:{gb}:{expert_id}:{self._expert_seq}"
+        self.gpu_pool.allocate(tag, self.config.expert_bytes(), category="experts",
+                               allow_oversubscribe=self.engine_config.allow_oversubscription)
+        return tag
+
+    def _release_block_experts(self, part: str, block_index: int,
+                               fetched_tags: List[str], activated: Sequence[int]) -> None:
+        """Free (or cache) the experts of a block after its execution."""
+        gb = self._global_block_index(part, block_index)
+        if self.cache is not None and self.cache.enabled:
+            for expert_id in activated:
+                self.cache.lookup((gb, expert_id))  # record the access for the policy
+                evicted = self.cache.insert((gb, expert_id))
+                if evicted is not None:
+                    evicted_tag = f"cached_expert:{evicted[0]}:{evicted[1]}"
+                    if self.gpu_pool.has(evicted_tag):
+                        self.gpu_pool.free(evicted_tag)
+            return
+        for tag in fetched_tags:
+            if self.gpu_pool.has(tag):
+                self.gpu_pool.free(tag)
+
+    # ------------------------------------------------------------------
+    # Core simulation of one stack traversal
+    # ------------------------------------------------------------------
+    def _simulate_stack_pass(
+        self,
+        timeline: ExecutionTimeline,
+        part: str,
+        iteration: int,
+        activations: IterationActivations,
+        query_tokens: int,
+        self_kv_tokens: int,
+        cross_kv_tokens: Optional[int],
+    ) -> List[BlockLatencyRecord]:
+        """Walk one stack (encoder pass or one decoder iteration).
+
+        Returns the per-MoE-block latency records.  Ops are appended to
+        ``timeline``; the compute stream is FIFO so consecutive layers
+        serialise automatically, while expert transfers land on the copy
+        stream with explicit dependencies implementing each design's
+        selection→migration→execution ordering.
+        """
+        config = self.config
+        moe_positions = self._moe_positions(part)
+        num_layers = (config.num_encoder_layers if part == "encoder"
+                      else config.num_decoder_layers)
+        num_blocks = len(moe_positions)
+        records: List[BlockLatencyRecord] = []
+
+        resident = self._cache_resident(part, num_blocks)
+        plan = plan_for_design(
+            self.design, activations, config.expert_bytes(), config.num_experts,
+            activation_level=self.engine_config.activation_level, resident=resident)
+        transfers_by_issue: Dict[int, List] = {}
+        for transfer in plan.transfers:
+            transfers_by_issue.setdefault(transfer.issue_block, []).append(transfer)
+
+        schedule = None
+        if self.design == "pregated" and num_blocks > 0:
+            schedule = PreGateSchedule(num_blocks=num_blocks,
+                                       activation_level=self.engine_config.activation_level)
+
+        gate_time = self.latency.gate_time(config, query_tokens)
+        transfer_ops_by_target: Dict[int, List[int]] = {}
+        allocation_tags: Dict[int, List[str]] = {}
+        last_compute_op: Optional[TimelineOp] = None
+        moe_block_cursor = 0
+
+        for layer in range(num_layers):
+            # --- non-MoE portion of the transformer block -------------
+            if part == "encoder":
+                nonmoe = self.latency.encoder_layer_nonmoe_time(config, query_tokens)
+            else:
+                nonmoe = self.latency.decoder_layer_nonmoe_time(
+                    config, query_tokens, self_kv_tokens, cross_kv_tokens or self_kv_tokens)
+            last_compute_op = timeline.add_compute(
+                f"{part}{iteration}.layer{layer}.attention", nonmoe, category="non_moe")
+
+            if layer not in moe_positions:
+                # Dense FFN layer.
+                ffn = self.latency.ffn_time(config, query_tokens)
+                last_compute_op = timeline.add_compute(
+                    f"{part}{iteration}.layer{layer}.ffn", ffn, category="non_moe")
+                continue
+
+            # --- MoE block --------------------------------------------
+            block = moe_block_cursor
+            moe_block_cursor += 1
+            input_ready = last_compute_op.end if last_compute_op else 0.0
+
+            # (1) Expert-selection stage: gate / pre-gate / first-gate ops.
+            num_gates = self._gates_evaluated_at(block, num_blocks, schedule)
+            gate_op = None
+            if num_gates > 0:
+                gate_op = timeline.add_compute(
+                    f"{part}{iteration}.moe{block}.gate", num_gates * gate_time,
+                    category="gate")
+                last_compute_op = gate_op
+
+            # (2) Issue expert migrations whose selection happened here.
+            issued = transfers_by_issue.get(block, [])
+            if issued and self.offloads_experts:
+                sync_op = timeline.add_compute(
+                    f"{part}{iteration}.moe{block}.issue_transfers",
+                    self.system.host_sync_overhead, category="sync")
+                last_compute_op = sync_op
+                for transfer in issued:
+                    duration = self.system.expert_transfer_time(transfer.bytes)
+                    copy_op = timeline.add_copy(
+                        f"{part}{iteration}.moe{transfer.block_index}"
+                        f".fetch_expert{transfer.expert_id}",
+                        duration, depends_on=[sync_op.op_id], category="expert_transfer")
+                    transfer_ops_by_target.setdefault(transfer.block_index, []).append(copy_op.op_id)
+                    tag = self._allocate_expert(part, transfer.block_index, transfer.expert_id)
+                    allocation_tags.setdefault(transfer.block_index, []).append(tag)
+
+            # (3) Expert-execution stage: waits for this block's transfers.
+            activated = activations[block] if block < len(activations) else []
+            num_active = max(1, len(activated))
+            exec_time = self.latency.expert_execution_time(config, query_tokens, num_active)
+            deps = transfer_ops_by_target.get(block, [])
+            ready_before_exec = last_compute_op.end if last_compute_op else 0.0
+            exec_op = timeline.add_compute(
+                f"{part}{iteration}.moe{block}.experts", exec_time,
+                depends_on=deps, category="expert_execution")
+            last_compute_op = exec_op
+
+            exposed = max(0.0, exec_op.start - ready_before_exec)
+            records.append(BlockLatencyRecord(
+                part=part, iteration=iteration, block_index=block,
+                latency=exec_op.end - input_ready,
+                num_active_experts=len(activated),
+                exposed_transfer_time=exposed))
+
+            # (4) Release (or cache) this block's experts.
+            self._release_block_experts(part, block, allocation_tags.get(block, []), activated)
+
+        return records
+
+    def _gates_evaluated_at(self, block: int, num_blocks: int,
+                            schedule: Optional[PreGateSchedule]) -> int:
+        """How many gate evaluations happen at MoE block ``block`` for this design."""
+        if self.design == "pregated" and schedule is not None:
+            gates = 0
+            if block == 0:
+                gates += schedule.num_first_gates()
+            if schedule.has_pre_gate(block):
+                gates += 1
+            return gates
+        # Conventional architectures evaluate exactly one gate per block.
+        return 1
+
+    # ------------------------------------------------------------------
+    # Public simulation API
+    # ------------------------------------------------------------------
+    def run_decoder_iteration(self, activations: IterationActivations,
+                              query_tokens: int = 1, self_kv_tokens: int = 1,
+                              cross_kv_tokens: int = 32,
+                              timeline: Optional[ExecutionTimeline] = None,
+                              iteration: int = 0) -> IterationResult:
+        """Simulate a single decoder iteration (all decoder layers, one token)."""
+        self.load_model()
+        timeline = timeline if timeline is not None else ExecutionTimeline()
+        start = timeline.makespan
+        records = self._simulate_stack_pass(
+            timeline, "decoder", iteration, activations,
+            query_tokens=query_tokens, self_kv_tokens=self_kv_tokens,
+            cross_kv_tokens=cross_kv_tokens)
+        lm_head = self.latency.lm_head_time(self.config, query_tokens)
+        timeline.add_compute(f"decoder{iteration}.lm_head", lm_head, category="non_moe")
+        duration = timeline.makespan - start
+        return IterationResult(part="decoder", iteration=iteration,
+                               duration=duration, block_latencies=records)
+
+    def run_encoder_pass(self, activations: IterationActivations, input_tokens: int,
+                         timeline: Optional[ExecutionTimeline] = None) -> IterationResult:
+        """Simulate the encoder pass over ``input_tokens`` tokens."""
+        self.load_model()
+        timeline = timeline if timeline is not None else ExecutionTimeline()
+        start = timeline.makespan
+        records = self._simulate_stack_pass(
+            timeline, "encoder", 0, activations,
+            query_tokens=input_tokens, self_kv_tokens=input_tokens, cross_kv_tokens=None)
+        duration = timeline.makespan - start
+        return IterationResult(part="encoder", iteration=0, duration=duration,
+                               block_latencies=records)
+
+    def run_request(self, trace: RequestTrace) -> RequestResult:
+        """Serve one request end-to-end: encoder pass + all decoder iterations."""
+        self.load_model()
+        timeline = ExecutionTimeline()
+        iterations: List[IterationResult] = []
+
+        encoder_result = self.run_encoder_pass(
+            trace.encoder_activations, trace.input_length, timeline=timeline)
+        iterations.append(encoder_result)
+        encoder_time = timeline.makespan
+
+        for step, activations in enumerate(trace.decode_activations):
+            result = self.run_decoder_iteration(
+                activations, query_tokens=1,
+                self_kv_tokens=step + 1, cross_kv_tokens=trace.input_length,
+                timeline=timeline, iteration=step)
+            iterations.append(result)
+        decode_time = timeline.makespan - encoder_time
+
+        return RequestResult(
+            design=self.design, config_name=self.config.name,
+            input_length=trace.input_length, output_length=trace.output_length,
+            encoder_time=encoder_time, decode_time=decode_time,
+            iterations=iterations, peak_gpu_bytes=self.gpu_pool.peak)
+
+    def run_workload(self, traces: Sequence[RequestTrace]) -> WorkloadResult:
+        """Serve a list of requests and aggregate the metrics.
+
+        If the model cannot be loaded (GPU-only on a model larger than HBM)
+        the result records the OOM instead of raising, mirroring how the
+        paper reports the Switch-Large GPU-only column.
+        """
+        result = WorkloadResult(design=self.design, config_name=self.config.name)
+        try:
+            self.load_model()
+        except OutOfMemoryError as exc:
+            result.oom = True
+            result.oom_reason = str(exc)
+            return result
+        for trace in traces:
+            result.requests.append(self.run_request(trace))
+        result.peak_gpu_bytes = self.gpu_pool.peak
+        return result
+
+
+class GPUOnlyEngine(ServingEngine):
+    """Oracular upper bound: the entire model resident in GPU memory."""
+
+    design = "gpu_only"
+
+
+class OnDemandEngine(ServingEngine):
+    """MoE-OnDemand (HuggingFace-Accelerate-style fetch-on-demand offloading)."""
+
+    design = "ondemand"
+
+
+class PrefetchAllEngine(ServingEngine):
+    """MoE-Prefetch (SE-MoE): prefetch every expert of the next block."""
+
+    design = "prefetch_all"
+
+
+class PreGatedEngine(ServingEngine):
+    """The paper's Pre-gated MoE serving system."""
+
+    design = "pregated"
+
+
+_ENGINES = {
+    "gpu_only": GPUOnlyEngine,
+    "ondemand": OnDemandEngine,
+    "prefetch_all": PrefetchAllEngine,
+    "pregated": PreGatedEngine,
+}
+
+#: Display names used in reports, matching the paper's figure legends.
+DESIGN_LABELS = {
+    "gpu_only": "GPU-only",
+    "pregated": "Pre-gated MoE",
+    "ondemand": "MoE-OnDemand",
+    "prefetch_all": "MoE-Prefetch",
+}
+
+
+def make_engine(design: str, config: "ModelConfig | str", system: SystemSpec = PAPER_SYSTEM,
+                cache: Optional[ExpertCache] = None,
+                engine_config: Optional[EngineConfig] = None) -> ServingEngine:
+    """Factory for engines by design name."""
+    if design not in _ENGINES:
+        raise ValueError(f"unknown design {design!r}; known: {sorted(_ENGINES)}")
+    return _ENGINES[design](config, system=system, cache=cache, engine_config=engine_config)
+
+
+def compare_designs(config: "ModelConfig | str", traces: Sequence[RequestTrace],
+                    designs: Sequence[str] = ("gpu_only", "pregated", "ondemand", "prefetch_all"),
+                    system: SystemSpec = PAPER_SYSTEM,
+                    engine_config: Optional[EngineConfig] = None) -> Dict[str, WorkloadResult]:
+    """Run the same workload through several designs (one engine each)."""
+    results: Dict[str, WorkloadResult] = {}
+    for design in designs:
+        engine = make_engine(design, config, system=system, engine_config=engine_config)
+        results[design] = engine.run_workload(traces)
+    return results

@@ -1,0 +1,160 @@
+"""Result records and aggregate metrics for the serving simulator.
+
+The quantities here are exactly the ones the paper's artifact emits
+(``block_lats.csv``, ``throughputs.csv``, ``peak_mems.csv``): per-MoE-block
+latency, end-to-end inference throughput in tokens per second, and peak GPU
+memory usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class BlockLatencyRecord:
+    """Latency of one MoE block evaluation.
+
+    ``latency`` measures from the moment the block's input is ready (the
+    preceding non-MoE layer finished) until the block's expert execution
+    completes, i.e. it includes any stall waiting for expert parameters to
+    arrive in GPU memory.
+    """
+
+    part: str                # "encoder" or "decoder"
+    iteration: int           # decoder iteration index (0 for the encoder pass)
+    block_index: int         # MoE block index within the stack
+    latency: float           # seconds
+    num_active_experts: int
+    exposed_transfer_time: float = 0.0
+
+
+@dataclass
+class IterationResult:
+    """One forward pass (encoder pass or one decoder iteration)."""
+
+    part: str
+    iteration: int
+    duration: float
+    block_latencies: List[BlockLatencyRecord] = field(default_factory=list)
+
+    @property
+    def mean_block_latency(self) -> float:
+        if not self.block_latencies:
+            return 0.0
+        return mean(record.latency for record in self.block_latencies)
+
+
+@dataclass
+class RequestResult:
+    """End-to-end result of serving one request."""
+
+    design: str
+    config_name: str
+    input_length: int
+    output_length: int
+    encoder_time: float
+    decode_time: float
+    iterations: List[IterationResult] = field(default_factory=list)
+    peak_gpu_bytes: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return self.encoder_time + self.decode_time
+
+    @property
+    def tokens_per_second(self) -> float:
+        """End-to-end inference throughput: generated tokens per second."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.output_length / self.total_time
+
+    @property
+    def decode_tokens_per_second(self) -> float:
+        """Throughput counting only the decode phase."""
+        if self.decode_time <= 0:
+            return 0.0
+        return self.output_length / self.decode_time
+
+    def block_latencies(self, part: Optional[str] = None) -> List[BlockLatencyRecord]:
+        records = [r for it in self.iterations for r in it.block_latencies]
+        if part is not None:
+            records = [r for r in records if r.part == part]
+        return records
+
+    def mean_block_latency(self, part: Optional[str] = "decoder") -> float:
+        records = self.block_latencies(part)
+        if not records:
+            return 0.0
+        return mean(r.latency for r in records)
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregate over a list of requests served by one engine."""
+
+    design: str
+    config_name: str
+    requests: List[RequestResult] = field(default_factory=list)
+    peak_gpu_bytes: int = 0
+    oom: bool = False
+    oom_reason: str = ""
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def mean_tokens_per_second(self) -> float:
+        if not self.requests:
+            return 0.0
+        return mean(r.tokens_per_second for r in self.requests)
+
+    @property
+    def mean_decode_tokens_per_second(self) -> float:
+        if not self.requests:
+            return 0.0
+        return mean(r.decode_tokens_per_second for r in self.requests)
+
+    @property
+    def mean_block_latency(self) -> float:
+        records = [r for req in self.requests for r in req.block_latencies("decoder")]
+        if not records:
+            return 0.0
+        return mean(r.latency for r in records)
+
+    @property
+    def total_generated_tokens(self) -> int:
+        return sum(r.output_length for r in self.requests)
+
+    @property
+    def total_time(self) -> float:
+        return sum(r.total_time for r in self.requests)
+
+    @property
+    def aggregate_tokens_per_second(self) -> float:
+        """Total generated tokens divided by total serving time."""
+        total = self.total_time
+        return self.total_generated_tokens / total if total > 0 else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "design": self.design,
+            "config": self.config_name,
+            "oom": self.oom,
+            "mean_block_latency_ms": self.mean_block_latency * 1e3,
+            "tokens_per_second": self.aggregate_tokens_per_second,
+            "peak_gpu_gb": self.peak_gpu_bytes / 1e9,
+        }
+
+
+def normalise(values: Dict[str, float], reference: str) -> Dict[str, float]:
+    """Normalise a metric dictionary to one of its keys (paper-style plots)."""
+    if reference not in values:
+        raise KeyError(f"reference {reference!r} not in {sorted(values)}")
+    ref = values[reference]
+    if ref == 0:
+        raise ZeroDivisionError("reference value is zero")
+    return {k: v / ref for k, v in values.items()}

@@ -1,0 +1,67 @@
+"""Hardware and memory-system simulator.
+
+The substrate that stands in for the paper's A100 + EPYC + PCIe testbed:
+hardware specifications, a GPU latency model, memory pools with peak
+tracking, the dual-stream execution timeline that models compute/transfer
+overlap, and the expert caches used in the Figure 15 study.
+"""
+
+from .cache import (
+    CacheStats,
+    ExpertCache,
+    LFUPolicy,
+    LIFOPolicy,
+    LRUPolicy,
+    cache_capacity_from_fraction,
+    make_policy,
+)
+from .hardware import (
+    A100_40GB,
+    A100_80GB,
+    EPYC_7V12,
+    NVME_SSD,
+    PAPER_SYSTEM,
+    PCIE_GEN4,
+    SSD_SYSTEM,
+    GpuSpec,
+    HostSpec,
+    LinkSpec,
+    SsdSpec,
+    SystemSpec,
+    get_system,
+)
+from .memory import Allocation, MemoryHierarchy, MemoryPool, OutOfMemoryError
+from .performance import GpuLatencyModel, LayerCost
+from .timeline import ExecutionTimeline, Stream, TimelineOp
+
+__all__ = [
+    "CacheStats",
+    "ExpertCache",
+    "LFUPolicy",
+    "LIFOPolicy",
+    "LRUPolicy",
+    "cache_capacity_from_fraction",
+    "make_policy",
+    "A100_40GB",
+    "A100_80GB",
+    "EPYC_7V12",
+    "NVME_SSD",
+    "PAPER_SYSTEM",
+    "PCIE_GEN4",
+    "SSD_SYSTEM",
+    "GpuSpec",
+    "HostSpec",
+    "LinkSpec",
+    "SsdSpec",
+    "SystemSpec",
+    "get_system",
+    "Allocation",
+    "MemoryHierarchy",
+    "MemoryPool",
+    "OutOfMemoryError",
+    "GpuLatencyModel",
+    "LayerCost",
+    "ExecutionTimeline",
+    "Stream",
+    "TimelineOp",
+]

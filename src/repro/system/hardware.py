@@ -1,0 +1,187 @@
+"""Hardware specifications for the performance model.
+
+The paper's testbed is a single NVIDIA A100 (80 GB HBM) attached to an AMD
+EPYC 7V12 host with 1.8 TB of DDR4, connected over PCIe gen4 at 32 GB/s
+(Section V).  The SSD-offloading study of Figure 16 adds an NVMe SSD tier.
+
+These dataclasses capture the capacities, bandwidths and fixed overheads the
+discrete-event timeline uses to turn "bytes moved" and "FLOPs executed" into
+time.  They are *parameters*, not measurements: every figure-level benchmark
+states which system spec it used so results can be re-derived under a
+different machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+GB = 1e9
+TB = 1e12
+US = 1e-6
+MS = 1e-3
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A single GPU accelerator."""
+
+    name: str
+    memory_bytes: int
+    hbm_bandwidth: float          # bytes / second
+    fp16_tflops: float            # peak tensor-core throughput, TFLOP/s
+    #: Effective per-kernel overhead at batch-1 decoding, including the host
+    #: side of the serving framework (kernel launch, tensor bookkeeping).
+    #: Calibrated so the absolute GPU-only throughput of Switch-Base lands in
+    #: the ~100-150 tokens/s range the paper measures with FasterTransformer.
+    kernel_launch_overhead: float = 30 * US
+    #: Host-side overhead of the MoE dispatch path (routing softmax/argmax,
+    #: scatter/gather of tokens to experts, per-expert GEMM launches).  This
+    #: dominates small-batch MoE block latency on real systems and is the
+    #: reason a single MoE block costs hundreds of microseconds rather than
+    #: the tens of microseconds a pure roofline model would predict.
+    moe_dispatch_overhead: float = 550 * US
+
+    @property
+    def flops_per_second(self) -> float:
+        return self.fp16_tflops * 1e12
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """CPU host memory (the offload target for expert parameters)."""
+
+    name: str
+    dram_bytes: int
+    dram_bandwidth: float = 200 * GB
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """An interconnect between two memory tiers (PCIe, or SSD read path)."""
+
+    name: str
+    bandwidth: float              # bytes / second
+    latency: float = 10 * US      # fixed per-transfer latency (seconds)
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` across this link."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency + num_bytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class SsdSpec:
+    """NVMe SSD used as the coldest offload tier (Figure 16)."""
+
+    name: str
+    capacity_bytes: int
+    read_bandwidth: float
+    read_latency: float = 100 * US
+
+    def as_link(self) -> LinkSpec:
+        return LinkSpec(name=f"{self.name}-read", bandwidth=self.read_bandwidth,
+                        latency=self.read_latency)
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A complete serving machine: GPU + host + interconnects.
+
+    ``offload_tier`` selects where the expert parameters live when offloaded:
+    ``"dram"`` (the paper's main configuration) or ``"ssd"`` (Figure 16).
+    """
+
+    name: str
+    gpu: GpuSpec
+    host: HostSpec
+    pcie: LinkSpec
+    ssd: SsdSpec
+    offload_tier: str = "dram"
+    #: Host<->device synchronisation cost paid whenever a routing decision
+    #: computed on the GPU must be read by the host to issue an expert
+    #: transfer (all CPU-GPU designs) or when a prefetch is enqueued on the
+    #: copy stream.
+    host_sync_overhead: float = 50 * US
+
+    def __post_init__(self) -> None:
+        if self.offload_tier not in ("dram", "ssd"):
+            raise ValueError(f"offload_tier must be 'dram' or 'ssd', got {self.offload_tier!r}")
+
+    @property
+    def offload_link(self) -> LinkSpec:
+        """The link over which offloaded expert parameters reach the GPU."""
+        if self.offload_tier == "dram":
+            return self.pcie
+        # SSD reads are bottlenecked by the slower of the SSD read path and
+        # PCIe; for the configurations studied the SSD is always slower.
+        ssd_link = self.ssd.as_link()
+        bandwidth = min(ssd_link.bandwidth, self.pcie.bandwidth)
+        latency = ssd_link.latency + self.pcie.latency
+        return LinkSpec(name="ssd-to-gpu", bandwidth=bandwidth, latency=latency)
+
+    def expert_transfer_time(self, expert_bytes: int) -> float:
+        """Seconds to migrate one expert's parameters to GPU memory."""
+        return self.offload_link.transfer_time(expert_bytes)
+
+    def with_offload_tier(self, tier: str) -> "SystemSpec":
+        return replace(self, offload_tier=tier)
+
+
+# ----------------------------------------------------------------------
+# Reference machines
+# ----------------------------------------------------------------------
+A100_80GB = GpuSpec(
+    name="NVIDIA A100 80GB",
+    memory_bytes=int(80 * GB),
+    hbm_bandwidth=2.0 * TB,
+    fp16_tflops=312.0,
+)
+
+A100_40GB = GpuSpec(
+    name="NVIDIA A100 40GB",
+    memory_bytes=int(40 * GB),
+    hbm_bandwidth=1.6 * TB,
+    fp16_tflops=312.0,
+)
+
+EPYC_7V12 = HostSpec(
+    name="AMD EPYC 7V12 (1.8TB DDR4)",
+    dram_bytes=int(1.8 * TB),
+)
+
+PCIE_GEN4 = LinkSpec(name="PCIe gen4 x16", bandwidth=32 * GB, latency=10 * US)
+
+NVME_SSD = SsdSpec(
+    name="NVMe SSD",
+    capacity_bytes=int(4 * TB),
+    read_bandwidth=3 * GB,
+    read_latency=100 * US,
+)
+
+#: The paper's evaluation machine (Section V).
+PAPER_SYSTEM = SystemSpec(
+    name="A100-80GB + EPYC DRAM over PCIe gen4",
+    gpu=A100_80GB,
+    host=EPYC_7V12,
+    pcie=PCIE_GEN4,
+    ssd=NVME_SSD,
+    offload_tier="dram",
+)
+
+#: Figure 16's SSD-offloading variant of the same machine.
+SSD_SYSTEM = PAPER_SYSTEM.with_offload_tier("ssd")
+
+
+def get_system(name: str = "paper") -> SystemSpec:
+    """Look up a reference system spec by short name."""
+    systems: Dict[str, SystemSpec] = {
+        "paper": PAPER_SYSTEM,
+        "ssd": SSD_SYSTEM,
+    }
+    if name not in systems:
+        raise KeyError(f"unknown system {name!r}; known: {sorted(systems)}")
+    return systems[name]

@@ -1,0 +1,157 @@
+"""Memory pools with allocation tracking, peak accounting and OOM detection.
+
+Used by the serving engines to track GPU HBM usage (parameters, activated
+experts, activations) and to reproduce the GPU-only out-of-memory result for
+Switch-Large on an 80 GB A100 (Figures 10-12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation would exceed a pool's capacity."""
+
+    def __init__(self, pool: "MemoryPool", requested: int) -> None:
+        self.pool_name = pool.name
+        self.requested = requested
+        self.in_use = pool.in_use
+        self.capacity = pool.capacity
+        super().__init__(
+            f"{pool.name}: out of memory — requested {requested / 1e9:.2f} GB with "
+            f"{pool.in_use / 1e9:.2f} GB already in use of {pool.capacity / 1e9:.2f} GB"
+        )
+
+
+@dataclass
+class Allocation:
+    """A live allocation inside a :class:`MemoryPool`."""
+
+    tag: str
+    num_bytes: int
+    category: str = "generic"
+
+
+class MemoryPool:
+    """A fixed-capacity memory pool (GPU HBM, host DRAM, or SSD).
+
+    Allocations are tagged so the engines can free them selectively (e.g.
+    free the experts of block *N* once block *N+1* is done with the GPU) and
+    categorised so peak usage can be broken down in reports.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = int(capacity)
+        self._allocations: Dict[str, Allocation] = {}
+        self._in_use = 0
+        self._peak = 0
+        self._category_peaks: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._in_use
+
+    def utilisation(self) -> float:
+        return self._in_use / self.capacity
+
+    def peak_utilisation(self) -> float:
+        return self._peak / self.capacity
+
+    # ------------------------------------------------------------------
+    def allocate(self, tag: str, num_bytes: int, category: str = "generic",
+                 allow_oversubscribe: bool = False) -> Allocation:
+        """Reserve ``num_bytes`` under ``tag``.
+
+        Raises :class:`OutOfMemoryError` when the pool would be exceeded,
+        unless ``allow_oversubscribe`` is set (used by analyses that want to
+        *measure* how far over capacity a design would go).
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if tag in self._allocations:
+            raise ValueError(f"allocation tag {tag!r} already exists in pool {self.name!r}")
+        if not allow_oversubscribe and self._in_use + num_bytes > self.capacity:
+            raise OutOfMemoryError(self, num_bytes)
+        alloc = Allocation(tag=tag, num_bytes=int(num_bytes), category=category)
+        self._allocations[tag] = alloc
+        self._in_use += alloc.num_bytes
+        self._peak = max(self._peak, self._in_use)
+        cat_usage = self.category_usage(category)
+        self._category_peaks[category] = max(self._category_peaks.get(category, 0), cat_usage)
+        return alloc
+
+    def free(self, tag: str) -> None:
+        """Release the allocation registered under ``tag``."""
+        alloc = self._allocations.pop(tag, None)
+        if alloc is None:
+            raise KeyError(f"no allocation named {tag!r} in pool {self.name!r}")
+        self._in_use -= alloc.num_bytes
+
+    def free_category(self, category: str) -> int:
+        """Release every allocation in ``category``; returns bytes freed."""
+        tags = [t for t, a in self._allocations.items() if a.category == category]
+        freed = 0
+        for tag in tags:
+            freed += self._allocations[tag].num_bytes
+            self.free(tag)
+        return freed
+
+    def has(self, tag: str) -> bool:
+        return tag in self._allocations
+
+    def category_usage(self, category: str) -> int:
+        return sum(a.num_bytes for a in self._allocations.values() if a.category == category)
+
+    def category_peak(self, category: str) -> int:
+        return self._category_peaks.get(category, 0)
+
+    def allocations(self) -> Iterator[Allocation]:
+        return iter(list(self._allocations.values()))
+
+    def reset_peak(self) -> None:
+        self._peak = self._in_use
+        self._category_peaks = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"MemoryPool({self.name!r}, in_use={self._in_use / 1e9:.2f} GB, "
+                f"peak={self._peak / 1e9:.2f} GB, capacity={self.capacity / 1e9:.2f} GB)")
+
+
+@dataclass
+class MemoryHierarchy:
+    """The three-tier memory hierarchy of the serving system (Figure 4)."""
+
+    gpu: MemoryPool
+    cpu: MemoryPool
+    ssd: Optional[MemoryPool] = None
+
+    @classmethod
+    def from_system(cls, system) -> "MemoryHierarchy":
+        """Build pools from a :class:`~repro.system.hardware.SystemSpec`."""
+        gpu = MemoryPool(f"GPU ({system.gpu.name})", system.gpu.memory_bytes)
+        cpu = MemoryPool(f"CPU DRAM ({system.host.name})", system.host.dram_bytes)
+        ssd = MemoryPool(f"SSD ({system.ssd.name})", system.ssd.capacity_bytes)
+        return cls(gpu=gpu, cpu=cpu, ssd=ssd)
+
+    def offload_pool(self, tier: str) -> MemoryPool:
+        if tier == "dram":
+            return self.cpu
+        if tier == "ssd":
+            if self.ssd is None:
+                raise ValueError("this hierarchy has no SSD tier")
+            return self.ssd
+        raise ValueError(f"unknown offload tier {tier!r}")

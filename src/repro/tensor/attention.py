@@ -1,0 +1,170 @@
+"""Multi-head attention for the transformer substrate.
+
+Supports self-attention (with optional causal masking for the decoder) and
+cross-attention (decoder attending to encoder output), plus incremental
+decoding through an explicit key/value cache so the serving engines can run
+token-by-token decoder iterations exactly as described in Figure 6 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .autograd import Tensor, concatenate
+from .layers import Linear
+from .module import Module
+
+_NEG_INF = -1e9
+
+
+@dataclass
+class KVCache:
+    """Key/value cache for incremental decoding.
+
+    Keys and values are stored as plain numpy arrays of shape
+    ``(batch, length, dim)`` and grown as decode steps append to them.
+    """
+
+    keys: Optional[np.ndarray] = None
+    values: Optional[np.ndarray] = None
+
+    def append(self, new_keys: np.ndarray, new_values: np.ndarray) -> None:
+        if self.keys is None:
+            self.keys = new_keys
+            self.values = new_values
+        else:
+            self.keys = np.concatenate([self.keys, new_keys], axis=1)
+            self.values = np.concatenate([self.values, new_values], axis=1)
+
+    @property
+    def length(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[1]
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product multi-head attention.
+
+    Parameters
+    ----------
+    dim:
+        Model (embedding) dimension.
+    num_heads:
+        Number of attention heads; must divide ``dim``.
+    causal:
+        If True the attention is masked so position *i* cannot attend to
+        positions greater than *i* (decoder self-attention).
+    """
+
+    def __init__(self, dim: int, num_heads: int, causal: bool = False,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim ({dim}) must be divisible by num_heads ({num_heads})")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.q_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.k_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.v_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.out_proj = Linear(dim, dim, bias=False, rng=rng)
+
+    # ------------------------------------------------------------------
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, length, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, heads * head_dim)
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        query: Tensor,
+        key: Optional[Tensor] = None,
+        value: Optional[Tensor] = None,
+        key_padding_mask: Optional[np.ndarray] = None,
+        kv_cache: Optional[KVCache] = None,
+    ) -> Tensor:
+        """Compute attention output.
+
+        Parameters
+        ----------
+        query:
+            Tensor of shape ``(batch, q_len, dim)``.
+        key / value:
+            Source sequence for cross-attention.  Defaults to ``query``
+            (self-attention).
+        key_padding_mask:
+            Boolean array ``(batch, k_len)`` that is True at padding
+            positions that must not be attended to.
+        kv_cache:
+            When provided (decoder self-attention during incremental
+            decoding) new keys/values are appended to the cache and
+            attention is computed over the full cached sequence.
+        """
+        key = query if key is None else key
+        value = key if value is None else value
+
+        q = self._split_heads(self.q_proj(query))
+        k_new = self.k_proj(key)
+        v_new = self.v_proj(value)
+
+        if kv_cache is not None:
+            kv_cache.append(k_new.data, v_new.data)
+            k = self._split_heads(Tensor(kv_cache.keys))
+            v = self._split_heads(Tensor(kv_cache.values))
+        else:
+            k = self._split_heads(k_new)
+            v = self._split_heads(v_new)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * scale  # (batch, heads, q_len, k_len)
+
+        q_len = scores.shape[2]
+        k_len = scores.shape[3]
+        if self.causal and kv_cache is None and q_len > 1:
+            mask = F.causal_mask(q_len)[None, None, :, :]
+            scores = scores.masked_fill(mask, _NEG_INF)
+        if key_padding_mask is not None:
+            pad = np.asarray(key_padding_mask, dtype=bool)
+            if pad.shape[-1] != k_len:
+                raise ValueError(
+                    f"key_padding_mask length {pad.shape[-1]} does not match key length {k_len}"
+                )
+            scores = scores.masked_fill(pad[:, None, None, :], _NEG_INF)
+
+        weights = F.softmax(scores, axis=-1)
+        context = weights.matmul(v)
+        return self.out_proj(self._merge_heads(context))
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network (the dense FFN of Figure 1a).
+
+    The same module is used, unchanged, as the *expert layer* in the MoE
+    block — the paper notes each expert has the same dimension as the dense
+    FFN it replaces.
+    """
+
+    def __init__(self, dim: int, hidden_dim: int, activation: str = "relu",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if activation not in ("relu", "gelu"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+        self.activation = activation
+        self.wi = Linear(dim, hidden_dim, bias=False, rng=rng)
+        self.wo = Linear(hidden_dim, dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.wi(x)
+        hidden = hidden.relu() if self.activation == "relu" else hidden.gelu()
+        return self.wo(hidden)

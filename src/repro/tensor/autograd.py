@@ -1,0 +1,581 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the numpy NN substrate used throughout the
+reproduction.  It provides a :class:`Tensor` wrapper around ``numpy.ndarray``
+that records the operations applied to it and can back-propagate gradients
+through them with :meth:`Tensor.backward`.
+
+The design is intentionally small and explicit: each primitive operation
+builds a closure that knows how to push the output gradient back to its
+inputs.  Broadcasting is handled by summing gradients over broadcast
+dimensions (:func:`unbroadcast`).
+
+Only the operations required by the Switch-Transformer / Pre-gated MoE models
+are implemented, but they are implemented carefully and are covered by unit
+and property-based tests (``tests/tensor``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, "Tensor"]
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager that disables gradient tracking.
+
+    Used during inference and evaluation to avoid building the autograd
+    graph.  Mirrors the semantics of ``torch.no_grad``.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _grad_enabled
+        _grad_enabled = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return _grad_enabled
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    When an operand was broadcast during the forward pass, the gradient
+    flowing back has the broadcast (larger) shape.  This helper sums the
+    gradient over the broadcast axes so it matches the original operand.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over dimensions that were 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Converted to ``float64`` by default for
+        numerical robustness of gradient checks.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` when
+        :meth:`backward` is called on a downstream tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self._parents: Tuple[Tensor, ...] = tuple(_parents) if self.requires_grad else ()
+        self._backward = _backward if self.requires_grad else None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate gradients from this tensor to all ancestors.
+
+        Each op's backward closure accumulates into its parents' ``grad``
+        via :meth:`_stash`; the engine only has to visit nodes in reverse
+        topological order and invoke each node's closure with the node's
+        (by then fully accumulated) gradient.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to ``1.0`` which is only valid for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        # Iterative topological sort to avoid recursion limits on deep models.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._stash(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(unbroadcast(grad, self.shape))
+            if other_t.requires_grad:
+                other_t._stash(unbroadcast(grad, other_t.shape))
+
+        return self._binary(other_t, data, backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(unbroadcast(grad, self.shape))
+            if other_t.requires_grad:
+                other_t._stash(unbroadcast(-grad, other_t.shape))
+
+        return self._binary(other_t, data, backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(unbroadcast(grad * other_t.data, self.shape))
+            if other_t.requires_grad:
+                other_t._stash(unbroadcast(grad * self.data, other_t.shape))
+
+        return self._binary(other_t, data, backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(unbroadcast(grad / other_t.data, self.shape))
+            if other_t.requires_grad:
+                other_t._stash(
+                    unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape)
+                )
+
+        return self._binary(other_t, data, backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(grad * exponent * self.data ** (exponent - 1))
+
+        return self._unary(data, backward)
+
+    # ------------------------------------------------------------------
+    # Matrix multiply
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                grad_self = grad @ np.swapaxes(other_t.data, -1, -2)
+                self._stash(unbroadcast(grad_self, self.shape))
+            if other_t.requires_grad:
+                grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other_t._stash(unbroadcast(grad_other, other_t.shape))
+
+        return self._binary(other_t, data, backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return self.matmul(other)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(grad.reshape(original_shape))
+
+        return self._unary(data, backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+        data = self.data.transpose(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(grad.transpose(inverse))
+
+        return self._unary(data, backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._stash(full)
+
+        return self._unary(data, backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                for ax in sorted(a % self.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._stash(np.broadcast_to(g, self.shape).copy())
+
+        return self._unary(data, backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            expanded = data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                expanded = np.expand_dims(data, axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            # Distribute gradient evenly across ties for determinism.
+            normaliser = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._stash(mask * g / np.maximum(normaliser, 1))
+
+        return self._unary(data, backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(grad * data)
+
+        return self._unary(data, backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(grad / self.data)
+
+        return self._unary(data, backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(grad * (1.0 - data ** 2))
+
+        return self._unary(data, backward)
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(self.data.dtype)
+        data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(grad * mask)
+
+        return self._unary(data, backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(grad * data * (1.0 - data))
+
+        return self._unary(data, backward)
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x ** 3)
+        tanh_inner = np.tanh(inner)
+        data = 0.5 * x * (1.0 + tanh_inner)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            sech2 = 1.0 - tanh_inner ** 2
+            d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+            d = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+            self._stash(grad * d)
+
+        return self._unary(data, backward)
+
+    # ------------------------------------------------------------------
+    # Masking / selection
+    # ------------------------------------------------------------------
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Return a tensor with positions where ``mask`` is true set to ``value``."""
+        mask_arr = np.asarray(mask, dtype=bool)
+        data = np.where(mask_arr, value, self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._stash(unbroadcast(np.where(mask_arr, 0.0, grad), self.shape))
+
+        return self._unary(data, backward)
+
+    # ------------------------------------------------------------------
+    # Internal plumbing for gradient routing
+    # ------------------------------------------------------------------
+    # Each op's backward closure calls parent._stash(g).  During a backward
+    # pass the engine drains the stash of a node right before invoking its
+    # own backward closure so gradients flow in topological order.
+    def _stash(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def _unary(self, data: np.ndarray, backward: Callable[[np.ndarray], None]) -> "Tensor":
+        return Tensor._make(data, (self,), backward)
+
+    def _binary(self, other: "Tensor", data: np.ndarray, backward: Callable[[np.ndarray], None]) -> "Tensor":
+        return Tensor._make(data, (self, other), backward)
+
+
+# ----------------------------------------------------------------------
+# Free-function constructors and combinators
+# ----------------------------------------------------------------------
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a :class:`Tensor` from array-like data."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape: Sequence[int], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape: Sequence[int], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def randn(shape: Sequence[int], scale: float = 1.0, rng: Optional[np.random.Generator] = None,
+          requires_grad: bool = False) -> Tensor:
+    rng = rng or np.random.default_rng()
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(int(start), int(end))
+                t._stash(grad[tuple(index)])
+
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        split = np.moveaxis(grad, axis, 0)
+        for t, g in zip(tensors, split):
+            if t.requires_grad:
+                t._stash(g)
+
+    return Tensor._make(data, tensors, backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select ``a`` where ``condition`` else ``b``."""
+    cond = np.asarray(condition, dtype=bool)
+    a_t = a if isinstance(a, Tensor) else Tensor(a)
+    b_t = b if isinstance(b, Tensor) else Tensor(b)
+    data = np.where(cond, a_t.data, b_t.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a_t.requires_grad:
+            a_t._stash(unbroadcast(np.where(cond, grad, 0.0), a_t.shape))
+        if b_t.requires_grad:
+            b_t._stash(unbroadcast(np.where(cond, 0.0, grad), b_t.shape))
+
+    return Tensor._make(data, (a_t, b_t), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` at ``indices`` (integer array).
+
+    Gradient scatters back into the embedding matrix with ``np.add.at`` so
+    repeated indices accumulate correctly.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    data = weight.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, idx.reshape(-1), grad.reshape(-1, weight.shape[-1]))
+            weight._stash(full)
+
+    return Tensor._make(data, (weight,), backward)

@@ -1,0 +1,109 @@
+"""Composite differentiable operations built on :mod:`repro.tensor.autograd`.
+
+These are the neural-network level functions (softmax, cross-entropy,
+dropout, one-hot, top-k helpers) shared by the dense transformer blocks and
+the MoE routing code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .autograd import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: Optional[int] = None) -> Tensor:
+    """Token-level cross-entropy loss.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(..., vocab)``.
+    targets:
+        Integer array of shape ``(...)`` with target token ids.
+    ignore_index:
+        Optional target value whose positions contribute zero loss
+        (used for padding).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    vocab = logits.shape[-1]
+    flat_logits = logits.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+
+    if ignore_index is not None:
+        mask = flat_targets != ignore_index
+    else:
+        mask = np.ones_like(flat_targets, dtype=bool)
+    # Replace ignored targets with 0 so the gather is valid; they are masked out.
+    safe_targets = np.where(mask, flat_targets, 0)
+
+    log_probs = log_softmax(flat_logits, axis=-1)
+    picked = log_probs[np.arange(flat_targets.shape[0]), safe_targets]
+    weights = mask.astype(np.float64)
+    denom = max(float(weights.sum()), 1.0)
+    loss = -(picked * Tensor(weights)).sum() * (1.0 / denom)
+    return loss
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """Return a float one-hot encoding of integer ``indices``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (depth,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout.  Identity when not training or ``rate == 0``."""
+    if not training or rate <= 0.0:
+        return x
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    rng = rng or np.random.default_rng()
+    keep = (rng.random(x.shape) >= rate).astype(np.float64)
+    return x * Tensor(keep / (1.0 - rate))
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the indices and values of the top-``k`` entries along the last axis.
+
+    Results are sorted by descending score so index 0 is the arg-max.  This is
+    a plain numpy helper (no gradient); routing decisions are discrete.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, scores.shape[-1])
+    part = np.argpartition(-scores, k - 1, axis=-1)[..., :k]
+    part_scores = np.take_along_axis(scores, part, axis=-1)
+    order = np.argsort(-part_scores, axis=-1)
+    idx = np.take_along_axis(part, order, axis=-1)
+    vals = np.take_along_axis(part_scores, order, axis=-1)
+    return idx, vals
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Boolean mask of shape ``(length, length)`` that is True above the diagonal.
+
+    Positions where the mask is True must not be attended to.
+    """
+    return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+def padding_mask(token_ids: np.ndarray, pad_id: int) -> np.ndarray:
+    """Boolean mask (True at padding positions) from a batch of token ids."""
+    return np.asarray(token_ids) == pad_id

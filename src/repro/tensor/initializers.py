@@ -1,0 +1,61 @@
+"""Weight initialisation schemes for the NN substrate."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for weight matrices."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=tuple(shape))
+
+
+def xavier_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=tuple(shape))
+
+
+def kaiming_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He initialisation suited to ReLU activations."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=tuple(shape))
+
+
+def truncated_normal(shape: Sequence[int], std: float = 0.02,
+                     rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Truncated normal initialisation (values clipped at two standard deviations).
+
+    Switch-Transformer initialises weights with a truncated normal scaled by
+    the layer fan-in; this helper follows the same convention.
+    """
+    rng = rng or np.random.default_rng()
+    values = rng.normal(0.0, std, size=tuple(shape))
+    return np.clip(values, -2 * std, 2 * std)
+
+
+def zeros_init(shape: Sequence[int]) -> np.ndarray:
+    return np.zeros(tuple(shape))
+
+
+def ones_init(shape: Sequence[int]) -> np.ndarray:
+    return np.ones(tuple(shape))
+
+
+def _fans(shape: Sequence[int]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = int(shape[-1])
+    return fan_in, fan_out

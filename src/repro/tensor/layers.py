@@ -1,0 +1,105 @@
+"""Core neural-network layers: Linear, LayerNorm, Embedding, Dropout.
+
+These layers form the dense ("non-MoE") portion of the Switch-Transformer
+substrate: attention projections, layer norms, embeddings and the expert FFN
+layers are all assembled from them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .autograd import Tensor, embedding_lookup
+from .initializers import truncated_normal, zeros_init, ones_init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine transformation ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features / out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to add a learned bias (Switch-Transformer FFNs are bias-free,
+        matching the T5 convention, so the MoE expert layers pass
+        ``bias=False``).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        std = 1.0 / np.sqrt(in_features)
+        self.weight = Parameter(truncated_normal((in_features, out_features), std=std, rng=rng),
+                                name="weight")
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(zeros_init((out_features,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.has_bias:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension.
+
+    Uses the RMS-free classic formulation (mean/variance) with learned scale
+    and shift, matching the normalisation used in the transformer blocks of
+    Figure 1 of the paper.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.scale = Parameter(ones_init((dim,)), name="scale")
+        self.shift = Parameter(zeros_init((dim,)), name="shift")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.scale + self.shift
+
+
+class Embedding(Module):
+    """Token embedding table with gather-based lookup."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.weight = Parameter(truncated_normal((vocab_size, dim), std=0.02, rng=rng), name="weight")
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.size and (token_ids.min() < 0 or token_ids.max() >= self.vocab_size):
+            raise IndexError(
+                f"token id out of range [0, {self.vocab_size}): "
+                f"min={token_ids.min()}, max={token_ids.max()}"
+            )
+        return embedding_lookup(self.weight, token_ids)
+
+
+class Dropout(Module):
+    """Inverted dropout layer (identity in eval mode)."""
+
+    def __init__(self, rate: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, training=self.training, rng=self._rng)

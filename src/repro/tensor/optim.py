@@ -1,0 +1,150 @@
+"""Optimisers and learning-rate schedules for fine-tuning.
+
+The paper fine-tunes both the conventional and pre-gated Switch-Transformer
+with an identical recipe (constant learning rate of 1e-4, identical step
+count); :class:`Adam` plus :class:`ConstantLR` reproduce that recipe on the
+numpy substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimiser holding a list of parameters."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, vel in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0:
+                vel *= self.momentum
+                vel += param.grad
+                update = vel
+            else:
+                update = param.grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba) with bias correction."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-4,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LRSchedule:
+    """Base class for learning-rate schedules attached to an optimiser."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.step_count = 0
+
+    def step(self) -> float:
+        self.step_count += 1
+        lr = self.get_lr(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+    def get_lr(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """Constant learning rate — the paper's fine-tuning schedule."""
+
+    def __init__(self, optimizer: Optimizer, lr: Optional[float] = None) -> None:
+        super().__init__(optimizer)
+        self.lr = lr if lr is not None else optimizer.lr
+
+    def get_lr(self, step: int) -> float:
+        return self.lr
+
+
+class WarmupInverseSqrtLR(LRSchedule):
+    """Inverse-square-root decay with linear warmup (T5 pre-training style)."""
+
+    def __init__(self, optimizer: Optimizer, peak_lr: float, warmup_steps: int) -> None:
+        super().__init__(optimizer)
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be positive")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+
+    def get_lr(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.peak_lr * step / self.warmup_steps
+        return self.peak_lr * np.sqrt(self.warmup_steps / step)
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in-place to a maximum global L2 norm.
+
+    Returns the pre-clipping norm so callers can log it.
+    """
+    params = [p for p in params if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total

@@ -1,0 +1,25 @@
+"""Fine-tuning harness reproducing the paper's accuracy experiments."""
+
+from .finetune import (
+    AccuracyComparison,
+    FinetuneOutcome,
+    activation_level_sweep,
+    compare_architectures,
+    finetune_conventional,
+    finetune_pregated,
+    pretrain_conventional,
+)
+from .trainer import Trainer, TrainingConfig, TrainingResult
+
+__all__ = [
+    "AccuracyComparison",
+    "FinetuneOutcome",
+    "activation_level_sweep",
+    "compare_architectures",
+    "finetune_conventional",
+    "finetune_pregated",
+    "pretrain_conventional",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+]

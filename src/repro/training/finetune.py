@@ -1,0 +1,157 @@
+"""High-level fine-tuning experiments: conventional vs pre-gated accuracy.
+
+These helpers orchestrate the Table II and Figure 13 experiments:
+
+* fine-tune a conventional Switch-Transformer on a downstream task;
+* build a pre-gated model from the *same* pre-trained weights and fine-tune
+  it with the *same* recipe;
+* evaluate both with the task's metrics and compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.pregated_model import PreGatedSwitchTransformer
+from ..data.metrics import EvalScores
+from ..data.tasks import SyntheticTask, make_task, train_eval_split
+from ..data.tokenizer import Tokenizer, default_vocabulary
+from ..moe.configs import ModelConfig, get_config
+from ..moe.transformer import SwitchTransformer
+from .trainer import Trainer, TrainingConfig, TrainingResult
+
+
+@dataclass
+class FinetuneOutcome:
+    """Result of fine-tuning one architecture on one task."""
+
+    architecture: str          # "conventional" or "pregated (N=k)"
+    task: str
+    config_name: str
+    scores: EvalScores
+    training: TrainingResult
+
+    def metric(self, name: str) -> float:
+        return self.scores.as_dict()[name]
+
+
+@dataclass
+class AccuracyComparison:
+    """Conventional vs pre-gated comparison on one task (one Table II cell pair)."""
+
+    task: str
+    config_name: str
+    conventional: FinetuneOutcome
+    pregated: FinetuneOutcome
+
+    def gap(self, metric: str) -> float:
+        """Pre-gated minus conventional score (positive means pre-gated is better)."""
+        return self.pregated.metric(metric) - self.conventional.metric(metric)
+
+
+def pretrain_conventional(config: "ModelConfig | str", task: SyntheticTask,
+                          training: Optional[TrainingConfig] = None,
+                          seed: int = 0) -> SwitchTransformer:
+    """Produce the "pre-trained" conventional model both architectures start from.
+
+    The paper starts from Google's released pre-trained checkpoints; the
+    functional substitute is a conventional model briefly trained on the task
+    distribution, which plays the same role — a shared, non-random starting
+    point whose experts already carry useful structure.
+    """
+    config = get_config(config) if isinstance(config, str) else config
+    model = SwitchTransformer(config, seed=seed)
+    pre_cfg = training or TrainingConfig(steps=60, batch_size=16, seed=seed)
+    train_set, _ = train_eval_split(task, train_size=pre_cfg.batch_size * 8, eval_size=8,
+                                    tokenizer=task.tokenizer)
+    Trainer(model, pre_cfg).fit(train_set)
+    return model
+
+
+def finetune_conventional(pretrained: SwitchTransformer, task: SyntheticTask,
+                          training: TrainingConfig, train_size: int = 256,
+                          eval_size: int = 64) -> FinetuneOutcome:
+    """Fine-tune the conventional architecture and evaluate it."""
+    config = pretrained.config
+    model = SwitchTransformer(config, seed=training.seed)
+    model.load_state_dict(pretrained.state_dict())
+    train_set, eval_set = train_eval_split(task, train_size, eval_size, tokenizer=task.tokenizer)
+    trainer = Trainer(model, training)
+    result = trainer.fit(train_set)
+    scores = trainer.evaluate(eval_set, task.tokenizer)
+    return FinetuneOutcome(architecture="conventional", task=task.name,
+                           config_name=config.name, scores=scores, training=result)
+
+
+def finetune_pregated(pretrained: SwitchTransformer, task: SyntheticTask,
+                      training: TrainingConfig, activation_level: int = 1,
+                      train_size: int = 256, eval_size: int = 64) -> FinetuneOutcome:
+    """Fine-tune the pre-gated architecture (from the same pre-trained weights)."""
+    config = pretrained.config
+    model = PreGatedSwitchTransformer(config, activation_level=activation_level,
+                                      seed=training.seed)
+    model.load_from_conventional(pretrained)
+    train_set, eval_set = train_eval_split(task, train_size, eval_size, tokenizer=task.tokenizer)
+    trainer = Trainer(model, training)
+    result = trainer.fit(train_set)
+    scores = trainer.evaluate(eval_set, task.tokenizer)
+    return FinetuneOutcome(architecture=f"pregated (N={activation_level})", task=task.name,
+                           config_name=config.name, scores=scores, training=result)
+
+
+def compare_architectures(config_name: str, task_name: str,
+                          training: Optional[TrainingConfig] = None,
+                          activation_level: int = 1,
+                          train_size: int = 256, eval_size: int = 64,
+                          seed: int = 0) -> AccuracyComparison:
+    """Run the full Table II protocol for one (model, task) cell.
+
+    Both architectures share the pre-trained weights, the fine-tuning
+    recipe, the training data and the evaluation data.
+    """
+    training = training or TrainingConfig(seed=seed)
+    config = get_config(config_name)
+    tokenizer = default_vocabulary(num_content_words=max(60, config.vocab_size - 4))
+    if tokenizer.vocab_size > config.vocab_size:
+        tokenizer = default_vocabulary(num_content_words=config.vocab_size - 4)
+    task = make_task(task_name, tokenizer=tokenizer, seed=seed)
+    pretrained = pretrain_conventional(config, task, seed=seed)
+    conventional = finetune_conventional(pretrained, task, training,
+                                         train_size=train_size, eval_size=eval_size)
+    pregated = finetune_pregated(pretrained, task, training, activation_level=activation_level,
+                                 train_size=train_size, eval_size=eval_size)
+    return AccuracyComparison(task=task_name, config_name=config_name,
+                              conventional=conventional, pregated=pregated)
+
+
+def activation_level_sweep(config_name: str, task_name: str,
+                           levels: Sequence[int] = (1, 2, 3),
+                           training: Optional[TrainingConfig] = None,
+                           train_size: int = 256, eval_size: int = 64,
+                           seed: int = 0) -> Dict[str, FinetuneOutcome]:
+    """Figure 13: accuracy as the pre-gate activation level N varies.
+
+    Returns outcomes keyed by ``"conventional"`` (N=0, i.e. the standard gate)
+    and ``"N=1"``, ``"N=2"``, ... for each requested pre-gate level.
+    """
+    training = training or TrainingConfig(seed=seed)
+    config = get_config(config_name)
+    tokenizer = default_vocabulary(num_content_words=config.vocab_size - 4)
+    task = make_task(task_name, tokenizer=tokenizer, seed=seed)
+    pretrained = pretrain_conventional(config, task, seed=seed)
+
+    outcomes: Dict[str, FinetuneOutcome] = {
+        "conventional": finetune_conventional(pretrained, task, training,
+                                              train_size=train_size, eval_size=eval_size)
+    }
+    max_level = config.num_moe_blocks("decoder") - 1 if config.is_moe else 0
+    for level in levels:
+        if level > max_level:
+            continue
+        outcomes[f"N={level}"] = finetune_pregated(
+            pretrained, task, training, activation_level=level,
+            train_size=train_size, eval_size=eval_size)
+    return outcomes

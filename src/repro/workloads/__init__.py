@@ -1,0 +1,37 @@
+"""Inference workload and expert-activation trace generators."""
+
+from .generator import (
+    SKEWED_ROUTING,
+    SQUAD_SINGLE_BATCH,
+    XSUM_SINGLE_BATCH,
+    WorkloadSpec,
+    generate_traces,
+    generate_traces_by_name,
+    get_workload,
+    list_workloads,
+)
+from .traces import (
+    BlockActivation,
+    IterationActivations,
+    RequestTrace,
+    TraceGenerator,
+    expected_distinct_experts,
+    trace_from_routing,
+)
+
+__all__ = [
+    "SKEWED_ROUTING",
+    "SQUAD_SINGLE_BATCH",
+    "XSUM_SINGLE_BATCH",
+    "WorkloadSpec",
+    "generate_traces",
+    "generate_traces_by_name",
+    "get_workload",
+    "list_workloads",
+    "BlockActivation",
+    "IterationActivations",
+    "RequestTrace",
+    "TraceGenerator",
+    "expected_distinct_experts",
+    "trace_from_routing",
+]

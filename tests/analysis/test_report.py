@@ -1,0 +1,93 @@
+"""Tests for the reporting / table utilities."""
+
+import pytest
+
+from repro.analysis import (
+    FigureReport,
+    format_table,
+    normalise_series,
+    pick_reference,
+    to_csv,
+    write_csv,
+)
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        text = format_table(["design", "latency"], [["gpu_only", 1.0], ["pregated", 1.19]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("design")
+        assert "1.190" in text
+
+    def test_float_format_override(self):
+        text = format_table(["x"], [[3.14159]], float_format="{:.1f}")
+        assert "3.1" in text
+
+
+class TestNormaliseSeries:
+    def test_normalises_to_reference(self):
+        out = normalise_series({"gpu_only": 2.0, "pregated": 2.4}, reference="gpu_only")
+        assert out["gpu_only"] == pytest.approx(1.0)
+        assert out["pregated"] == pytest.approx(1.2)
+
+    def test_oom_entries_become_none(self):
+        out = normalise_series({"gpu_only": 2.0, "prefetch_all": 10.0},
+                               reference="gpu_only", oom_keys=["prefetch_all"])
+        assert out["prefetch_all"] is None
+
+    def test_oom_reference_rejected(self):
+        with pytest.raises(KeyError):
+            normalise_series({"a": 1.0}, reference="a", oom_keys=["a"])
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            normalise_series({"a": 0.0}, reference="a")
+
+
+class TestPickReference:
+    def test_prefers_first_available(self):
+        assert pick_reference(["gpu_only", "pregated"], oom_keys=[]) == "gpu_only"
+
+    def test_falls_back_when_oom(self):
+        """Figure 10/12: when GPU-only is OOM, normalise to Pre-gated MoE."""
+        assert pick_reference(["gpu_only", "pregated"], oom_keys=["gpu_only"]) == "pregated"
+
+    def test_all_oom_rejected(self):
+        with pytest.raises(ValueError):
+            pick_reference(["a"], oom_keys=["a"])
+
+
+class TestCsv:
+    def test_to_csv_round_trip(self):
+        text = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[2] == "3,4"
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), ["x"], [[1]])
+        assert path.read_text().splitlines() == ["x", "1"]
+
+
+class TestFigureReport:
+    def test_add_row_validates_width(self):
+        report = FigureReport(figure="Fig 10", description="block latency",
+                              headers=["config", "value"])
+        report.add_row("switch_base_8", 1.2)
+        with pytest.raises(ValueError):
+            report.add_row("too", "many", "cells")
+
+    def test_render_contains_everything(self):
+        report = FigureReport(figure="Fig 11", description="throughput",
+                              headers=["design", "tokens/s"],
+                              paper_reference="Pre-gated ~111 tok/s",
+                              notes="simulated")
+        report.add_row("pregated", 105.0)
+        text = report.render()
+        assert "Fig 11" in text and "pregated" in text
+        assert "Paper reference" in text and "Notes" in text
+
+    def test_as_csv(self):
+        report = FigureReport(figure="F", description="d", headers=["a"], rows=[[1]])
+        assert report.as_csv().splitlines() == ["a", "1"]

@@ -1,0 +1,147 @@
+"""Tests for the preemptive expert-migration planner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.migration import (
+    MigrationKind,
+    plan_for_design,
+    plan_gpu_only,
+    plan_on_demand,
+    plan_prefetch_all,
+    plan_pregated,
+)
+
+EXPERT_BYTES = 1000
+
+
+@pytest.fixture
+def activations():
+    # Four MoE blocks, top-1 routing of a single token.
+    return [[3], [7], [1], [5]]
+
+
+class TestOnDemand:
+    def test_transfers_issue_at_own_block(self, activations):
+        plan = plan_on_demand(activations, EXPERT_BYTES)
+        assert plan.total_experts() == 4
+        for transfer in plan.transfers:
+            assert transfer.issue_block == transfer.block_index
+            assert transfer.kind == MigrationKind.ON_DEMAND
+            assert not transfer.is_overlappable
+
+    def test_resident_experts_skipped(self, activations):
+        resident = [set(), {7}, set(), set()]
+        plan = plan_on_demand(activations, EXPERT_BYTES, resident=resident)
+        assert plan.total_experts() == 3
+        assert not plan.transfers_for_block(1)
+
+    def test_total_bytes(self, activations):
+        assert plan_on_demand(activations, EXPERT_BYTES).total_bytes() == 4 * EXPERT_BYTES
+
+
+class TestPrefetchAll:
+    def test_all_experts_of_every_block_moved(self, activations):
+        plan = plan_prefetch_all(activations, EXPERT_BYTES, num_experts=16)
+        assert plan.total_experts() == 4 * 16
+        assert plan.bytes_for_block(2) == 16 * EXPERT_BYTES
+
+    def test_blocks_after_first_are_overlappable(self, activations):
+        plan = plan_prefetch_all(activations, EXPERT_BYTES, num_experts=4)
+        assert all(not t.is_overlappable for t in plan.transfers_for_block(0))
+        for block in (1, 2, 3):
+            transfers = plan.transfers_for_block(block)
+            assert all(t.issue_block == block - 1 for t in transfers)
+            assert all(t.kind == MigrationKind.PREFETCH_ALL for t in transfers)
+
+
+class TestPreGated:
+    def test_only_activated_experts_moved(self, activations):
+        plan = plan_pregated(activations, EXPERT_BYTES)
+        assert plan.total_experts() == 4
+        assert plan.total_bytes() == 4 * EXPERT_BYTES
+
+    def test_transfers_issued_one_block_early(self, activations):
+        plan = plan_pregated(activations, EXPERT_BYTES, activation_level=1)
+        for transfer in plan.transfers:
+            if transfer.block_index == 0:
+                assert transfer.issue_block == 0
+            else:
+                assert transfer.issue_block == transfer.block_index - 1
+                assert transfer.is_overlappable
+                assert transfer.kind == MigrationKind.PREFETCH_ACTIVE
+
+    def test_activation_level_two(self, activations):
+        plan = plan_pregated(activations, EXPERT_BYTES, activation_level=2)
+        for transfer in plan.transfers:
+            if transfer.block_index < 2:
+                assert transfer.issue_block == 0
+            else:
+                assert transfer.issue_block == transfer.block_index - 2
+
+    def test_resident_experts_skipped(self, activations):
+        plan = plan_pregated(activations, EXPERT_BYTES, resident=[set(), set(), {1}, set()])
+        assert plan.total_experts() == 3
+
+    def test_invalid_level(self, activations):
+        with pytest.raises(ValueError):
+            plan_pregated(activations, EXPERT_BYTES, activation_level=0)
+
+    def test_issued_during_block_lists_overlappable_only(self, activations):
+        plan = plan_pregated(activations, EXPERT_BYTES)
+        issued0 = plan.issued_during_block(0)
+        # Block 1's expert is prefetched during block 0; block 0's own is not overlappable.
+        assert {t.block_index for t in issued0} == {1}
+
+
+class TestGpuOnlyAndDispatch:
+    def test_gpu_only_plan_is_empty(self, activations):
+        plan = plan_gpu_only(activations)
+        assert plan.total_experts() == 0
+        assert plan.total_bytes() == 0
+
+    def test_dispatch_by_name(self, activations):
+        for design in ("gpu_only", "ondemand", "prefetch_all", "pregated"):
+            plan = plan_for_design(design, activations, EXPERT_BYTES, num_experts=8)
+            assert plan.design == design
+
+    def test_unknown_design(self, activations):
+        with pytest.raises(ValueError):
+            plan_for_design("magic", activations, EXPERT_BYTES, num_experts=8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_blocks=st.integers(min_value=1, max_value=12),
+    num_experts=st.integers(min_value=1, max_value=32),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_property_pregated_never_moves_more_than_prefetch_all(num_blocks, num_experts, seed):
+    """Invariant behind the paper's bandwidth argument: the pre-gated plan moves a
+    subset of what prefetch-all moves, and exactly what on-demand moves."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    activations = [sorted(set(int(e) for e in rng.integers(0, num_experts, size=rng.integers(1, 4))))
+                   for _ in range(num_blocks)]
+    pregated = plan_for_design("pregated", activations, EXPERT_BYTES, num_experts)
+    ondemand = plan_for_design("ondemand", activations, EXPERT_BYTES, num_experts)
+    prefetch = plan_for_design("prefetch_all", activations, EXPERT_BYTES, num_experts)
+    assert pregated.total_bytes() == ondemand.total_bytes()
+    assert pregated.total_bytes() <= prefetch.total_bytes()
+    # Per-block, the pre-gated plan fetches exactly the activated experts.
+    for block, acts in enumerate(activations):
+        fetched = sorted(t.expert_id for t in pregated.transfers_for_block(block))
+        assert fetched == sorted(acts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_blocks=st.integers(min_value=2, max_value=12),
+       level=st.integers(min_value=1, max_value=4))
+def test_property_pregated_overlappable_fraction(num_blocks, level):
+    """Every transfer except the very first block's can overlap with compute:
+    the leading blocks' selections all happen at block 0 (first gates), so only
+    block 0's own transfer is exposed (the paper's footnote 1)."""
+    activations = [[0] for _ in range(num_blocks)]
+    plan = plan_pregated(activations, EXPERT_BYTES, activation_level=level)
+    for transfer in plan.transfers:
+        assert transfer.is_overlappable == (transfer.block_index >= 1)

@@ -1,0 +1,114 @@
+"""Tests for the peak GPU memory model (Equation 1)."""
+
+import pytest
+
+from repro.core.peak_memory import (
+    ActivationReserve,
+    activated_experts_per_block,
+    gpu_only_peak_memory,
+    ondemand_peak_memory,
+    peak_memory,
+    peak_memory_comparison,
+    prefetch_all_peak_memory,
+    pregated_peak_memory,
+)
+from repro.moe.configs import get_config
+
+
+@pytest.fixture(scope="module")
+def base_128():
+    return get_config("switch_base_128")
+
+
+class TestActivatedExperts:
+    def test_single_token_top1(self, base_128):
+        assert activated_experts_per_block(base_128, batch_tokens=1) == 1
+
+    def test_capped_by_expert_count(self, base_128):
+        assert activated_experts_per_block(base_128, batch_tokens=10_000) == 128
+
+    def test_topk_override(self, base_128):
+        assert activated_experts_per_block(base_128, batch_tokens=1, top_k=4) == 4
+
+
+class TestEquationOne:
+    def test_pregated_holds_two_blocks_of_active_experts(self, base_128):
+        """Equation 1: non-MoE + activated experts of blocks N and N+1."""
+        reserve = ActivationReserve(batch_size=1)
+        expected = (base_128.non_moe_bytes()
+                    + 2 * 1 * base_128.expert_bytes()
+                    + reserve.bytes_for(base_128))
+        assert pregated_peak_memory(base_128) == expected
+
+    def test_ondemand_holds_one_block(self, base_128):
+        diff = pregated_peak_memory(base_128) - ondemand_peak_memory(base_128)
+        assert diff == base_128.expert_bytes()
+
+    def test_prefetch_all_holds_two_full_expert_sets(self, base_128):
+        reserve = ActivationReserve(batch_size=1)
+        expected = (base_128.non_moe_bytes()
+                    + 2 * base_128.num_experts * base_128.expert_bytes()
+                    + reserve.bytes_for(base_128))
+        assert prefetch_all_peak_memory(base_128) == expected
+
+    def test_gpu_only_holds_everything(self, base_128):
+        assert gpu_only_peak_memory(base_128) > base_128.total_bytes()
+
+
+class TestOrderingAcrossDesigns:
+    """Figure 12's qualitative ordering must hold for every evaluated config."""
+
+    @pytest.mark.parametrize("name", ["switch_base_8", "switch_base_64",
+                                      "switch_base_128", "switch_base_256",
+                                      "switch_large_128"])
+    def test_ondemand_leq_pregated_leq_prefetch_leq_gpuonly(self, name):
+        config = get_config(name)
+        memory = peak_memory_comparison(config)
+        assert memory["ondemand"] <= memory["pregated"]
+        assert memory["pregated"] <= memory["prefetch_all"]
+        assert memory["prefetch_all"] <= memory["gpu_only"]
+
+    def test_savings_grow_with_expert_count(self):
+        """The GPU-only vs offloading gap widens as experts multiply (Section VI-B)."""
+        ratios = []
+        for name in ("switch_base_8", "switch_base_64", "switch_base_128", "switch_base_256"):
+            memory = peak_memory_comparison(get_config(name))
+            ratios.append(memory["pregated"] / memory["gpu_only"])
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] < 0.1
+
+    def test_pregated_close_to_memory_optimal_ondemand(self, base_128):
+        """Pre-gated MoE consumes only marginally more than MoE-OnDemand."""
+        memory = peak_memory_comparison(base_128)
+        overhead = (memory["pregated"] - memory["ondemand"]) / memory["ondemand"]
+        assert overhead < 0.05
+
+    def test_pregated_fits_on_a100_even_for_switch_large(self):
+        config = get_config("switch_large_128")
+        assert pregated_peak_memory(config) < 80e9
+        assert gpu_only_peak_memory(config) > 80e9
+
+
+class TestDispatch:
+    def test_peak_memory_by_name(self, base_128):
+        for design in ("gpu_only", "pregated", "ondemand", "prefetch_all"):
+            assert peak_memory(design, base_128) > 0
+
+    def test_unknown_design(self, base_128):
+        with pytest.raises(ValueError):
+            peak_memory("dram_only", base_128)
+
+    def test_comparison_keys(self, base_128):
+        assert set(peak_memory_comparison(base_128)) == {
+            "gpu_only", "pregated", "ondemand", "prefetch_all"}
+
+
+class TestActivationReserve:
+    def test_scales_with_batch(self, base_128):
+        small = ActivationReserve(batch_size=1).bytes_for(base_128)
+        large = ActivationReserve(batch_size=8).bytes_for(base_128)
+        assert large == 8 * small
+
+    def test_reserve_is_small_relative_to_params(self, base_128):
+        reserve = ActivationReserve(batch_size=1).bytes_for(base_128)
+        assert reserve < 0.01 * base_128.total_bytes()

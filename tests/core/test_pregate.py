@@ -1,0 +1,144 @@
+"""Tests for the pre-gate schedule, pre-gate function and pre-gated MoE block."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pregate import PreGate, PreGateSchedule, PreGatedMoEBlock
+from repro.moe.gating import Router
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestPreGateSchedule:
+    def test_default_paper_schedule(self):
+        """N=1: first block carries one first gate; every block but the last a pre-gate."""
+        schedule = PreGateSchedule(num_blocks=6, activation_level=1)
+        assert schedule.num_first_gates() == 1
+        assert schedule.selector_of(0) == "first_gate"
+        assert all(schedule.selector_of(i) == "pre_gate" for i in range(1, 6))
+        assert schedule.has_pre_gate(0)
+        assert not schedule.has_pre_gate(5)
+        assert schedule.selecting_block(3) == 2
+
+    def test_activation_level_two(self):
+        schedule = PreGateSchedule(num_blocks=6, activation_level=2)
+        assert schedule.num_first_gates() == 2
+        assert schedule.selector_of(1) == "first_gate"
+        assert schedule.selecting_block(1) == 0
+        assert schedule.selecting_block(4) == 2
+        assert not schedule.has_pre_gate(4)
+        assert not schedule.has_pre_gate(5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PreGateSchedule(num_blocks=0, activation_level=1)
+        with pytest.raises(ValueError):
+            PreGateSchedule(num_blocks=3, activation_level=0)
+
+    def test_out_of_range_block(self):
+        schedule = PreGateSchedule(num_blocks=3, activation_level=1)
+        with pytest.raises(IndexError):
+            schedule.selector_of(3)
+        with pytest.raises(IndexError):
+            schedule.has_pre_gate(-1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(num_blocks=st.integers(min_value=1, max_value=24),
+           level=st.integers(min_value=1, max_value=6))
+    def test_property_every_block_has_exactly_one_selector(self, num_blocks, level):
+        """Invariant: each MoE block's experts are selected by exactly one gate,
+        and that gate always runs at an earlier-or-equal block position."""
+        schedule = PreGateSchedule(num_blocks=num_blocks, activation_level=level)
+        for block in range(num_blocks):
+            selector = schedule.selector_of(block)
+            selecting = schedule.selecting_block(block)
+            assert selector in ("first_gate", "pre_gate")
+            assert 0 <= selecting <= block
+            if selector == "pre_gate":
+                assert selecting == block - level
+                assert schedule.has_pre_gate(selecting)
+
+    @settings(max_examples=40, deadline=None)
+    @given(num_blocks=st.integers(min_value=1, max_value=24),
+           level=st.integers(min_value=1, max_value=6))
+    def test_property_gate_count_conservation(self, num_blocks, level):
+        """Total gate functions (first gates + pre-gates) equals the block count."""
+        schedule = PreGateSchedule(num_blocks=num_blocks, activation_level=level)
+        pre_gates = sum(schedule.has_pre_gate(i) for i in range(num_blocks))
+        assert schedule.num_first_gates() + pre_gates == num_blocks
+
+
+class TestPreGate:
+    def test_is_a_router_with_target_offset(self, rng):
+        pre_gate = PreGate(d_model=16, num_experts=8, target_offset=2, rng=rng)
+        assert isinstance(pre_gate, Router)
+        assert pre_gate.target_offset == 2
+        decision = pre_gate(Tensor(rng.standard_normal((4, 16))))
+        assert decision.expert_indices.shape == (4, 1)
+
+    def test_invalid_offset(self):
+        with pytest.raises(ValueError):
+            PreGate(16, 8, target_offset=0)
+
+
+class TestPreGatedMoEBlock:
+    def test_first_block_has_first_gates_and_pregate(self, rng):
+        schedule = PreGateSchedule(num_blocks=4, activation_level=1)
+        block = PreGatedMoEBlock(16, 32, num_experts=4, block_index=0,
+                                 schedule=schedule, rng=rng)
+        assert len(block.first_gates) == 1
+        assert block.pre_gate is not None
+
+    def test_last_block_has_no_pregate(self, rng):
+        schedule = PreGateSchedule(num_blocks=4, activation_level=1)
+        block = PreGatedMoEBlock(16, 32, num_experts=4, block_index=3,
+                                 schedule=schedule, rng=rng)
+        assert block.pre_gate is None
+        assert len(block.first_gates) == 0
+        assert block.select_next(Tensor(rng.standard_normal((2, 16)))) is None
+
+    def test_middle_block_has_only_pregate(self, rng):
+        schedule = PreGateSchedule(num_blocks=4, activation_level=1)
+        block = PreGatedMoEBlock(16, 32, num_experts=4, block_index=1,
+                                 schedule=schedule, rng=rng)
+        assert block.pre_gate is not None
+        assert len(block.first_gates) == 0
+
+    def test_select_first_only_on_block_zero(self, rng):
+        schedule = PreGateSchedule(num_blocks=4, activation_level=2)
+        block0 = PreGatedMoEBlock(16, 32, 4, block_index=0, schedule=schedule, rng=rng)
+        block1 = PreGatedMoEBlock(16, 32, 4, block_index=1, schedule=schedule, rng=rng)
+        hidden = Tensor(rng.standard_normal((3, 16)))
+        assert block0.select_first(hidden, 0).expert_indices.shape == (3, 1)
+        assert block0.select_first(hidden, 1).expert_indices.shape == (3, 1)
+        with pytest.raises(IndexError):
+            block0.select_first(hidden, 2)
+        with pytest.raises(RuntimeError):
+            block1.select_first(hidden, 0)
+
+    def test_execute_uses_external_routing(self, rng):
+        schedule = PreGateSchedule(num_blocks=2, activation_level=1)
+        block = PreGatedMoEBlock(8, 16, num_experts=4, block_index=0,
+                                 schedule=schedule, rng=rng)
+        hidden = Tensor(rng.standard_normal((5, 8)))
+        routing = block.select_next(hidden)
+        out = block.execute(hidden, routing)
+        assert out.shape == (5, 8)
+        assert np.allclose(out.numpy(), block(hidden, routing).numpy())
+
+    def test_decoupling_selection_from_execution(self, rng):
+        """The defining property: the routing a block executes with can be computed
+        from a *different* (earlier) representation than the one it executes on."""
+        schedule = PreGateSchedule(num_blocks=3, activation_level=1)
+        block0 = PreGatedMoEBlock(8, 16, 4, block_index=0, schedule=schedule, rng=rng)
+        block1 = PreGatedMoEBlock(8, 16, 4, block_index=1, schedule=schedule, rng=rng)
+        early_hidden = Tensor(rng.standard_normal((4, 8)))
+        later_hidden = Tensor(rng.standard_normal((4, 8)))
+        routing_for_block1 = block0.select_next(early_hidden)
+        out = block1.execute(later_hidden, routing_for_block1)
+        assert out.shape == (4, 8)

@@ -1,0 +1,107 @@
+"""Tests for the Rouge / ExactMatch / F1 evaluation metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.metrics import (
+    evaluate_predictions,
+    exact_match,
+    rouge1,
+    rouge2,
+    rouge_n,
+    token_f1,
+)
+
+
+class TestRouge:
+    def test_identical_strings_score_one(self):
+        assert rouge1("a b c", "a b c") == pytest.approx(1.0)
+        assert rouge2("a b c", "a b c") == pytest.approx(1.0)
+
+    def test_disjoint_strings_score_zero(self):
+        assert rouge1("a b", "c d") == 0.0
+        assert rouge2("a b c", "d e f") == 0.0
+
+    def test_partial_overlap(self):
+        # prediction "a b", reference "a c": unigram overlap 1, P=R=0.5 -> F1 0.5
+        assert rouge1("a b", "a c") == pytest.approx(0.5)
+
+    def test_rouge2_needs_shared_bigrams(self):
+        assert rouge2("a b c", "b c d") > 0.0
+        assert rouge2("a c b", "a b c") == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_inputs(self):
+        assert rouge1("", "a") == 0.0
+        assert rouge2("a", "") == 0.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            rouge_n("a", "a", n=0)
+
+    def test_accepts_token_lists(self):
+        assert rouge1(["a", "b"], ["a", "b"]) == pytest.approx(1.0)
+
+
+class TestExactMatchAndF1:
+    def test_exact_match(self):
+        assert exact_match("paris", "paris") == 1.0
+        assert exact_match("paris", "london") == 0.0
+        assert exact_match("new york", "new york city") == 0.0
+
+    def test_f1_partial_credit(self):
+        assert token_f1("new york", "new york city") == pytest.approx(0.8)
+        assert token_f1("a", "b") == 0.0
+
+    def test_f1_empty_edge_cases(self):
+        assert token_f1("", "") == 1.0
+        assert token_f1("", "a") == 0.0
+
+    def test_f1_at_least_exact_match(self):
+        pairs = [("a b", "a b"), ("a b", "a c"), ("x", "y")]
+        for pred, ref in pairs:
+            assert token_f1(pred, ref) >= exact_match(pred, ref)
+
+
+class TestEvaluatePredictions:
+    def test_perfect_predictions(self):
+        scores = evaluate_predictions(["a b", "c"], ["a b", "c"])
+        assert scores.exact_match == 100.0
+        assert scores.f1 == 100.0
+        assert scores.rouge1 == 100.0
+        assert scores.num_examples == 2
+
+    def test_mixed_predictions(self):
+        scores = evaluate_predictions(["a", "x"], ["a", "b"])
+        assert scores.exact_match == pytest.approx(50.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions(["a"], ["a", "b"])
+
+    def test_empty_set(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions([], [])
+
+    def test_as_dict_keys(self):
+        scores = evaluate_predictions(["a"], ["a"])
+        assert set(scores.as_dict()) == {"rouge1", "rouge2", "exact_match", "f1", "num_examples"}
+
+
+@settings(max_examples=40, deadline=None)
+@given(tokens=st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=10))
+def test_property_metrics_are_maximal_on_identity(tokens):
+    text = " ".join(tokens)
+    assert exact_match(text, text) == 1.0
+    assert token_f1(text, text) == pytest.approx(1.0)
+    assert rouge1(text, text) == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pred=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=8),
+       ref=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=8))
+def test_property_scores_bounded_and_symmetric_f1(pred, ref):
+    p, r = " ".join(pred), " ".join(ref)
+    for metric in (rouge1, rouge2, token_f1):
+        value = metric(p, r)
+        assert 0.0 <= value <= 1.0
+    assert token_f1(p, r) == pytest.approx(token_f1(r, p))

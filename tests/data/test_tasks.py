@@ -1,0 +1,158 @@
+"""Tests for the synthetic task generators and the dataset/batching layer."""
+
+import numpy as np
+import pytest
+
+from repro.data.tasks import (
+    ClosedBookQATask,
+    ExtractiveQATask,
+    PAPER_TASK_SUBSTITUTIONS,
+    Seq2SeqDataset,
+    Seq2SeqExample,
+    SummarizationTask,
+    list_tasks,
+    make_task,
+    train_eval_split,
+)
+from repro.data.tokenizer import default_vocabulary
+
+
+class TestTaskRegistry:
+    def test_all_paper_datasets_have_substitutes(self):
+        assert set(PAPER_TASK_SUBSTITUTIONS) == {"Xsum", "CB Web QA", "SQuAD"}
+        for task_name in PAPER_TASK_SUBSTITUTIONS.values():
+            assert task_name in list_tasks()
+
+    def test_make_task(self):
+        assert isinstance(make_task("xsum_like"), SummarizationTask)
+        assert isinstance(make_task("squad_like"), ExtractiveQATask)
+        assert isinstance(make_task("webqa_like"), ClosedBookQATask)
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            make_task("translation")
+
+
+class TestSummarizationTask:
+    def test_examples_have_compression_structure(self):
+        task = SummarizationTask(seed=0)
+        for example in task.generate(20):
+            source_tokens = example.source.split()
+            target_tokens = example.target.split()
+            assert len(source_tokens) == task.doc_length
+            assert len(target_tokens) == task.summary_length
+            assert len(target_tokens) < len(source_tokens)
+
+    def test_summary_is_dominant_cluster_keywords(self):
+        task = SummarizationTask(seed=1)
+        example = task.generate(1)[0]
+        target_tokens = example.target.split()
+        cluster = next(c for c in task.clusters if target_tokens[0] in c)
+        assert target_tokens == cluster[:task.summary_length]
+        # The dominant cluster contributes the majority of the document tokens.
+        in_cluster = sum(1 for t in example.source.split() if t in cluster)
+        assert in_cluster >= len(example.source.split()) // 2
+
+    def test_determinism_per_seed(self):
+        a = SummarizationTask(seed=5).generate(5)
+        b = SummarizationTask(seed=5).generate(5)
+        assert a == b
+
+    def test_vocab_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SummarizationTask(tokenizer=default_vocabulary(5), num_clusters=6, summary_length=3)
+
+
+class TestExtractiveQATask:
+    def test_answer_is_extractable_from_context(self):
+        task = ExtractiveQATask(seed=2)
+        for example in task.generate(30):
+            tokens = example.source.split()
+            question_key = tokens[-1]
+            context = tokens[:-1]
+            key_position = context.index(question_key)
+            assert context[key_position + 1] == example.target
+
+    def test_answer_in_value_vocabulary(self):
+        task = ExtractiveQATask(seed=3)
+        for example in task.generate(10):
+            assert example.target in task.values
+
+    def test_vocab_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ExtractiveQATask(tokenizer=default_vocabulary(5), num_keys=10, num_values=10)
+
+
+class TestClosedBookQATask:
+    def test_answers_follow_fixed_knowledge_base(self):
+        task = ClosedBookQATask(seed=4)
+        for example in task.generate(30):
+            assert task.knowledge_base[example.source] == example.target
+
+    def test_knowledge_base_is_stable_across_generators_with_same_seed(self):
+        a = ClosedBookQATask(seed=7)
+        b = ClosedBookQATask(seed=7)
+        assert a.knowledge_base == b.knowledge_base
+
+    def test_different_seed_changes_kb(self):
+        a = ClosedBookQATask(seed=1)
+        b = ClosedBookQATask(seed=2)
+        assert a.knowledge_base != b.knowledge_base
+
+
+class TestDatasetAndBatching:
+    @pytest.fixture
+    def dataset(self):
+        tok = default_vocabulary(60)
+        task = ExtractiveQATask(tokenizer=tok, seed=0)
+        return Seq2SeqDataset(task.generate(17), tok)
+
+    def test_len_and_getitem(self, dataset):
+        assert len(dataset) == 17
+        assert isinstance(dataset[0], Seq2SeqExample)
+
+    def test_batch_shapes_and_alignment(self, dataset):
+        batch = next(dataset.batches(4))
+        assert batch.size == 4
+        assert batch.encoder_ids.shape[0] == 4
+        assert batch.decoder_input_ids.shape == batch.decoder_target_ids.shape
+        # Decoder input starts with BOS and is the target shifted right.
+        assert (batch.decoder_input_ids[:, 0] == dataset.tokenizer.bos_id).all()
+        assert np.array_equal(batch.decoder_input_ids[:, 1:], batch.decoder_target_ids[:, :-1])
+
+    def test_targets_end_with_eos(self, dataset):
+        batch = next(dataset.batches(4))
+        eos = dataset.tokenizer.eos_id
+        for row in batch.decoder_target_ids:
+            non_pad = row[row != dataset.tokenizer.pad_id]
+            assert non_pad[-1] == eos
+
+    def test_padding_mask_matches_pad_positions(self, dataset):
+        batch = next(dataset.batches(8))
+        assert np.array_equal(batch.encoder_padding_mask,
+                              batch.encoder_ids == dataset.tokenizer.pad_id)
+
+    def test_batches_cover_all_examples(self, dataset):
+        total = sum(batch.size for batch in dataset.batches(4))
+        assert total == len(dataset)
+
+    def test_shuffle_changes_order_but_not_content(self, dataset):
+        plain = [tuple(b.sources) for b in dataset.batches(4)]
+        rng = np.random.default_rng(0)
+        shuffled = [tuple(b.sources) for b in dataset.batches(4, shuffle=True, rng=rng)]
+        assert sorted(s for batch in plain for s in batch) == \
+            sorted(s for batch in shuffled for s in batch)
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            next(dataset.batches(0))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            Seq2SeqDataset([], default_vocabulary(5))
+
+    def test_train_eval_split_disjoint_sizes(self):
+        task = ClosedBookQATask(seed=0)
+        train, evaluation = train_eval_split(task, train_size=20, eval_size=5)
+        assert len(train) == 20
+        assert len(evaluation) == 5

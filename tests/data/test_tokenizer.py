@@ -1,0 +1,78 @@
+"""Tests for the word-level tokenizer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.tokenizer import Tokenizer, default_vocabulary
+
+
+class TestTokenizer:
+    def test_special_token_ids_are_stable(self):
+        tok = default_vocabulary(10)
+        assert tok.pad_id == 0
+        assert tok.bos_id == 1
+        assert tok.eos_id == 2
+        assert tok.unk_id == 3
+
+    def test_vocab_size(self):
+        tok = default_vocabulary(10)
+        assert tok.vocab_size == 14
+        assert len(tok) == 14
+
+    def test_encode_decode_roundtrip(self):
+        tok = default_vocabulary(20)
+        text = "w3 w7 w0"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_unknown_words_map_to_unk(self):
+        tok = default_vocabulary(5)
+        ids = tok.encode("w0 unicorn")
+        assert ids[1] == tok.unk_id
+
+    def test_bos_eos_flags(self):
+        tok = default_vocabulary(5)
+        ids = tok.encode("w1", add_bos=True, add_eos=True)
+        assert ids[0] == tok.bos_id and ids[-1] == tok.eos_id
+
+    def test_decode_skips_special_by_default(self):
+        tok = default_vocabulary(5)
+        assert tok.decode([tok.bos_id, tok.encode("w2")[0], tok.eos_id]) == "w2"
+        assert "<bos>" in tok.decode([tok.bos_id], skip_special=False)
+
+    def test_decode_out_of_range(self):
+        tok = default_vocabulary(5)
+        with pytest.raises(IndexError):
+            tok.decode([999])
+
+    def test_pad_batch(self):
+        tok = default_vocabulary(5)
+        batch = tok.pad_batch([[4, 5], [4]])
+        assert batch == [[4, 5], [4, tok.pad_id]]
+
+    def test_pad_batch_with_max_length_truncates(self):
+        tok = default_vocabulary(5)
+        batch = tok.pad_batch([[4, 5, 6, 7]], max_length=2)
+        assert batch == [[4, 5]]
+
+    def test_pad_batch_empty(self):
+        assert default_vocabulary(5).pad_batch([]) == []
+
+    def test_duplicate_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            Tokenizer(["a", "a"])
+
+    def test_invalid_vocab_size(self):
+        with pytest.raises(ValueError):
+            default_vocabulary(0)
+
+    def test_encode_accepts_token_list(self):
+        tok = default_vocabulary(5)
+        assert tok.encode(["w0", "w1"]) == tok.encode("w0 w1")
+
+
+@settings(max_examples=30, deadline=None)
+@given(indices=st.lists(st.integers(min_value=0, max_value=29), min_size=1, max_size=20))
+def test_property_roundtrip_for_any_word_sequence(indices):
+    tok = default_vocabulary(30)
+    text = " ".join(f"w{i}" for i in indices)
+    assert tok.decode(tok.encode(text)) == text

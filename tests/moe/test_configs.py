@@ -1,0 +1,112 @@
+"""Tests for the model configuration registry and its parameter arithmetic."""
+
+import pytest
+
+from repro.moe.configs import (
+    BYTES_FP32,
+    PERFORMANCE_CONFIGS,
+    TABLE1_CONFIGS,
+    ModelConfig,
+    get_config,
+    list_configs,
+)
+
+
+class TestRegistry:
+    def test_all_paper_configs_registered(self):
+        for name in ("switch_base_8", "switch_base_64", "switch_base_128",
+                     "switch_base_256", "switch_large_128", "switch_xxl",
+                     "t5_base", "t5_large", "tiny_moe_4", "tiny_moe_8", "tiny_dense"):
+            assert get_config(name).name == name
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError):
+            get_config("switch_giant")
+
+    def test_list_configs_returns_copy(self):
+        configs = list_configs()
+        configs.clear()
+        assert list_configs()  # registry unaffected
+
+    def test_performance_configs_match_table1(self):
+        assert set(TABLE1_CONFIGS) == set(PERFORMANCE_CONFIGS)
+
+
+class TestTableI:
+    """Table I: parameter counts and capacities of the evaluated models."""
+
+    @pytest.mark.parametrize("name,params_b,capacity_gb", [
+        ("switch_base_8", 0.7, 2.8),
+        ("switch_base_64", 3.8, 15.2),
+        ("switch_base_128", 7.5, 30.0),
+        ("switch_large_128", 26.4, 105.6),
+    ])
+    def test_parameters_and_capacity_match_paper(self, name, params_b, capacity_gb):
+        config = get_config(name)
+        assert config.total_params() / 1e9 == pytest.approx(params_b, rel=0.15)
+        assert config.total_bytes() / 1e9 == pytest.approx(capacity_gb, rel=0.15)
+
+    def test_switch_xxl_scale(self):
+        """Switch-XXL: ~395B parameters, ~217GB after quantisation (Fig. 16)."""
+        config = get_config("switch_xxl")
+        assert config.total_params() / 1e9 == pytest.approx(395, rel=0.15)
+        assert config.total_bytes() / 1e9 == pytest.approx(217, rel=0.15)
+
+    def test_moe_blocks_count(self):
+        assert get_config("switch_base_128").num_moe_blocks("all") == 12
+        assert get_config("switch_large_128").num_moe_blocks("all") == 24
+        assert get_config("t5_base").num_moe_blocks("all") == 0
+
+
+class TestDerivedQuantities:
+    def test_expert_params_equal_ffn_params(self):
+        config = get_config("switch_base_8")
+        assert config.expert_params == config.ffn_params == 2 * config.d_model * config.d_ff
+
+    def test_moe_params_scale_linearly_with_experts(self):
+        base_8 = get_config("switch_base_8")
+        base_64 = get_config("switch_base_64")
+        ratio = base_64.moe_params() / base_8.moe_params()
+        assert ratio == pytest.approx(8.0, rel=0.01)
+
+    def test_non_moe_params_independent_of_expert_count(self):
+        assert get_config("switch_base_8").non_moe_params() == \
+            get_config("switch_base_256").non_moe_params()
+
+    def test_dense_model_has_no_moe_params(self):
+        t5 = get_config("t5_base")
+        assert t5.moe_params() == 0
+        assert t5.gate_params == 0
+        assert not t5.is_moe
+
+    def test_total_is_moe_plus_non_moe(self):
+        for name in TABLE1_CONFIGS:
+            config = get_config(name)
+            assert config.total_params() == config.moe_params() + config.non_moe_params()
+
+    def test_bytes_follow_precision(self):
+        config = get_config("switch_base_8")
+        assert config.total_bytes() == int(config.total_params() * BYTES_FP32)
+
+    def test_moe_dominates_capacity_for_large_expert_counts(self):
+        """Figure 3: expert parameters dominate the memory footprint."""
+        config = get_config("switch_base_128")
+        assert config.moe_bytes() / config.total_bytes() > 0.9
+
+    def test_scaled_returns_modified_copy(self):
+        base = get_config("switch_base_8")
+        bigger = base.scaled(num_experts=32, name="custom")
+        assert bigger.num_experts == 32
+        assert base.num_experts == 8
+
+    def test_invalid_part_raises(self):
+        with pytest.raises(ValueError):
+            get_config("switch_base_8").num_moe_blocks("middle")
+
+    def test_head_dim(self):
+        config = get_config("switch_base_8")
+        assert config.head_dim == config.d_model // config.num_heads
+
+    def test_num_layers(self):
+        config = get_config("switch_large_128")
+        assert config.num_layers == 48

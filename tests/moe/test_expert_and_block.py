@@ -1,0 +1,131 @@
+"""Tests for experts, the expert pool and the conventional MoE block."""
+
+import numpy as np
+import pytest
+
+from repro.moe.expert import Expert, ExpertPool
+from repro.moe.gating import Router, RoutingDecision
+from repro.moe.moe_block import MoEBlock
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def manual_routing(num_tokens, experts_per_token):
+    """Build a RoutingDecision with explicit expert assignments (weight 1.0)."""
+    indices = np.asarray(experts_per_token).reshape(num_tokens, -1)
+    weights = np.ones_like(indices, dtype=np.float64)
+    weights = weights / weights.sum(axis=-1, keepdims=True)
+    num_experts = int(indices.max()) + 1
+    probs = Tensor(np.full((num_tokens, num_experts), 1.0 / num_experts))
+    return RoutingDecision(
+        expert_indices=indices, expert_weights=weights, router_probs=probs,
+        activated_experts=sorted(set(int(e) for e in indices.ravel())),
+        aux_loss=Tensor(0.0))
+
+
+class TestExpert:
+    def test_expert_is_an_ffn(self, rng):
+        expert = Expert(expert_id=3, d_model=8, d_ff=16, rng=rng)
+        assert expert.expert_id == 3
+        out = expert(Tensor(rng.standard_normal((4, 8))))
+        assert out.shape == (4, 8)
+
+    def test_param_count(self, rng):
+        expert = Expert(0, d_model=8, d_ff=32, rng=rng)
+        assert expert.num_params == 2 * 8 * 32
+
+
+class TestExpertPool:
+    def test_pool_size_and_indexing(self, rng):
+        pool = ExpertPool(4, d_model=8, d_ff=16, rng=rng)
+        assert len(pool) == 4
+        assert pool[2].expert_id == 2
+
+    def test_forward_routes_tokens_to_selected_experts(self, rng):
+        pool = ExpertPool(3, d_model=8, d_ff=16, rng=rng)
+        hidden = Tensor(rng.standard_normal((4, 8)))
+        routing = manual_routing(4, [[0], [1], [2], [0]])
+        out = pool(hidden, routing)
+        assert out.shape == (4, 8)
+        # Token 0 and 3 went to expert 0: identical inputs give identical outputs.
+        same_in = Tensor(np.stack([hidden.numpy()[0], hidden.numpy()[0]]))
+        same_routing = manual_routing(2, [[0], [0]])
+        same_out = pool(same_in, same_routing).numpy()
+        assert np.allclose(same_out[0], same_out[1])
+
+    def test_output_is_weighted_combination_for_top2(self, rng):
+        pool = ExpertPool(2, d_model=6, d_ff=12, rng=rng)
+        hidden = Tensor(rng.standard_normal((1, 6)))
+        both = pool(hidden, manual_routing(1, [[0, 1]])).numpy()
+        only0 = pool(hidden, manual_routing(1, [[0]])).numpy()
+        only1 = pool(hidden, manual_routing(1, [[1]])).numpy()
+        assert np.allclose(both, 0.5 * only0 + 0.5 * only1, atol=1e-10)
+
+    def test_token_count_mismatch_raises(self, rng):
+        pool = ExpertPool(2, 6, 12, rng=rng)
+        with pytest.raises(ValueError):
+            pool(Tensor(rng.standard_normal((3, 6))), manual_routing(2, [[0], [1]]))
+
+    def test_expert_param_counts(self, rng):
+        pool = ExpertPool(3, 4, 8, rng=rng)
+        counts = pool.expert_param_counts()
+        assert set(counts) == {0, 1, 2}
+        assert all(v == 2 * 4 * 8 for v in counts.values())
+
+    def test_gradients_only_for_activated_experts(self, rng):
+        pool = ExpertPool(3, d_model=6, d_ff=12, rng=rng)
+        hidden = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        routing = manual_routing(2, [[0], [0]])
+        out = pool(hidden, routing)
+        (out * out).sum().backward()
+        assert pool[0].ffn.wi.weight.grad is not None
+        assert pool[1].ffn.wi.weight.grad is None
+        assert pool[2].ffn.wi.weight.grad is None
+
+    def test_invalid_expert_count(self):
+        with pytest.raises(ValueError):
+            ExpertPool(0, 4, 8)
+
+
+class TestMoEBlock:
+    def test_forward_returns_output_and_routing(self, rng):
+        block = MoEBlock(d_model=8, d_ff=16, num_experts=4, rng=rng)
+        hidden = Tensor(rng.standard_normal((6, 8)))
+        out, routing = block(hidden)
+        assert out.shape == (6, 8)
+        assert isinstance(routing, RoutingDecision)
+        assert routing.num_tokens == 6
+
+    def test_selection_precedes_execution(self, rng):
+        """The block's own gate decides which experts execute (the sequential dependency)."""
+        block = MoEBlock(d_model=8, d_ff=16, num_experts=4, top_k=1, rng=rng)
+        block.eval()
+        hidden = Tensor(rng.standard_normal((5, 8)))
+        out, routing = block(hidden)
+        # Re-executing with the recorded routing reproduces the output exactly.
+        replay = block.execute_with_routing(hidden, routing)
+        assert np.allclose(out.numpy(), replay.numpy())
+
+    def test_external_routing_changes_output(self, rng):
+        block = MoEBlock(d_model=8, d_ff=16, num_experts=4, top_k=1, rng=rng)
+        block.eval()
+        hidden = Tensor(rng.standard_normal((3, 8)))
+        out, routing = block(hidden)
+        other = manual_routing(3, [[(int(routing.expert_indices[0, 0]) + 1) % 4],
+                                   [(int(routing.expert_indices[1, 0]) + 1) % 4],
+                                   [(int(routing.expert_indices[2, 0]) + 1) % 4]])
+        forced = block.execute_with_routing(hidden, other)
+        assert not np.allclose(out.numpy(), forced.numpy())
+
+    def test_top_k_override_at_call_time(self, rng):
+        block = MoEBlock(8, 16, num_experts=8, top_k=1, rng=rng)
+        _, routing = block(Tensor(rng.standard_normal((2, 8))), top_k=4)
+        assert routing.expert_indices.shape[1] == 4
+
+    def test_block_index_recorded(self, rng):
+        block = MoEBlock(8, 16, 4, block_index=7, rng=rng)
+        assert block.block_index == 7

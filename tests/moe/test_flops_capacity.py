@@ -1,0 +1,109 @@
+"""Tests for the analytical FLOPs (Figure 2) and capacity (Figure 3) models."""
+
+import pytest
+
+from repro.moe.capacity import (
+    capacity_breakdown,
+    capacity_table,
+    fits_in_memory,
+    memory_ratio,
+)
+from repro.moe.configs import get_config
+from repro.moe.flops import gflops_per_sequence, moe_block_flops, sequence_flops
+
+
+class TestFlopsModel:
+    def test_moe_flops_independent_of_expert_count(self):
+        """Figure 2: MoE compute cost is flat in the number of experts."""
+        seq = 256
+        flops_8 = gflops_per_sequence(get_config("switch_base_8"), seq)
+        flops_256 = gflops_per_sequence(get_config("switch_base_256"), seq)
+        assert flops_256 / flops_8 == pytest.approx(1.0, abs=0.02)
+
+    def test_moe_flops_close_to_dense_equivalent(self):
+        """Switch-Base (top-1) needs roughly the same FLOPs as dense T5-Base."""
+        moe = gflops_per_sequence(get_config("switch_base_128"), 256)
+        dense = gflops_per_sequence(get_config("t5_base"), 256)
+        assert moe / dense == pytest.approx(1.0, rel=0.1)
+
+    def test_large_model_needs_more_flops_than_base(self):
+        base = gflops_per_sequence(get_config("switch_base_128"), 256)
+        large = gflops_per_sequence(get_config("switch_large_128"), 256)
+        assert large > 2 * base
+
+    def test_flops_scale_with_sequence_length(self):
+        cfg = get_config("switch_base_8")
+        assert gflops_per_sequence(cfg, 512) > 1.9 * gflops_per_sequence(cfg, 256)
+
+    def test_breakdown_sums_to_total(self):
+        breakdown = sequence_flops(get_config("switch_base_64"), 128)
+        parts = breakdown.as_dict()
+        total = parts.pop("total")
+        assert total == pytest.approx(sum(parts.values()))
+
+    def test_dense_model_has_no_gate_or_expert_flops(self):
+        breakdown = sequence_flops(get_config("t5_base"), 128)
+        assert breakdown.gate == 0.0
+        assert breakdown.expert_ffn == 0.0
+        assert breakdown.dense_ffn > 0.0
+
+    def test_topk_scales_expert_flops(self):
+        cfg = get_config("switch_base_64")
+        top1 = sequence_flops(cfg, 128, top_k=1).expert_ffn
+        top4 = sequence_flops(cfg, 128, top_k=4).expert_ffn
+        assert top4 == pytest.approx(4 * top1)
+
+    def test_moe_block_flops_scale_with_active_experts(self):
+        """Figure 14's sweep: block compute grows with forced activation count."""
+        cfg = get_config("switch_base_64")
+        one = moe_block_flops(cfg, tokens=1, num_active_experts=1)
+        many = moe_block_flops(cfg, tokens=1, num_active_experts=64)
+        assert many > 30 * one
+
+
+class TestCapacityModel:
+    def test_moe_fraction_grows_with_experts(self):
+        """Figure 3: experts dominate capacity more and more as they multiply."""
+        fractions = [capacity_breakdown(get_config(name)).moe_fraction
+                     for name in ("switch_base_8", "switch_base_64", "switch_base_128")]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.9
+
+    def test_memory_ratio_up_to_75x(self):
+        """The paper quotes SwitchTransformer consuming up to ~75x more memory than T5."""
+        ratio = memory_ratio(get_config("switch_base_256"), get_config("t5_base"))
+        assert 50 < ratio < 90
+
+    def test_dense_breakdown_has_no_moe_bytes(self):
+        breakdown = capacity_breakdown(get_config("t5_large"))
+        assert breakdown.moe_bytes == 0
+        assert breakdown.moe_fraction == 0.0
+
+    def test_capacity_table_order_preserved(self):
+        names = ["switch_base_8", "switch_base_64"]
+        table = capacity_table(names)
+        assert [b.config_name for b in table] == names
+
+    def test_gigabytes_helper(self):
+        gb = capacity_breakdown(get_config("switch_base_128")).gigabytes()
+        assert gb["total"] == pytest.approx(gb["moe"] + gb["non_moe"])
+        assert gb["total"] == pytest.approx(30.0, rel=0.15)
+
+    def test_totals_match_config(self):
+        cfg = get_config("switch_large_128")
+        breakdown = capacity_breakdown(cfg)
+        assert breakdown.total_bytes == cfg.total_bytes()
+        assert breakdown.total_params == cfg.total_params()
+
+
+class TestFitsInMemory:
+    def test_switch_base_fits_in_a100(self):
+        assert fits_in_memory(get_config("switch_base_128"), int(80e9))
+
+    def test_switch_large_ooms_on_a100(self):
+        """The GPU-only OOM of Figures 10-12."""
+        assert not fits_in_memory(get_config("switch_large_128"), int(80e9))
+
+    def test_reserve_fraction_validated(self):
+        with pytest.raises(ValueError):
+            fits_in_memory(get_config("t5_base"), int(80e9), activation_reserve_fraction=1.5)

@@ -1,0 +1,124 @@
+"""Tests for the router (gate function) and the load-balancing loss."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.moe.gating import Router, RoutingDecision, load_balancing_loss
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRouter:
+    def test_routing_decision_shapes(self, rng):
+        router = Router(d_model=16, num_experts=8, top_k=2, rng=rng)
+        decision = router(Tensor(rng.standard_normal((10, 16))))
+        assert decision.expert_indices.shape == (10, 2)
+        assert decision.expert_weights.shape == (10, 2)
+        assert decision.router_probs.shape == (10, 8)
+        assert decision.num_tokens == 10
+        assert decision.top_k == 2
+
+    def test_weights_renormalised(self, rng):
+        router = Router(16, 8, top_k=3, rng=rng)
+        decision = router(Tensor(rng.standard_normal((5, 16))))
+        assert np.allclose(decision.expert_weights.sum(axis=-1), 1.0)
+
+    def test_indices_in_range_and_distinct_per_token(self, rng):
+        router = Router(16, 6, top_k=3, rng=rng)
+        decision = router(Tensor(rng.standard_normal((20, 16))))
+        assert decision.expert_indices.min() >= 0
+        assert decision.expert_indices.max() < 6
+        for row in decision.expert_indices:
+            assert len(set(row.tolist())) == 3
+
+    def test_activated_experts_sorted_unique(self, rng):
+        router = Router(16, 8, rng=rng)
+        decision = router(Tensor(rng.standard_normal((30, 16))))
+        acts = decision.activated_experts
+        assert acts == sorted(set(acts))
+
+    def test_top_k_override(self, rng):
+        router = Router(16, 8, top_k=1, rng=rng)
+        decision = router(Tensor(rng.standard_normal((4, 16))), top_k=4)
+        assert decision.expert_indices.shape == (4, 4)
+
+    def test_top1_selects_argmax_of_probs(self, rng):
+        router = Router(16, 8, top_k=1, rng=rng)
+        router.eval()
+        hidden = Tensor(rng.standard_normal((12, 16)))
+        decision = router(hidden)
+        probs = decision.router_probs.numpy()
+        assert np.array_equal(decision.expert_indices[:, 0], probs.argmax(axis=-1))
+
+    def test_requires_2d_input(self, rng):
+        router = Router(16, 4, rng=rng)
+        with pytest.raises(ValueError):
+            router(Tensor(rng.standard_normal((2, 3, 16))))
+
+    def test_invalid_topk(self, rng):
+        with pytest.raises(ValueError):
+            Router(16, 4, top_k=5)
+        router = Router(16, 4, rng=rng)
+        with pytest.raises(ValueError):
+            router(Tensor(rng.standard_normal((2, 16))), top_k=9)
+
+    def test_jitter_only_in_training(self, rng):
+        router = Router(16, 4, jitter=0.5, rng=np.random.default_rng(1))
+        hidden = rng.standard_normal((6, 16))
+        router.eval()
+        a = router(Tensor(hidden)).router_probs.numpy()
+        b = router(Tensor(hidden)).router_probs.numpy()
+        assert np.allclose(a, b)
+
+    def test_tokens_for_expert(self, rng):
+        router = Router(16, 4, rng=rng)
+        decision = router(Tensor(rng.standard_normal((10, 16))))
+        for expert in decision.activated_experts:
+            tokens = decision.tokens_for_expert(expert)
+            assert all(expert in decision.expert_indices[t] for t in tokens)
+
+    def test_gate_is_differentiable(self, rng):
+        router = Router(16, 4, rng=rng)
+        hidden = Tensor(rng.standard_normal((8, 16)), requires_grad=True)
+        decision = router(hidden)
+        decision.aux_loss.backward()
+        assert router.classifier.weight.grad is not None
+
+
+class TestLoadBalancingLoss:
+    def test_uniform_routing_gives_unity(self):
+        """Perfectly balanced routing gives a loss of ~1 (the Switch optimum)."""
+        num_experts, tokens = 4, 1000
+        probs = Tensor(np.full((tokens, num_experts), 1.0 / num_experts))
+        indices = np.tile(np.arange(num_experts), tokens // num_experts)[:, None]
+        loss = load_balancing_loss(probs, indices, num_experts)
+        assert loss.item() == pytest.approx(1.0, rel=1e-6)
+
+    def test_collapsed_routing_is_penalised(self):
+        num_experts, tokens = 4, 100
+        probs_arr = np.zeros((tokens, num_experts))
+        probs_arr[:, 0] = 1.0
+        loss = load_balancing_loss(Tensor(probs_arr), np.zeros((tokens, 1), dtype=int), num_experts)
+        assert loss.item() == pytest.approx(float(num_experts))
+
+    def test_empty_batch_gives_zero(self):
+        loss = load_balancing_loss(Tensor(np.zeros((0, 4))), np.zeros((0, 1), dtype=int), 4)
+        assert loss.item() == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           num_experts=st.integers(min_value=2, max_value=16))
+    def test_property_loss_at_least_one_for_softmax_probs(self, seed, num_experts):
+        """For any softmax routing, the Switch load-balancing loss is >= ~1."""
+        rng = np.random.default_rng(seed)
+        logits = rng.standard_normal((64, num_experts))
+        probs = F.softmax(Tensor(logits)).numpy()
+        indices = probs.argmax(axis=-1)[:, None]
+        loss = load_balancing_loss(Tensor(probs), indices, num_experts)
+        assert loss.item() >= 0.99

@@ -1,0 +1,225 @@
+"""Tests for the four serving engines and their interaction with the simulator."""
+
+import pytest
+
+from repro.moe import get_config
+from repro.serving import (
+    DESIGN_LABELS,
+    EngineConfig,
+    GPUOnlyEngine,
+    OnDemandEngine,
+    PreGatedEngine,
+    PrefetchAllEngine,
+    compare_designs,
+    make_engine,
+)
+from repro.system import ExpertCache, PAPER_SYSTEM, SSD_SYSTEM, Stream
+from repro.system.timeline import ExecutionTimeline
+from repro.workloads import TraceGenerator
+
+
+CONFIG = get_config("switch_base_64")
+DESIGNS = ("gpu_only", "pregated", "ondemand", "prefetch_all")
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return TraceGenerator(CONFIG, seed=0).workload(2, input_length=16, output_length=8)
+
+
+@pytest.fixture(scope="module")
+def single_iteration():
+    return TraceGenerator(CONFIG, seed=1).iteration_activations(
+        num_tokens=1, num_moe_blocks=CONFIG.num_moe_blocks("decoder"))
+
+
+class TestFactory:
+    def test_make_engine_by_name(self):
+        assert isinstance(make_engine("gpu_only", CONFIG), GPUOnlyEngine)
+        assert isinstance(make_engine("pregated", CONFIG), PreGatedEngine)
+        assert isinstance(make_engine("ondemand", CONFIG), OnDemandEngine)
+        assert isinstance(make_engine("prefetch_all", CONFIG), PrefetchAllEngine)
+
+    def test_unknown_design(self):
+        with pytest.raises(ValueError):
+            make_engine("multi_gpu", CONFIG)
+
+    def test_config_by_name(self):
+        engine = make_engine("pregated", "switch_base_8")
+        assert engine.config.name == "switch_base_8"
+
+    def test_labels_cover_all_designs(self):
+        assert set(DESIGN_LABELS) == set(DESIGNS)
+
+
+class TestModelLoading:
+    def test_offload_designs_place_experts_in_dram(self):
+        engine = make_engine("pregated", CONFIG)
+        engine.load_model()
+        assert engine.memory.cpu.in_use >= CONFIG.moe_bytes()
+        assert engine.gpu_pool.category_usage("moe") == 0
+
+    def test_gpu_only_places_everything_on_gpu(self):
+        engine = make_engine("gpu_only", CONFIG)
+        engine.load_model()
+        assert engine.gpu_pool.category_usage("moe") == CONFIG.moe_bytes()
+
+    def test_gpu_only_oom_for_switch_large(self):
+        """Figures 10-12: GPU-only cannot hold Switch-Large on an 80GB A100."""
+        engine = make_engine("gpu_only", "switch_large_128")
+        result = engine.run_workload([])
+        assert result.oom
+        assert "out of memory" in result.oom_reason.lower()
+
+    def test_pregated_loads_switch_large(self):
+        engine = make_engine("pregated", "switch_large_128")
+        engine.load_model()  # must not raise
+
+    def test_load_is_idempotent(self):
+        engine = make_engine("ondemand", CONFIG)
+        engine.load_model()
+        engine.load_model()
+        assert engine.gpu_pool.has("non_moe_params")
+
+    def test_ssd_offload_places_experts_on_ssd(self):
+        engine = make_engine("pregated", "switch_xxl", system=SSD_SYSTEM)
+        engine.load_model()
+        assert engine.memory.ssd.in_use >= engine.config.moe_bytes()
+
+
+class TestDecoderIteration:
+    def test_block_latency_records(self, single_iteration):
+        engine = make_engine("pregated", CONFIG)
+        result = engine.run_decoder_iteration(single_iteration)
+        assert len(result.block_latencies) == CONFIG.num_moe_blocks("decoder")
+        assert all(r.latency > 0 for r in result.block_latencies)
+        assert result.duration > 0
+
+    def test_gpu_only_has_no_copy_ops(self, single_iteration):
+        engine = make_engine("gpu_only", CONFIG)
+        timeline = ExecutionTimeline()
+        engine.run_decoder_iteration(single_iteration, timeline=timeline)
+        assert timeline.stream_busy_time(Stream.COPY) == 0.0
+
+    def test_offload_designs_issue_copies(self, single_iteration):
+        for design in ("pregated", "ondemand", "prefetch_all"):
+            timeline = ExecutionTimeline()
+            make_engine(design, CONFIG).run_decoder_iteration(single_iteration, timeline=timeline)
+            assert timeline.stream_busy_time(Stream.COPY) > 0.0
+
+    def test_prefetch_all_moves_every_expert(self, single_iteration):
+        timeline = ExecutionTimeline()
+        make_engine("prefetch_all", CONFIG).run_decoder_iteration(single_iteration,
+                                                                  timeline=timeline)
+        copies = timeline.ops_by_category("expert_transfer")
+        assert len(copies) == CONFIG.num_moe_blocks("decoder") * CONFIG.num_experts
+
+    def test_pregated_moves_only_activated_experts(self, single_iteration):
+        timeline = ExecutionTimeline()
+        make_engine("pregated", CONFIG).run_decoder_iteration(single_iteration, timeline=timeline)
+        copies = timeline.ops_by_category("expert_transfer")
+        assert len(copies) == sum(len(block) for block in single_iteration)
+
+    def test_block_latency_ordering_matches_figure_10(self, single_iteration):
+        """GPU-only < Pre-gated < OnDemand << Prefetch-all, per MoE block."""
+        latencies = {}
+        for design in DESIGNS:
+            engine = make_engine(design, CONFIG)
+            result = engine.run_decoder_iteration(single_iteration)
+            latencies[design] = result.mean_block_latency
+        assert latencies["gpu_only"] < latencies["pregated"]
+        assert latencies["pregated"] < latencies["ondemand"]
+        assert latencies["ondemand"] < latencies["prefetch_all"]
+
+    def test_pregated_overhead_is_modest(self, single_iteration):
+        """Pre-gated MoE stays within ~2x of GPU-only per-block latency
+        (the paper reports ~1.2x)."""
+        gpu = make_engine("gpu_only", CONFIG).run_decoder_iteration(single_iteration)
+        pre = make_engine("pregated", CONFIG).run_decoder_iteration(single_iteration)
+        ratio = pre.mean_block_latency / gpu.mean_block_latency
+        assert 1.0 < ratio < 2.0
+
+    def test_ondemand_serialises_transfer(self, single_iteration):
+        """MoE-OnDemand's exposed transfer time is close to the full migration time."""
+        engine = make_engine("ondemand", CONFIG)
+        result = engine.run_decoder_iteration(single_iteration)
+        transfer = PAPER_SYSTEM.expert_transfer_time(CONFIG.expert_bytes())
+        for record in result.block_latencies:
+            assert record.exposed_transfer_time >= 0.8 * transfer
+
+    def test_pregated_hides_most_transfer(self, single_iteration):
+        """Pre-gated MoE hides (nearly) all migration latency for non-first blocks."""
+        engine = make_engine("pregated", CONFIG)
+        result = engine.run_decoder_iteration(single_iteration)
+        transfer = PAPER_SYSTEM.expert_transfer_time(CONFIG.expert_bytes())
+        hidden_blocks = result.block_latencies[1:]
+        assert all(r.exposed_transfer_time < 0.5 * transfer for r in hidden_blocks)
+
+
+class TestEndToEnd:
+    def test_request_result_fields(self, traces):
+        engine = make_engine("pregated", CONFIG)
+        result = engine.run_request(traces[0])
+        assert result.total_time == pytest.approx(result.encoder_time + result.decode_time)
+        assert result.tokens_per_second > 0
+        assert result.peak_gpu_bytes > CONFIG.non_moe_bytes()
+
+    def test_throughput_ordering_matches_figure_11(self, traces):
+        results = compare_designs(CONFIG, traces)
+        tput = {d: r.aggregate_tokens_per_second for d, r in results.items() if not r.oom}
+        assert tput["gpu_only"] > tput["pregated"]
+        assert tput["pregated"] > tput["ondemand"]
+        assert tput["ondemand"] > tput["prefetch_all"]
+
+    def test_peak_memory_ordering_matches_figure_12(self, traces):
+        results = compare_designs(CONFIG, traces)
+        peaks = {d: r.peak_gpu_bytes for d, r in results.items() if not r.oom}
+        assert peaks["ondemand"] <= peaks["pregated"]
+        assert peaks["pregated"] < peaks["prefetch_all"]
+        assert peaks["prefetch_all"] < peaks["gpu_only"]
+
+    def test_workload_aggregation(self, traces):
+        engine = make_engine("pregated", CONFIG)
+        result = engine.run_workload(traces)
+        assert result.num_requests == len(traces)
+        assert result.total_generated_tokens == sum(t.output_length for t in traces)
+        summary = result.summary()
+        assert summary["design"] == "pregated"
+        assert summary["tokens_per_second"] > 0
+
+    def test_oversubscription_mode_reports_instead_of_raising(self):
+        engine = make_engine("gpu_only", "switch_large_128",
+                             engine_config=EngineConfig(allow_oversubscription=True))
+        engine.load_model()
+        assert engine.gpu_pool.peak > engine.gpu_pool.capacity
+
+
+class TestCachingIntegration:
+    def test_cache_reduces_transfers_under_skewed_routing(self):
+        """Figure 15: caching hot experts removes repeat migrations."""
+        config = get_config("switch_base_64")
+        gen = TraceGenerator(config, skew=1.5, seed=3)
+        traces = gen.workload(3, input_length=8, output_length=8)
+
+        def total_copies(cache):
+            engine = make_engine("ondemand", config, cache=cache)
+            engine.load_model()
+            timeline = ExecutionTimeline()
+            for trace in traces:
+                for step, acts in enumerate(trace.decode_activations):
+                    engine.run_decoder_iteration(acts, self_kv_tokens=step + 1,
+                                                 timeline=timeline)
+            return len(timeline.ops_by_category("expert_transfer"))
+
+        uncached = total_copies(None)
+        cached = total_copies(ExpertCache(capacity_experts=100, policy="lru"))
+        assert cached < uncached
+
+    def test_cache_hits_recorded(self):
+        config = get_config("switch_base_8")
+        cache = ExpertCache(capacity_experts=50, policy="lfu")
+        engine = make_engine("pregated", config, cache=cache)
+        gen = TraceGenerator(config, skew=1.0, seed=4)
+        trace = gen.request_trace(input_length=8, output_length=8)
+        engine.run_request(trace)
+        assert cache.stats.accesses > 0

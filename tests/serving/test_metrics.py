@@ -1,0 +1,84 @@
+"""Tests for the serving metrics records and aggregation."""
+
+import pytest
+
+from repro.serving.metrics import (
+    BlockLatencyRecord,
+    IterationResult,
+    RequestResult,
+    WorkloadResult,
+    normalise,
+)
+
+
+def make_request(output_length=10, encoder_time=0.1, decode_time=0.4):
+    records = [BlockLatencyRecord(part="decoder", iteration=0, block_index=i,
+                                  latency=0.001 * (i + 1), num_active_experts=1)
+               for i in range(3)]
+    iteration = IterationResult(part="decoder", iteration=0, duration=0.05,
+                                block_latencies=records)
+    return RequestResult(design="pregated", config_name="switch_base_8",
+                         input_length=16, output_length=output_length,
+                         encoder_time=encoder_time, decode_time=decode_time,
+                         iterations=[iteration], peak_gpu_bytes=int(3e9))
+
+
+class TestRequestResult:
+    def test_total_time_and_throughput(self):
+        result = make_request(output_length=10, encoder_time=0.1, decode_time=0.4)
+        assert result.total_time == pytest.approx(0.5)
+        assert result.tokens_per_second == pytest.approx(20.0)
+        assert result.decode_tokens_per_second == pytest.approx(25.0)
+
+    def test_mean_block_latency(self):
+        result = make_request()
+        assert result.mean_block_latency("decoder") == pytest.approx(0.002)
+        assert result.mean_block_latency("encoder") == 0.0
+
+    def test_block_latency_filtering(self):
+        result = make_request()
+        assert len(result.block_latencies()) == 3
+        assert len(result.block_latencies("encoder")) == 0
+
+    def test_zero_time_guard(self):
+        result = make_request(encoder_time=0.0, decode_time=0.0)
+        assert result.tokens_per_second == 0.0
+        assert result.decode_tokens_per_second == 0.0
+
+
+class TestWorkloadResult:
+    def test_aggregates(self):
+        workload = WorkloadResult(design="pregated", config_name="switch_base_8",
+                                  requests=[make_request(), make_request()],
+                                  peak_gpu_bytes=int(4e9))
+        assert workload.num_requests == 2
+        assert workload.total_generated_tokens == 20
+        assert workload.aggregate_tokens_per_second == pytest.approx(20.0)
+        assert workload.mean_block_latency == pytest.approx(0.002)
+        summary = workload.summary()
+        assert summary["peak_gpu_gb"] == pytest.approx(4.0)
+        assert not summary["oom"]
+
+    def test_empty_workload(self):
+        workload = WorkloadResult(design="gpu_only", config_name="switch_large_128", oom=True)
+        assert workload.mean_tokens_per_second == 0.0
+        assert workload.mean_block_latency == 0.0
+        assert workload.aggregate_tokens_per_second == 0.0
+
+    def test_iteration_mean(self):
+        iteration = IterationResult(part="decoder", iteration=0, duration=1.0)
+        assert iteration.mean_block_latency == 0.0
+
+
+class TestNormalise:
+    def test_normalise_to_reference(self):
+        out = normalise({"a": 2.0, "b": 4.0}, reference="a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_missing_reference(self):
+        with pytest.raises(KeyError):
+            normalise({"a": 1.0}, reference="z")
+
+    def test_zero_reference(self):
+        with pytest.raises(ZeroDivisionError):
+            normalise({"a": 0.0, "b": 1.0}, reference="a")

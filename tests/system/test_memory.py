@@ -1,0 +1,114 @@
+"""Tests for memory pools, peak tracking and the memory hierarchy."""
+
+import pytest
+
+from repro.system.hardware import PAPER_SYSTEM
+from repro.system.memory import MemoryHierarchy, MemoryPool, OutOfMemoryError
+
+
+class TestMemoryPool:
+    def test_allocate_and_free(self):
+        pool = MemoryPool("gpu", 100)
+        pool.allocate("a", 40)
+        assert pool.in_use == 40
+        pool.free("a")
+        assert pool.in_use == 0
+        assert pool.free_bytes == 100
+
+    def test_peak_tracks_high_water_mark(self):
+        pool = MemoryPool("gpu", 100)
+        pool.allocate("a", 60)
+        pool.free("a")
+        pool.allocate("b", 30)
+        assert pool.peak == 60
+        assert pool.in_use == 30
+
+    def test_oom_raised_with_details(self):
+        pool = MemoryPool("gpu", 100)
+        pool.allocate("a", 90)
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            pool.allocate("b", 20)
+        assert excinfo.value.requested == 20
+        assert excinfo.value.capacity == 100
+
+    def test_oversubscription_allowed_when_requested(self):
+        pool = MemoryPool("gpu", 100)
+        pool.allocate("a", 150, allow_oversubscribe=True)
+        assert pool.peak == 150
+
+    def test_duplicate_tag_rejected(self):
+        pool = MemoryPool("gpu", 100)
+        pool.allocate("a", 10)
+        with pytest.raises(ValueError):
+            pool.allocate("a", 10)
+
+    def test_free_unknown_tag(self):
+        with pytest.raises(KeyError):
+            MemoryPool("gpu", 100).free("nope")
+
+    def test_category_usage_and_peak(self):
+        pool = MemoryPool("gpu", 1000)
+        pool.allocate("w1", 100, category="weights")
+        pool.allocate("e1", 200, category="experts")
+        pool.allocate("e2", 300, category="experts")
+        assert pool.category_usage("experts") == 500
+        pool.free("e2")
+        assert pool.category_usage("experts") == 200
+        assert pool.category_peak("experts") == 500
+
+    def test_free_category(self):
+        pool = MemoryPool("gpu", 1000)
+        pool.allocate("e1", 100, category="experts")
+        pool.allocate("e2", 100, category="experts")
+        pool.allocate("w", 100, category="weights")
+        freed = pool.free_category("experts")
+        assert freed == 200
+        assert pool.in_use == 100
+
+    def test_has_and_allocations(self):
+        pool = MemoryPool("gpu", 100)
+        pool.allocate("a", 10)
+        assert pool.has("a")
+        assert not pool.has("b")
+        assert [a.tag for a in pool.allocations()] == ["a"]
+
+    def test_utilisation(self):
+        pool = MemoryPool("gpu", 200)
+        pool.allocate("a", 50)
+        assert pool.utilisation() == pytest.approx(0.25)
+        assert pool.peak_utilisation() == pytest.approx(0.25)
+
+    def test_reset_peak(self):
+        pool = MemoryPool("gpu", 100)
+        pool.allocate("a", 80)
+        pool.free("a")
+        pool.reset_peak()
+        assert pool.peak == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryPool("gpu", 0)
+
+    def test_negative_allocation(self):
+        with pytest.raises(ValueError):
+            MemoryPool("gpu", 10).allocate("a", -1)
+
+
+class TestMemoryHierarchy:
+    def test_from_system_capacities(self):
+        hierarchy = MemoryHierarchy.from_system(PAPER_SYSTEM)
+        assert hierarchy.gpu.capacity == PAPER_SYSTEM.gpu.memory_bytes
+        assert hierarchy.cpu.capacity == PAPER_SYSTEM.host.dram_bytes
+        assert hierarchy.ssd.capacity == PAPER_SYSTEM.ssd.capacity_bytes
+
+    def test_offload_pool_selection(self):
+        hierarchy = MemoryHierarchy.from_system(PAPER_SYSTEM)
+        assert hierarchy.offload_pool("dram") is hierarchy.cpu
+        assert hierarchy.offload_pool("ssd") is hierarchy.ssd
+        with pytest.raises(ValueError):
+            hierarchy.offload_pool("floppy")
+
+    def test_missing_ssd_tier(self):
+        hierarchy = MemoryHierarchy(gpu=MemoryPool("g", 10), cpu=MemoryPool("c", 10), ssd=None)
+        with pytest.raises(ValueError):
+            hierarchy.offload_pool("ssd")

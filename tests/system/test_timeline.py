@@ -1,0 +1,131 @@
+"""Tests for the dual-stream execution timeline (compute/copy overlap)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.system.timeline import ExecutionTimeline, Stream
+
+
+class TestScheduling:
+    def test_compute_stream_is_fifo(self):
+        tl = ExecutionTimeline()
+        a = tl.add_compute("a", 1.0)
+        b = tl.add_compute("b", 2.0)
+        assert a.start == 0.0 and a.end == 1.0
+        assert b.start == 1.0 and b.end == 3.0
+
+    def test_streams_run_concurrently(self):
+        tl = ExecutionTimeline()
+        tl.add_compute("compute", 5.0)
+        copy = tl.add_copy("copy", 3.0)
+        assert copy.start == 0.0
+        assert tl.makespan == 5.0
+
+    def test_dependency_across_streams(self):
+        tl = ExecutionTimeline()
+        gate = tl.add_compute("gate", 1.0)
+        copy = tl.add_copy("fetch", 2.0, depends_on=[gate.op_id])
+        execute = tl.add_compute("exec", 1.0, depends_on=[copy.op_id])
+        assert copy.start == pytest.approx(1.0)
+        assert execute.start == pytest.approx(3.0)
+        assert tl.makespan == pytest.approx(4.0)
+
+    def test_overlap_hides_copy(self):
+        """A copy issued early finishes under a long compute op (the pre-gated case)."""
+        tl = ExecutionTimeline()
+        tl.add_copy("prefetch", 2.0)
+        tl.add_compute("block_n", 3.0)
+        execute = tl.add_compute("block_n_plus_1", 1.0, depends_on=[0])
+        assert execute.start == pytest.approx(3.0)  # no stall
+        assert tl.exposed_copy_time() == pytest.approx(0.0)
+        assert tl.overlap_efficiency() == pytest.approx(1.0)
+
+    def test_serialised_copy_is_exposed(self):
+        """A copy that must follow the same block's gate stalls execution (on-demand)."""
+        tl = ExecutionTimeline()
+        gate = tl.add_compute("gate", 0.5)
+        copy = tl.add_copy("fetch", 2.0, depends_on=[gate.op_id])
+        tl.add_compute("exec", 1.0, depends_on=[copy.op_id])
+        assert tl.makespan == pytest.approx(3.5)
+        assert tl.exposed_copy_time() == pytest.approx(2.0)
+        assert tl.overlap_efficiency() == pytest.approx(0.0)
+
+    def test_invalid_dependency_rejected(self):
+        tl = ExecutionTimeline()
+        with pytest.raises(ValueError):
+            tl.add_compute("x", 1.0, depends_on=[5])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionTimeline().add_compute("x", -1.0)
+
+
+class TestQueries:
+    def make_timeline(self):
+        tl = ExecutionTimeline()
+        tl.add_compute("a", 1.0, category="non_moe")
+        tl.add_copy("b", 2.0, category="expert_transfer")
+        tl.add_compute("c", 3.0, category="expert_execution", depends_on=[1])
+        return tl
+
+    def test_stream_busy_time(self):
+        tl = self.make_timeline()
+        assert tl.stream_busy_time(Stream.COMPUTE) == pytest.approx(4.0)
+        assert tl.stream_busy_time(Stream.COPY) == pytest.approx(2.0)
+
+    def test_category_time(self):
+        tl = self.make_timeline()
+        assert tl.category_time("expert_transfer") == pytest.approx(2.0)
+        assert len(tl.ops_by_category("expert_execution")) == 1
+
+    def test_op_lookup_and_records(self):
+        tl = self.make_timeline()
+        assert tl.op(0).name == "a"
+        records = tl.to_records()
+        assert len(records) == 3
+        assert records[2]["stream"] == "compute"
+        assert records[2]["start"] >= records[1]["end"] - 1e-12
+
+    def test_empty_timeline(self):
+        tl = ExecutionTimeline()
+        assert tl.makespan == 0.0
+        assert tl.overlap_efficiency() == 1.0
+        assert tl.render_ascii() == "(empty timeline)"
+
+    def test_render_ascii_has_both_streams(self):
+        text = self.make_timeline().render_ascii(width=40)
+        assert "compute" in text and "copy" in text
+        assert "ms" in text
+
+
+@settings(max_examples=40, deadline=None)
+@given(durations=st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=1, max_size=10))
+def test_property_makespan_at_least_each_stream_busy_time(durations):
+    """The makespan can never be shorter than either stream's total busy time."""
+    tl = ExecutionTimeline()
+    for i, duration in enumerate(durations):
+        if i % 2 == 0:
+            tl.add_compute(f"c{i}", duration)
+        else:
+            tl.add_copy(f"x{i}", duration)
+    assert tl.makespan >= tl.stream_busy_time(Stream.COMPUTE) - 1e-9
+    assert tl.makespan >= tl.stream_busy_time(Stream.COPY) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(durations=st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=2, max_size=10),
+       seed=st.integers(min_value=0, max_value=99))
+def test_property_dependencies_respected(durations, seed):
+    """No op ever starts before all of its dependencies have finished."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    tl = ExecutionTimeline()
+    for i, duration in enumerate(durations):
+        deps = list(rng.choice(i, size=min(i, int(rng.integers(0, 3))), replace=False)) if i else []
+        if rng.random() < 0.5:
+            tl.add_compute(f"c{i}", duration, depends_on=[int(d) for d in deps])
+        else:
+            tl.add_copy(f"x{i}", duration, depends_on=[int(d) for d in deps])
+    for op in tl.ops:
+        for dep in op.depends_on:
+            assert op.start >= tl.op(dep).end - 1e-12

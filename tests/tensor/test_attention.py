@@ -1,0 +1,121 @@
+"""Tests for multi-head attention, the KV cache and the FFN layer."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import FeedForward, KVCache, MultiHeadAttention, Tensor, no_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape_matches_input(self, rng):
+        attn = MultiHeadAttention(32, 4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 7, 32)))
+        assert attn(x).shape == (2, 7, 32)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(30, 4)
+
+    def test_causal_mask_blocks_future(self, rng):
+        """Changing a future token must not change earlier outputs under causal masking."""
+        attn = MultiHeadAttention(16, 2, causal=True, rng=rng)
+        x = rng.standard_normal((1, 5, 16))
+        with no_grad():
+            base = attn(Tensor(x)).numpy()
+            modified = x.copy()
+            modified[0, 4, :] += 10.0
+            out = attn(Tensor(modified)).numpy()
+        assert np.allclose(base[0, :4], out[0, :4], atol=1e-10)
+        assert not np.allclose(base[0, 4], out[0, 4])
+
+    def test_non_causal_attends_everywhere(self, rng):
+        attn = MultiHeadAttention(16, 2, causal=False, rng=rng)
+        x = rng.standard_normal((1, 5, 16))
+        with no_grad():
+            base = attn(Tensor(x)).numpy()
+            modified = x.copy()
+            modified[0, 4, :] += 10.0
+            out = attn(Tensor(modified)).numpy()
+        assert not np.allclose(base[0, 0], out[0, 0])
+
+    def test_padding_mask_ignored_positions(self, rng):
+        attn = MultiHeadAttention(16, 2, rng=rng)
+        x = rng.standard_normal((1, 4, 16))
+        mask = np.array([[False, False, True, True]])
+        with no_grad():
+            base = attn(Tensor(x), key_padding_mask=mask).numpy()
+            modified = x.copy()
+            modified[0, 3, :] += 100.0
+            out = attn(Tensor(modified), key_padding_mask=mask).numpy()
+        # Padded key positions cannot influence non-padded queries' outputs.
+        assert np.allclose(base[0, 0], out[0, 0], atol=1e-10)
+
+    def test_padding_mask_length_mismatch_raises(self, rng):
+        attn = MultiHeadAttention(16, 2, rng=rng)
+        x = Tensor(rng.standard_normal((1, 4, 16)))
+        with pytest.raises(ValueError):
+            attn(x, key_padding_mask=np.zeros((1, 7), dtype=bool))
+
+    def test_cross_attention_shapes(self, rng):
+        attn = MultiHeadAttention(16, 4, rng=rng)
+        query = Tensor(rng.standard_normal((2, 3, 16)))
+        memory = Tensor(rng.standard_normal((2, 9, 16)))
+        assert attn(query, key=memory, value=memory).shape == (2, 3, 16)
+
+    def test_gradients_reach_all_projections(self, rng):
+        attn = MultiHeadAttention(8, 2, rng=rng)
+        x = Tensor(rng.standard_normal((1, 4, 8)), requires_grad=True)
+        (attn(x) ** 2).sum().backward()
+        for proj in (attn.q_proj, attn.k_proj, attn.v_proj, attn.out_proj):
+            assert proj.weight.grad is not None
+        assert x.grad is not None
+
+
+class TestKVCache:
+    def test_incremental_decode_matches_full_forward(self, rng):
+        """Token-by-token decoding with a KV cache equals one causal forward pass."""
+        attn = MultiHeadAttention(16, 4, causal=True, rng=rng)
+        x = rng.standard_normal((1, 6, 16))
+        with no_grad():
+            full = attn(Tensor(x)).numpy()
+            cache = KVCache()
+            steps = []
+            for t in range(6):
+                step = attn(Tensor(x[:, t:t + 1, :]), kv_cache=cache)
+                steps.append(step.numpy())
+        incremental = np.concatenate(steps, axis=1)
+        assert np.allclose(full, incremental, atol=1e-8)
+
+    def test_cache_length_grows(self, rng):
+        attn = MultiHeadAttention(8, 2, causal=True, rng=rng)
+        cache = KVCache()
+        assert cache.length == 0
+        for t in range(3):
+            attn(Tensor(rng.standard_normal((1, 1, 8))), kv_cache=cache)
+            assert cache.length == t + 1
+
+
+class TestFeedForward:
+    def test_shape_preserved(self, rng):
+        ffn = FeedForward(16, 64, rng=rng)
+        out = ffn(Tensor(rng.standard_normal((2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_gelu_variant(self, rng):
+        ffn = FeedForward(8, 16, activation="gelu", rng=rng)
+        assert ffn(Tensor(rng.standard_normal((1, 2, 8)))).shape == (1, 2, 8)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            FeedForward(8, 16, activation="swish")
+
+    def test_parameter_count_matches_config_formula(self, rng):
+        d_model, d_ff = 12, 48
+        ffn = FeedForward(d_model, d_ff, rng=rng)
+        # Two bias-free projections: exactly the paper's per-expert size.
+        assert ffn.num_parameters() == 2 * d_model * d_ff

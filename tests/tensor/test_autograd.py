@@ -1,0 +1,328 @@
+"""Unit and property-based tests for the autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor.autograd import (
+    Tensor,
+    concatenate,
+    embedding_lookup,
+    no_grad,
+    randn,
+    stack,
+    unbroadcast,
+    where,
+    zeros,
+    ones,
+)
+
+
+def numeric_grad(func, x, eps=1e-6):
+    """Central-difference numerical gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy()
+        xm = x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        grad[idx] = (func(xp) - func(xm)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def assert_grad_matches(op, x, atol=1e-5):
+    """Check analytic vs numerical gradient of ``op`` applied to tensor(x)."""
+    t = Tensor(x, requires_grad=True)
+    out = op(t)
+    loss = (out * out).sum()
+    loss.backward()
+
+    def scalar(arr):
+        return float((op(Tensor(arr)).numpy() ** 2).sum())
+
+    num = numeric_grad(scalar, x)
+    assert np.allclose(t.grad, num, atol=atol), f"max err {np.abs(t.grad - num).max()}"
+
+
+class TestBasicOps:
+    def test_add_forward(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        assert np.allclose((a + b).numpy(), [4.0, 6.0])
+
+    def test_add_backward_broadcast(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        ((a + b).sum()).backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [5.0, 7.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        (a - b).backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, -1.0)
+        c = Tensor([2.0], requires_grad=True)
+        (-c).backward()
+        assert np.allclose(c.grad, -1.0)
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        assert np.allclose(a.grad, 0.5)
+        assert np.allclose(b.grad, -1.5)
+
+    def test_pow(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).backward()
+        assert np.allclose(a.grad, 6.0)
+
+    def test_scalar_radd_rmul(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = 2.0 + 3.0 * a
+        out.sum().backward()
+        assert np.allclose(out.numpy(), [5.0, 8.0])
+        assert np.allclose(a.grad, 3.0)
+
+    def test_rsub_rtruediv(self):
+        a = Tensor([2.0])
+        assert np.allclose((5.0 - a).numpy(), [3.0])
+        assert np.allclose((10.0 / a).numpy(), [5.0])
+
+    def test_matmul_shapes_and_grad(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4, 5)
+
+    def test_batched_matmul_grad(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 3, 4))
+        w = rng.standard_normal((4, 5))
+        assert_grad_matches(lambda t: t @ Tensor(w), x)
+
+    def test_accumulated_gradients_from_reuse(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 2.0 + a * 3.0
+        out.sum().backward()
+        assert np.allclose(a.grad, 5.0)
+
+
+class TestShapes:
+    def test_reshape_roundtrip_grad(self):
+        x = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert_grad_matches(lambda t: t.reshape(2, 6), x)
+
+    def test_transpose_grad(self):
+        x = np.random.default_rng(2).standard_normal((2, 3, 4))
+        assert_grad_matches(lambda t: t.transpose(1, 0, 2), x)
+
+    def test_swapaxes(self):
+        x = Tensor(np.arange(6).reshape(2, 3), requires_grad=True)
+        out = x.swapaxes(0, 1)
+        assert out.shape == (3, 2)
+
+    def test_getitem_grad_scatters(self):
+        x = Tensor(np.arange(5, dtype=np.float64), requires_grad=True)
+        out = x[np.array([0, 0, 3])]
+        out.sum().backward()
+        assert np.allclose(x.grad, [2.0, 0.0, 0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_mean_value(self):
+        x = Tensor(np.array([[1.0, 3.0], [5.0, 7.0]]))
+        assert x.mean().item() == pytest.approx(4.0)
+        assert np.allclose(x.mean(axis=0).numpy(), [3.0, 5.0])
+
+    def test_mean_grad(self):
+        x = np.random.default_rng(3).standard_normal((3, 4))
+        assert_grad_matches(lambda t: t.mean(axis=1), x)
+
+    def test_max_grad_ties_split(self):
+        x = Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad.sum(), 1.0)
+        assert x.grad[2] == 0.0
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op_name", ["exp", "tanh", "relu", "sigmoid", "gelu"])
+    def test_gradients_match_numeric(self, op_name):
+        x = np.random.default_rng(4).standard_normal((3, 3)) * 0.5
+        assert_grad_matches(lambda t: getattr(t, op_name)(), x)
+
+    def test_log_grad(self):
+        x = np.abs(np.random.default_rng(5).standard_normal((3, 3))) + 0.5
+        assert_grad_matches(lambda t: t.log(), x)
+
+    def test_sqrt(self):
+        x = Tensor([4.0], requires_grad=True)
+        x.sqrt().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_relu_zeroes_negatives(self):
+        x = Tensor([-1.0, 0.5])
+        assert np.allclose(x.relu().numpy(), [0.0, 0.5])
+
+    def test_masked_fill(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, True]])
+        out = x.masked_fill(mask, -99.0)
+        assert out.numpy()[0, 0] == -99.0
+        out.sum().backward()
+        assert np.allclose(x.grad, (~mask).astype(float))
+
+
+class TestCombinators:
+    def test_concatenate_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_stack_grad(self):
+        tensors = [Tensor(np.full((2,), float(i)), requires_grad=True) for i in range(3)]
+        out = stack(tensors, axis=0)
+        assert out.shape == (3, 2)
+        (out * 2.0).sum().backward()
+        for t in tensors:
+            assert np.allclose(t.grad, 2.0)
+
+    def test_where_grad_routes_by_condition(self):
+        cond = np.array([True, False])
+        a = Tensor([1.0, 1.0], requires_grad=True)
+        b = Tensor([2.0, 2.0], requires_grad=True)
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_embedding_lookup_accumulates_repeats(self):
+        weight = Tensor(np.ones((4, 3)), requires_grad=True)
+        out = embedding_lookup(weight, np.array([[1, 1], [2, 3]]))
+        assert out.shape == (2, 2, 3)
+        out.sum().backward()
+        assert np.allclose(weight.grad[1], 2.0)
+        assert np.allclose(weight.grad[0], 0.0)
+
+
+class TestEngineSemantics:
+    def test_no_grad_disables_graph(self):
+        with no_grad():
+            a = Tensor([1.0], requires_grad=True)
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_detach_stops_gradient(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = a.detach() * 3.0
+        assert not out.requires_grad
+
+    def test_deep_chain_does_not_recurse(self):
+        x = Tensor([1.0], requires_grad=True)
+        out = x
+        for _ in range(2000):
+            out = out + 1.0
+        out.backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_constructors(self):
+        assert zeros((2, 2)).numpy().sum() == 0.0
+        assert ones((2, 2)).numpy().sum() == 4.0
+        assert randn((5, 5), rng=np.random.default_rng(0)).shape == (5, 5)
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_leading_dims_summed(self):
+        g = np.ones((4, 2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+        assert np.allclose(unbroadcast(g, (2, 3)), 4.0)
+
+    def test_size_one_dims_summed(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        assert np.allclose(out, 3.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_elementwise_chain_gradcheck(rows, cols, seed):
+    """Gradients of a random elementwise expression match numerical gradients."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((rows, cols)) * 0.5
+
+    def op(t):
+        return (t * 2.0 + 1.0).tanh() * t.sigmoid()
+
+    assert_grad_matches(op, x, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5),
+    m=st.integers(min_value=1, max_value=5),
+    k=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_matmul_gradcheck(n, m, k, seed):
+    """Matmul gradients match numerical gradients for arbitrary small shapes."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, m)) * 0.5
+    w = rng.standard_normal((m, k)) * 0.5
+    assert_grad_matches(lambda t: t @ Tensor(w), x, atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_sum_grad_is_ones(seed):
+    """d(sum(x))/dx is exactly one everywhere, for any shape."""
+    rng = np.random.default_rng(seed)
+    shape = tuple(rng.integers(1, 5, size=rng.integers(1, 4)))
+    x = Tensor(rng.standard_normal(shape), requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones(shape))

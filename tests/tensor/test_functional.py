@@ -1,0 +1,138 @@
+"""Tests for the functional ops (softmax, cross-entropy, dropout, top-k)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 7)))
+        probs = F.softmax(x).numpy()
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_shift_invariance(self):
+        x = np.random.default_rng(1).standard_normal((3, 5))
+        a = F.softmax(Tensor(x)).numpy()
+        b = F.softmax(Tensor(x + 1000.0)).numpy()
+        assert np.allclose(a, b)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(2).standard_normal((3, 5)))
+        assert np.allclose(F.log_softmax(x).numpy(), np.log(F.softmax(x).numpy()))
+
+    def test_softmax_gradient_flows(self):
+        x = Tensor(np.random.default_rng(3).standard_normal((2, 4)), requires_grad=True)
+        F.softmax(x).sum().backward()
+        assert x.grad is not None
+        # Softmax rows sum to 1 regardless of input, so d(sum)/dx ~ 0.
+        assert np.allclose(x.grad, 0.0, atol=1e-8)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_vocab(self):
+        vocab = 11
+        logits = Tensor(np.zeros((2, 3, vocab)))
+        targets = np.zeros((2, 3), dtype=np.int64)
+        loss = F.cross_entropy(logits, targets)
+        assert loss.item() == pytest.approx(np.log(vocab))
+
+    def test_perfect_logits_give_near_zero_loss(self):
+        targets = np.array([[1, 2]])
+        logits_arr = np.full((1, 2, 4), -100.0)
+        logits_arr[0, 0, 1] = 100.0
+        logits_arr[0, 1, 2] = 100.0
+        loss = F.cross_entropy(Tensor(logits_arr), targets)
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_ignore_index_masks_positions(self):
+        logits = Tensor(np.random.default_rng(4).standard_normal((1, 3, 5)), requires_grad=True)
+        targets = np.array([[1, 0, 0]])
+        loss_all = F.cross_entropy(logits, targets)
+        loss_masked = F.cross_entropy(logits, targets, ignore_index=0)
+        assert loss_masked.item() != pytest.approx(loss_all.item())
+
+    def test_gradient_shape(self):
+        logits = Tensor(np.random.default_rng(5).standard_normal((2, 3, 7)), requires_grad=True)
+        targets = np.random.default_rng(5).integers(0, 7, (2, 3))
+        F.cross_entropy(logits, targets).backward()
+        assert logits.grad.shape == (2, 3, 7)
+
+    def test_loss_decreases_with_gradient_step(self):
+        rng = np.random.default_rng(6)
+        logits = Tensor(rng.standard_normal((4, 6)), requires_grad=True)
+        targets = rng.integers(0, 6, (4,))
+        loss = F.cross_entropy(logits, targets)
+        loss.backward()
+        stepped = Tensor(logits.numpy() - 1.0 * logits.grad)
+        assert F.cross_entropy(stepped, targets).item() < loss.item()
+
+
+class TestOneHotAndMasks:
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), depth=3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_causal_mask_upper_triangular(self):
+        mask = F.causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert not mask[2, 1]
+        assert mask[1, 2]
+        assert not mask.diagonal().any()
+
+    def test_padding_mask(self):
+        ids = np.array([[5, 0, 0], [1, 2, 0]])
+        mask = F.padding_mask(ids, pad_id=0)
+        assert mask.tolist() == [[False, True, True], [False, False, True]]
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, rate=0.5, training=False)
+        assert np.allclose(out.numpy(), 1.0)
+
+    def test_training_scales_survivors(self):
+        rng = np.random.default_rng(7)
+        x = Tensor(np.ones((2000,)))
+        out = F.dropout(x, rate=0.5, training=True, rng=rng).numpy()
+        survivors = out[out > 0]
+        assert np.allclose(survivors, 2.0)
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), rate=1.5, training=True)
+
+
+class TestTopK:
+    def test_values_sorted_descending(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.3]])
+        idx, vals = F.top_k_indices(scores, k=3)
+        assert idx[0].tolist() == [1, 2, 3]
+        assert np.all(np.diff(vals[0]) <= 0)
+
+    def test_k_larger_than_width_is_clamped(self):
+        idx, _ = F.top_k_indices(np.array([[3.0, 1.0]]), k=5)
+        assert idx.shape == (1, 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            F.top_k_indices(np.ones((1, 3)), k=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        width=st.integers(min_value=1, max_value=16),
+        k=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_property_topk_matches_argsort(self, width, k, seed):
+        scores = np.random.default_rng(seed).standard_normal((3, width))
+        idx, vals = F.top_k_indices(scores, k=k)
+        expected = np.argsort(-scores, axis=-1)[:, :min(k, width)]
+        expected_vals = np.take_along_axis(scores, expected, axis=-1)
+        assert np.allclose(np.sort(vals, axis=-1), np.sort(expected_vals, axis=-1))

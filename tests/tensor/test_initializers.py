@@ -1,0 +1,56 @@
+"""Tests for weight initialisation schemes."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.initializers import (
+    kaiming_normal,
+    ones_init,
+    truncated_normal,
+    xavier_normal,
+    xavier_uniform,
+    zeros_init,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_xavier_uniform_bounds(rng):
+    w = xavier_uniform((100, 200), rng=rng)
+    limit = np.sqrt(6.0 / 300)
+    assert w.shape == (100, 200)
+    assert w.max() <= limit and w.min() >= -limit
+
+
+def test_xavier_normal_std(rng):
+    w = xavier_normal((500, 500), rng=rng)
+    assert abs(w.std() - np.sqrt(2.0 / 1000)) < 5e-3
+
+
+def test_kaiming_normal_std(rng):
+    w = kaiming_normal((400, 100), rng=rng)
+    assert abs(w.std() - np.sqrt(2.0 / 400)) < 5e-3
+
+
+def test_truncated_normal_clipped(rng):
+    w = truncated_normal((1000,), std=0.1, rng=rng)
+    assert np.abs(w).max() <= 0.2 + 1e-12
+
+
+def test_zeros_and_ones():
+    assert zeros_init((3, 3)).sum() == 0.0
+    assert ones_init((3, 3)).sum() == 9.0
+
+
+def test_scalar_shape_fans():
+    # 1-D shapes use fan_in == fan_out == dim.
+    w = xavier_uniform((10,), rng=np.random.default_rng(1))
+    assert w.shape == (10,)
+
+
+def test_empty_shape_raises():
+    with pytest.raises(ValueError):
+        xavier_uniform(())

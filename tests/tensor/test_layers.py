@@ -1,0 +1,169 @@
+"""Tests for Linear, LayerNorm, Embedding, Dropout and the Module system."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+    Tensor,
+)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        lin = Linear(8, 3, rng=np.random.default_rng(0))
+        out = lin(Tensor(np.ones((5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias_option(self):
+        lin = Linear(4, 4, bias=False)
+        assert not lin.has_bias
+        assert len(lin.parameters()) == 1
+
+    def test_gradients_reach_weights(self):
+        lin = Linear(4, 2, rng=np.random.default_rng(1))
+        out = lin(Tensor(np.ones((3, 4))))
+        (out * out).sum().backward()
+        assert lin.weight.grad is not None
+        assert lin.bias.grad is not None
+
+    def test_batched_input(self):
+        lin = Linear(6, 2, rng=np.random.default_rng(2))
+        out = lin(Tensor(np.ones((2, 5, 6))))
+        assert out.shape == (2, 5, 2)
+
+
+class TestLayerNorm:
+    def test_normalises_last_dim(self):
+        ln = LayerNorm(16)
+        x = Tensor(np.random.default_rng(3).standard_normal((4, 16)) * 10 + 5)
+        out = ln(x).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_learnable_scale_shift(self):
+        ln = LayerNorm(4)
+        ln.scale.data = np.full(4, 2.0)
+        ln.shift.data = np.full(4, 1.0)
+        x = Tensor(np.random.default_rng(4).standard_normal((2, 4)))
+        out = ln(x).numpy()
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_gradients_flow(self):
+        ln = LayerNorm(8)
+        x = Tensor(np.random.default_rng(5).standard_normal((3, 8)), requires_grad=True)
+        (ln(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert ln.scale.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(vocab_size=10, dim=4, rng=np.random.default_rng(6))
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(vocab_size=5, dim=2)
+        with pytest.raises(IndexError):
+            emb(np.array([[7]]))
+
+    def test_gradient_accumulates_on_repeated_ids(self):
+        emb = Embedding(vocab_size=6, dim=3, rng=np.random.default_rng(7))
+        out = emb(np.array([[2, 2, 2]]))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[2], 3.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert np.allclose(drop(x).numpy(), 1.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestModuleSystem:
+    def test_named_parameters_nesting(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc1 = Linear(4, 4)
+                self.fc2 = Linear(4, 2)
+
+            def forward(self, x):
+                return self.fc2(self.fc1(x))
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert net.num_parameters() == 4 * 4 + 4 + 4 * 2 + 2
+
+    def test_state_dict_roundtrip(self):
+        net = Sequential(Linear(3, 3), LayerNorm(3))
+        state = net.state_dict()
+        net2 = Sequential(Linear(3, 3), LayerNorm(3))
+        net2.load_state_dict(state)
+        for (_, p1), (_, p2) in zip(net.named_parameters(), net2.named_parameters()):
+            assert np.allclose(p1.data, p2.data)
+
+    def test_strict_load_rejects_mismatch(self):
+        net = Sequential(Linear(3, 3))
+        with pytest.raises(KeyError):
+            net.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_non_strict_load_ignores_extras(self):
+        net = Sequential(Linear(3, 3))
+        state = net.state_dict()
+        state["extra"] = np.zeros(2)
+        net.load_state_dict(state, strict=False)
+
+    def test_load_shape_mismatch_raises(self):
+        net = Sequential(Linear(3, 3))
+        state = {name: np.zeros((1, 1)) for name in net.state_dict()}
+        with pytest.raises(ValueError):
+            net.load_state_dict(state, strict=False)
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Dropout(0.5), Linear(2, 2))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears(self):
+        lin = Linear(2, 2)
+        (lin(Tensor(np.ones((1, 2)))) ** 2).sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_module_list(self):
+        ml = ModuleList([Linear(2, 2), Linear(2, 2)])
+        ml.append(Linear(2, 2))
+        assert len(ml) == 3
+        assert isinstance(ml[1], Linear)
+        assert len(list(iter(ml))) == 3
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = Parameter(np.zeros((2, 2)))
+        assert p.requires_grad
+        assert isinstance(p, Tensor)
+
+    def test_sequential_forward(self):
+        net = Sequential(Linear(4, 8, rng=np.random.default_rng(0)),
+                         Linear(8, 2, rng=np.random.default_rng(1)))
+        out = net(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)

@@ -1,0 +1,143 @@
+"""Tests for optimisers, LR schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    SGD,
+    Adam,
+    ConstantLR,
+    Linear,
+    Tensor,
+    WarmupInverseSqrtLR,
+    clip_grad_norm,
+)
+from repro.tensor.module import Parameter
+from repro.tensor import functional as F
+
+
+def quadratic_loss(param):
+    return ((param - Tensor(np.full_like(param.data, 3.0))) ** 2).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        p_plain = Parameter(np.zeros(4))
+        p_momentum = Parameter(np.zeros(4))
+        sgd = SGD([p_plain], lr=0.01)
+        sgdm = SGD([p_momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for opt, p in ((sgd, p_plain), (sgdm, p_momentum)):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+        assert quadratic_loss(p_momentum).item() < quadratic_loss(p_plain).item()
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad yet: must be a no-op, not an error
+        assert np.allclose(p.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        p_plain = Parameter(np.zeros(2))
+        p_decay = Parameter(np.zeros(2))
+        for p, wd in ((p_plain, 0.0), (p_decay, 0.5)):
+            opt = Adam([p], lr=0.05, weight_decay=wd)
+            for _ in range(400):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+        assert np.abs(p_decay.data).max() < np.abs(p_plain.data).max()
+
+    def test_trains_a_linear_classifier(self):
+        rng = np.random.default_rng(0)
+        lin = Linear(4, 3, rng=rng)
+        x = rng.standard_normal((64, 4))
+        y = (x[:, 0] > 0).astype(np.int64)
+        opt = Adam(lin.parameters(), lr=0.05)
+        first_loss = None
+        for _ in range(60):
+            opt.zero_grad()
+            loss = F.cross_entropy(lin(Tensor(x)), y)
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first_loss * 0.5
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+
+class TestSchedules:
+    def test_constant_lr_is_constant(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1e-4)
+        sched = ConstantLR(opt)
+        values = [sched.step() for _ in range(5)]
+        assert all(v == pytest.approx(1e-4) for v in values)
+
+    def test_warmup_then_decay(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        sched = WarmupInverseSqrtLR(opt, peak_lr=1.0, warmup_steps=10)
+        warmup = [sched.step() for _ in range(10)]
+        assert warmup[0] < warmup[-1]
+        later = [sched.step() for _ in range(50)]
+        assert later[-1] < later[0]
+
+    def test_schedule_updates_optimizer(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=5.0)
+        ConstantLR(opt, lr=0.123).step()
+        assert opt.lr == pytest.approx(0.123)
+
+    def test_warmup_requires_positive_steps(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            WarmupInverseSqrtLR(opt, peak_lr=1.0, warmup_steps=0)
+
+
+class TestClipGradNorm:
+    def test_norm_reduced_to_max(self):
+        p = Parameter(np.zeros(100))
+        p.grad = np.ones(100)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(10.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_small_gradients_untouched(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        clip_grad_norm([p], max_norm=10.0)
+        assert np.allclose(p.grad, 0.1)
+
+    def test_no_grads_returns_zero(self):
+        assert clip_grad_norm([Parameter(np.zeros(3))], max_norm=1.0) == 0.0

@@ -1,0 +1,70 @@
+"""Tests for the Table II / Figure 13 fine-tuning experiment harness."""
+
+import pytest
+
+from repro.training import (
+    TrainingConfig,
+    activation_level_sweep,
+    compare_architectures,
+)
+
+FAST = TrainingConfig(steps=25, batch_size=8, learning_rate=3e-3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_architectures("tiny_moe_4", "webqa_like", training=FAST,
+                                 train_size=48, eval_size=16, seed=0)
+
+
+class TestCompareArchitectures:
+    def test_both_architectures_evaluated(self, comparison):
+        assert comparison.conventional.architecture == "conventional"
+        assert comparison.pregated.architecture.startswith("pregated")
+        assert comparison.conventional.scores.num_examples == 16
+        assert comparison.pregated.scores.num_examples == 16
+
+    def test_same_task_and_config(self, comparison):
+        assert comparison.conventional.task == comparison.pregated.task == "webqa_like"
+        assert comparison.conventional.config_name == "tiny_moe_4"
+
+    def test_pregated_accuracy_comparable(self, comparison):
+        """Table II's claim: the pre-gate does not meaningfully hurt accuracy.
+
+        On the synthetic task we require the pre-gated model to stay within
+        20 accuracy points of the conventional model (the paper observes
+        differences of a couple of points at most; the tolerance here absorbs
+        small-model noise)."""
+        gap = comparison.gap("exact_match")
+        assert gap > -20.0
+
+    def test_both_models_learn_something(self, comparison):
+        assert comparison.conventional.metric("exact_match") > 25.0
+        assert comparison.pregated.metric("exact_match") > 25.0
+
+    def test_training_curves_recorded(self, comparison):
+        assert len(comparison.conventional.training.losses) == FAST.steps
+        assert len(comparison.pregated.training.losses) == FAST.steps
+
+    def test_metric_accessor(self, comparison):
+        for name in ("rouge1", "rouge2", "exact_match", "f1"):
+            assert 0.0 <= comparison.pregated.metric(name) <= 100.0
+
+
+class TestActivationLevelSweep:
+    def test_sweep_includes_conventional_and_levels(self):
+        outcomes = activation_level_sweep("tiny_moe_4", "squad_like", levels=(1, 2),
+                                          training=TrainingConfig(steps=15, batch_size=8,
+                                                                  learning_rate=3e-3, seed=1),
+                                          train_size=32, eval_size=8, seed=1)
+        assert "conventional" in outcomes
+        assert "N=1" in outcomes
+        assert "N=2" in outcomes
+        for outcome in outcomes.values():
+            assert 0.0 <= outcome.scores.exact_match <= 100.0
+
+    def test_levels_beyond_block_count_skipped(self):
+        outcomes = activation_level_sweep("tiny_moe_4", "squad_like", levels=(10,),
+                                          training=TrainingConfig(steps=5, batch_size=8, seed=2),
+                                          train_size=16, eval_size=8, seed=2)
+        assert set(outcomes) == {"conventional"}

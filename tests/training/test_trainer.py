@@ -1,0 +1,98 @@
+"""Tests for the fine-tuning trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import PreGatedSwitchTransformer
+from repro.data import ExtractiveQATask, default_vocabulary, train_eval_split
+from repro.moe import SwitchTransformer, get_config
+from repro.training import Trainer, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return default_vocabulary(60)
+
+
+@pytest.fixture(scope="module")
+def datasets(tokenizer):
+    task = ExtractiveQATask(tokenizer=tokenizer, seed=0)
+    return train_eval_split(task, train_size=48, eval_size=12, tokenizer=tokenizer)
+
+
+class TestTrainStep:
+    def test_step_returns_loss_components(self, datasets):
+        train_set, _ = datasets
+        model = SwitchTransformer(get_config("tiny_moe_4"), seed=0)
+        trainer = Trainer(model, TrainingConfig(steps=1, batch_size=8, learning_rate=1e-3))
+        batch = next(train_set.batches(8))
+        stats = trainer.train_step(batch)
+        assert set(stats) == {"loss", "task_loss", "aux_loss"}
+        assert stats["loss"] > 0
+        assert stats["aux_loss"] > 0
+
+    def test_step_changes_parameters(self, datasets):
+        train_set, _ = datasets
+        model = SwitchTransformer(get_config("tiny_moe_4"), seed=1)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        trainer = Trainer(model, TrainingConfig(steps=1, batch_size=8, learning_rate=1e-3))
+        trainer.train_step(next(train_set.batches(8)))
+        after = model.state_dict()
+        changed = [k for k in before if not np.allclose(before[k], after[k])]
+        assert changed
+
+
+class TestFit:
+    def test_loss_decreases(self, datasets):
+        train_set, _ = datasets
+        model = SwitchTransformer(get_config("tiny_moe_4"), seed=2)
+        trainer = Trainer(model, TrainingConfig(steps=30, batch_size=8, learning_rate=3e-3))
+        result = trainer.fit(train_set)
+        assert len(result.losses) == 30
+        assert result.mean_loss(last_n=5) < np.mean(result.losses[:5])
+
+    def test_callback_invoked(self, datasets):
+        train_set, _ = datasets
+        model = SwitchTransformer(get_config("tiny_moe_4"), seed=3)
+        calls = []
+        trainer = Trainer(model, TrainingConfig(steps=10, batch_size=8, log_every=5))
+        trainer.fit(train_set, callback=lambda step, stats: calls.append(step))
+        assert calls == [5, 10]
+
+    def test_pregated_model_trains_too(self, datasets):
+        train_set, _ = datasets
+        model = PreGatedSwitchTransformer(get_config("tiny_moe_4"), seed=4)
+        trainer = Trainer(model, TrainingConfig(steps=10, batch_size=8, learning_rate=3e-3))
+        result = trainer.fit(train_set)
+        assert result.final_loss < result.losses[0] * 1.5
+
+
+class TestEvaluate:
+    def test_evaluation_scores_in_range(self, datasets, tokenizer):
+        _, eval_set = datasets
+        model = SwitchTransformer(get_config("tiny_moe_4"), seed=5)
+        trainer = Trainer(model, TrainingConfig(steps=1, batch_size=8))
+        scores = trainer.evaluate(eval_set, tokenizer, max_new_tokens=3)
+        assert 0.0 <= scores.exact_match <= 100.0
+        assert 0.0 <= scores.f1 <= 100.0
+        assert scores.num_examples == len(eval_set)
+
+    def test_training_improves_eval_score(self, tokenizer):
+        """A short fine-tune on the closed-book task lifts ExactMatch well above chance."""
+        from repro.data import ClosedBookQATask
+        task = ClosedBookQATask(tokenizer=tokenizer, seed=1)
+        train_set, eval_set = train_eval_split(task, train_size=64, eval_size=16,
+                                               tokenizer=tokenizer)
+        model = SwitchTransformer(get_config("tiny_moe_4"), seed=6)
+        trainer = Trainer(model, TrainingConfig(steps=50, batch_size=16, learning_rate=3e-3))
+        before = trainer.evaluate(eval_set, tokenizer, max_new_tokens=2)
+        trainer.fit(train_set)
+        after = trainer.evaluate(eval_set, tokenizer, max_new_tokens=2)
+        assert after.exact_match >= before.exact_match
+        assert after.exact_match > 50.0
+
+    def test_training_result_empty_loss_handling(self):
+        from repro.training.trainer import TrainingResult
+        result = TrainingResult(steps=0)
+        assert np.isnan(result.final_loss)
+        assert np.isnan(result.mean_loss())
