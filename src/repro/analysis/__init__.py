@@ -2,7 +2,9 @@
 
 from .report import (
     FigureReport,
+    LOAD_REPORT_COLUMNS,
     format_table,
+    load_test_report,
     normalise_series,
     pick_reference,
     to_csv,
@@ -11,7 +13,9 @@ from .report import (
 
 __all__ = [
     "FigureReport",
+    "LOAD_REPORT_COLUMNS",
     "format_table",
+    "load_test_report",
     "normalise_series",
     "pick_reference",
     "to_csv",

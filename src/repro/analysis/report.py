@@ -84,6 +84,44 @@ def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence[object]
             writer.writerow(list(row))
 
 
+#: Column order of load-test report rows; keys into
+#: :meth:`repro.serving.metrics.LoadTestResult.summary`.
+LOAD_REPORT_COLUMNS = [
+    "design", "config", "replicas", "offered_load_rps", "requests",
+    "sustained_tokens_per_second", "p50_ttft_ms", "p99_ttft_ms",
+    "p50_tbt_ms", "p99_tbt_ms", "mean_queueing_ms", "peak_gpu_gb",
+]
+
+
+def load_test_report(results: Sequence, figure: str = "Serving load test",
+                     description: str = "Sustained throughput and tail latency under load",
+                     paper_reference: str = "", notes: str = "") -> "FigureReport":
+    """Build a :class:`FigureReport` from load-test results.
+
+    ``results`` is any sequence of objects exposing ``summary()`` in the
+    shape of :class:`repro.serving.metrics.LoadTestResult` (single-replica
+    schedulers and multi-replica clusters both qualify).  OOM runs render
+    their metric cells as ``"OOM"``, mirroring the paper's figure style.
+    """
+    report = FigureReport(figure=figure, description=description,
+                          headers=list(LOAD_REPORT_COLUMNS),
+                          paper_reference=paper_reference, notes=notes)
+    for result in results:
+        summary = result.summary()
+        row = []
+        for column in LOAD_REPORT_COLUMNS:
+            value = summary.get(column)
+            if summary.get("oom") and column not in ("design", "config", "replicas",
+                                                     "offered_load_rps", "requests"):
+                row.append("OOM")
+            elif isinstance(value, float):
+                row.append(round(value, 3))
+            else:
+                row.append(value)
+        report.add_row(*row)
+    return report
+
+
 @dataclass
 class FigureReport:
     """A reproduced figure/table: labelled series plus provenance notes.

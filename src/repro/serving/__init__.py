@@ -1,5 +1,18 @@
-"""Serving engines for the four MoE inference system designs."""
+"""Serving layer: engines, continuous-batching scheduler and replica cluster.
 
+Three-layer architecture:
+
+* :mod:`~repro.serving.placement` — model-placement (parameter storage and
+  GPU expert-slot accounting);
+* :mod:`~repro.serving.simulator` — per-iteration simulation of one stack
+  pass on a shared execution timeline;
+* request lifecycle — :mod:`~repro.serving.engine` for one-request-at-a-time
+  serving of the four designs, :mod:`~repro.serving.scheduler` for
+  continuous batching under an arrival process, and
+  :mod:`~repro.serving.cluster` for multi-replica routing.
+"""
+
+from .cluster import ClusterResult, ReplicaCluster, ROUTING_POLICIES
 from .engine import (
     DESIGN_LABELS,
     EngineConfig,
@@ -14,10 +27,18 @@ from .engine import (
 from .metrics import (
     BlockLatencyRecord,
     IterationResult,
+    LatencyStats,
+    LoadTestResult,
     RequestResult,
+    ServedRequestResult,
     WorkloadResult,
+    merge_load_results,
     normalise,
+    percentile,
 )
+from .placement import ModelPlacement
+from .scheduler import ContinuousBatchingScheduler, make_scheduler, serve_load
+from .simulator import IterationSimulator, SharedExpertRound
 
 __all__ = [
     "DESIGN_LABELS",
@@ -29,9 +50,23 @@ __all__ = [
     "ServingEngine",
     "compare_designs",
     "make_engine",
+    "ModelPlacement",
+    "IterationSimulator",
+    "SharedExpertRound",
+    "ContinuousBatchingScheduler",
+    "make_scheduler",
+    "serve_load",
+    "ReplicaCluster",
+    "ClusterResult",
+    "ROUTING_POLICIES",
     "BlockLatencyRecord",
     "IterationResult",
     "RequestResult",
     "WorkloadResult",
+    "LatencyStats",
+    "LoadTestResult",
+    "ServedRequestResult",
+    "merge_load_results",
     "normalise",
+    "percentile",
 ]

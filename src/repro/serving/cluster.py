@@ -1,0 +1,124 @@
+"""Multi-replica serving: a request router over N single-GPU replicas.
+
+The paper's system is a single GPU; production traffic from millions of
+users is served by fleets of identical replicas behind a router.  This
+module simulates that layer: each replica is one
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler` (its own
+placement, memory pools and timeline), and the cluster assigns each arriving
+request to a replica with one of two policies:
+
+* ``round_robin`` — rotate through replicas in request-id order;
+* ``least_loaded`` — assign to the replica with the smallest estimated
+  backlog at the request's arrival time, where backlog is tracked as a
+  virtual finish time fed by a per-request work estimate (input + output
+  tokens × an estimated per-token service time).  This is the router-side
+  approximation a real load balancer makes from queue-depth telemetry; it
+  has no access to the replicas' actual simulated timelines.
+
+Replicas run concurrently, so cluster throughput divides total generated
+tokens by the slowest replica's makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..moe.configs import ModelConfig, get_config
+from ..system.hardware import PAPER_SYSTEM, SystemSpec
+from ..workloads.arrivals import TimedRequest
+from .engine import EngineConfig
+from .metrics import LoadTestResult, merge_load_results
+from .scheduler import ContinuousBatchingScheduler
+
+ROUTING_POLICIES = ("round_robin", "least_loaded")
+
+
+@dataclass
+class ClusterResult:
+    """Per-replica load results plus the cluster-level aggregate."""
+
+    design: str
+    config_name: str
+    policy: str
+    num_replicas: int
+    replica_results: List[LoadTestResult] = field(default_factory=list)
+
+    def combined(self) -> LoadTestResult:
+        """Cluster-level metrics: pooled requests, slowest-replica makespan."""
+        return merge_load_results(self.replica_results, num_replicas=self.num_replicas)
+
+    def summary(self) -> dict:
+        summary = self.combined().summary()
+        summary["policy"] = self.policy
+        return summary
+
+
+class ReplicaCluster:
+    """N identical single-GPU replicas behind a request router."""
+
+    def __init__(self, design: str, config: "ModelConfig | str",
+                 num_replicas: int = 2, policy: str = "round_robin",
+                 system: SystemSpec = PAPER_SYSTEM,
+                 engine_config: Optional[EngineConfig] = None,
+                 max_batch_size: int = 8) -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {ROUTING_POLICIES}")
+        self.design = design
+        self.config = get_config(config) if isinstance(config, str) else config
+        self.policy = policy
+        self.num_replicas = num_replicas
+        self.system = system
+        self.engine_config = engine_config
+        self.max_batch_size = max_batch_size
+        self.replicas = [
+            ContinuousBatchingScheduler(design, self.config, system=system,
+                                        engine_config=engine_config,
+                                        max_batch_size=max_batch_size)
+            for _ in range(num_replicas)
+        ]
+        # Rough per-token service time for the router's backlog estimate:
+        # all decoder layers' non-MoE time plus each MoE block's expert
+        # execution (migration stalls are design-dependent and not modelled
+        # here — the router only sees relative work, not the timeline).
+        latency = self.replicas[0].latency
+        per_layer = latency.decoder_layer_nonmoe_time(self.config, 1, 1, 1)
+        expert_time = 0.0
+        if self.config.is_moe:
+            expert_time = (self.config.num_moe_blocks("decoder")
+                           * latency.expert_execution_time(self.config, 1,
+                                                           self.config.top_k))
+        self._est_token_time = (self.config.num_decoder_layers * per_layer
+                                + expert_time)
+
+    # ------------------------------------------------------------------
+    def route(self, requests: Sequence[TimedRequest]) -> List[List[TimedRequest]]:
+        """Assign each request to a replica; returns per-replica request lists."""
+        assignments: List[List[TimedRequest]] = [[] for _ in range(self.num_replicas)]
+        ordered = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        if self.policy == "round_robin":
+            for i, request in enumerate(ordered):
+                assignments[i % self.num_replicas].append(request)
+            return assignments
+        # least_loaded: virtual-finish-time backlog estimate per replica.
+        backlog = [0.0] * self.num_replicas
+        for request in ordered:
+            loads = [max(0.0, b - request.arrival_time) for b in backlog]
+            target = loads.index(min(loads))
+            work = (request.input_length + request.output_length) * self._est_token_time
+            backlog[target] = max(backlog[target], request.arrival_time) + work
+            assignments[target].append(request)
+        return assignments
+
+    def serve(self, requests: Sequence[TimedRequest],
+              offered_load: Optional[float] = None) -> ClusterResult:
+        """Route and serve all requests; replicas simulate independently."""
+        result = ClusterResult(design=self.design, config_name=self.config.name,
+                               policy=self.policy, num_replicas=self.num_replicas)
+        for replica_id, assigned in enumerate(self.route(requests)):
+            replica_result = self.replicas[replica_id].serve(
+                assigned, offered_load=offered_load, replica=replica_id)
+            result.replica_results.append(replica_result)
+        return result

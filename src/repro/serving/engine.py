@@ -16,6 +16,13 @@ model the interaction between GPU compute and CPU→GPU expert migration:
   block *N* identifies the activated experts of block *N+1*, so only those
   are transferred, overlapped with block *N*'s execution.
 
+The engine itself is the *request-lifecycle* layer of the serving stack: it
+composes a :class:`~repro.serving.placement.ModelPlacement` (parameter
+storage policy) with an :class:`~repro.serving.simulator.IterationSimulator`
+(per-iteration timeline simulation) and runs requests end-to-end, one at a
+time.  The continuous-batching path that interleaves many in-flight requests
+lives in :mod:`repro.serving.scheduler`, built from the same two layers.
+
 The engines consume expert-activation traces
 (:class:`~repro.workloads.traces.RequestTrace`) and emit the same metrics
 the paper's artifact reports: per-MoE-block latency, end-to-end throughput
@@ -24,26 +31,19 @@ in tokens/second and peak GPU memory usage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
-from ..core.migration import MigrationPlan, plan_for_design
 from ..moe.configs import ModelConfig, get_config
-from ..moe.transformer import _moe_layer_positions
-from ..core.pregate import PreGateSchedule
 from ..system.cache import ExpertCache
 from ..system.hardware import PAPER_SYSTEM, SystemSpec
 from ..system.memory import MemoryHierarchy, MemoryPool, OutOfMemoryError
 from ..system.performance import GpuLatencyModel
-from ..system.timeline import ExecutionTimeline, TimelineOp
+from ..system.timeline import ExecutionTimeline
 from ..workloads.traces import IterationActivations, RequestTrace
-from .metrics import BlockLatencyRecord, IterationResult, RequestResult, WorkloadResult
-
-#: Fixed GPU memory consumed by the runtime itself (CUDA context, cuBLAS
-#: workspaces, FasterTransformer's pre-allocated activation buffers).  The
-#: paper's measured peak-memory numbers include this overhead, so the
-#: simulator accounts for it explicitly.
-DEFAULT_RUNTIME_WORKSPACE_BYTES = int(2e9)
+from .metrics import IterationResult, RequestResult, WorkloadResult
+from .placement import DEFAULT_RUNTIME_WORKSPACE_BYTES, ModelPlacement
+from .simulator import IterationSimulator
 
 
 @dataclass
@@ -58,7 +58,7 @@ class EngineConfig:
 
 
 class ServingEngine:
-    """Base class implementing the shared simulation machinery.
+    """Base class implementing the shared request-lifecycle machinery.
 
     Subclasses set :attr:`design` and the migration behaviour is selected
     through :func:`repro.core.migration.plan_for_design`.
@@ -75,26 +75,28 @@ class ServingEngine:
         self.latency = latency_model or GpuLatencyModel(system.gpu)
         self.cache = cache
         self.engine_config = engine_config or EngineConfig()
-        self.memory = MemoryHierarchy.from_system(system)
-        self.gpu_pool: MemoryPool = self.memory.gpu
-        self._loaded = False
-        self._expert_seq = 0
-
-        if self.config.is_moe:
-            self._encoder_moe_positions = _moe_layer_positions(
-                self.config.num_encoder_layers, self.config.moe_layer_frequency)
-            self._decoder_moe_positions = _moe_layer_positions(
-                self.config.num_decoder_layers, self.config.moe_layer_frequency)
-        else:
-            self._encoder_moe_positions = []
-            self._decoder_moe_positions = []
+        self.placement = ModelPlacement(
+            self.config, system, offload_experts=self.offloads_experts, cache=cache,
+            runtime_workspace_bytes=self.engine_config.runtime_workspace_bytes,
+            allow_oversubscription=self.engine_config.allow_oversubscription)
+        self.simulator = IterationSimulator(
+            self.config, system, self.latency, self.design, self.placement,
+            activation_level=self.engine_config.activation_level)
 
     # ------------------------------------------------------------------
-    # Model loading / parameter placement (Figure 4)
+    # Placement delegation (kept on the engine for backward compatibility)
     # ------------------------------------------------------------------
     @property
     def offloads_experts(self) -> bool:
         return self.design != "gpu_only"
+
+    @property
+    def memory(self) -> MemoryHierarchy:
+        return self.placement.memory
+
+    @property
+    def gpu_pool(self) -> MemoryPool:
+        return self.placement.gpu_pool
 
     def load_model(self) -> None:
         """Place model parameters according to the design's storage policy.
@@ -103,204 +105,7 @@ class ServingEngine:
         the parameters (the GPU-only OOM case for Switch-Large in
         Figures 10-12).
         """
-        if self._loaded:
-            return
-        allow = self.engine_config.allow_oversubscription
-        self.gpu_pool.allocate("runtime_workspace", self.engine_config.runtime_workspace_bytes,
-                               category="workspace", allow_oversubscribe=allow)
-        self.gpu_pool.allocate("non_moe_params", self.config.non_moe_bytes(),
-                               category="non_moe", allow_oversubscribe=allow)
-        if self.offloads_experts:
-            offload_pool = self.memory.offload_pool(self.system.offload_tier)
-            offload_pool.allocate("moe_params", self.config.moe_bytes(), category="moe")
-        else:
-            self.gpu_pool.allocate("moe_params", self.config.moe_bytes(),
-                                   category="moe", allow_oversubscribe=allow)
-        self._loaded = True
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _moe_positions(self, part: str) -> List[int]:
-        return self._encoder_moe_positions if part == "encoder" else self._decoder_moe_positions
-
-    def _global_block_index(self, part: str, block_index: int) -> int:
-        if part == "encoder":
-            return block_index
-        return len(self._encoder_moe_positions) + block_index
-
-    def _cache_resident(self, part: str, num_blocks: int) -> List[Set[int]]:
-        """Per-block sets of experts already resident in the GPU expert cache."""
-        resident: List[Set[int]] = []
-        for block in range(num_blocks):
-            if self.cache is None or not self.cache.enabled:
-                resident.append(set())
-            else:
-                key_block = self._global_block_index(part, block)
-                resident.append(set(self.cache.resident_for_block(key_block)))
-        return resident
-
-    def _allocate_expert(self, part: str, block_index: int, expert_id: int) -> str:
-        """Reserve GPU memory for one migrated expert; returns the allocation tag."""
-        gb = self._global_block_index(part, block_index)
-        if self.cache is not None and self.cache.enabled:
-            tag = f"cached_expert:{gb}:{expert_id}"
-            if self.gpu_pool.has(tag):
-                return tag
-        else:
-            self._expert_seq += 1
-            tag = f"expert:{gb}:{expert_id}:{self._expert_seq}"
-        self.gpu_pool.allocate(tag, self.config.expert_bytes(), category="experts",
-                               allow_oversubscribe=self.engine_config.allow_oversubscription)
-        return tag
-
-    def _release_block_experts(self, part: str, block_index: int,
-                               fetched_tags: List[str], activated: Sequence[int]) -> None:
-        """Free (or cache) the experts of a block after its execution."""
-        gb = self._global_block_index(part, block_index)
-        if self.cache is not None and self.cache.enabled:
-            for expert_id in activated:
-                self.cache.lookup((gb, expert_id))  # record the access for the policy
-                evicted = self.cache.insert((gb, expert_id))
-                if evicted is not None:
-                    evicted_tag = f"cached_expert:{evicted[0]}:{evicted[1]}"
-                    if self.gpu_pool.has(evicted_tag):
-                        self.gpu_pool.free(evicted_tag)
-            return
-        for tag in fetched_tags:
-            if self.gpu_pool.has(tag):
-                self.gpu_pool.free(tag)
-
-    # ------------------------------------------------------------------
-    # Core simulation of one stack traversal
-    # ------------------------------------------------------------------
-    def _simulate_stack_pass(
-        self,
-        timeline: ExecutionTimeline,
-        part: str,
-        iteration: int,
-        activations: IterationActivations,
-        query_tokens: int,
-        self_kv_tokens: int,
-        cross_kv_tokens: Optional[int],
-    ) -> List[BlockLatencyRecord]:
-        """Walk one stack (encoder pass or one decoder iteration).
-
-        Returns the per-MoE-block latency records.  Ops are appended to
-        ``timeline``; the compute stream is FIFO so consecutive layers
-        serialise automatically, while expert transfers land on the copy
-        stream with explicit dependencies implementing each design's
-        selection→migration→execution ordering.
-        """
-        config = self.config
-        moe_positions = self._moe_positions(part)
-        num_layers = (config.num_encoder_layers if part == "encoder"
-                      else config.num_decoder_layers)
-        num_blocks = len(moe_positions)
-        records: List[BlockLatencyRecord] = []
-
-        resident = self._cache_resident(part, num_blocks)
-        plan = plan_for_design(
-            self.design, activations, config.expert_bytes(), config.num_experts,
-            activation_level=self.engine_config.activation_level, resident=resident)
-        transfers_by_issue: Dict[int, List] = {}
-        for transfer in plan.transfers:
-            transfers_by_issue.setdefault(transfer.issue_block, []).append(transfer)
-
-        schedule = None
-        if self.design == "pregated" and num_blocks > 0:
-            schedule = PreGateSchedule(num_blocks=num_blocks,
-                                       activation_level=self.engine_config.activation_level)
-
-        gate_time = self.latency.gate_time(config, query_tokens)
-        transfer_ops_by_target: Dict[int, List[int]] = {}
-        allocation_tags: Dict[int, List[str]] = {}
-        last_compute_op: Optional[TimelineOp] = None
-        moe_block_cursor = 0
-
-        for layer in range(num_layers):
-            # --- non-MoE portion of the transformer block -------------
-            if part == "encoder":
-                nonmoe = self.latency.encoder_layer_nonmoe_time(config, query_tokens)
-            else:
-                nonmoe = self.latency.decoder_layer_nonmoe_time(
-                    config, query_tokens, self_kv_tokens, cross_kv_tokens or self_kv_tokens)
-            last_compute_op = timeline.add_compute(
-                f"{part}{iteration}.layer{layer}.attention", nonmoe, category="non_moe")
-
-            if layer not in moe_positions:
-                # Dense FFN layer.
-                ffn = self.latency.ffn_time(config, query_tokens)
-                last_compute_op = timeline.add_compute(
-                    f"{part}{iteration}.layer{layer}.ffn", ffn, category="non_moe")
-                continue
-
-            # --- MoE block --------------------------------------------
-            block = moe_block_cursor
-            moe_block_cursor += 1
-            input_ready = last_compute_op.end if last_compute_op else 0.0
-
-            # (1) Expert-selection stage: gate / pre-gate / first-gate ops.
-            num_gates = self._gates_evaluated_at(block, num_blocks, schedule)
-            gate_op = None
-            if num_gates > 0:
-                gate_op = timeline.add_compute(
-                    f"{part}{iteration}.moe{block}.gate", num_gates * gate_time,
-                    category="gate")
-                last_compute_op = gate_op
-
-            # (2) Issue expert migrations whose selection happened here.
-            issued = transfers_by_issue.get(block, [])
-            if issued and self.offloads_experts:
-                sync_op = timeline.add_compute(
-                    f"{part}{iteration}.moe{block}.issue_transfers",
-                    self.system.host_sync_overhead, category="sync")
-                last_compute_op = sync_op
-                for transfer in issued:
-                    duration = self.system.expert_transfer_time(transfer.bytes)
-                    copy_op = timeline.add_copy(
-                        f"{part}{iteration}.moe{transfer.block_index}"
-                        f".fetch_expert{transfer.expert_id}",
-                        duration, depends_on=[sync_op.op_id], category="expert_transfer")
-                    transfer_ops_by_target.setdefault(transfer.block_index, []).append(copy_op.op_id)
-                    tag = self._allocate_expert(part, transfer.block_index, transfer.expert_id)
-                    allocation_tags.setdefault(transfer.block_index, []).append(tag)
-
-            # (3) Expert-execution stage: waits for this block's transfers.
-            activated = activations[block] if block < len(activations) else []
-            num_active = max(1, len(activated))
-            exec_time = self.latency.expert_execution_time(config, query_tokens, num_active)
-            deps = transfer_ops_by_target.get(block, [])
-            ready_before_exec = last_compute_op.end if last_compute_op else 0.0
-            exec_op = timeline.add_compute(
-                f"{part}{iteration}.moe{block}.experts", exec_time,
-                depends_on=deps, category="expert_execution")
-            last_compute_op = exec_op
-
-            exposed = max(0.0, exec_op.start - ready_before_exec)
-            records.append(BlockLatencyRecord(
-                part=part, iteration=iteration, block_index=block,
-                latency=exec_op.end - input_ready,
-                num_active_experts=len(activated),
-                exposed_transfer_time=exposed))
-
-            # (4) Release (or cache) this block's experts.
-            self._release_block_experts(part, block, allocation_tags.get(block, []), activated)
-
-        return records
-
-    def _gates_evaluated_at(self, block: int, num_blocks: int,
-                            schedule: Optional[PreGateSchedule]) -> int:
-        """How many gate evaluations happen at MoE block ``block`` for this design."""
-        if self.design == "pregated" and schedule is not None:
-            gates = 0
-            if block == 0:
-                gates += schedule.num_first_gates()
-            if schedule.has_pre_gate(block):
-                gates += 1
-            return gates
-        # Conventional architectures evaluate exactly one gate per block.
-        return 1
+        self.placement.load_model()
 
     # ------------------------------------------------------------------
     # Public simulation API
@@ -313,29 +118,19 @@ class ServingEngine:
         """Simulate a single decoder iteration (all decoder layers, one token)."""
         self.load_model()
         timeline = timeline if timeline is not None else ExecutionTimeline()
-        start = timeline.makespan
-        records = self._simulate_stack_pass(
-            timeline, "decoder", iteration, activations,
-            query_tokens=query_tokens, self_kv_tokens=self_kv_tokens,
-            cross_kv_tokens=cross_kv_tokens)
-        lm_head = self.latency.lm_head_time(self.config, query_tokens)
-        timeline.add_compute(f"decoder{iteration}.lm_head", lm_head, category="non_moe")
-        duration = timeline.makespan - start
-        return IterationResult(part="decoder", iteration=iteration,
-                               duration=duration, block_latencies=records)
+        outcome = self.simulator.decoder_iteration(
+            timeline, activations, query_tokens=query_tokens,
+            self_kv_tokens=self_kv_tokens, cross_kv_tokens=cross_kv_tokens,
+            iteration=iteration)
+        return outcome.result
 
     def run_encoder_pass(self, activations: IterationActivations, input_tokens: int,
                          timeline: Optional[ExecutionTimeline] = None) -> IterationResult:
         """Simulate the encoder pass over ``input_tokens`` tokens."""
         self.load_model()
         timeline = timeline if timeline is not None else ExecutionTimeline()
-        start = timeline.makespan
-        records = self._simulate_stack_pass(
-            timeline, "encoder", 0, activations,
-            query_tokens=input_tokens, self_kv_tokens=input_tokens, cross_kv_tokens=None)
-        duration = timeline.makespan - start
-        return IterationResult(part="encoder", iteration=0, duration=duration,
-                               block_latencies=records)
+        outcome = self.simulator.encoder_pass(timeline, activations, input_tokens)
+        return outcome.result
 
     def run_request(self, trace: RequestTrace) -> RequestResult:
         """Serve one request end-to-end: encoder pass + all decoder iterations."""

@@ -1,16 +1,19 @@
 """Result records and aggregate metrics for the serving simulator.
 
-The quantities here are exactly the ones the paper's artifact emits
-(``block_lats.csv``, ``throughputs.csv``, ``peak_mems.csv``): per-MoE-block
-latency, end-to-end inference throughput in tokens per second, and peak GPU
-memory usage.
+The quantities here cover both the paper's artifact outputs
+(``block_lats.csv``, ``throughputs.csv``, ``peak_mems.csv``: per-MoE-block
+latency, end-to-end inference throughput in tokens per second, peak GPU
+memory usage) and the load-testing quantities production serving asks about:
+time-to-first-token (TTFT), time-between-tokens (TBT), queueing delay and
+their percentile aggregates under an arrival process.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -148,6 +151,203 @@ class WorkloadResult:
             "tokens_per_second": self.aggregate_tokens_per_second,
             "peak_gpu_gb": self.peak_gpu_bytes / 1e9,
         }
+
+
+# ----------------------------------------------------------------------
+# Load-testing metrics (continuous batching / multi-replica serving)
+# ----------------------------------------------------------------------
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile of ``values`` (linear interpolation).
+
+    ``p`` is given in percent (50 = median).  Raises on an empty sequence —
+    callers decide how to report "no data".
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Percentile summary of one latency distribution (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencyStats":
+        if not values:
+            return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
+        return cls(count=len(values), mean=mean(values),
+                   p50=percentile(values, 50), p90=percentile(values, 90),
+                   p99=percentile(values, 99), max=max(values))
+
+    def as_dict(self, scale: float = 1.0) -> Dict[str, float]:
+        return {"count": self.count, "mean": self.mean * scale,
+                "p50": self.p50 * scale, "p90": self.p90 * scale,
+                "p99": self.p99 * scale, "max": self.max * scale}
+
+
+@dataclass
+class ServedRequestResult:
+    """Lifecycle timestamps of one request served under load.
+
+    All times are absolute simulation times (seconds); the arrival time is
+    when the request entered the system, so every latency property is
+    arrival-relative — exactly what an open-loop load generator measures.
+    """
+
+    request_id: int
+    design: str
+    config_name: str
+    input_length: int
+    output_length: int
+    arrival_time: float
+    first_scheduled_time: float     # start of the request's first op
+    first_token_time: float         # completion of the first generated token
+    completion_time: float          # completion of the last generated token
+    token_times: List[float] = field(default_factory=list)
+    replica: int = 0
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting before any of the request's work ran."""
+        return self.first_scheduled_time - self.arrival_time
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token, measured from arrival."""
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def e2e_latency(self) -> float:
+        """Arrival-to-completion latency."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def time_between_tokens(self) -> List[float]:
+        """Gaps between consecutive generated tokens (empty for 1-token outputs)."""
+        return [b - a for a, b in zip(self.token_times, self.token_times[1:])]
+
+
+@dataclass
+class LoadTestResult:
+    """Aggregate of one load test: many requests through one scheduler.
+
+    ``offered_load`` records the arrival rate of the open-loop generator in
+    requests/second (``None`` for closed-loop runs).  ``makespan`` is the
+    completion time of the last request, so ``sustained_tokens_per_second``
+    is a *wall-clock* throughput — queueing and idle time included — unlike
+    :attr:`WorkloadResult.aggregate_tokens_per_second` which sums isolated
+    per-request times.
+    """
+
+    design: str
+    config_name: str
+    offered_load: Optional[float] = None
+    num_replicas: int = 1
+    requests: List[ServedRequestResult] = field(default_factory=list)
+    makespan: float = 0.0
+    peak_gpu_bytes: int = 0
+    oom: bool = False
+    oom_reason: str = ""
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_generated_tokens(self) -> int:
+        return sum(r.output_length for r in self.requests)
+
+    @property
+    def sustained_tokens_per_second(self) -> float:
+        """Generated tokens per wall-clock second over the whole test."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_generated_tokens / self.makespan
+
+    @property
+    def completed_requests_per_second(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.num_requests / self.makespan
+
+    @property
+    def ttft_stats(self) -> LatencyStats:
+        return LatencyStats.from_values([r.ttft for r in self.requests])
+
+    @property
+    def tbt_stats(self) -> LatencyStats:
+        gaps = [g for r in self.requests for g in r.time_between_tokens]
+        return LatencyStats.from_values(gaps)
+
+    @property
+    def queueing_stats(self) -> LatencyStats:
+        return LatencyStats.from_values([r.queueing_delay for r in self.requests])
+
+    @property
+    def e2e_stats(self) -> LatencyStats:
+        return LatencyStats.from_values([r.e2e_latency for r in self.requests])
+
+    def summary(self) -> Dict[str, object]:
+        ttft = self.ttft_stats
+        tbt = self.tbt_stats
+        return {
+            "design": self.design,
+            "config": self.config_name,
+            "replicas": self.num_replicas,
+            "offered_load_rps": self.offered_load,
+            "requests": self.num_requests,
+            "oom": self.oom,
+            "sustained_tokens_per_second": self.sustained_tokens_per_second,
+            "p50_ttft_ms": ttft.p50 * 1e3,
+            "p99_ttft_ms": ttft.p99 * 1e3,
+            "p50_tbt_ms": tbt.p50 * 1e3,
+            "p99_tbt_ms": tbt.p99 * 1e3,
+            "mean_queueing_ms": self.queueing_stats.mean * 1e3,
+            "peak_gpu_gb": self.peak_gpu_bytes / 1e9,
+        }
+
+
+def merge_load_results(results: Sequence[LoadTestResult],
+                       num_replicas: Optional[int] = None) -> LoadTestResult:
+    """Combine per-replica load results into one cluster-level result.
+
+    Requests are pooled; the makespan is the slowest replica's (replicas run
+    concurrently); the peak is summed because each replica is its own GPU.
+    """
+    if not results:
+        raise ValueError("no results to merge")
+    first = results[0]
+    merged = LoadTestResult(
+        design=first.design, config_name=first.config_name,
+        offered_load=first.offered_load,
+        num_replicas=num_replicas if num_replicas is not None else len(results),
+        makespan=max(r.makespan for r in results),
+        peak_gpu_bytes=sum(r.peak_gpu_bytes for r in results),
+        oom=any(r.oom for r in results),
+        oom_reason="; ".join(r.oom_reason for r in results if r.oom_reason),
+    )
+    for result in results:
+        merged.requests.extend(result.requests)
+    merged.requests.sort(key=lambda r: (r.arrival_time, r.request_id))
+    return merged
 
 
 def normalise(values: Dict[str, float], reference: str) -> Dict[str, float]:

@@ -1,0 +1,178 @@
+"""Model-placement layer: parameter storage and GPU expert-slot accounting.
+
+This is the first of the three serving layers (placement → per-iteration
+simulation → request lifecycle).  A :class:`ModelPlacement` owns the memory
+hierarchy of one replica and implements the storage policy of a design
+(Figure 4): where the non-MoE parameters, the expert parameters and the
+runtime workspace live, plus the transient GPU allocations made while
+migrated experts are resident.
+
+It contains *no timing logic* — the per-iteration simulator decides when
+transfers happen; the placement only tracks the bytes they pin.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..moe.configs import ModelConfig
+from ..moe.transformer import _moe_layer_positions
+from ..system.cache import ExpertCache
+from ..system.hardware import SystemSpec
+from ..system.memory import MemoryHierarchy, MemoryPool
+
+#: Fixed GPU memory consumed by the runtime itself (CUDA context, cuBLAS
+#: workspaces, FasterTransformer's pre-allocated activation buffers).  The
+#: paper's measured peak-memory numbers include this overhead, so the
+#: simulator accounts for it explicitly.
+DEFAULT_RUNTIME_WORKSPACE_BYTES = int(2e9)
+
+
+class ModelPlacement:
+    """Parameter placement and expert-slot accounting for one replica.
+
+    Parameters
+    ----------
+    config:
+        Model configuration being served.
+    system:
+        Hardware the replica runs on.
+    offload_experts:
+        Whether expert parameters live in the offload tier (all designs
+        except GPU-only).
+    cache:
+        Optional GPU-resident expert cache shared across requests.
+    runtime_workspace_bytes / allow_oversubscription:
+        See :class:`~repro.serving.engine.EngineConfig`.
+    """
+
+    def __init__(self, config: ModelConfig, system: SystemSpec,
+                 offload_experts: bool,
+                 cache: Optional[ExpertCache] = None,
+                 runtime_workspace_bytes: int = DEFAULT_RUNTIME_WORKSPACE_BYTES,
+                 allow_oversubscription: bool = False) -> None:
+        self.config = config
+        self.system = system
+        self.offload_experts = offload_experts
+        self.cache = cache
+        self.runtime_workspace_bytes = runtime_workspace_bytes
+        self.allow_oversubscription = allow_oversubscription
+        self.memory = MemoryHierarchy.from_system(system)
+        self.gpu_pool: MemoryPool = self.memory.gpu
+        self._loaded = False
+        self._expert_seq = 0
+
+        if config.is_moe:
+            self.encoder_moe_positions = _moe_layer_positions(
+                config.num_encoder_layers, config.moe_layer_frequency)
+            self.decoder_moe_positions = _moe_layer_positions(
+                config.num_decoder_layers, config.moe_layer_frequency)
+        else:
+            self.encoder_moe_positions = []
+            self.decoder_moe_positions = []
+
+    # ------------------------------------------------------------------
+    # Model loading (Figure 4)
+    # ------------------------------------------------------------------
+    @property
+    def loaded(self) -> bool:
+        return self._loaded
+
+    def load_model(self) -> None:
+        """Place model parameters according to the design's storage policy.
+
+        Raises :class:`~repro.system.memory.OutOfMemoryError` if the GPU
+        cannot hold its share of the parameters (the GPU-only OOM case for
+        Switch-Large in Figures 10-12).
+        """
+        if self._loaded:
+            return
+        allow = self.allow_oversubscription
+        self.gpu_pool.allocate("runtime_workspace", self.runtime_workspace_bytes,
+                               category="workspace", allow_oversubscribe=allow)
+        self.gpu_pool.allocate("non_moe_params", self.config.non_moe_bytes(),
+                               category="non_moe", allow_oversubscribe=allow)
+        if self.offload_experts:
+            offload_pool = self.memory.offload_pool(self.system.offload_tier)
+            offload_pool.allocate("moe_params", self.config.moe_bytes(), category="moe")
+        else:
+            self.gpu_pool.allocate("moe_params", self.config.moe_bytes(),
+                                   category="moe", allow_oversubscribe=allow)
+        self._loaded = True
+
+    # ------------------------------------------------------------------
+    # Block topology helpers
+    # ------------------------------------------------------------------
+    def moe_positions(self, part: str) -> List[int]:
+        return self.encoder_moe_positions if part == "encoder" else self.decoder_moe_positions
+
+    def global_block_index(self, part: str, block_index: int) -> int:
+        if part == "encoder":
+            return block_index
+        return len(self.encoder_moe_positions) + block_index
+
+    # ------------------------------------------------------------------
+    # Transient expert allocations
+    # ------------------------------------------------------------------
+    def cache_resident(self, part: str, num_blocks: int) -> List[Set[int]]:
+        """Per-block sets of experts already resident in the GPU expert cache."""
+        resident: List[Set[int]] = []
+        for block in range(num_blocks):
+            if self.cache is None or not self.cache.enabled:
+                resident.append(set())
+            else:
+                key_block = self.global_block_index(part, block)
+                resident.append(set(self.cache.resident_for_block(key_block)))
+        return resident
+
+    def allocate_expert(self, part: str, block_index: int, expert_id: int) -> str:
+        """Reserve GPU memory for one migrated expert; returns the allocation tag."""
+        gb = self.global_block_index(part, block_index)
+        if self.cache is not None and self.cache.enabled:
+            tag = f"cached_expert:{gb}:{expert_id}"
+            if self.gpu_pool.has(tag):
+                return tag
+        else:
+            self._expert_seq += 1
+            tag = f"expert:{gb}:{expert_id}:{self._expert_seq}"
+        self.gpu_pool.allocate(tag, self.config.expert_bytes(), category="experts",
+                               allow_oversubscribe=self.allow_oversubscription)
+        return tag
+
+    def allocate_shared_expert(self, part: str, block_index: int, expert_id: int) -> str:
+        """Reserve a batch-shared expert slot (continuous-batching dedup path).
+
+        The sharing itself is tracked by the caller's
+        :class:`~repro.serving.simulator.SharedExpertRound` refcount map,
+        which holds the returned tag and frees it once the last round member
+        using the expert has executed; the tag carries a sequence suffix so
+        re-fetching an expert later in the same round can never collide with
+        a previously freed slot.
+        """
+        gb = self.global_block_index(part, block_index)
+        self._expert_seq += 1
+        tag = f"batch_expert:{gb}:{expert_id}:{self._expert_seq}"
+        self.gpu_pool.allocate(tag, self.config.expert_bytes(), category="experts",
+                               allow_oversubscribe=self.allow_oversubscription)
+        return tag
+
+    def free_expert(self, tag: str) -> None:
+        if self.gpu_pool.has(tag):
+            self.gpu_pool.free(tag)
+
+    def release_block_experts(self, part: str, block_index: int,
+                              fetched_tags: Sequence[str], activated: Sequence[int]) -> None:
+        """Free (or cache) the experts of a block after its execution."""
+        gb = self.global_block_index(part, block_index)
+        if self.cache is not None and self.cache.enabled:
+            for expert_id in activated:
+                self.cache.lookup((gb, expert_id))  # record the access for the policy
+                evicted = self.cache.insert((gb, expert_id))
+                if evicted is not None:
+                    evicted_tag = f"cached_expert:{evicted[0]}:{evicted[1]}"
+                    if self.gpu_pool.has(evicted_tag):
+                        self.gpu_pool.free(evicted_tag)
+            return
+        for tag in fetched_tags:
+            if self.gpu_pool.has(tag):
+                self.gpu_pool.free(tag)

@@ -1,0 +1,375 @@
+"""Per-iteration simulation layer: one stack pass on an execution timeline.
+
+Second of the three serving layers (placement → per-iteration simulation →
+request lifecycle).  An :class:`IterationSimulator` walks one encoder pass or
+one decoder iteration for a given design, appending compute and copy ops to
+an :class:`~repro.system.timeline.ExecutionTimeline`.  It is deliberately
+stateless across calls so that a request scheduler can interleave iterations
+from *different* in-flight requests onto one shared timeline (continuous
+batching) — the per-request lifecycle state lives in the caller
+(:class:`~repro.serving.engine.ServingEngine` for the one-request-at-a-time
+path, :class:`~repro.serving.scheduler.ContinuousBatchingScheduler` for the
+batched path).
+
+Batched rounds pass a :class:`SharedExpertRound`, which deduplicates expert
+transfers across the requests of the round: when concurrent requests activate
+the same expert of the same block, only the first request issues the
+CPU→GPU migration and later requests execute against the already-resident
+copy (their execution depends on the original copy op).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.migration import MigrationPlan, plan_for_design
+from ..core.pregate import PreGateSchedule
+from ..moe.configs import ModelConfig
+from ..system.hardware import SystemSpec
+from ..system.performance import GpuLatencyModel
+from ..system.timeline import ExecutionTimeline, TimelineOp
+from ..workloads.traces import IterationActivations
+from .metrics import BlockLatencyRecord, IterationResult
+from .placement import ModelPlacement
+
+#: Key identifying one migratable expert: (global block index, expert id).
+ExpertKey = Tuple[int, int]
+
+
+class SharedExpertRound:
+    """Expert-transfer dedup state for one continuous-batching round.
+
+    The scheduler registers, up front, every expert transfer each request of
+    the round *would* issue (via :meth:`register_plan`).  During simulation
+    the first request to need an expert fetches it into a shared batch slot;
+    subsequent requests reuse it.  Each request still "releases" its planned
+    transfers after the owning block executes, and the shared slot is freed
+    only when the last planned user has released it — so GPU memory
+    accounting matches a real batched runtime that refcounts expert pages.
+    """
+
+    def __init__(self) -> None:
+        self._users: Dict[ExpertKey, int] = {}
+        self._tags: Dict[ExpertKey, str] = {}
+        self._copy_ops: Dict[ExpertKey, int] = {}
+
+    # -- registration (before the round is simulated) -------------------
+    def register_plan(self, placement: ModelPlacement, part: str,
+                      plan: MigrationPlan) -> None:
+        for transfer in plan.transfers:
+            key = (placement.global_block_index(part, transfer.block_index),
+                   transfer.expert_id)
+            self._users[key] = self._users.get(key, 0) + 1
+
+    # -- queries during simulation --------------------------------------
+    def is_fetched(self, key: ExpertKey) -> bool:
+        return key in self._tags
+
+    def copy_op(self, key: ExpertKey) -> Optional[int]:
+        return self._copy_ops.get(key)
+
+    def note_fetch(self, key: ExpertKey, tag: str, copy_op_id: int) -> None:
+        self._tags[key] = tag
+        self._copy_ops[key] = copy_op_id
+
+    def release(self, placement: ModelPlacement, key: ExpertKey) -> None:
+        remaining = self._users.get(key, 0) - 1
+        if remaining > 0:
+            self._users[key] = remaining
+            return
+        self._users.pop(key, None)
+        self._copy_ops.pop(key, None)
+        tag = self._tags.pop(key, None)
+        if tag is not None:
+            placement.free_expert(tag)
+
+    def drain(self, placement: ModelPlacement) -> None:
+        """Free any slots still held (abnormal termination safety net)."""
+        for tag in self._tags.values():
+            placement.free_expert(tag)
+        self._users.clear()
+        self._tags.clear()
+        self._copy_ops.clear()
+
+
+@dataclass
+class StackPassResult:
+    """Outcome of simulating one stack traversal."""
+
+    records: List[BlockLatencyRecord] = field(default_factory=list)
+    first_op: Optional[TimelineOp] = None
+    last_op: Optional[TimelineOp] = None
+
+    @property
+    def start(self) -> float:
+        return self.first_op.start if self.first_op is not None else 0.0
+
+    @property
+    def end(self) -> float:
+        return self.last_op.end if self.last_op is not None else 0.0
+
+
+@dataclass
+class IterationOutcome:
+    """An :class:`IterationResult` plus the timeline anchors the scheduler needs."""
+
+    result: IterationResult
+    first_start: float
+    end: float
+
+
+class IterationSimulator:
+    """Simulates single stack passes of one design on a shared timeline."""
+
+    def __init__(self, config: ModelConfig, system: SystemSpec,
+                 latency: GpuLatencyModel, design: str,
+                 placement: ModelPlacement, activation_level: int = 1) -> None:
+        self.config = config
+        self.system = system
+        self.latency = latency
+        self.design = design
+        self.placement = placement
+        self.activation_level = activation_level
+
+    @property
+    def offloads_experts(self) -> bool:
+        return self.design != "gpu_only"
+
+    # ------------------------------------------------------------------
+    # Migration planning
+    # ------------------------------------------------------------------
+    def make_plan(self, part: str, activations: IterationActivations) -> MigrationPlan:
+        """The migration plan one stack pass over ``activations`` will follow.
+
+        Deterministic given the placement's cache state, so a scheduler can
+        pre-register a round's plans for transfer dedup before simulating it.
+        """
+        num_blocks = len(self.placement.moe_positions(part))
+        resident = self.placement.cache_resident(part, num_blocks)
+        return plan_for_design(
+            self.design, activations, self.config.expert_bytes(), self.config.num_experts,
+            activation_level=self.activation_level, resident=resident)
+
+    def _gates_evaluated_at(self, block: int,
+                            schedule: Optional[PreGateSchedule]) -> int:
+        """How many gate evaluations happen at MoE block ``block`` for this design."""
+        if self.design == "pregated" and schedule is not None:
+            gates = 0
+            if block == 0:
+                gates += schedule.num_first_gates()
+            if schedule.has_pre_gate(block):
+                gates += 1
+            return gates
+        # Conventional architectures evaluate exactly one gate per block.
+        return 1
+
+    # ------------------------------------------------------------------
+    # Core simulation of one stack traversal
+    # ------------------------------------------------------------------
+    def simulate_stack_pass(
+        self,
+        timeline: ExecutionTimeline,
+        part: str,
+        iteration: int,
+        activations: IterationActivations,
+        query_tokens: int,
+        self_kv_tokens: int,
+        cross_kv_tokens: Optional[int],
+        start_at: float = 0.0,
+        batch_round: Optional[SharedExpertRound] = None,
+        label: str = "",
+        plan: Optional[MigrationPlan] = None,
+    ) -> StackPassResult:
+        """Walk one stack (encoder pass or one decoder iteration).
+
+        Ops are appended to ``timeline``; the compute stream is FIFO so
+        consecutive layers serialise automatically, while expert transfers
+        land on the copy stream with explicit dependencies implementing each
+        design's selection→migration→execution ordering.  ``start_at`` gates
+        the pass on the owning request's arrival time; ``batch_round``
+        enables cross-request expert-transfer dedup; ``label`` prefixes op
+        names so interleaved requests stay distinguishable in traces;
+        ``plan`` supplies a precomputed migration plan (the scheduler already
+        planned each round member for dedup registration) instead of
+        re-planning here.
+        """
+        config = self.config
+        placement = self.placement
+        moe_positions = placement.moe_positions(part)
+        num_layers = (config.num_encoder_layers if part == "encoder"
+                      else config.num_decoder_layers)
+        num_blocks = len(moe_positions)
+        outcome = StackPassResult()
+
+        if plan is None:
+            plan = self.make_plan(part, activations)
+        transfers_by_issue: Dict[int, List] = {}
+        for transfer in plan.transfers:
+            transfers_by_issue.setdefault(transfer.issue_block, []).append(transfer)
+
+        schedule = None
+        if self.design == "pregated" and num_blocks > 0:
+            schedule = PreGateSchedule(num_blocks=num_blocks,
+                                       activation_level=self.activation_level)
+
+        gate_time = self.latency.gate_time(config, query_tokens)
+        transfer_ops_by_target: Dict[int, List[int]] = {}
+        allocation_tags: Dict[int, List[str]] = {}
+        planned_keys_by_block: Dict[int, List[ExpertKey]] = {}
+        last_compute_op: Optional[TimelineOp] = None
+        moe_block_cursor = 0
+
+        def add_compute(name: str, duration: float, depends_on=None,
+                        category: str = "compute") -> TimelineOp:
+            op = timeline.add_compute(
+                f"{label}{name}", duration, depends_on=depends_on, category=category,
+                earliest_start=start_at if outcome.first_op is None else 0.0)
+            if outcome.first_op is None:
+                outcome.first_op = op
+            outcome.last_op = op
+            return op
+
+        for layer in range(num_layers):
+            # --- non-MoE portion of the transformer block -------------
+            if part == "encoder":
+                nonmoe = self.latency.encoder_layer_nonmoe_time(config, query_tokens)
+            else:
+                nonmoe = self.latency.decoder_layer_nonmoe_time(
+                    config, query_tokens, self_kv_tokens, cross_kv_tokens or self_kv_tokens)
+            last_compute_op = add_compute(
+                f"{part}{iteration}.layer{layer}.attention", nonmoe, category="non_moe")
+
+            if layer not in moe_positions:
+                # Dense FFN layer.
+                ffn = self.latency.ffn_time(config, query_tokens)
+                last_compute_op = add_compute(
+                    f"{part}{iteration}.layer{layer}.ffn", ffn, category="non_moe")
+                continue
+
+            # --- MoE block --------------------------------------------
+            block = moe_block_cursor
+            moe_block_cursor += 1
+            input_ready = last_compute_op.end if last_compute_op else 0.0
+
+            # (1) Expert-selection stage: gate / pre-gate / first-gate ops.
+            num_gates = self._gates_evaluated_at(block, schedule)
+            if num_gates > 0:
+                last_compute_op = add_compute(
+                    f"{part}{iteration}.moe{block}.gate", num_gates * gate_time,
+                    category="gate")
+
+            # (2) Issue expert migrations whose selection happened here.
+            issued = transfers_by_issue.get(block, [])
+            if issued and self.offloads_experts:
+                to_issue = []
+                for transfer in issued:
+                    key = (placement.global_block_index(part, transfer.block_index),
+                           transfer.expert_id)
+                    if batch_round is not None:
+                        planned_keys_by_block.setdefault(transfer.block_index, []).append(key)
+                        if batch_round.is_fetched(key):
+                            # Another request of this round already fetched it:
+                            # share the migration, depend on its copy op.
+                            dedup_op = batch_round.copy_op(key)
+                            if dedup_op is not None:
+                                transfer_ops_by_target.setdefault(
+                                    transfer.block_index, []).append(dedup_op)
+                            continue
+                    to_issue.append((transfer, key))
+                if to_issue:
+                    sync_op = add_compute(
+                        f"{part}{iteration}.moe{block}.issue_transfers",
+                        self.system.host_sync_overhead, category="sync")
+                    last_compute_op = sync_op
+                    for transfer, key in to_issue:
+                        duration = self.system.expert_transfer_time(transfer.bytes)
+                        copy_op = timeline.add_copy(
+                            f"{label}{part}{iteration}.moe{transfer.block_index}"
+                            f".fetch_expert{transfer.expert_id}",
+                            duration, depends_on=[sync_op.op_id], category="expert_transfer")
+                        transfer_ops_by_target.setdefault(
+                            transfer.block_index, []).append(copy_op.op_id)
+                        if batch_round is not None:
+                            tag = placement.allocate_shared_expert(
+                                part, transfer.block_index, transfer.expert_id)
+                            batch_round.note_fetch(key, tag, copy_op.op_id)
+                        else:
+                            tag = placement.allocate_expert(
+                                part, transfer.block_index, transfer.expert_id)
+                            allocation_tags.setdefault(transfer.block_index, []).append(tag)
+
+            # (3) Expert-execution stage: waits for this block's transfers.
+            activated = activations[block] if block < len(activations) else []
+            num_active = max(1, len(activated))
+            exec_time = self.latency.expert_execution_time(config, query_tokens, num_active)
+            deps = transfer_ops_by_target.get(block, [])
+            ready_before_exec = last_compute_op.end if last_compute_op else 0.0
+            exec_op = add_compute(
+                f"{part}{iteration}.moe{block}.experts", exec_time,
+                depends_on=deps, category="expert_execution")
+            last_compute_op = exec_op
+
+            exposed = max(0.0, exec_op.start - ready_before_exec)
+            outcome.records.append(BlockLatencyRecord(
+                part=part, iteration=iteration, block_index=block,
+                latency=exec_op.end - input_ready,
+                num_active_experts=len(activated),
+                exposed_transfer_time=exposed))
+
+            # (4) Release (or cache) this block's experts.
+            if batch_round is not None:
+                for key in planned_keys_by_block.get(block, []):
+                    batch_round.release(placement, key)
+            else:
+                placement.release_block_experts(
+                    part, block, allocation_tags.get(block, []), activated)
+
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Whole-iteration helpers shared by the engine and the scheduler
+    # ------------------------------------------------------------------
+    def decoder_iteration(self, timeline: ExecutionTimeline,
+                          activations: IterationActivations,
+                          query_tokens: int = 1, self_kv_tokens: int = 1,
+                          cross_kv_tokens: int = 32, iteration: int = 0,
+                          start_at: float = 0.0,
+                          batch_round: Optional[SharedExpertRound] = None,
+                          label: str = "",
+                          plan: Optional[MigrationPlan] = None) -> IterationOutcome:
+        """One decoder iteration (all decoder layers plus the LM head)."""
+        start = timeline.makespan
+        pass_result = self.simulate_stack_pass(
+            timeline, "decoder", iteration, activations,
+            query_tokens=query_tokens, self_kv_tokens=self_kv_tokens,
+            cross_kv_tokens=cross_kv_tokens, start_at=start_at,
+            batch_round=batch_round, label=label, plan=plan)
+        lm_head = self.latency.lm_head_time(self.config, query_tokens)
+        lm_op = timeline.add_compute(
+            f"{label}decoder{iteration}.lm_head", lm_head, category="non_moe",
+            earliest_start=start_at if pass_result.first_op is None else 0.0)
+        result = IterationResult(part="decoder", iteration=iteration,
+                                 duration=timeline.makespan - start,
+                                 block_latencies=pass_result.records)
+        first = pass_result.first_op.start if pass_result.first_op is not None else lm_op.start
+        return IterationOutcome(result=result, first_start=first, end=lm_op.end)
+
+    def encoder_pass(self, timeline: ExecutionTimeline,
+                     activations: IterationActivations, input_tokens: int,
+                     start_at: float = 0.0,
+                     batch_round: Optional[SharedExpertRound] = None,
+                     label: str = "",
+                     plan: Optional[MigrationPlan] = None) -> IterationOutcome:
+        """The encoder pass over ``input_tokens`` tokens."""
+        start = timeline.makespan
+        pass_result = self.simulate_stack_pass(
+            timeline, "encoder", 0, activations,
+            query_tokens=input_tokens, self_kv_tokens=input_tokens,
+            cross_kv_tokens=None, start_at=start_at,
+            batch_round=batch_round, label=label, plan=plan)
+        result = IterationResult(part="encoder", iteration=0,
+                                 duration=timeline.makespan - start,
+                                 block_latencies=pass_result.records)
+        return IterationOutcome(result=result, first_start=pass_result.start,
+                                end=pass_result.end)

@@ -41,6 +41,10 @@ class TimelineOp:
     category: str = "generic"
     start: float = 0.0
     end: float = 0.0
+    #: Wall-clock time before which the op may not start regardless of
+    #: stream/dependency readiness (e.g. the arrival time of the request it
+    #: belongs to, for open-loop load simulations).
+    earliest_start: float = 0.0
 
     @property
     def scheduled(self) -> bool:
@@ -62,18 +66,26 @@ class ExecutionTimeline:
     # ------------------------------------------------------------------
     def add(self, name: str, stream: Stream, duration: float,
             depends_on: Optional[Sequence[int]] = None,
-            category: str = "generic") -> TimelineOp:
-        """Schedule an operation and return it (with start/end filled in)."""
+            category: str = "generic", earliest_start: float = 0.0) -> TimelineOp:
+        """Schedule an operation and return it (with start/end filled in).
+
+        ``earliest_start`` gates the op on wall-clock time in addition to
+        stream order and dependencies — used by the request scheduler so no
+        work for a request starts before the request has arrived.
+        """
         if duration < 0:
             raise ValueError("duration must be non-negative")
+        if earliest_start < 0:
+            raise ValueError("earliest_start must be non-negative")
         deps = list(depends_on or [])
         for dep in deps:
             if not 0 <= dep < len(self._ops):
                 raise ValueError(f"dependency {dep} does not reference a scheduled op")
         op = TimelineOp(op_id=len(self._ops), name=name, stream=stream,
-                        duration=duration, depends_on=deps, category=category)
+                        duration=duration, depends_on=deps, category=category,
+                        earliest_start=earliest_start)
         ready = max((self._ops[d].end for d in deps), default=0.0)
-        start = max(ready, self._stream_free[stream])
+        start = max(ready, self._stream_free[stream], earliest_start)
         op.start = start
         op.end = start + duration
         self._stream_free[stream] = op.end
@@ -82,13 +94,15 @@ class ExecutionTimeline:
 
     def add_compute(self, name: str, duration: float,
                     depends_on: Optional[Sequence[int]] = None,
-                    category: str = "compute") -> TimelineOp:
-        return self.add(name, Stream.COMPUTE, duration, depends_on, category)
+                    category: str = "compute", earliest_start: float = 0.0) -> TimelineOp:
+        return self.add(name, Stream.COMPUTE, duration, depends_on, category,
+                        earliest_start=earliest_start)
 
     def add_copy(self, name: str, duration: float,
                  depends_on: Optional[Sequence[int]] = None,
-                 category: str = "copy") -> TimelineOp:
-        return self.add(name, Stream.COPY, duration, depends_on, category)
+                 category: str = "copy", earliest_start: float = 0.0) -> TimelineOp:
+        return self.add(name, Stream.COPY, duration, depends_on, category,
+                        earliest_start=earliest_start)
 
     # ------------------------------------------------------------------
     # Queries
@@ -118,15 +132,32 @@ class ExecutionTimeline:
         return [op for op in self._ops if op.category == category]
 
     def exposed_copy_time(self) -> float:
-        """Copy time not hidden under compute.
+        """Copy time not hidden under compute: the headline "how much
+        migration latency was NOT overlapped" metric of the paper.
 
-        Computed as the total makespan minus the compute-stream busy time
-        minus any leading/trailing idle gaps caused purely by compute
-        dependencies; in practice, the headline "how much migration latency
-        was NOT overlapped" metric of the paper.
+        Measured as the sum, over compute-stream ops, of the stall each op
+        suffers beyond its compute-side readiness: an op is "compute-ready"
+        once the previous compute op has retired, its compute-stream
+        dependencies have finished and its ``earliest_start`` (request
+        arrival) has passed.  Any additional wait is, by elimination, a stall
+        on a copy-stream dependency — i.e. exposed transfer time.  Idle gaps
+        caused by compute-side dependencies or by waiting for request
+        arrivals are *not* counted.
         """
-        compute_busy = self.stream_busy_time(Stream.COMPUTE)
-        return max(0.0, self.makespan - compute_busy)
+        exposed = 0.0
+        prev_end = 0.0
+        for op in self.stream_ops(Stream.COMPUTE):
+            compute_dep_ready = max(
+                (self._ops[d].end for d in op.depends_on
+                 if self._ops[d].stream == Stream.COMPUTE), default=0.0)
+            compute_ready = max(prev_end, compute_dep_ready, op.earliest_start)
+            exposed += max(0.0, op.start - compute_ready)
+            prev_end = op.end
+        return exposed
+
+    def stream_free_time(self, stream: Stream) -> float:
+        """Time at which ``stream`` becomes free for the next queued op."""
+        return self._stream_free[stream]
 
     def overlap_efficiency(self) -> float:
         """Fraction of copy-stream time hidden under compute (1.0 = fully hidden)."""

@@ -1,0 +1,234 @@
+"""Arrival processes and load specifications for serving under traffic.
+
+The paper evaluates one request at a time; production serving faces a
+*stream* of requests.  This module adds the missing dimension: arrival
+processes that timestamp request traces, and :class:`LoadSpec`s that bundle
+a request-shape workload with an arrival process into a named load test.
+
+Two load-generation modes are supported, mirroring standard serving
+benchmarks (e.g. vLLM's benchmark_serving, mlperf-inference "server" vs
+"offline" scenarios):
+
+* **open-loop** — requests arrive according to the process regardless of
+  completion (models independent users; exposes queueing collapse beyond
+  the saturation rate);
+* **closed-loop** — a fixed number of clients issue a request, wait for it
+  to finish, and immediately issue the next (models a worker pool; arrival
+  timestamps are all zero and the scheduler's concurrency cap plays the role
+  of the client count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..moe.configs import ModelConfig, get_config
+from .generator import WorkloadSpec, generate_traces, get_workload
+from .traces import RequestTrace
+
+
+class ArrivalProcess:
+    """Base class: generates inter-arrival gaps at a mean ``rate`` req/s."""
+
+    kind = "base"
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive (requests/second)")
+        self.rate = rate
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def inter_arrival_times(self, n: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def arrival_times(self, n: int) -> List[float]:
+        """Absolute arrival timestamps of the first ``n`` requests."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n == 0:
+            return []
+        return np.cumsum(self.inter_arrival_times(n)).tolist()
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals — the standard open-loop traffic model."""
+
+    kind = "poisson"
+
+    def inter_arrival_times(self, n: int) -> np.ndarray:
+        return self._rng.exponential(1.0 / self.rate, size=n)
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Evenly spaced arrivals (a paced load generator)."""
+
+    kind = "deterministic"
+
+    def inter_arrival_times(self, n: int) -> np.ndarray:
+        return np.full(n, 1.0 / self.rate)
+
+
+class BurstArrivals(ArrivalProcess):
+    """Bursty traffic: groups of ``burst_size`` near-simultaneous requests.
+
+    Bursts are spaced so the long-run average rate still equals ``rate`` —
+    the worst case for prefetch windows, since a burst makes concurrent
+    requests contend for (and share) the same expert transfers.
+    """
+
+    kind = "burst"
+
+    def __init__(self, rate: float, seed: int = 0, burst_size: int = 4) -> None:
+        super().__init__(rate, seed=seed)
+        if burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        self.burst_size = burst_size
+
+    def inter_arrival_times(self, n: int) -> np.ndarray:
+        gaps = np.zeros(n)
+        burst_gap = self.burst_size / self.rate
+        for i in range(0, n, self.burst_size):
+            gaps[i] = burst_gap if i > 0 else 0.0
+        return gaps
+
+
+_PROCESSES = {
+    "poisson": PoissonArrivals,
+    "deterministic": DeterministicArrivals,
+    "burst": BurstArrivals,
+}
+
+
+def make_arrival_process(kind: str, rate: float, seed: int = 0,
+                         **kwargs) -> ArrivalProcess:
+    """Factory for arrival processes by kind name."""
+    if kind not in _PROCESSES:
+        raise ValueError(f"unknown arrival process {kind!r}; known: {sorted(_PROCESSES)}")
+    return _PROCESSES[kind](rate, seed=seed, **kwargs)
+
+
+@dataclass
+class TimedRequest:
+    """A request trace with an arrival timestamp — the scheduler's input unit."""
+
+    request_id: int
+    arrival_time: float
+    trace: RequestTrace
+
+    @property
+    def input_length(self) -> int:
+        return self.trace.input_length
+
+    @property
+    def output_length(self) -> int:
+        return self.trace.output_length
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """A named load test: request shapes + an arrival process.
+
+    ``workload`` names the per-request shape (a registered
+    :class:`~repro.workloads.generator.WorkloadSpec`); ``request_rate`` is
+    the offered load in requests/second for open-loop mode; ``concurrency``
+    is the client count for closed-loop mode.
+    """
+
+    name: str
+    workload: str = "squad_single_batch"
+    mode: str = "open"              # "open" or "closed"
+    arrival: str = "poisson"        # open-loop arrival process kind
+    request_rate: float = 4.0       # requests/second (open-loop)
+    concurrency: int = 4            # simultaneous clients (closed-loop)
+    burst_size: int = 4             # only used by the "burst" process
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("open", "closed"):
+            raise ValueError(f"mode must be 'open' or 'closed', got {self.mode!r}")
+
+    def with_overrides(self, **kwargs) -> "LoadSpec":
+        return replace(self, **kwargs)
+
+    def arrival_process(self) -> Optional[ArrivalProcess]:
+        if self.mode == "closed":
+            return None
+        kwargs = {"burst_size": self.burst_size} if self.arrival == "burst" else {}
+        return make_arrival_process(self.arrival, self.request_rate,
+                                    seed=self.seed, **kwargs)
+
+
+#: Poisson open-loop QA traffic — the default load test of the serving bench.
+POISSON_QA_LOAD = LoadSpec(
+    name="poisson_qa",
+    workload="squad_single_batch",
+    mode="open",
+    arrival="poisson",
+    request_rate=4.0,
+    description="Open-loop Poisson arrivals over the QA-style request shape.",
+)
+
+#: Bursty open-loop traffic: concurrent requests that share expert fetches.
+BURSTY_QA_LOAD = LoadSpec(
+    name="bursty_qa",
+    workload="squad_single_batch",
+    mode="open",
+    arrival="burst",
+    request_rate=8.0,
+    burst_size=4,
+    description="Bursts of simultaneous QA requests (stress for transfer dedup).",
+)
+
+#: Closed-loop saturation: a fixed worker pool keeps the replica busy.
+CLOSED_LOOP_QA_LOAD = LoadSpec(
+    name="closed_loop_qa",
+    workload="squad_single_batch",
+    mode="closed",
+    concurrency=4,
+    description="Closed-loop clients back-to-back, measuring saturated throughput.",
+)
+
+_LOAD_SPECS: Dict[str, LoadSpec] = {
+    spec.name: spec for spec in (POISSON_QA_LOAD, BURSTY_QA_LOAD, CLOSED_LOOP_QA_LOAD)
+}
+
+
+def get_load_spec(name: str) -> LoadSpec:
+    """Look up a named load spec."""
+    try:
+        return _LOAD_SPECS[name]
+    except KeyError:
+        raise KeyError(f"unknown load spec {name!r}; known: {sorted(_LOAD_SPECS)}") from None
+
+
+def list_load_specs() -> Dict[str, LoadSpec]:
+    return dict(_LOAD_SPECS)
+
+
+def timestamp_traces(traces: List[RequestTrace],
+                     process: Optional[ArrivalProcess]) -> List[TimedRequest]:
+    """Attach arrival timestamps to traces (zero timestamps without a process)."""
+    if process is None:
+        times = [0.0] * len(traces)
+    else:
+        times = process.arrival_times(len(traces))
+    return [TimedRequest(request_id=i, arrival_time=t, trace=trace)
+            for i, (t, trace) in enumerate(zip(times, traces))]
+
+
+def generate_timed_requests(config: "ModelConfig | str", load: LoadSpec,
+                            workload: Optional[WorkloadSpec] = None) -> List[TimedRequest]:
+    """Materialise a load spec into timestamped request traces.
+
+    ``workload`` overrides the registered request-shape spec (used by the
+    benches to shrink request counts without re-registering specs).
+    """
+    config = get_config(config) if isinstance(config, str) else config
+    spec = workload if workload is not None else get_workload(load.workload)
+    traces = generate_traces(config, spec)
+    return timestamp_traces(traces, load.arrival_process())

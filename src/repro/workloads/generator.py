@@ -74,8 +74,34 @@ SKEWED_ROUTING = WorkloadSpec(
     description="Hot-expert workload for the expert-caching study.",
 )
 
+#: Load-testing request mix: many short QA requests, used with the arrival
+#: processes in :mod:`repro.workloads.arrivals` to drive the continuous-
+#: batching scheduler at sustained offered loads.
+HEAVY_TRAFFIC_QA = WorkloadSpec(
+    name="heavy_traffic_qa",
+    num_requests=32,
+    input_length=32,
+    output_length=32,
+    batch_size=1,
+    routing_skew=0.0,
+    description="Sustained-traffic QA request mix for open/closed-loop load tests.",
+)
+
+#: Mixed-length load-testing mix: same shape as summarisation traffic, more
+#: requests, for load tests where prefill cost dominates.
+HEAVY_TRAFFIC_SUMMARISE = WorkloadSpec(
+    name="heavy_traffic_summarise",
+    num_requests=16,
+    input_length=128,
+    output_length=48,
+    batch_size=1,
+    routing_skew=0.0,
+    description="Sustained-traffic summarisation mix (prefill-heavy) for load tests.",
+)
+
 _WORKLOADS: Dict[str, WorkloadSpec] = {
-    spec.name: spec for spec in (SQUAD_SINGLE_BATCH, XSUM_SINGLE_BATCH, SKEWED_ROUTING)
+    spec.name: spec for spec in (SQUAD_SINGLE_BATCH, XSUM_SINGLE_BATCH, SKEWED_ROUTING,
+                                 HEAVY_TRAFFIC_QA, HEAVY_TRAFFIC_SUMMARISE)
 }
 
 

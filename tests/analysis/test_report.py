@@ -91,3 +91,41 @@ class TestFigureReport:
     def test_as_csv(self):
         report = FigureReport(figure="F", description="d", headers=["a"], rows=[[1]])
         assert report.as_csv().splitlines() == ["a", "1"]
+
+
+class TestLoadTestReport:
+    def make_load_result(self, oom=False):
+        from repro.serving.metrics import LoadTestResult, ServedRequestResult
+        result = LoadTestResult(design="pregated", config_name="switch_base_8",
+                                offered_load=4.0, makespan=1.0,
+                                peak_gpu_bytes=int(3e9), oom=oom)
+        if not oom:
+            result.requests.append(ServedRequestResult(
+                request_id=0, design="pregated", config_name="switch_base_8",
+                input_length=16, output_length=2, arrival_time=0.0,
+                first_scheduled_time=0.1, first_token_time=0.2,
+                completion_time=0.3, token_times=[0.2, 0.3]))
+        return result
+
+    def test_columns_match_summary(self):
+        from repro.analysis import LOAD_REPORT_COLUMNS, load_test_report
+        report = load_test_report([self.make_load_result()])
+        assert report.headers == LOAD_REPORT_COLUMNS
+        assert len(report.rows) == 1
+        row = dict(zip(report.headers, report.rows[0]))
+        assert row["design"] == "pregated"
+        assert row["sustained_tokens_per_second"] == pytest.approx(2.0)
+        assert row["p50_ttft_ms"] == pytest.approx(200.0)
+
+    def test_oom_rows_marked(self):
+        from repro.analysis import load_test_report
+        report = load_test_report([self.make_load_result(oom=True)])
+        row = dict(zip(report.headers, report.rows[0]))
+        assert row["sustained_tokens_per_second"] == "OOM"
+        assert row["design"] == "pregated"
+
+    def test_renderable(self):
+        from repro.analysis import load_test_report
+        text = load_test_report([self.make_load_result()],
+                                figure="Load sweep").render()
+        assert "Load sweep" in text and "p99_ttft_ms" in text

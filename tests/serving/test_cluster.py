@@ -1,0 +1,96 @@
+"""Tests for the multi-replica router and cluster aggregation."""
+
+import pytest
+
+from repro.moe import get_config
+from repro.serving import ReplicaCluster, make_scheduler
+from repro.workloads import TimedRequest, TraceGenerator
+
+CONFIG = get_config("switch_base_64")
+
+
+def timed(traces, times):
+    return [TimedRequest(request_id=i, arrival_time=t, trace=trace)
+            for i, (t, trace) in enumerate(zip(times, traces))]
+
+
+@pytest.fixture(scope="module")
+def requests():
+    traces = TraceGenerator(CONFIG, seed=0).workload(6, input_length=8, output_length=6)
+    return timed(traces, [0.1 * i for i in range(len(traces))])
+
+
+class TestRouting:
+    def test_round_robin_assignment(self, requests):
+        cluster = ReplicaCluster("pregated", CONFIG, num_replicas=3, policy="round_robin")
+        assignments = cluster.route(requests)
+        assert [len(a) for a in assignments] == [2, 2, 2]
+        assert [r.request_id for r in assignments[0]] == [0, 3]
+
+    def test_least_loaded_spreads_simultaneous_arrivals(self, requests):
+        cluster = ReplicaCluster("pregated", CONFIG, num_replicas=2, policy="least_loaded")
+        simultaneous = timed([r.trace for r in requests], [0.0] * len(requests))
+        assignments = cluster.route(simultaneous)
+        assert [len(a) for a in assignments] == [3, 3]
+
+    def test_least_loaded_balances_heterogeneous_lengths(self):
+        """One giant request must not drag three short ones onto its replica."""
+        gen = TraceGenerator(CONFIG, seed=2)
+        big = gen.request_trace(input_length=8, output_length=48)
+        small = [gen.request_trace(input_length=8, output_length=4) for _ in range(3)]
+        reqs = timed([big] + small, [0.0, 0.0, 0.0, 0.0])
+        cluster = ReplicaCluster("pregated", CONFIG, num_replicas=2, policy="least_loaded")
+        assignments = cluster.route(reqs)
+        big_replica = next(i for i, a in enumerate(assignments)
+                           if any(r.request_id == 0 for r in a))
+        # All three short requests land on the other replica.
+        assert len(assignments[1 - big_replica]) == 3
+
+    def test_invalid_policy_and_replica_count(self):
+        with pytest.raises(ValueError):
+            ReplicaCluster("pregated", CONFIG, policy="random")
+        with pytest.raises(ValueError):
+            ReplicaCluster("pregated", CONFIG, num_replicas=0)
+
+
+class TestClusterServe:
+    def test_all_requests_served_exactly_once(self, requests):
+        cluster = ReplicaCluster("pregated", CONFIG, num_replicas=2)
+        result = cluster.serve(requests)
+        combined = result.combined()
+        assert combined.num_requests == len(requests)
+        assert sorted(r.request_id for r in combined.requests) == list(range(len(requests)))
+        replicas = {r.replica for r in combined.requests}
+        assert replicas == {0, 1}
+
+    def test_more_replicas_cut_latency_under_load(self, requests):
+        single = make_scheduler("pregated", CONFIG).serve(requests)
+        cluster = ReplicaCluster("pregated", CONFIG, num_replicas=3)
+        combined = cluster.serve(requests).combined()
+        assert combined.makespan <= single.makespan + 1e-12
+        assert combined.e2e_stats.p99 <= single.e2e_stats.p99 + 1e-12
+        assert combined.sustained_tokens_per_second >= single.sustained_tokens_per_second
+
+    def test_combined_peak_memory_sums_replicas(self, requests):
+        cluster = ReplicaCluster("pregated", CONFIG, num_replicas=2)
+        result = cluster.serve(requests)
+        combined = result.combined()
+        assert combined.peak_gpu_bytes == sum(
+            r.peak_gpu_bytes for r in result.replica_results)
+        assert combined.num_replicas == 2
+
+    def test_summary_includes_policy(self, requests):
+        cluster = ReplicaCluster("pregated", CONFIG, num_replicas=2,
+                                 policy="least_loaded")
+        summary = cluster.serve(requests).summary()
+        assert summary["policy"] == "least_loaded"
+        assert summary["replicas"] == 2
+        assert summary["sustained_tokens_per_second"] > 0
+
+    def test_single_replica_cluster_matches_scheduler(self, requests):
+        cluster = ReplicaCluster("pregated", CONFIG, num_replicas=1)
+        combined = cluster.serve(requests).combined()
+        direct = make_scheduler("pregated", CONFIG).serve(requests)
+        assert combined.makespan == pytest.approx(direct.makespan, abs=1e-9)
+        for a, b in zip(combined.requests, direct.requests):
+            assert a.completion_time == pytest.approx(b.completion_time, abs=1e-9)

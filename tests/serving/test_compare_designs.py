@@ -1,0 +1,84 @@
+"""Dedicated coverage for ``compare_designs`` (including the OOM path)."""
+
+import pytest
+
+from repro.moe import get_config
+from repro.serving import EngineConfig, compare_designs
+from repro.workloads import TraceGenerator
+
+CONFIG = get_config("switch_base_64")
+DESIGNS = ("gpu_only", "pregated", "ondemand", "prefetch_all")
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return TraceGenerator(CONFIG, seed=0).workload(2, input_length=8, output_length=4)
+
+
+class TestCompareDesigns:
+    def test_runs_every_requested_design(self, traces):
+        results = compare_designs(CONFIG, traces)
+        assert set(results) == set(DESIGNS)
+        for design, result in results.items():
+            assert result.design == design
+            assert result.config_name == CONFIG.name
+            assert result.num_requests == len(traces)
+
+    def test_design_subset(self, traces):
+        results = compare_designs(CONFIG, traces, designs=("pregated", "ondemand"))
+        assert set(results) == {"pregated", "ondemand"}
+
+    def test_accepts_config_by_name(self, traces):
+        results = compare_designs("switch_base_64", traces, designs=("pregated",))
+        assert results["pregated"].config_name == "switch_base_64"
+
+    def test_unknown_design_raises(self, traces):
+        with pytest.raises(ValueError):
+            compare_designs(CONFIG, traces, designs=("pregated", "multi_gpu"))
+
+    def test_engines_do_not_share_state(self, traces):
+        """Each design gets a fresh engine: peaks must reflect its own policy."""
+        results = compare_designs(CONFIG, traces)
+        assert results["gpu_only"].peak_gpu_bytes > results["pregated"].peak_gpu_bytes
+
+    def test_engine_config_forwarded(self, traces):
+        small = compare_designs(CONFIG, traces, designs=("ondemand",),
+                                engine_config=EngineConfig(runtime_workspace_bytes=0))
+        big = compare_designs(CONFIG, traces, designs=("ondemand",),
+                              engine_config=EngineConfig(runtime_workspace_bytes=int(4e9)))
+        delta = big["ondemand"].peak_gpu_bytes - small["ondemand"].peak_gpu_bytes
+        assert delta == pytest.approx(4e9, rel=0.01)
+
+
+class TestGpuOnlyOomPath:
+    """Figures 10-12: GPU-only on Switch-Large OOMs, others keep serving."""
+
+    def test_switch_large_gpu_only_oom(self):
+        config = get_config("switch_large_128")
+        traces = TraceGenerator(config, seed=1).workload(1, input_length=4, output_length=2)
+        results = compare_designs(config, traces)
+        assert results["gpu_only"].oom
+        assert "out of memory" in results["gpu_only"].oom_reason.lower()
+        assert results["gpu_only"].requests == []
+        assert results["gpu_only"].aggregate_tokens_per_second == 0.0
+        for design in ("pregated", "ondemand", "prefetch_all"):
+            assert not results[design].oom
+            assert results[design].num_requests == 1
+            assert results[design].aggregate_tokens_per_second > 0
+
+    def test_oom_engine_leaves_no_partial_results(self):
+        config = get_config("switch_large_128")
+        traces = TraceGenerator(config, seed=1).workload(2, input_length=4, output_length=2)
+        results = compare_designs(config, traces, designs=("gpu_only",))
+        result = results["gpu_only"]
+        assert result.oom and result.num_requests == 0
+        assert result.peak_gpu_bytes == 0
+
+    def test_oversubscription_disables_oom(self):
+        config = get_config("switch_large_128")
+        traces = TraceGenerator(config, seed=1).workload(1, input_length=4, output_length=2)
+        results = compare_designs(config, traces, designs=("gpu_only",),
+                                  engine_config=EngineConfig(allow_oversubscription=True))
+        result = results["gpu_only"]
+        assert not result.oom
+        assert result.peak_gpu_bytes > config.non_moe_bytes()

@@ -5,9 +5,14 @@ import pytest
 from repro.serving.metrics import (
     BlockLatencyRecord,
     IterationResult,
+    LatencyStats,
+    LoadTestResult,
     RequestResult,
+    ServedRequestResult,
     WorkloadResult,
+    merge_load_results,
     normalise,
+    percentile,
 )
 
 
@@ -68,6 +73,120 @@ class TestWorkloadResult:
     def test_iteration_mean(self):
         iteration = IterationResult(part="decoder", iteration=0, duration=1.0)
         assert iteration.mean_block_latency == 0.0
+
+
+def make_served(request_id=0, arrival=0.0, first_sched=0.1, tokens=(0.2, 0.3, 0.45),
+                replica=0):
+    return ServedRequestResult(
+        request_id=request_id, design="pregated", config_name="switch_base_8",
+        input_length=16, output_length=len(tokens), arrival_time=arrival,
+        first_scheduled_time=first_sched, first_token_time=tokens[0],
+        completion_time=tokens[-1], token_times=list(tokens), replica=replica)
+
+
+class TestPercentile:
+    def test_median_and_extremes(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 50) == pytest.approx(3.0)
+        assert percentile(values, 0) == pytest.approx(1.0)
+        assert percentile(values, 100) == pytest.approx(5.0)
+
+    def test_interpolates(self):
+        assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+        assert percentile([0.0, 10.0], 90) == pytest.approx(9.0)
+
+    def test_order_independent(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == pytest.approx(3.0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyStats:
+    def test_from_values(self):
+        stats = LatencyStats.from_values([0.1, 0.2, 0.3, 0.4])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(0.25)
+        assert stats.p50 == pytest.approx(0.25)
+        assert stats.max == pytest.approx(0.4)
+        assert stats.p50 <= stats.p90 <= stats.p99 <= stats.max
+
+    def test_empty_is_zeroed(self):
+        stats = LatencyStats.from_values([])
+        assert stats.count == 0 and stats.p99 == 0.0
+
+    def test_as_dict_scaling(self):
+        stats = LatencyStats.from_values([0.5])
+        assert stats.as_dict(scale=1e3)["p50"] == pytest.approx(500.0)
+
+
+class TestServedRequestResult:
+    def test_latency_properties(self):
+        served = make_served(arrival=0.05, first_sched=0.1, tokens=(0.2, 0.3, 0.45))
+        assert served.queueing_delay == pytest.approx(0.05)
+        assert served.ttft == pytest.approx(0.15)
+        assert served.e2e_latency == pytest.approx(0.4)
+        assert served.time_between_tokens == pytest.approx([0.1, 0.15])
+
+    def test_single_token_has_no_tbt(self):
+        served = make_served(tokens=(0.2,))
+        assert served.time_between_tokens == []
+
+
+class TestLoadTestResult:
+    def make_result(self):
+        return LoadTestResult(
+            design="pregated", config_name="switch_base_8", offered_load=4.0,
+            requests=[make_served(0, tokens=(0.2, 0.3, 0.45)),
+                      make_served(1, arrival=0.5, first_sched=0.6,
+                                  tokens=(0.7, 0.9, 1.0))],
+            makespan=1.0, peak_gpu_bytes=int(3e9))
+
+    def test_throughput_uses_wall_clock(self):
+        result = self.make_result()
+        assert result.total_generated_tokens == 6
+        assert result.sustained_tokens_per_second == pytest.approx(6.0)
+        assert result.completed_requests_per_second == pytest.approx(2.0)
+
+    def test_stat_properties(self):
+        result = self.make_result()
+        assert result.ttft_stats.count == 2
+        assert result.tbt_stats.count == 4
+        assert result.queueing_stats.mean == pytest.approx(0.1)
+
+    def test_summary_keys(self):
+        summary = self.make_result().summary()
+        for key in ("design", "sustained_tokens_per_second", "p50_ttft_ms",
+                    "p99_ttft_ms", "p50_tbt_ms", "p99_tbt_ms",
+                    "mean_queueing_ms", "peak_gpu_gb"):
+            assert key in summary
+        assert summary["p50_ttft_ms"] == pytest.approx(200.0)
+
+    def test_empty_result(self):
+        result = LoadTestResult(design="gpu_only", config_name="switch_large_128",
+                                oom=True)
+        assert result.sustained_tokens_per_second == 0.0
+        assert result.ttft_stats.count == 0
+
+
+class TestMergeLoadResults:
+    def test_merge_pools_requests_and_maxes_makespan(self):
+        a = LoadTestResult(design="pregated", config_name="c", makespan=1.0,
+                           peak_gpu_bytes=10, requests=[make_served(0, replica=0)])
+        b = LoadTestResult(design="pregated", config_name="c", makespan=2.0,
+                           peak_gpu_bytes=20, requests=[make_served(1, replica=1)])
+        merged = merge_load_results([a, b])
+        assert merged.num_requests == 2
+        assert merged.makespan == pytest.approx(2.0)
+        assert merged.peak_gpu_bytes == 30
+        assert merged.num_replicas == 2
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_load_results([])
 
 
 class TestNormalise:

@@ -50,6 +50,25 @@ class TestScheduling:
         assert tl.exposed_copy_time() == pytest.approx(2.0)
         assert tl.overlap_efficiency() == pytest.approx(0.0)
 
+    def test_earliest_start_gates_ops(self):
+        """An op may not start before its earliest_start (request arrival)."""
+        tl = ExecutionTimeline()
+        a = tl.add_compute("a", 1.0)
+        b = tl.add_compute("b", 1.0, earliest_start=5.0)
+        assert a.end == pytest.approx(1.0)
+        assert b.start == pytest.approx(5.0)
+        assert tl.makespan == pytest.approx(6.0)
+
+    def test_earliest_start_in_past_is_ignored(self):
+        tl = ExecutionTimeline()
+        tl.add_compute("a", 3.0)
+        b = tl.add_compute("b", 1.0, earliest_start=1.0)
+        assert b.start == pytest.approx(3.0)
+
+    def test_negative_earliest_start_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionTimeline().add_compute("x", 1.0, earliest_start=-1.0)
+
     def test_invalid_dependency_rejected(self):
         tl = ExecutionTimeline()
         with pytest.raises(ValueError):
@@ -96,6 +115,59 @@ class TestQueries:
         text = self.make_timeline().render_ascii(width=40)
         assert "compute" in text and "copy" in text
         assert "ms" in text
+
+
+class TestExposedCopyTime:
+    """``exposed_copy_time`` counts only copy-induced compute stalls.
+
+    Regression tests for the old ``makespan - compute_busy`` formula, which
+    wrongly counted compute-stream idle caused by compute-side dependencies,
+    trailing copies and arrival gaps as "exposed copy time".
+    """
+
+    def test_trailing_copy_not_counted(self):
+        """A copy extending past the last compute op stalls nothing."""
+        tl = ExecutionTimeline()
+        tl.add_compute("a", 1.0)
+        tl.add_copy("background", 5.0)
+        # Old formula: makespan(5) - compute_busy(1) = 4.  No compute op
+        # ever waited on the copy, so nothing is exposed.
+        assert tl.exposed_copy_time() == pytest.approx(0.0)
+
+    def test_arrival_gap_not_counted(self):
+        """Idle time waiting for a request arrival is not a copy stall."""
+        tl = ExecutionTimeline()
+        tl.add_compute("req0", 1.0)
+        tl.add_copy("fetch", 1.5)
+        tl.add_compute("req1", 1.0, earliest_start=10.0)
+        assert tl.exposed_copy_time() == pytest.approx(0.0)
+
+    def test_partial_stall_counted_exactly(self):
+        """Only the portion of the copy outlasting compute is exposed."""
+        tl = ExecutionTimeline()
+        copy = tl.add_copy("prefetch", 3.0)
+        tl.add_compute("block_n", 2.0)
+        execute = tl.add_compute("block_n1", 1.0, depends_on=[copy.op_id])
+        assert execute.start == pytest.approx(3.0)
+        assert tl.exposed_copy_time() == pytest.approx(1.0)
+
+    def test_stall_after_arrival_gap_counted(self):
+        """A copy stall following an arrival gap is still attributed to the copy."""
+        tl = ExecutionTimeline()
+        gate = tl.add_compute("gate", 1.0, earliest_start=5.0)
+        copy = tl.add_copy("fetch", 2.0, depends_on=[gate.op_id])
+        tl.add_compute("exec", 1.0, depends_on=[copy.op_id])
+        assert tl.exposed_copy_time() == pytest.approx(2.0)
+
+    def test_multiple_stalls_accumulate(self):
+        tl = ExecutionTimeline()
+        g1 = tl.add_compute("gate1", 0.5)
+        c1 = tl.add_copy("fetch1", 2.0, depends_on=[g1.op_id])
+        tl.add_compute("exec1", 1.0, depends_on=[c1.op_id])   # stalls 2.0
+        g2 = tl.add_compute("gate2", 0.5)
+        c2 = tl.add_copy("fetch2", 2.0, depends_on=[g2.op_id])
+        tl.add_compute("exec2", 1.0, depends_on=[c2.op_id])   # stalls 2.0
+        assert tl.exposed_copy_time() == pytest.approx(4.0)
 
 
 @settings(max_examples=40, deadline=None)

@@ -1,0 +1,107 @@
+"""Tests for arrival processes, timestamped requests and load specs."""
+
+import pytest
+
+from repro.moe import get_config
+from repro.workloads import (
+    BURSTY_QA_LOAD,
+    CLOSED_LOOP_QA_LOAD,
+    POISSON_QA_LOAD,
+    BurstArrivals,
+    DeterministicArrivals,
+    LoadSpec,
+    PoissonArrivals,
+    TimedRequest,
+    generate_timed_requests,
+    get_load_spec,
+    list_load_specs,
+    make_arrival_process,
+    timestamp_traces,
+    TraceGenerator,
+)
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean_rate(self):
+        process = PoissonArrivals(rate=10.0, seed=0)
+        times = process.arrival_times(2000)
+        empirical_rate = len(times) / times[-1]
+        assert empirical_rate == pytest.approx(10.0, rel=0.1)
+
+    def test_poisson_reproducible(self):
+        a = PoissonArrivals(rate=5.0, seed=7).arrival_times(50)
+        b = PoissonArrivals(rate=5.0, seed=7).arrival_times(50)
+        assert a == b
+
+    def test_deterministic_spacing(self):
+        process = DeterministicArrivals(rate=4.0)
+        times = process.arrival_times(4)
+        assert times == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_burst_groups_and_average_rate(self):
+        process = BurstArrivals(rate=8.0, burst_size=4)
+        times = process.arrival_times(8)
+        # First burst at t=0, second burst half a second later (4 / 8 rps).
+        assert times[0] == times[3] == pytest.approx(0.0)
+        assert times[4] == times[7] == pytest.approx(0.5)
+
+    def test_arrival_times_monotone(self):
+        for kind in ("poisson", "deterministic", "burst"):
+            times = make_arrival_process(kind, rate=3.0, seed=1).arrival_times(20)
+            assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_invalid_rate_and_kind(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0)
+        with pytest.raises(ValueError):
+            make_arrival_process("pareto", rate=1.0)
+
+
+class TestTimedRequests:
+    def test_timestamp_traces_open_loop(self):
+        config = get_config("switch_base_8")
+        traces = TraceGenerator(config, seed=0).workload(5, 8, 4)
+        timed = timestamp_traces(traces, DeterministicArrivals(rate=2.0))
+        assert [t.request_id for t in timed] == [0, 1, 2, 3, 4]
+        assert timed[1].arrival_time == pytest.approx(1.0)
+        assert timed[0].input_length == 8 and timed[0].output_length == 4
+
+    def test_timestamp_traces_closed_loop(self):
+        config = get_config("switch_base_8")
+        traces = TraceGenerator(config, seed=0).workload(3, 8, 4)
+        timed = timestamp_traces(traces, None)
+        assert all(t.arrival_time == 0.0 for t in timed)
+
+    def test_generate_timed_requests_by_name(self):
+        timed = generate_timed_requests("switch_base_8", POISSON_QA_LOAD)
+        assert len(timed) > 0
+        assert all(isinstance(t, TimedRequest) for t in timed)
+        assert all(t.arrival_time >= 0.0 for t in timed)
+
+    def test_closed_loop_spec_has_no_process(self):
+        assert CLOSED_LOOP_QA_LOAD.arrival_process() is None
+        timed = generate_timed_requests("switch_base_8", CLOSED_LOOP_QA_LOAD)
+        assert all(t.arrival_time == 0.0 for t in timed)
+
+
+class TestLoadSpecs:
+    def test_registry(self):
+        specs = list_load_specs()
+        assert "poisson_qa" in specs and "closed_loop_qa" in specs
+        assert get_load_spec("bursty_qa") is BURSTY_QA_LOAD
+        with pytest.raises(KeyError):
+            get_load_spec("nope")
+
+    def test_overrides(self):
+        faster = POISSON_QA_LOAD.with_overrides(request_rate=99.0)
+        assert faster.request_rate == 99.0
+        assert faster.arrival_process().rate == 99.0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            LoadSpec(name="bad", mode="duplex")
+
+    def test_burst_spec_builds_burst_process(self):
+        process = BURSTY_QA_LOAD.arrival_process()
+        assert isinstance(process, BurstArrivals)
+        assert process.burst_size == BURSTY_QA_LOAD.burst_size
