@@ -1,0 +1,120 @@
+"""Figure 15 under load — shared expert caching in the continuous-batching path.
+
+The paper's Figure 15 evaluates LIFO/LFU/LRU expert caching one request at a
+time (see ``bench_fig15_caching.py``).  This benchmark re-runs the study the
+way a serving fleet would see it: a stream of skewed (hot-expert) requests
+through the :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`,
+whose shared refcounted residency map caches experts *across* concurrent
+requests, sweeping replacement policy × cache capacity × offered load.
+
+Reproduction targets (both Pre-gated MoE and MoE-OnDemand):
+
+* a warm cache strictly reduces total CPU→GPU transfer volume and reports a
+  positive hit rate at every swept load;
+* a zero-capacity cache is byte-identical to running without one (the
+  parity contract of the residency subsystem).
+"""
+
+import pytest
+
+from conftest import ENGINE_CONFIG, emit
+from repro.analysis import FigureReport
+from repro.moe import get_config
+from repro.serving import DESIGN_LABELS, serve_load
+from repro.system import cache_capacity_from_fraction
+from repro.workloads import POISSON_QA_LOAD, WorkloadSpec
+
+CONFIG = get_config("switch_base_64")
+POLICIES = ("lifo", "lfu", "lru")
+FRACTIONS = (0.05, 0.20)
+LOADS = (4.0, 16.0)
+DESIGNS = ("pregated", "ondemand")
+
+#: Hot-expert open-loop traffic (skewed routing, as observed by Huang et al.).
+WORKLOAD = WorkloadSpec(name="fig15_load_hot_experts", num_requests=6,
+                        input_length=8, output_length=8, routing_skew=1.5, seed=0)
+
+
+def _serve(design, rate, policy=None, fraction=None):
+    load = POISSON_QA_LOAD.with_overrides(request_rate=rate)
+    capacity = None
+    if fraction is not None:
+        capacity = cache_capacity_from_fraction(
+            CONFIG.num_moe_blocks("all"), CONFIG.num_experts, fraction)
+    return serve_load(design, CONFIG, load, workload=WORKLOAD,
+                      engine_config=ENGINE_CONFIG, max_batch_size=4,
+                      cache_policy=policy, cache_capacity=capacity)
+
+
+def run_cache_load_study():
+    results = {}
+    for design in DESIGNS:
+        for rate in LOADS:
+            results[(design, "w/o cache", 0.0, rate)] = _serve(design, rate)
+            for policy in POLICIES:
+                for fraction in FRACTIONS:
+                    results[(design, policy, fraction, rate)] = _serve(
+                        design, rate, policy=policy, fraction=fraction)
+    return results
+
+
+@pytest.mark.benchmark(group="fig15_load")
+def test_fig15_expert_cache_under_load(benchmark, results_dir):
+    results = benchmark.pedantic(run_cache_load_study, rounds=1, iterations=1)
+    report = FigureReport(
+        figure="Figure 15 (under load)",
+        description="Expert caching in the continuous-batching scheduler, "
+                    "Switch-Base 64, skewed routing",
+        headers=["design", "policy", "cache %", "load rps", "tokens/s",
+                 "p99 ttft ms", "hit rate", "GB transferred", "GB saved",
+                 "evictions"],
+        paper_reference="Caching compounds the pre-gated prefetch wins; the "
+                        "relative benefit is larger for MoE-OnDemand.",
+        notes="Cache capacity as a fraction of all experts; shared residency "
+              "map refcounts in-flight experts across concurrent requests.")
+    for (design, policy, fraction, rate), result in results.items():
+        stats = result.cache_stats
+        report.add_row(
+            DESIGN_LABELS[design], policy, int(fraction * 100), rate,
+            round(result.sustained_tokens_per_second, 2),
+            round(result.ttft_stats.p99 * 1e3, 2),
+            round(stats.hit_rate, 3) if stats else "-",
+            round(result.expert_bytes_transferred / 1e9, 3),
+            round(stats.bytes_saved / 1e9, 3) if stats else "-",
+            stats.evictions if stats else "-")
+    emit(report, results_dir, "fig15_expert_cache_load.csv")
+
+    for design in DESIGNS:
+        for rate in LOADS:
+            uncached = results[(design, "w/o cache", 0.0, rate)]
+            for policy in POLICIES:
+                warm = results[(design, policy, max(FRACTIONS), rate)]
+                # Transferred bytes strictly decrease and hits appear.
+                # (Exact transferred+saved conservation only holds when round
+                # composition matches the uncached run — caching shifts
+                # completion times and therefore round membership, so it is
+                # asserted in the fixed-arrival unit tests instead.)
+                assert (warm.expert_bytes_transferred
+                        < uncached.expert_bytes_transferred)
+                assert warm.cache_stats.hit_rate > 0.0
+                assert warm.cache_stats.bytes_saved > 0
+            # Bigger caches never transfer more than smaller ones (LRU).
+            small = results[(design, "lru", min(FRACTIONS), rate)]
+            large = results[(design, "lru", max(FRACTIONS), rate)]
+            assert large.expert_bytes_transferred <= small.expert_bytes_transferred
+
+
+@pytest.mark.benchmark(group="fig15_load")
+def test_fig15_zero_capacity_parity(benchmark):
+    def run():
+        base = _serve("pregated", 8.0)
+        zero = serve_load("pregated", CONFIG,
+                          POISSON_QA_LOAD.with_overrides(request_rate=8.0),
+                          workload=WORKLOAD, engine_config=ENGINE_CONFIG,
+                          max_batch_size=4, cache_policy="lru", cache_capacity=0)
+        return base, zero
+
+    base, zero = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert zero.makespan == pytest.approx(base.makespan, abs=1e-9)
+    assert zero.expert_bytes_transferred == base.expert_bytes_transferred
+    assert zero.peak_gpu_bytes == base.peak_gpu_bytes

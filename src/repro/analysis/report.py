@@ -90,7 +90,11 @@ LOAD_REPORT_COLUMNS = [
     "design", "config", "replicas", "offered_load_rps", "requests",
     "sustained_tokens_per_second", "p50_ttft_ms", "p99_ttft_ms",
     "p50_tbt_ms", "p99_tbt_ms", "mean_queueing_ms", "peak_gpu_gb",
+    "cache_hit_rate", "cache_evictions", "gb_transferred", "gb_saved",
 ]
+
+#: Load-report cells rendered as "-" when the run had no expert cache.
+_CACHE_COLUMNS = ("cache_hit_rate", "cache_evictions")
 
 
 def load_test_report(results: Sequence, figure: str = "Serving load test",
@@ -114,6 +118,8 @@ def load_test_report(results: Sequence, figure: str = "Serving load test",
             if summary.get("oom") and column not in ("design", "config", "replicas",
                                                      "offered_load_rps", "requests"):
                 row.append("OOM")
+            elif column in _CACHE_COLUMNS and value is None:
+                row.append("-")
             elif isinstance(value, float):
                 row.append(round(value, 3))
             else:

@@ -37,6 +37,7 @@ from .metrics import (
     percentile,
 )
 from .placement import ModelPlacement
+from .prefetch import CrossRequestPrefetcher, PrefetchRound
 from .scheduler import ContinuousBatchingScheduler, make_scheduler, serve_load
 from .simulator import IterationSimulator, SharedExpertRound
 
@@ -53,6 +54,8 @@ __all__ = [
     "ModelPlacement",
     "IterationSimulator",
     "SharedExpertRound",
+    "CrossRequestPrefetcher",
+    "PrefetchRound",
     "ContinuousBatchingScheduler",
     "make_scheduler",
     "serve_load",

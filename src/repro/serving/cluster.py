@@ -14,6 +14,15 @@ request to a replica with one of two policies:
   tokens × an estimated per-token service time).  This is the router-side
   approximation a real load balancer makes from queue-depth telemetry; it
   has no access to the replicas' actual simulated timelines.
+* ``cache_aware`` — when per-replica expert caches are enabled, prefer the
+  replica whose cache is most likely to already hold the request's experts:
+  the router keeps a bounded per-replica window of recently routed expert
+  keys (the affinity estimate a real balancer builds from pre-gate
+  telemetry) and scores each replica by overlap with the request's
+  activation profile.  Affinity may override the backlog by at most one
+  request's worth of estimated work — replicas further behind are excluded
+  before scoring — so a hot expert set cannot herd all traffic onto one
+  replica.
 
 Replicas run concurrently, so cluster throughput divides total generated
 tokens by the slowest replica's makespan.
@@ -21,17 +30,22 @@ tokens by the slowest replica's makespan.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..moe.configs import ModelConfig, get_config
 from ..system.hardware import PAPER_SYSTEM, SystemSpec
 from ..workloads.arrivals import TimedRequest
+from ..workloads.traces import RequestTrace
 from .engine import EngineConfig
 from .metrics import LoadTestResult, merge_load_results
 from .scheduler import ContinuousBatchingScheduler
 
-ROUTING_POLICIES = ("round_robin", "least_loaded")
+ROUTING_POLICIES = ("round_robin", "least_loaded", "cache_aware")
+
+#: Router-side affinity window when no cache capacity is configured.
+DEFAULT_AFFINITY_WINDOW = 256
 
 
 @dataclass
@@ -61,7 +75,9 @@ class ReplicaCluster:
                  num_replicas: int = 2, policy: str = "round_robin",
                  system: SystemSpec = PAPER_SYSTEM,
                  engine_config: Optional[EngineConfig] = None,
-                 max_batch_size: int = 8) -> None:
+                 max_batch_size: int = 8,
+                 cache_policy: Optional[str] = None,
+                 cache_capacity: Optional[int] = None) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
         if policy not in ROUTING_POLICIES:
@@ -73,12 +89,18 @@ class ReplicaCluster:
         self.system = system
         self.engine_config = engine_config
         self.max_batch_size = max_batch_size
+        self.cache_policy = cache_policy
+        self.cache_capacity = cache_capacity
         self.replicas = [
             ContinuousBatchingScheduler(design, self.config, system=system,
                                         engine_config=engine_config,
-                                        max_batch_size=max_batch_size)
+                                        max_batch_size=max_batch_size,
+                                        cache_policy=cache_policy,
+                                        cache_capacity=cache_capacity)
             for _ in range(num_replicas)
         ]
+        self._affinity_window = (cache_capacity if cache_capacity
+                                 else DEFAULT_AFFINITY_WINDOW)
         # Rough per-token service time for the router's backlog estimate:
         # all decoder layers' non-MoE time plus each MoE block's expert
         # execution (migration stalls are design-dependent and not modelled
@@ -94,6 +116,23 @@ class ReplicaCluster:
                                 + expert_time)
 
     # ------------------------------------------------------------------
+    def request_expert_keys(self, trace: RequestTrace) -> Set[Tuple[int, int]]:
+        """Global expert keys a request activates (the router's affinity signal).
+
+        Uses the same ``(global_moe_block, expert_id)`` keying as the
+        placement layer.  A real balancer would build this from pre-gate
+        telemetry as tokens decode; the simulation reads it off the trace,
+        which is the idealised (fully informed) version of that signal.
+        """
+        keys: Set[Tuple[int, int]] = set()
+        num_encoder_blocks = self.config.num_moe_blocks("encoder")
+        for block, experts in enumerate(trace.encoder_activations):
+            keys.update((block, int(e)) for e in experts)
+        for activations in trace.decode_activations:
+            for block, experts in enumerate(activations):
+                keys.update((num_encoder_blocks + block, int(e)) for e in experts)
+        return keys
+
     def route(self, requests: Sequence[TimedRequest]) -> List[List[TimedRequest]]:
         """Assign each request to a replica; returns per-replica request lists."""
         assignments: List[List[TimedRequest]] = [[] for _ in range(self.num_replicas)]
@@ -102,12 +141,29 @@ class ReplicaCluster:
             for i, request in enumerate(ordered):
                 assignments[i % self.num_replicas].append(request)
             return assignments
-        # least_loaded: virtual-finish-time backlog estimate per replica.
+        # least_loaded / cache_aware: virtual-finish-time backlog estimate,
+        # optionally biased by router-side cache-affinity tracking.
         backlog = [0.0] * self.num_replicas
+        seen: List["OrderedDict[Tuple[int, int], None]"] = [
+            OrderedDict() for _ in range(self.num_replicas)]
         for request in ordered:
             loads = [max(0.0, b - request.arrival_time) for b in backlog]
-            target = loads.index(min(loads))
             work = (request.input_length + request.output_length) * self._est_token_time
+            if self.policy == "cache_aware":
+                keys = self.request_expert_keys(request.trace)
+                # Affinity may override backlog by at most one request of work.
+                eligible = [i for i in range(self.num_replicas)
+                            if loads[i] <= min(loads) + work]
+                target = max(eligible,
+                             key=lambda i: (sum(1 for k in keys if k in seen[i]),
+                                            -loads[i]))
+                for key in keys:
+                    seen[target][key] = None
+                    seen[target].move_to_end(key)
+                while len(seen[target]) > self._affinity_window:
+                    seen[target].popitem(last=False)
+            else:
+                target = loads.index(min(loads))
             backlog[target] = max(backlog[target], request.arrival_time) + work
             assignments[target].append(request)
         return assignments

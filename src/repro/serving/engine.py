@@ -69,7 +69,17 @@ class ServingEngine:
     def __init__(self, config: "ModelConfig | str", system: SystemSpec = PAPER_SYSTEM,
                  latency_model: Optional[GpuLatencyModel] = None,
                  cache: Optional[ExpertCache] = None,
-                 engine_config: Optional[EngineConfig] = None) -> None:
+                 engine_config: Optional[EngineConfig] = None,
+                 cache_policy: Optional[str] = None,
+                 cache_capacity: Optional[int] = None) -> None:
+        if cache is not None and (cache_policy is not None or cache_capacity is not None):
+            raise ValueError(
+                "pass either an ExpertCache or cache_policy/cache_capacity, not both")
+        if cache_policy is not None and cache_capacity is None:
+            raise ValueError("cache_policy requires cache_capacity")
+        if cache is None and cache_capacity is not None:
+            cache = ExpertCache(capacity_experts=cache_capacity,
+                                policy=cache_policy or "lru")
         self.config = get_config(config) if isinstance(config, str) else config
         self.system = system
         self.latency = latency_model or GpuLatencyModel(system.gpu)
@@ -219,11 +229,21 @@ DESIGN_LABELS = {
 
 def make_engine(design: str, config: "ModelConfig | str", system: SystemSpec = PAPER_SYSTEM,
                 cache: Optional[ExpertCache] = None,
-                engine_config: Optional[EngineConfig] = None) -> ServingEngine:
-    """Factory for engines by design name."""
+                engine_config: Optional[EngineConfig] = None,
+                cache_policy: Optional[str] = None,
+                cache_capacity: Optional[int] = None) -> ServingEngine:
+    """Factory for engines by design name.
+
+    ``cache_policy``/``cache_capacity`` construct the per-request
+    :class:`~repro.system.cache.ExpertCache` so callers can enable Figure 15
+    caching without building the cache object by hand.
+    """
     if design not in _ENGINES:
         raise ValueError(f"unknown design {design!r}; known: {sorted(_ENGINES)}")
-    return _ENGINES[design](config, system=system, cache=cache, engine_config=engine_config)
+    return _ENGINES[design](config, system=system, cache=cache,
+                            engine_config=engine_config,
+                            cache_policy=cache_policy,
+                            cache_capacity=cache_capacity)
 
 
 def compare_designs(config: "ModelConfig | str", traces: Sequence[RequestTrace],

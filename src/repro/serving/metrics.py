@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
+from ..system.residency import ResidencyStats
+
 
 @dataclass(frozen=True)
 class BlockLatencyRecord:
@@ -255,6 +257,11 @@ class LoadTestResult:
     is a *wall-clock* throughput — queueing and idle time included — unlike
     :attr:`WorkloadResult.aggregate_tokens_per_second` which sums isolated
     per-request times.
+
+    ``expert_bytes_transferred`` counts the CPU→GPU expert migration volume
+    the run actually issued (one entry per copy op on the timeline);
+    ``cache_stats`` carries the shared residency map's counters when expert
+    caching was enabled (``None`` otherwise).
     """
 
     design: str
@@ -264,6 +271,8 @@ class LoadTestResult:
     requests: List[ServedRequestResult] = field(default_factory=list)
     makespan: float = 0.0
     peak_gpu_bytes: int = 0
+    expert_bytes_transferred: int = 0
+    cache_stats: Optional[ResidencyStats] = None
     oom: bool = False
     oom_reason: str = ""
 
@@ -305,6 +314,14 @@ class LoadTestResult:
     def e2e_stats(self) -> LatencyStats:
         return LatencyStats.from_values([r.e2e_latency for r in self.requests])
 
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        return self.cache_stats.hit_rate if self.cache_stats is not None else None
+
+    @property
+    def expert_bytes_saved(self) -> int:
+        return self.cache_stats.bytes_saved if self.cache_stats is not None else 0
+
     def summary(self) -> Dict[str, object]:
         ttft = self.ttft_stats
         tbt = self.tbt_stats
@@ -322,6 +339,11 @@ class LoadTestResult:
             "p99_tbt_ms": tbt.p99 * 1e3,
             "mean_queueing_ms": self.queueing_stats.mean * 1e3,
             "peak_gpu_gb": self.peak_gpu_bytes / 1e9,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_evictions": (self.cache_stats.evictions
+                                if self.cache_stats is not None else None),
+            "gb_transferred": self.expert_bytes_transferred / 1e9,
+            "gb_saved": self.expert_bytes_saved / 1e9,
         }
 
 
@@ -335,12 +357,20 @@ def merge_load_results(results: Sequence[LoadTestResult],
     if not results:
         raise ValueError("no results to merge")
     first = results[0]
+    cache_stats = None
+    for result in results:
+        if result.cache_stats is None:
+            continue
+        cache_stats = (result.cache_stats if cache_stats is None
+                       else cache_stats.merged_with(result.cache_stats))
     merged = LoadTestResult(
         design=first.design, config_name=first.config_name,
         offered_load=first.offered_load,
         num_replicas=num_replicas if num_replicas is not None else len(results),
         makespan=max(r.makespan for r in results),
         peak_gpu_bytes=sum(r.peak_gpu_bytes for r in results),
+        expert_bytes_transferred=sum(r.expert_bytes_transferred for r in results),
+        cache_stats=cache_stats,
         oom=any(r.oom for r in results),
         oom_reason="; ".join(r.oom_reason for r in results if r.oom_reason),
     )

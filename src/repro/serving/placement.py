@@ -20,6 +20,7 @@ from ..moe.transformer import _moe_layer_positions
 from ..system.cache import ExpertCache
 from ..system.hardware import SystemSpec
 from ..system.memory import MemoryHierarchy, MemoryPool
+from ..system.residency import ExpertResidency
 
 #: Fixed GPU memory consumed by the runtime itself (CUDA context, cuBLAS
 #: workspaces, FasterTransformer's pre-allocated activation buffers).  The
@@ -41,7 +42,15 @@ class ModelPlacement:
         Whether expert parameters live in the offload tier (all designs
         except GPU-only).
     cache:
-        Optional GPU-resident expert cache shared across requests.
+        Optional per-request GPU expert cache (the single-request engine's
+        Figure 15 path).  Mutually exclusive with the residency knobs.
+    cache_policy / cache_capacity:
+        When ``cache_capacity`` is not ``None`` (0 is a valid, cache-nothing
+        value used by the parity tests) and the design offloads experts, the
+        placement owns a shared refcounted
+        :class:`~repro.system.residency.ExpertResidency` map charged against
+        its GPU pool — the multi-request caching substrate the continuous-
+        batching scheduler builds on.
     runtime_workspace_bytes / allow_oversubscription:
         See :class:`~repro.serving.engine.EngineConfig`.
     """
@@ -49,8 +58,18 @@ class ModelPlacement:
     def __init__(self, config: ModelConfig, system: SystemSpec,
                  offload_experts: bool,
                  cache: Optional[ExpertCache] = None,
+                 cache_policy: Optional[str] = None,
+                 cache_capacity: Optional[int] = None,
                  runtime_workspace_bytes: int = DEFAULT_RUNTIME_WORKSPACE_BYTES,
                  allow_oversubscription: bool = False) -> None:
+        if cache is not None and cache_capacity is not None:
+            raise ValueError(
+                "pass either a per-request ExpertCache or the shared "
+                "cache_policy/cache_capacity knobs, not both")
+        if cache_policy is not None and cache_capacity is None:
+            raise ValueError(
+                "cache_policy requires cache_capacity (0 disables retention "
+                "but keeps the residency machinery)")
         self.config = config
         self.system = system
         self.offload_experts = offload_experts
@@ -59,6 +78,14 @@ class ModelPlacement:
         self.allow_oversubscription = allow_oversubscription
         self.memory = MemoryHierarchy.from_system(system)
         self.gpu_pool: MemoryPool = self.memory.gpu
+        self.residency: Optional[ExpertResidency] = None
+        if cache_capacity is not None and offload_experts:
+            self.residency = ExpertResidency(
+                self.gpu_pool, config.expert_bytes(),
+                capacity_experts=cache_capacity,
+                policy=cache_policy or "lru",
+                source_tier=system.offload_tier,
+                allow_oversubscription=allow_oversubscription)
         self._loaded = False
         self._expert_seq = 0
 
@@ -115,15 +142,20 @@ class ModelPlacement:
     # Transient expert allocations
     # ------------------------------------------------------------------
     def cache_resident(self, part: str, num_blocks: int) -> List[Set[int]]:
-        """Per-block sets of experts already resident in the GPU expert cache."""
-        resident: List[Set[int]] = []
-        for block in range(num_blocks):
-            if self.cache is None or not self.cache.enabled:
-                resident.append(set())
-            else:
-                key_block = self.global_block_index(part, block)
-                resident.append(set(self.cache.resident_for_block(key_block)))
-        return resident
+        """Per-block sets of experts already resident in GPU memory.
+
+        Consults the shared residency map when this placement has one (the
+        continuous-batching path), otherwise the per-request expert cache —
+        resident experts are excluded from migration plans.
+        """
+        if self.residency is not None:
+            provider = self.residency.resident_for_block
+        elif self.cache is not None and self.cache.enabled:
+            provider = self.cache.resident_for_block
+        else:
+            return [set() for _ in range(num_blocks)]
+        return [set(provider(self.global_block_index(part, block)))
+                for block in range(num_blocks)]
 
     def allocate_expert(self, part: str, block_index: int, expert_id: int) -> str:
         """Reserve GPU memory for one migrated expert; returns the allocation tag."""

@@ -14,7 +14,13 @@ the style of Orca's continuous batching:
 * within a round, expert transfers are deduplicated across requests via
   :class:`~repro.serving.simulator.SharedExpertRound`: concurrent requests
   that activate the same expert of the same block share a single CPU→GPU
-  migration.
+  migration;
+* with a cache enabled (``cache_policy``/``cache_capacity``), rounds run on
+  the shared refcounted :class:`~repro.system.residency.ExpertResidency`
+  map through a :class:`~repro.serving.prefetch.CrossRequestPrefetcher`:
+  hot experts stay resident *across* rounds and requests (LIFO/LRU/LFU
+  replacement of unpinned entries), so repeat activations skip the CPU→GPU
+  link entirely.
 
 The scheduler is built from the same placement + per-iteration-simulation
 layers as the engine, so a one-request workload reproduces the engine's
@@ -46,6 +52,7 @@ from ..workloads.traces import RequestTrace
 from .engine import EngineConfig, _ENGINES
 from .metrics import LoadTestResult, ServedRequestResult
 from .placement import ModelPlacement
+from .prefetch import CrossRequestPrefetcher
 from .simulator import IterationSimulator, SharedExpertRound
 
 
@@ -80,6 +87,19 @@ class ContinuousBatchingScheduler:
     max_batch_size:
         Maximum number of requests in flight at once; also the client count
         when serving closed-loop (all-zero arrival times).
+    cache_policy / cache_capacity:
+        Enable shared expert caching: a refcounted
+        :class:`~repro.system.residency.ExpertResidency` map holding up to
+        ``cache_capacity`` unpinned experts in GPU HBM under the given
+        replacement policy (``lifo`` / ``lru`` / ``lfu``).  ``cache_capacity=0``
+        runs the residency machinery but retains nothing — byte- and
+        time-identical to the uncached scheduler (the parity tests pin it).
+        Ignored for the ``gpu_only`` design, which never migrates experts.
+    cache:
+        A legacy :class:`~repro.system.cache.ExpertCache` may be passed
+        instead of the knobs; its policy name and capacity are adopted into
+        a shared residency map (the per-request cache object itself cannot
+        track cross-request pinning, so only its configuration is used).
     """
 
     def __init__(self, design: str, config: "ModelConfig | str",
@@ -87,17 +107,20 @@ class ContinuousBatchingScheduler:
                  latency_model: Optional[GpuLatencyModel] = None,
                  cache: Optional[ExpertCache] = None,
                  engine_config: Optional[EngineConfig] = None,
-                 max_batch_size: int = 8) -> None:
+                 max_batch_size: int = 8,
+                 cache_policy: Optional[str] = None,
+                 cache_capacity: Optional[int] = None) -> None:
         if design not in _ENGINES:
             raise ValueError(f"unknown design {design!r}; known: {sorted(_ENGINES)}")
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
-        if cache is not None and cache.enabled:
-            raise ValueError(
-                "ContinuousBatchingScheduler does not support an ExpertCache yet: "
-                "cross-request caching and round-level transfer dedup would need a "
-                "shared refcounted residency map; run with cache=None (the round "
-                "dedup already shares transfers within a batch)")
+        if cache is not None:
+            if cache_policy is not None or cache_capacity is not None:
+                raise ValueError(
+                    "pass either a legacy ExpertCache or cache_policy/"
+                    "cache_capacity, not both")
+            cache_policy = cache.policy.name
+            cache_capacity = cache.capacity
         self.design = design
         self.config = get_config(config) if isinstance(config, str) else config
         self.system = system
@@ -105,9 +128,13 @@ class ContinuousBatchingScheduler:
         self.engine_config = engine_config or EngineConfig()
         self.max_batch_size = max_batch_size
         self.placement = ModelPlacement(
-            self.config, system, offload_experts=design != "gpu_only", cache=None,
+            self.config, system, offload_experts=design != "gpu_only",
+            cache_policy=cache_policy, cache_capacity=cache_capacity,
             runtime_workspace_bytes=self.engine_config.runtime_workspace_bytes,
             allow_oversubscription=self.engine_config.allow_oversubscription)
+        self.residency = self.placement.residency
+        self.prefetcher = (CrossRequestPrefetcher(self.residency)
+                           if self.residency is not None else None)
         self.simulator = IterationSimulator(
             self.config, system, self.latency, design, self.placement,
             activation_level=self.engine_config.activation_level)
@@ -133,6 +160,8 @@ class ContinuousBatchingScheduler:
                     f"{req.arrival_time}; arrivals are absolute timestamps >= 0")
         result = LoadTestResult(design=self.design, config_name=self.config.name,
                                 offered_load=offered_load)
+        stats_before = (self.residency.stats.snapshot()
+                        if self.residency is not None else None)
         try:
             self.placement.load_model()
         except OutOfMemoryError as exc:
@@ -162,6 +191,11 @@ class ContinuousBatchingScheduler:
 
         result.makespan = timeline.makespan
         result.peak_gpu_bytes = self.placement.gpu_pool.peak
+        result.expert_bytes_transferred = (
+            len(timeline.ops_by_category("expert_transfer"))
+            * self.config.expert_bytes())
+        if self.residency is not None:
+            result.cache_stats = self.residency.stats.since(stats_before)
         result.requests.sort(key=lambda r: r.request_id)
         return result
 
@@ -169,15 +203,18 @@ class ContinuousBatchingScheduler:
     def _run_round(self, timeline: ExecutionTimeline,
                    active: Sequence[_InFlightRequest]) -> None:
         """Advance every in-flight request by one unit, sharing transfers."""
-        batch_round = SharedExpertRound()
+        batch_round = (self.prefetcher.begin_round()
+                       if self.prefetcher is not None else SharedExpertRound())
         # Register every member's planned transfers first so an expert stays
         # resident until its last user in the round has executed; the plans
-        # are reused for the simulation itself below.
+        # are reused for the simulation itself below.  With a cache, the
+        # registration also pins every already-resident expert the plans
+        # rely on, so no mid-round eviction can invalidate a plan.
         plans = []
         for state in active:
             part, activations = self._next_unit(state)
             plan = self.simulator.make_plan(part, activations)
-            batch_round.register_plan(self.placement, part, plan)
+            batch_round.register_plan(self.placement, part, plan, activations)
             plans.append(plan)
         try:
             for state, plan in zip(active, plans):
@@ -228,20 +265,26 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
                workload: Optional[WorkloadSpec] = None,
                system: SystemSpec = PAPER_SYSTEM,
                engine_config: Optional[EngineConfig] = None,
-               max_batch_size: int = 8) -> LoadTestResult:
+               max_batch_size: int = 8,
+               cache_policy: Optional[str] = None,
+               cache_capacity: Optional[int] = None) -> LoadTestResult:
     """Materialise a :class:`LoadSpec` and serve it on one replica.
 
     The one-call load-test entry point: open-loop specs timestamp requests
     with their arrival process and record the offered load; closed-loop
     specs use ``load.concurrency`` as the in-flight cap (each admission
     slot plays the role of one client issuing requests back-to-back).
+    ``cache_policy``/``cache_capacity`` enable shared expert caching without
+    constructing the residency map by hand.
     """
     requests = generate_timed_requests(config, load, workload=workload)
     if load.mode == "closed":
         max_batch_size = load.concurrency
     scheduler = ContinuousBatchingScheduler(design, config, system=system,
                                             engine_config=engine_config,
-                                            max_batch_size=max_batch_size)
+                                            max_batch_size=max_batch_size,
+                                            cache_policy=cache_policy,
+                                            cache_capacity=cache_capacity)
     offered = load.request_rate if load.mode == "open" else None
     return scheduler.serve(requests, offered_load=offered)
 
@@ -249,8 +292,12 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
 def make_scheduler(design: str, config: "ModelConfig | str",
                    system: SystemSpec = PAPER_SYSTEM,
                    engine_config: Optional[EngineConfig] = None,
-                   max_batch_size: int = 8) -> ContinuousBatchingScheduler:
+                   max_batch_size: int = 8,
+                   cache_policy: Optional[str] = None,
+                   cache_capacity: Optional[int] = None) -> ContinuousBatchingScheduler:
     """Factory mirroring :func:`repro.serving.engine.make_engine`."""
     return ContinuousBatchingScheduler(design, config, system=system,
                                        engine_config=engine_config,
-                                       max_batch_size=max_batch_size)
+                                       max_batch_size=max_batch_size,
+                                       cache_policy=cache_policy,
+                                       cache_capacity=cache_capacity)

@@ -47,6 +47,12 @@ class SharedExpertRound:
     transfers after the owning block executes, and the shared slot is freed
     only when the last planned user has released it — so GPU memory
     accounting matches a real batched runtime that refcounts expert pages.
+
+    This is the round protocol the :class:`IterationSimulator` speaks
+    (``register_plan`` / ``is_fetched`` / ``copy_op`` / ``fetch`` /
+    ``release_keys`` / ``release`` / ``drain``);
+    :class:`~repro.serving.prefetch.PrefetchRound` implements the same
+    protocol on top of the shared residency map for the cached path.
     """
 
     def __init__(self) -> None:
@@ -56,7 +62,7 @@ class SharedExpertRound:
 
     # -- registration (before the round is simulated) -------------------
     def register_plan(self, placement: ModelPlacement, part: str,
-                      plan: MigrationPlan) -> None:
+                      plan: MigrationPlan, activations=None) -> None:
         for transfer in plan.transfers:
             key = (placement.global_block_index(part, transfer.block_index),
                    transfer.expert_id)
@@ -72,6 +78,19 @@ class SharedExpertRound:
     def note_fetch(self, key: ExpertKey, tag: str, copy_op_id: int) -> None:
         self._tags[key] = tag
         self._copy_ops[key] = copy_op_id
+
+    def fetch(self, placement: ModelPlacement, part: str, transfer,
+              key: ExpertKey, copy_op_id: int) -> None:
+        """Allocate the shared batch slot backing one issued migration."""
+        tag = placement.allocate_shared_expert(
+            part, transfer.block_index, transfer.expert_id)
+        self.note_fetch(key, tag, copy_op_id)
+
+    def release_keys(self, placement: ModelPlacement, part: str,
+                     plan: MigrationPlan, activations, block: int) -> List[ExpertKey]:
+        """Keys to release once ``block`` has executed: its planned transfers."""
+        return [(placement.global_block_index(part, t.block_index), t.expert_id)
+                for t in plan.transfers_for_block(block)]
 
     def release(self, placement: ModelPlacement, key: ExpertKey) -> None:
         remaining = self._users.get(key, 0) - 1
@@ -216,7 +235,6 @@ class IterationSimulator:
         gate_time = self.latency.gate_time(config, query_tokens)
         transfer_ops_by_target: Dict[int, List[int]] = {}
         allocation_tags: Dict[int, List[str]] = {}
-        planned_keys_by_block: Dict[int, List[ExpertKey]] = {}
         last_compute_op: Optional[TimelineOp] = None
         moe_block_cursor = 0
 
@@ -266,16 +284,15 @@ class IterationSimulator:
                 for transfer in issued:
                     key = (placement.global_block_index(part, transfer.block_index),
                            transfer.expert_id)
-                    if batch_round is not None:
-                        planned_keys_by_block.setdefault(transfer.block_index, []).append(key)
-                        if batch_round.is_fetched(key):
-                            # Another request of this round already fetched it:
-                            # share the migration, depend on its copy op.
-                            dedup_op = batch_round.copy_op(key)
-                            if dedup_op is not None:
-                                transfer_ops_by_target.setdefault(
-                                    transfer.block_index, []).append(dedup_op)
-                            continue
+                    if batch_round is not None and batch_round.is_fetched(key):
+                        # Already satisfied: fetched by another request of this
+                        # round (share the migration, depend on its copy op) or
+                        # resident in the shared cache (no dependency needed).
+                        dedup_op = batch_round.copy_op(key)
+                        if dedup_op is not None:
+                            transfer_ops_by_target.setdefault(
+                                transfer.block_index, []).append(dedup_op)
+                        continue
                     to_issue.append((transfer, key))
                 if to_issue:
                     sync_op = add_compute(
@@ -291,9 +308,8 @@ class IterationSimulator:
                         transfer_ops_by_target.setdefault(
                             transfer.block_index, []).append(copy_op.op_id)
                         if batch_round is not None:
-                            tag = placement.allocate_shared_expert(
-                                part, transfer.block_index, transfer.expert_id)
-                            batch_round.note_fetch(key, tag, copy_op.op_id)
+                            batch_round.fetch(placement, part, transfer, key,
+                                              copy_op.op_id)
                         else:
                             tag = placement.allocate_expert(
                                 part, transfer.block_index, transfer.expert_id)
@@ -317,9 +333,10 @@ class IterationSimulator:
                 num_active_experts=len(activated),
                 exposed_transfer_time=exposed))
 
-            # (4) Release (or cache) this block's experts.
+            # (4) Release (or retain) this block's experts.
             if batch_round is not None:
-                for key in planned_keys_by_block.get(block, []):
+                for key in batch_round.release_keys(placement, part, plan,
+                                                    activations, block):
                     batch_round.release(placement, key)
             else:
                 placement.release_block_experts(

@@ -32,6 +32,7 @@ from .hardware import (
 )
 from .memory import Allocation, MemoryHierarchy, MemoryPool, OutOfMemoryError
 from .performance import GpuLatencyModel, LayerCost
+from .residency import ExpertResidency, ResidencyStats
 from .timeline import ExecutionTimeline, Stream, TimelineOp
 
 __all__ = [
@@ -59,6 +60,8 @@ __all__ = [
     "MemoryHierarchy",
     "MemoryPool",
     "OutOfMemoryError",
+    "ExpertResidency",
+    "ResidencyStats",
     "GpuLatencyModel",
     "LayerCost",
     "ExecutionTimeline",

@@ -124,6 +124,29 @@ class TestLoadTestReport:
         assert row["sustained_tokens_per_second"] == "OOM"
         assert row["design"] == "pregated"
 
+    def test_cache_columns(self):
+        from repro.analysis import load_test_report
+        from repro.system import ResidencyStats
+
+        uncached = self.make_load_result()
+        row = dict(zip(*[load_test_report([uncached]).headers,
+                         load_test_report([uncached]).rows[0]]))
+        assert row["cache_hit_rate"] == "-"        # no cache: placeholder cells
+        assert row["cache_evictions"] == "-"
+        assert row["gb_saved"] == 0.0
+
+        cached = self.make_load_result()
+        cached.expert_bytes_transferred = int(2e9)
+        cached.cache_stats = ResidencyStats(hits=3, misses=1, evictions=2,
+                                            bytes_transferred=int(2e9),
+                                            bytes_saved=int(6e9))
+        row = dict(zip(*[load_test_report([cached]).headers,
+                         load_test_report([cached]).rows[0]]))
+        assert row["cache_hit_rate"] == 0.75
+        assert row["cache_evictions"] == 2
+        assert row["gb_transferred"] == 2.0
+        assert row["gb_saved"] == 6.0
+
     def test_renderable(self):
         from repro.analysis import load_test_report
         text = load_test_report([self.make_load_result()],

@@ -132,10 +132,14 @@ class TestLifecycle:
         assert result.oom
         assert "out of memory" in result.oom_reason.lower()
 
-    def test_cache_rejected(self):
-        with pytest.raises(ValueError, match="ExpertCache"):
-            ContinuousBatchingScheduler("pregated", CONFIG,
-                                        cache=ExpertCache(capacity_experts=8))
+    def test_legacy_cache_configures_residency(self):
+        """An ExpertCache argument is adopted into the shared residency map
+        (the scheduler used to reject caches outright)."""
+        scheduler = ContinuousBatchingScheduler(
+            "pregated", CONFIG, cache=ExpertCache(capacity_experts=8, policy="lifo"))
+        assert scheduler.residency is not None
+        assert scheduler.residency.capacity == 8
+        assert scheduler.residency.policy.name == "lifo"
 
     def test_unknown_design_rejected(self):
         with pytest.raises(ValueError):
