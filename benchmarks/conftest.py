@@ -10,7 +10,6 @@ throughputs, peak memories) plus one file per additional figure.
 from __future__ import annotations
 
 import os
-from typing import Dict
 
 import pytest
 

@@ -91,10 +91,13 @@ LOAD_REPORT_COLUMNS = [
     "sustained_tokens_per_second", "p50_ttft_ms", "p99_ttft_ms",
     "p50_tbt_ms", "p99_tbt_ms", "mean_queueing_ms", "peak_gpu_gb",
     "cache_hit_rate", "cache_evictions", "gb_transferred", "gb_saved",
+    "offload_tier", "ssd_gb_read", "stage_hit_rate",
 ]
 
-#: Load-report cells rendered as "-" when the run had no expert cache.
-_CACHE_COLUMNS = ("cache_hit_rate", "cache_evictions")
+#: Load-report cells rendered as "-" when the run had no expert cache (or,
+#: for the tier columns, no offloading / no DRAM staging cache).
+_CACHE_COLUMNS = ("cache_hit_rate", "cache_evictions",
+                  "offload_tier", "ssd_gb_read", "stage_hit_rate")
 
 
 def load_test_report(results: Sequence, figure: str = "Serving load test",

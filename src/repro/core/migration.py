@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 
 class MigrationKind(Enum):
@@ -42,11 +42,28 @@ class ExpertTransfer:
     kind: MigrationKind
     issue_block: int        # MoE block during whose execution the transfer may start
     bytes: int
+    #: Memory tier the expert's parameters start from ("dram" or "ssd").
+    #: Stamped by the planner from the system's offload tier; a multi-hop
+    #: source means the fetch crosses several links (SSD→DRAM→GPU).
+    source_tier: str = "dram"
 
     @property
     def is_overlappable(self) -> bool:
         """Whether the transfer can overlap with a preceding block's execution."""
         return self.issue_block < self.block_index
+
+    def hop_breakdown(self, path) -> list:
+        """Per-hop byte/latency attribution of this transfer.
+
+        ``path`` is the :class:`~repro.system.tiers.TierPath` from
+        :attr:`source_tier` up to HBM (the system spec builds it); returns
+        one :class:`~repro.system.tiers.HopBreakdown` per link crossed.
+        """
+        if path.source != self.source_tier:
+            raise ValueError(
+                f"path starts at {path.source!r} but this transfer's source "
+                f"tier is {self.source_tier!r}")
+        return path.breakdown(self.bytes)
 
 
 @dataclass
@@ -75,7 +92,8 @@ class MigrationPlan:
 
 
 def plan_on_demand(activations: Sequence[Sequence[int]], expert_bytes: int,
-                   resident: Optional[Sequence[Set[int]]] = None) -> MigrationPlan:
+                   resident: Optional[Sequence[Set[int]]] = None,
+                   source_tier: str = "dram") -> MigrationPlan:
     """MoE-OnDemand: fetch each block's activated experts after its own gate.
 
     Parameters
@@ -88,6 +106,8 @@ def plan_on_demand(activations: Sequence[Sequence[int]], expert_bytes: int,
     resident:
         Optional per-block set of experts already resident in GPU memory
         (e.g. from an expert cache); resident experts are not transferred.
+    source_tier:
+        Memory tier the experts are fetched from ("dram" or "ssd").
     """
     plan = MigrationPlan(design="ondemand")
     for block, experts in enumerate(activations):
@@ -97,12 +117,12 @@ def plan_on_demand(activations: Sequence[Sequence[int]], expert_bytes: int,
                 continue
             plan.transfers.append(ExpertTransfer(
                 block_index=block, expert_id=int(expert), kind=MigrationKind.ON_DEMAND,
-                issue_block=block, bytes=expert_bytes))
+                issue_block=block, bytes=expert_bytes, source_tier=source_tier))
     return plan
 
 
 def plan_prefetch_all(activations: Sequence[Sequence[int]], expert_bytes: int,
-                      num_experts: int) -> MigrationPlan:
+                      num_experts: int, source_tier: str = "dram") -> MigrationPlan:
     """MoE-Prefetch: move every expert of block *i* during block *i-1*.
 
     The first block has no predecessor, so its full expert set is fetched
@@ -115,13 +135,14 @@ def plan_prefetch_all(activations: Sequence[Sequence[int]], expert_bytes: int,
         for expert in range(num_experts):
             plan.transfers.append(ExpertTransfer(
                 block_index=block, expert_id=expert, kind=kind,
-                issue_block=issue_block, bytes=expert_bytes))
+                issue_block=issue_block, bytes=expert_bytes, source_tier=source_tier))
     return plan
 
 
 def plan_pregated(activations: Sequence[Sequence[int]], expert_bytes: int,
                   activation_level: int = 1,
-                  resident: Optional[Sequence[Set[int]]] = None) -> MigrationPlan:
+                  resident: Optional[Sequence[Set[int]]] = None,
+                  source_tier: str = "dram") -> MigrationPlan:
     """Pre-gated MoE: move only the activated experts, ``activation_level`` blocks early.
 
     Block *i*'s activated experts are known when block ``i - activation_level``
@@ -148,7 +169,7 @@ def plan_pregated(activations: Sequence[Sequence[int]], expert_bytes: int,
                 continue
             plan.transfers.append(ExpertTransfer(
                 block_index=block, expert_id=int(expert), kind=kind,
-                issue_block=issue_block, bytes=expert_bytes))
+                issue_block=issue_block, bytes=expert_bytes, source_tier=source_tier))
     return plan
 
 
@@ -167,15 +188,19 @@ _PLANNERS = {
 
 def plan_for_design(design: str, activations: Sequence[Sequence[int]], expert_bytes: int,
                     num_experts: int, activation_level: int = 1,
-                    resident: Optional[Sequence[Set[int]]] = None) -> MigrationPlan:
+                    resident: Optional[Sequence[Set[int]]] = None,
+                    source_tier: str = "dram") -> MigrationPlan:
     """Dispatch to the planner for ``design``."""
     if design == "gpu_only":
         return plan_gpu_only(activations)
     if design == "ondemand":
-        return plan_on_demand(activations, expert_bytes, resident=resident)
+        return plan_on_demand(activations, expert_bytes, resident=resident,
+                              source_tier=source_tier)
     if design == "prefetch_all":
-        return plan_prefetch_all(activations, expert_bytes, num_experts)
+        return plan_prefetch_all(activations, expert_bytes, num_experts,
+                                 source_tier=source_tier)
     if design == "pregated":
         return plan_pregated(activations, expert_bytes,
-                             activation_level=activation_level, resident=resident)
+                             activation_level=activation_level, resident=resident,
+                             source_tier=source_tier)
     raise ValueError(f"unknown design {design!r}; known: {sorted(_PLANNERS)}")

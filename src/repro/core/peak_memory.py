@@ -21,7 +21,7 @@ The same framework expresses the peak memory of the baselines:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional
 
 from ..moe.configs import ModelConfig
 

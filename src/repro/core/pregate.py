@@ -22,7 +22,7 @@ Block-boundary handling (Figure 6):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -22,7 +22,6 @@ and incrementally train the pre-gate functions during fine-tuning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -40,7 +39,6 @@ from ..tensor import (
     Tensor,
     no_grad,
 )
-from ..tensor import functional as F
 from ..moe.configs import ModelConfig
 from ..moe.gating import RoutingDecision
 from ..moe.transformer import RoutingTraceEntry, Seq2SeqOutput, SwitchTransformer, _moe_layer_positions

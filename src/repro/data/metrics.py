@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 from statistics import mean
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 
 def _tokens(text: "str | Sequence[str]") -> List[str]:

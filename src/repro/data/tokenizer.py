@@ -8,7 +8,6 @@ the accuracy experiments fast and fully reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 PAD_TOKEN = "<pad>"

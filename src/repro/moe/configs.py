@@ -17,7 +17,7 @@ Two kinds of configurations exist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 #: Bytes per parameter.  Table I's capacity column corresponds to 4 bytes per

@@ -16,7 +16,7 @@ and paper-scale configs share the same structure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -33,7 +33,6 @@ from ..tensor import (
     Tensor,
     no_grad,
 )
-from ..tensor import functional as F
 from .configs import ModelConfig
 from .gating import RoutingDecision
 from .moe_block import MoEBlock

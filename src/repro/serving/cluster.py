@@ -77,7 +77,9 @@ class ReplicaCluster:
                  engine_config: Optional[EngineConfig] = None,
                  max_batch_size: int = 8,
                  cache_policy: Optional[str] = None,
-                 cache_capacity: Optional[int] = None) -> None:
+                 cache_capacity: Optional[int] = None,
+                 stage_policy: Optional[str] = None,
+                 stage_capacity: Optional[int] = None) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
         if policy not in ROUTING_POLICIES:
@@ -91,12 +93,16 @@ class ReplicaCluster:
         self.max_batch_size = max_batch_size
         self.cache_policy = cache_policy
         self.cache_capacity = cache_capacity
+        self.stage_policy = stage_policy
+        self.stage_capacity = stage_capacity
         self.replicas = [
             ContinuousBatchingScheduler(design, self.config, system=system,
                                         engine_config=engine_config,
                                         max_batch_size=max_batch_size,
                                         cache_policy=cache_policy,
-                                        cache_capacity=cache_capacity)
+                                        cache_capacity=cache_capacity,
+                                        stage_policy=stage_policy,
+                                        stage_capacity=stage_capacity)
             for _ in range(num_replicas)
         ]
         self._affinity_window = (cache_capacity if cache_capacity

@@ -71,7 +71,9 @@ class ServingEngine:
                  cache: Optional[ExpertCache] = None,
                  engine_config: Optional[EngineConfig] = None,
                  cache_policy: Optional[str] = None,
-                 cache_capacity: Optional[int] = None) -> None:
+                 cache_capacity: Optional[int] = None,
+                 stage_policy: Optional[str] = None,
+                 stage_capacity: Optional[int] = None) -> None:
         if cache is not None and (cache_policy is not None or cache_capacity is not None):
             raise ValueError(
                 "pass either an ExpertCache or cache_policy/cache_capacity, not both")
@@ -87,6 +89,7 @@ class ServingEngine:
         self.engine_config = engine_config or EngineConfig()
         self.placement = ModelPlacement(
             self.config, system, offload_experts=self.offloads_experts, cache=cache,
+            stage_policy=stage_policy, stage_capacity=stage_capacity,
             runtime_workspace_bytes=self.engine_config.runtime_workspace_bytes,
             allow_oversubscription=self.engine_config.allow_oversubscription)
         self.simulator = IterationSimulator(
@@ -181,9 +184,12 @@ class ServingEngine:
             result.oom = True
             result.oom_reason = str(exc)
             return result
+        transfers_before = self.placement.transfers.snapshot()
         for trace in traces:
             result.requests.append(self.run_request(trace))
         result.peak_gpu_bytes = self.gpu_pool.peak
+        if self.offloads_experts:
+            result.tier_stats = self.placement.transfers.since(transfers_before)
         return result
 
 
@@ -231,19 +237,25 @@ def make_engine(design: str, config: "ModelConfig | str", system: SystemSpec = P
                 cache: Optional[ExpertCache] = None,
                 engine_config: Optional[EngineConfig] = None,
                 cache_policy: Optional[str] = None,
-                cache_capacity: Optional[int] = None) -> ServingEngine:
+                cache_capacity: Optional[int] = None,
+                stage_policy: Optional[str] = None,
+                stage_capacity: Optional[int] = None) -> ServingEngine:
     """Factory for engines by design name.
 
     ``cache_policy``/``cache_capacity`` construct the per-request
     :class:`~repro.system.cache.ExpertCache` so callers can enable Figure 15
-    caching without building the cache object by hand.
+    caching without building the cache object by hand;
+    ``stage_policy``/``stage_capacity`` enable the host-DRAM staging cache
+    for SSD-offload systems (Figure 16's tier).
     """
     if design not in _ENGINES:
         raise ValueError(f"unknown design {design!r}; known: {sorted(_ENGINES)}")
     return _ENGINES[design](config, system=system, cache=cache,
                             engine_config=engine_config,
                             cache_policy=cache_policy,
-                            cache_capacity=cache_capacity)
+                            cache_capacity=cache_capacity,
+                            stage_policy=stage_policy,
+                            stage_capacity=stage_capacity)
 
 
 def compare_designs(config: "ModelConfig | str", traces: Sequence[RequestTrace],

@@ -16,6 +16,7 @@ from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
 from ..system.residency import ResidencyStats
+from ..system.tiers import TierTransferStats, merge_optional_stats, merge_tier_stats
 
 
 @dataclass(frozen=True)
@@ -104,6 +105,7 @@ class WorkloadResult:
     config_name: str
     requests: List[RequestResult] = field(default_factory=list)
     peak_gpu_bytes: int = 0
+    tier_stats: Optional[TierTransferStats] = None
     oom: bool = False
     oom_reason: str = ""
 
@@ -261,7 +263,9 @@ class LoadTestResult:
     ``expert_bytes_transferred`` counts the CPU→GPU expert migration volume
     the run actually issued (one entry per copy op on the timeline);
     ``cache_stats`` carries the shared residency map's counters when expert
-    caching was enabled (``None`` otherwise).
+    caching was enabled (``None`` otherwise); ``tier_stats`` carries the
+    per-tier transfer ledger (bytes per link, DRAM-stage hits) whenever the
+    design offloads experts.
     """
 
     design: str
@@ -273,6 +277,7 @@ class LoadTestResult:
     peak_gpu_bytes: int = 0
     expert_bytes_transferred: int = 0
     cache_stats: Optional[ResidencyStats] = None
+    tier_stats: Optional[TierTransferStats] = None
     oom: bool = False
     oom_reason: str = ""
 
@@ -322,6 +327,18 @@ class LoadTestResult:
     def expert_bytes_saved(self) -> int:
         return self.cache_stats.bytes_saved if self.cache_stats is not None else 0
 
+    @property
+    def stage_hit_rate(self) -> Optional[float]:
+        """DRAM staging-cache hit rate; ``None`` without a stage."""
+        if self.tier_stats is None or self.tier_stats.stage_accesses == 0:
+            return None
+        return self.tier_stats.stage_hit_rate
+
+    @property
+    def ssd_bytes_read(self) -> int:
+        """Bytes read off the SSD tier (0 for DRAM offload / GPU-only)."""
+        return self.tier_stats.ssd_bytes_read if self.tier_stats is not None else 0
+
     def summary(self) -> Dict[str, object]:
         ttft = self.ttft_stats
         tbt = self.tbt_stats
@@ -344,7 +361,23 @@ class LoadTestResult:
                                 if self.cache_stats is not None else None),
             "gb_transferred": self.expert_bytes_transferred / 1e9,
             "gb_saved": self.expert_bytes_saved / 1e9,
+            "offload_tier": (self.tier_stats.source_tier
+                             if self.tier_stats is not None else None),
+            "ssd_gb_read": (self.tier_stats.ssd_bytes_read / 1e9
+                            if self.tier_stats is not None else None),
+            "stage_hit_rate": self.stage_hit_rate,
         }
+
+
+def merge_cache_stats(stats: Sequence[Optional[ResidencyStats]]) -> Optional[ResidencyStats]:
+    """Pool per-replica residency stats, tolerating replicas without any.
+
+    A fleet may mix cached and cache-free replicas (capacity ``None`` gives
+    no stats object at all; capacity 0 gives a stats object whose counters
+    only reflect refcounted sharing).  Replicas without stats contribute
+    nothing; the merge is ``None`` only when *no* replica had a cache.
+    """
+    return merge_optional_stats(stats)
 
 
 def merge_load_results(results: Sequence[LoadTestResult],
@@ -353,16 +386,14 @@ def merge_load_results(results: Sequence[LoadTestResult],
 
     Requests are pooled; the makespan is the slowest replica's (replicas run
     concurrently); the peak is summed because each replica is its own GPU.
+    ``cache_stats`` and ``tier_stats`` are pooled over the replicas that
+    have them — a mixed fleet (cached next to cache-free, or offloading
+    next to GPU-only) merges cleanly instead of assuming every replica
+    carries stats.
     """
     if not results:
         raise ValueError("no results to merge")
     first = results[0]
-    cache_stats = None
-    for result in results:
-        if result.cache_stats is None:
-            continue
-        cache_stats = (result.cache_stats if cache_stats is None
-                       else cache_stats.merged_with(result.cache_stats))
     merged = LoadTestResult(
         design=first.design, config_name=first.config_name,
         offered_load=first.offered_load,
@@ -370,7 +401,8 @@ def merge_load_results(results: Sequence[LoadTestResult],
         makespan=max(r.makespan for r in results),
         peak_gpu_bytes=sum(r.peak_gpu_bytes for r in results),
         expert_bytes_transferred=sum(r.expert_bytes_transferred for r in results),
-        cache_stats=cache_stats,
+        cache_stats=merge_cache_stats([r.cache_stats for r in results]),
+        tier_stats=merge_tier_stats([r.tier_stats for r in results]),
         oom=any(r.oom for r in results),
         oom_reason="; ".join(r.oom_reason for r in results if r.oom_reason),
     )

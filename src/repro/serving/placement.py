@@ -13,14 +13,16 @@ transfers happen; the placement only tracks the bytes they pin.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set, Tuple
 
+from ..core.migration import ExpertTransfer
 from ..moe.configs import ModelConfig
 from ..moe.transformer import _moe_layer_positions
 from ..system.cache import ExpertCache
 from ..system.hardware import SystemSpec
-from ..system.memory import MemoryHierarchy, MemoryPool
+from ..system.memory import MemoryPool, TieredMemory
 from ..system.residency import ExpertResidency
+from ..system.tiers import FetchRoute, TierTransferStats
 
 #: Fixed GPU memory consumed by the runtime itself (CUDA context, cuBLAS
 #: workspaces, FasterTransformer's pre-allocated activation buffers).  The
@@ -51,6 +53,18 @@ class ModelPlacement:
         :class:`~repro.system.residency.ExpertResidency` map charged against
         its GPU pool — the multi-request caching substrate the continuous-
         batching scheduler builds on.
+    stage_policy / stage_capacity:
+        Second-level cache for SSD offload: when ``stage_capacity`` is not
+        ``None`` and the system's offload tier is ``"ssd"``, the placement
+        owns a second :class:`~repro.system.residency.ExpertResidency`
+        instance over host DRAM — the staging cache SSD-resident experts
+        pass through on their way to the GPU.  Staged experts skip the SSD
+        read entirely (only the PCIe hop remains); bytes are charged to the
+        DRAM :class:`~repro.system.memory.MemoryPool` under the
+        ``staged_experts`` category.  Capacity 0 keeps the staging
+        machinery but retains nothing, reproducing the unstaged multi-hop
+        timings exactly (no buffer space means the two links stay a single
+        cut-through queue).
     runtime_workspace_bytes / allow_oversubscription:
         See :class:`~repro.serving.engine.EngineConfig`.
     """
@@ -60,6 +74,8 @@ class ModelPlacement:
                  cache: Optional[ExpertCache] = None,
                  cache_policy: Optional[str] = None,
                  cache_capacity: Optional[int] = None,
+                 stage_policy: Optional[str] = None,
+                 stage_capacity: Optional[int] = None,
                  runtime_workspace_bytes: int = DEFAULT_RUNTIME_WORKSPACE_BYTES,
                  allow_oversubscription: bool = False) -> None:
         if cache is not None and cache_capacity is not None:
@@ -70,13 +86,21 @@ class ModelPlacement:
             raise ValueError(
                 "cache_policy requires cache_capacity (0 disables retention "
                 "but keeps the residency machinery)")
+        if stage_policy is not None and stage_capacity is None:
+            raise ValueError(
+                "stage_policy requires stage_capacity (0 disables retention "
+                "but keeps the staging machinery)")
+        if stage_capacity is not None and system.offload_tier != "ssd":
+            raise ValueError(
+                "a DRAM staging cache only applies to SSD offload; "
+                f"this system's offload tier is {system.offload_tier!r}")
         self.config = config
         self.system = system
         self.offload_experts = offload_experts
         self.cache = cache
         self.runtime_workspace_bytes = runtime_workspace_bytes
         self.allow_oversubscription = allow_oversubscription
-        self.memory = MemoryHierarchy.from_system(system)
+        self.memory = TieredMemory.from_system(system)
         self.gpu_pool: MemoryPool = self.memory.gpu
         self.residency: Optional[ExpertResidency] = None
         if cache_capacity is not None and offload_experts:
@@ -86,6 +110,23 @@ class ModelPlacement:
                 policy=cache_policy or "lru",
                 source_tier=system.offload_tier,
                 allow_oversubscription=allow_oversubscription)
+        self.stage: Optional[ExpertResidency] = None
+        if stage_capacity is not None and offload_experts:
+            self.stage = ExpertResidency(
+                self.memory.pool("dram"), config.expert_bytes(),
+                capacity_experts=stage_capacity,
+                policy=stage_policy or "lru",
+                source_tier="ssd",
+                allow_oversubscription=allow_oversubscription,
+                tag_prefix="staged_expert", category="staged_experts")
+        #: Per-tier transfer ledger: every issued expert fetch is recorded
+        #: here with its per-hop byte attribution and stage hit/miss outcome.
+        self.transfers = TierTransferStats(
+            source_tier=system.offload_tier if offload_experts else "hbm")
+        # Tier paths are constants of the system spec; cache them so the
+        # per-fetch routing in the hot simulation loop does not rebuild them.
+        self._offload_path = system.tier_path() if offload_experts else None
+        self._pcie_path = system.tier_path("dram")
         self._loaded = False
         self._expert_seq = 0
 
@@ -120,7 +161,7 @@ class ModelPlacement:
         self.gpu_pool.allocate("non_moe_params", self.config.non_moe_bytes(),
                                category="non_moe", allow_oversubscribe=allow)
         if self.offload_experts:
-            offload_pool = self.memory.offload_pool(self.system.offload_tier)
+            offload_pool = self.memory.pool(self.system.offload_tier)
             offload_pool.allocate("moe_params", self.config.moe_bytes(), category="moe")
         else:
             self.gpu_pool.allocate("moe_params", self.config.moe_bytes(),
@@ -137,6 +178,58 @@ class ModelPlacement:
         if part == "encoder":
             return block_index
         return len(self.encoder_moe_positions) + block_index
+
+    # ------------------------------------------------------------------
+    # Tiered fetch routing
+    # ------------------------------------------------------------------
+    def route_fetch(self, key: Tuple[int, int],
+                    transfer: ExpertTransfer) -> FetchRoute:
+        """Decide the hop structure of one issued expert fetch.
+
+        For DRAM-resident experts the route is the single PCIe hop (the
+        legacy path).  For SSD-resident experts the route consults the DRAM
+        staging cache when one is configured:
+
+        * **stage hit** — the expert's bytes are already in host DRAM, so
+          only the PCIe hop remains (no SSD read at all);
+        * **stage miss** — the bytes stream SSD→DRAM→GPU; with stage
+          capacity the SSD read is its own op on the stage stream (it can
+          overlap compute *and* other experts' PCIe copies) and the
+          dependent copy op carries the pipelined remainder, so an idle
+          system still completes the fetch in exactly the multi-hop
+          pipelined time.  A zero-capacity stage has no buffer to decouple
+          the links, so the fetch stays one cut-through copy op — timing
+          parity with the unstaged path.
+
+        Side-effectful: stage residency is consulted (pin + release, so
+        retention follows the stage policy/capacity) and the fetch is
+        recorded in the per-tier transfer ledger.
+        """
+        tier = transfer.source_tier
+        path = (self._offload_path
+                if self._offload_path is not None and self._offload_path.source == tier
+                else self.system.tier_path(tier))
+        num_bytes = transfer.bytes
+        if tier != "ssd" or self.stage is None:
+            route = FetchRoute(source_tier=tier,
+                               copy_duration=path.transfer_time(num_bytes))
+        else:
+            hit = self.stage.pin(key)
+            self.stage.release(key)
+            if hit:
+                route = FetchRoute(
+                    source_tier="ssd", stage_hit=True,
+                    copy_duration=self._pcie_path.transfer_time(num_bytes))
+            elif self.stage.capacity <= 0:
+                route = FetchRoute(source_tier="ssd", stage_hit=False,
+                                   copy_duration=path.transfer_time(num_bytes))
+            else:
+                route = FetchRoute(
+                    source_tier="ssd", stage_hit=False,
+                    stage_duration=path.first_hop_time(num_bytes),
+                    copy_duration=path.cut_through_tail(num_bytes))
+        self.transfers.record_fetch(route, num_bytes)
+        return route
 
     # ------------------------------------------------------------------
     # Transient expert allocations

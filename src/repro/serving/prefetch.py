@@ -159,6 +159,15 @@ class CrossRequestPrefetcher:
     One prefetcher per replica: it owns no transfer state itself (that lives
     in the per-round :class:`PrefetchRound` handles and the residency map),
     but tracks round-level aggregates for reporting.
+
+    With a tiered hierarchy the rounds the prefetcher builds compose with a
+    *second-level* cache without any protocol change: GPU-residency hits
+    drop out of migration plans here (first level), and each remaining
+    fetch is then routed through the host-DRAM staging cache — when the
+    system offloads to SSD — by
+    :meth:`~repro.serving.placement.ModelPlacement.route_fetch` at issue
+    time (second level).  First-level planning has already removed
+    GPU-resident experts, so the two levels never double count.
     """
 
     def __init__(self, residency: ExpertResidency) -> None:
@@ -173,4 +182,5 @@ class CrossRequestPrefetcher:
 
     @property
     def stats(self):
+        """First-level (GPU residency) counters."""
         return self.residency.stats

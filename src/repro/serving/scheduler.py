@@ -100,6 +100,13 @@ class ContinuousBatchingScheduler:
         instead of the knobs; its policy name and capacity are adopted into
         a shared residency map (the per-request cache object itself cannot
         track cross-request pinning, so only its configuration is used).
+    stage_policy / stage_capacity:
+        Enable the host-DRAM staging cache for SSD offload (``SSD_SYSTEM``):
+        a second :class:`~repro.system.residency.ExpertResidency` holding up
+        to ``stage_capacity`` experts in DRAM so repeat SSD fetches skip the
+        SSD read and only cross PCIe.  ``stage_capacity=0`` keeps the
+        machinery but retains nothing — time-identical to the unstaged SSD
+        path (the tier parity contract).  Rejected on DRAM-offload systems.
     """
 
     def __init__(self, design: str, config: "ModelConfig | str",
@@ -109,7 +116,9 @@ class ContinuousBatchingScheduler:
                  engine_config: Optional[EngineConfig] = None,
                  max_batch_size: int = 8,
                  cache_policy: Optional[str] = None,
-                 cache_capacity: Optional[int] = None) -> None:
+                 cache_capacity: Optional[int] = None,
+                 stage_policy: Optional[str] = None,
+                 stage_capacity: Optional[int] = None) -> None:
         if design not in _ENGINES:
             raise ValueError(f"unknown design {design!r}; known: {sorted(_ENGINES)}")
         if max_batch_size < 1:
@@ -130,6 +139,7 @@ class ContinuousBatchingScheduler:
         self.placement = ModelPlacement(
             self.config, system, offload_experts=design != "gpu_only",
             cache_policy=cache_policy, cache_capacity=cache_capacity,
+            stage_policy=stage_policy, stage_capacity=stage_capacity,
             runtime_workspace_bytes=self.engine_config.runtime_workspace_bytes,
             allow_oversubscription=self.engine_config.allow_oversubscription)
         self.residency = self.placement.residency
@@ -162,6 +172,7 @@ class ContinuousBatchingScheduler:
                                 offered_load=offered_load)
         stats_before = (self.residency.stats.snapshot()
                         if self.residency is not None else None)
+        transfers_before = self.placement.transfers.snapshot()
         try:
             self.placement.load_model()
         except OutOfMemoryError as exc:
@@ -196,6 +207,8 @@ class ContinuousBatchingScheduler:
             * self.config.expert_bytes())
         if self.residency is not None:
             result.cache_stats = self.residency.stats.since(stats_before)
+        if self.placement.offload_experts:
+            result.tier_stats = self.placement.transfers.since(transfers_before)
         result.requests.sort(key=lambda r: r.request_id)
         return result
 
@@ -267,7 +280,9 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
                engine_config: Optional[EngineConfig] = None,
                max_batch_size: int = 8,
                cache_policy: Optional[str] = None,
-               cache_capacity: Optional[int] = None) -> LoadTestResult:
+               cache_capacity: Optional[int] = None,
+               stage_policy: Optional[str] = None,
+               stage_capacity: Optional[int] = None) -> LoadTestResult:
     """Materialise a :class:`LoadSpec` and serve it on one replica.
 
     The one-call load-test entry point: open-loop specs timestamp requests
@@ -275,7 +290,9 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
     specs use ``load.concurrency`` as the in-flight cap (each admission
     slot plays the role of one client issuing requests back-to-back).
     ``cache_policy``/``cache_capacity`` enable shared expert caching without
-    constructing the residency map by hand.
+    constructing the residency map by hand; ``stage_policy``/
+    ``stage_capacity`` enable the host-DRAM staging cache when serving an
+    SSD-offload system (``SSD_SYSTEM``).
     """
     requests = generate_timed_requests(config, load, workload=workload)
     if load.mode == "closed":
@@ -284,7 +301,9 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
                                             engine_config=engine_config,
                                             max_batch_size=max_batch_size,
                                             cache_policy=cache_policy,
-                                            cache_capacity=cache_capacity)
+                                            cache_capacity=cache_capacity,
+                                            stage_policy=stage_policy,
+                                            stage_capacity=stage_capacity)
     offered = load.request_rate if load.mode == "open" else None
     return scheduler.serve(requests, offered_load=offered)
 
@@ -294,10 +313,14 @@ def make_scheduler(design: str, config: "ModelConfig | str",
                    engine_config: Optional[EngineConfig] = None,
                    max_batch_size: int = 8,
                    cache_policy: Optional[str] = None,
-                   cache_capacity: Optional[int] = None) -> ContinuousBatchingScheduler:
+                   cache_capacity: Optional[int] = None,
+                   stage_policy: Optional[str] = None,
+                   stage_capacity: Optional[int] = None) -> ContinuousBatchingScheduler:
     """Factory mirroring :func:`repro.serving.engine.make_engine`."""
     return ContinuousBatchingScheduler(design, config, system=system,
                                        engine_config=engine_config,
                                        max_batch_size=max_batch_size,
                                        cache_policy=cache_policy,
-                                       cache_capacity=cache_capacity)
+                                       cache_capacity=cache_capacity,
+                                       stage_policy=stage_policy,
+                                       stage_capacity=stage_capacity)

@@ -168,7 +168,8 @@ class IterationSimulator:
         resident = self.placement.cache_resident(part, num_blocks)
         return plan_for_design(
             self.design, activations, self.config.expert_bytes(), self.config.num_experts,
-            activation_level=self.activation_level, resident=resident)
+            activation_level=self.activation_level, resident=resident,
+            source_tier=self.system.offload_tier)
 
     def _gates_evaluated_at(self, block: int,
                             schedule: Optional[PreGateSchedule]) -> int:
@@ -300,11 +301,23 @@ class IterationSimulator:
                         self.system.host_sync_overhead, category="sync")
                     last_compute_op = sync_op
                     for transfer, key in to_issue:
-                        duration = self.system.expert_transfer_time(transfer.bytes)
+                        # The placement routes the fetch through the tier
+                        # path: a stage miss with a DRAM stage splits into an
+                        # SSD→DRAM read on the stage stream plus a dependent
+                        # PCIe op carrying the pipelined remainder.
+                        route = placement.route_fetch(key, transfer)
+                        base = (f"{label}{part}{iteration}"
+                                f".moe{transfer.block_index}")
+                        deps = [sync_op.op_id]
+                        if route.stage_duration > 0.0:
+                            stage_op = timeline.add_stage(
+                                f"{base}.stage_expert{transfer.expert_id}",
+                                route.stage_duration, depends_on=deps)
+                            deps = [stage_op.op_id]
                         copy_op = timeline.add_copy(
-                            f"{label}{part}{iteration}.moe{transfer.block_index}"
-                            f".fetch_expert{transfer.expert_id}",
-                            duration, depends_on=[sync_op.op_id], category="expert_transfer")
+                            f"{base}.fetch_expert{transfer.expert_id}",
+                            route.copy_duration, depends_on=deps,
+                            category="expert_transfer")
                         transfer_ops_by_target.setdefault(
                             transfer.block_index, []).append(copy_op.op_id)
                         if batch_round is not None:

@@ -3,7 +3,9 @@
 The substrate that stands in for the paper's A100 + EPYC + PCIe testbed:
 hardware specifications, a GPU latency model, memory pools with peak
 tracking, the dual-stream execution timeline that models compute/transfer
-overlap, and the expert caches used in the Figure 15 study.
+overlap, the expert caches used in the Figure 15 study, and the tiered
+memory hierarchy (multi-hop transfer paths, per-tier transfer stats) behind
+the SSD-offloading study of Figure 16.
 """
 
 from .cache import (
@@ -30,9 +32,17 @@ from .hardware import (
     SystemSpec,
     get_system,
 )
-from .memory import Allocation, MemoryHierarchy, MemoryPool, OutOfMemoryError
+from .memory import Allocation, MemoryHierarchy, MemoryPool, OutOfMemoryError, TieredMemory
 from .performance import GpuLatencyModel, LayerCost
 from .residency import ExpertResidency, ResidencyStats
+from .tiers import (
+    FetchRoute,
+    HopBreakdown,
+    TierPath,
+    TierTransferStats,
+    TransferHop,
+    merge_tier_stats,
+)
 from .timeline import ExecutionTimeline, Stream, TimelineOp
 
 __all__ = [
@@ -58,10 +68,17 @@ __all__ = [
     "get_system",
     "Allocation",
     "MemoryHierarchy",
+    "TieredMemory",
     "MemoryPool",
     "OutOfMemoryError",
     "ExpertResidency",
     "ResidencyStats",
+    "FetchRoute",
+    "HopBreakdown",
+    "TierPath",
+    "TierTransferStats",
+    "TransferHop",
+    "merge_tier_stats",
     "GpuLatencyModel",
     "LayerCost",
     "ExecutionTimeline",

@@ -12,8 +12,8 @@ cache entries are per-block.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 ExpertKey = Tuple[int, int]  # (moe_block_index, expert_id)
 

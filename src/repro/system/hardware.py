@@ -13,8 +13,8 @@ different machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
 
 GB = 1e9
 TB = 1e12
@@ -113,7 +113,12 @@ class SystemSpec:
 
     @property
     def offload_link(self) -> LinkSpec:
-        """The link over which offloaded expert parameters reach the GPU."""
+        """The link over which offloaded expert parameters reach the GPU.
+
+        The legacy two-point collapse of :meth:`tier_path` (min bandwidth,
+        summed latency); kept because single-link callers and older tests
+        speak it.  Numerically identical to the tier path's pipelined model.
+        """
         if self.offload_tier == "dram":
             return self.pcie
         # SSD reads are bottlenecked by the slower of the SSD read path and
@@ -123,9 +128,33 @@ class SystemSpec:
         latency = ssd_link.latency + self.pcie.latency
         return LinkSpec(name="ssd-to-gpu", bandwidth=bandwidth, latency=latency)
 
+    def tier_path(self, source_tier: Optional[str] = None):
+        """The multi-hop :class:`~repro.system.tiers.TierPath` from a tier to HBM.
+
+        ``source_tier`` defaults to this system's ``offload_tier``.  The
+        DRAM path is the single PCIe hop; the SSD path is the SSD read into
+        host DRAM followed by the PCIe copy (chunk-pipelined, so its total
+        transfer time matches :attr:`offload_link` exactly).
+        """
+        from .tiers import TierPath, TransferHop  # avoid import cycle
+
+        tier = self.offload_tier if source_tier is None else source_tier
+        pcie_hop = TransferHop(source="dram", dest="hbm", link=self.pcie)
+        if tier == "dram":
+            return TierPath(source="dram", hops=(pcie_hop,))
+        if tier == "ssd":
+            ssd_hop = TransferHop(source="ssd", dest="dram", link=self.ssd.as_link())
+            return TierPath(source="ssd", hops=(ssd_hop, pcie_hop))
+        raise ValueError(
+            f"no transfer path from tier {tier!r}; sources: ['dram', 'ssd']")
+
     def expert_transfer_time(self, expert_bytes: int) -> float:
-        """Seconds to migrate one expert's parameters to GPU memory."""
-        return self.offload_link.transfer_time(expert_bytes)
+        """Seconds to migrate one expert's parameters to GPU memory.
+
+        The full multi-hop pipelined time from the offload tier (identical
+        to the legacy single-link model — the tier-path parity contract).
+        """
+        return self.tier_path().transfer_time(expert_bytes)
 
     def with_offload_tier(self, tier: str) -> "SystemSpec":
         return replace(self, offload_tier=tier)

@@ -7,7 +7,7 @@ Switch-Large on an 80 GB A100 (Figures 10-12).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 
@@ -16,11 +16,13 @@ class OutOfMemoryError(RuntimeError):
 
     def __init__(self, pool: "MemoryPool", requested: int) -> None:
         self.pool_name = pool.name
+        self.tier = pool.tier
         self.requested = requested
         self.in_use = pool.in_use
         self.capacity = pool.capacity
+        tier = f" [{pool.tier} tier]" if pool.tier else ""
         super().__init__(
-            f"{pool.name}: out of memory — requested {requested / 1e9:.2f} GB with "
+            f"{pool.name}{tier}: out of memory — requested {requested / 1e9:.2f} GB with "
             f"{pool.in_use / 1e9:.2f} GB already in use of {pool.capacity / 1e9:.2f} GB"
         )
 
@@ -42,10 +44,13 @@ class MemoryPool:
     categorised so peak usage can be broken down in reports.
     """
 
-    def __init__(self, name: str, capacity: int) -> None:
+    def __init__(self, name: str, capacity: int, tier: str = "") -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.name = name
+        #: Memory-tier name ("hbm"/"dram"/"ssd") when the pool belongs to a
+        #: :class:`TieredMemory`; surfaces in :class:`OutOfMemoryError`.
+        self.tier = tier
         self.capacity = int(capacity)
         self._allocations: Dict[str, Allocation] = {}
         self._in_use = 0
@@ -132,26 +137,54 @@ class MemoryPool:
 
 
 @dataclass
-class MemoryHierarchy:
-    """The three-tier memory hierarchy of the serving system (Figure 4)."""
+class TieredMemory:
+    """The three-tier memory hierarchy of the serving system (Figure 4).
+
+    Pools are addressed uniformly by tier name through :meth:`pool`
+    (``"hbm"`` / ``"dram"`` / ``"ssd"``); the ``gpu``/``cpu``/``ssd``
+    attributes remain for construction and direct access.
+    """
 
     gpu: MemoryPool
     cpu: MemoryPool
     ssd: Optional[MemoryPool] = None
 
     @classmethod
-    def from_system(cls, system) -> "MemoryHierarchy":
+    def from_system(cls, system) -> "TieredMemory":
         """Build pools from a :class:`~repro.system.hardware.SystemSpec`."""
-        gpu = MemoryPool(f"GPU ({system.gpu.name})", system.gpu.memory_bytes)
-        cpu = MemoryPool(f"CPU DRAM ({system.host.name})", system.host.dram_bytes)
-        ssd = MemoryPool(f"SSD ({system.ssd.name})", system.ssd.capacity_bytes)
+        gpu = MemoryPool(f"GPU ({system.gpu.name})", system.gpu.memory_bytes,
+                         tier="hbm")
+        cpu = MemoryPool(f"CPU DRAM ({system.host.name})", system.host.dram_bytes,
+                         tier="dram")
+        ssd = MemoryPool(f"SSD ({system.ssd.name})", system.ssd.capacity_bytes,
+                         tier="ssd")
         return cls(gpu=gpu, cpu=cpu, ssd=ssd)
 
+    def available_tiers(self) -> list:
+        """Tier names this hierarchy can address, coldest last."""
+        tiers = ["hbm", "dram"]
+        if self.ssd is not None:
+            tiers.append("ssd")
+        return tiers
+
+    def pool(self, tier: str) -> MemoryPool:
+        """The pool backing ``tier`` (``"hbm"`` / ``"dram"`` / ``"ssd"``)."""
+        pools = {"hbm": self.gpu, "dram": self.cpu, "ssd": self.ssd}
+        selected = pools.get(tier)
+        if selected is None:
+            raise ValueError(
+                f"unknown memory tier {tier!r}; available tiers: "
+                f"{self.available_tiers()}")
+        return selected
+
     def offload_pool(self, tier: str) -> MemoryPool:
-        if tier == "dram":
-            return self.cpu
-        if tier == "ssd":
-            if self.ssd is None:
-                raise ValueError("this hierarchy has no SSD tier")
-            return self.ssd
-        raise ValueError(f"unknown offload tier {tier!r}")
+        """Deprecated spelling of :meth:`pool` for the offload tiers."""
+        if tier not in ("dram", "ssd"):
+            raise ValueError(
+                f"unknown offload tier {tier!r}; available tiers: "
+                f"{[t for t in self.available_tiers() if t != 'hbm']}")
+        return self.pool(tier)
+
+
+#: Backwards-compatible alias — the hierarchy predates the tier-path refactor.
+MemoryHierarchy = TieredMemory

@@ -36,11 +36,12 @@ saved bytes to the link they would have crossed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, List
 
 from .cache import EvictionPolicy, ExpertKey, make_policy
 from .memory import MemoryPool
+from .tiers import merged_source_tier
 
 
 @dataclass
@@ -86,6 +87,7 @@ class ResidencyStats:
 
     def merged_with(self, other: "ResidencyStats") -> "ResidencyStats":
         """Pooled counters across replicas (peaks are per-GPU, so take max)."""
+        tier = merged_source_tier(self.source_tier, other.source_tier)
         return ResidencyStats(
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
@@ -94,7 +96,7 @@ class ResidencyStats:
             bytes_saved=self.bytes_saved + other.bytes_saved,
             peak_resident_experts=max(self.peak_resident_experts,
                                       other.peak_resident_experts),
-            source_tier=self.source_tier)
+            source_tier=tier)
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -136,6 +138,10 @@ class ExpertResidency:
     allow_oversubscription:
         Mirror of the engine knob: let the pool exceed capacity instead of
         raising, for analyses that measure the overshoot.
+    tag_prefix / category:
+        Allocation naming in the pool; the DRAM staging cache uses
+        ``staged_expert`` / ``staged_experts`` so its bytes stay separately
+        attributable from GPU-resident experts in peak breakdowns.
     """
 
     def __init__(self, pool: MemoryPool, expert_bytes: int,
@@ -143,7 +149,8 @@ class ExpertResidency:
                  policy: "str | EvictionPolicy" = "lru",
                  source_tier: str = "dram",
                  allow_oversubscription: bool = False,
-                 tag_prefix: str = "resident_expert") -> None:
+                 tag_prefix: str = "resident_expert",
+                 category: str = "experts") -> None:
         if expert_bytes <= 0:
             raise ValueError("expert_bytes must be positive")
         if capacity_experts < 0:
@@ -154,6 +161,7 @@ class ExpertResidency:
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.allow_oversubscription = allow_oversubscription
         self.tag_prefix = tag_prefix
+        self.category = category
         self.stats = ResidencyStats(source_tier=source_tier)
         self._entries: Dict[ExpertKey, _ResidentEntry] = {}
         self._seq = 0
@@ -215,7 +223,7 @@ class ExpertResidency:
         self._make_room()
         self._seq += 1
         tag = f"{self.tag_prefix}:{key[0]}:{key[1]}:{self._seq}"
-        self.pool.allocate(tag, self.expert_bytes, category="experts",
+        self.pool.allocate(tag, self.expert_bytes, category=self.category,
                            allow_oversubscribe=self.allow_oversubscription)
         self._entries[key] = _ResidentEntry(key=key, tag=tag, pins=1)
         self.policy.on_insert(key)

@@ -1,0 +1,295 @@
+"""Tiered memory hierarchy: multi-hop transfer paths between memory tiers.
+
+The serving stack moves expert parameters up a three-tier hierarchy —
+``ssd`` ← ``dram`` ← ``hbm`` (Figure 4; the SSD tier appears in the
+Figure 16 study).  Before this module the offload model was two-point: a
+single :class:`~repro.system.hardware.LinkSpec` whose bandwidth was the min
+of the links on the way and whose latency was their sum.  That collapses the
+structure a staging cache needs: with expert parameters on SSD, the
+SSD→DRAM read and the DRAM→GPU PCIe copy are *different* hardware queues,
+and a host-DRAM staging buffer lets the two be decoupled (and the SSD read
+skipped entirely when the expert is already staged).
+
+:class:`TierPath` is the explicit form of that route: an ordered list of
+:class:`TransferHop`\\ s from a source tier up to GPU HBM.  A transfer along
+the path is *chunked*: the first chunk incurs every hop's fixed latency, and
+steady state streams at the bottleneck (slowest link) bandwidth — the
+cut-through pipelining a real multi-hop DMA path exhibits.  The closed form
+
+    ``transfer_time(B) = sum(hop latencies) + B / min(hop bandwidths)``
+
+therefore reproduces, exactly, the legacy single-link model built with
+min-bandwidth/summed-latency — the 1e-9 parity contract the tier refactor
+keeps with every existing timing test.
+
+The module also defines the bookkeeping types the serving layers share:
+
+* :class:`HopBreakdown` — per-hop bytes/latency attribution of one transfer
+  (what :meth:`repro.core.migration.ExpertTransfer.hop_breakdown` returns);
+* :class:`FetchRoute` — the scheduling decision for one expert fetch (which
+  tier the bytes came from, whether the DRAM stage was hit, and the op
+  durations for the stage and copy streams);
+* :class:`TierTransferStats` — per-tier bytes-moved and stage hit/miss
+  counters, merged across replicas for cluster-level reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from .hardware import LinkSpec
+
+#: Canonical tier names, coldest first.  ``hbm`` is always the destination.
+TIER_NAMES = ("ssd", "dram", "hbm")
+
+
+def merged_source_tier(a: str, b: str) -> str:
+    """Source-tier label of pooled stats: kept when equal, else ``"mixed"``."""
+    return a if a == b else "mixed"
+
+
+def merge_optional_stats(stats):
+    """Fold ``.merged_with`` over entries, tolerating ``None`` entries.
+
+    The shared merge shape of every per-replica stats ledger
+    (:class:`TierTransferStats`,
+    :class:`~repro.system.residency.ResidencyStats`): replicas without a
+    ledger contribute nothing, and the result is ``None`` only when *no*
+    replica had one.
+    """
+    merged = None
+    for entry in stats:
+        if entry is None:
+            continue
+        merged = entry if merged is None else merged.merged_with(entry)
+    return merged
+
+
+@dataclass(frozen=True)
+class TransferHop:
+    """One link crossing of a multi-hop transfer (e.g. ``ssd`` → ``dram``)."""
+
+    source: str
+    dest: str
+    link: LinkSpec
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds for this hop alone, serialised (no pipelining)."""
+        return self.link.transfer_time(num_bytes)
+
+
+@dataclass(frozen=True)
+class HopBreakdown:
+    """Per-hop attribution of one transfer's bytes and time."""
+
+    source: str
+    dest: str
+    link_name: str
+    bytes: int
+    latency: float        # the hop's fixed latency contribution
+    serial_time: float    # time this hop alone would take, unpipelined
+
+
+@dataclass(frozen=True)
+class TierPath:
+    """An ordered route from a source tier up to GPU HBM.
+
+    ``hops`` are listed in traversal order (coldest link first), e.g. for an
+    SSD-resident expert: ``[ssd→dram, dram→hbm]``.  Transfers along the path
+    are chunked, so the slower link sets steady-state throughput and every
+    hop's fixed latency is paid once (by the first chunk).
+    """
+
+    source: str
+    hops: Tuple[TransferHop, ...]
+    dest: str = "hbm"
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValueError("a TierPath needs at least one hop")
+        if self.hops[0].source != self.source:
+            raise ValueError(
+                f"first hop starts at {self.hops[0].source!r}, not {self.source!r}")
+        if self.hops[-1].dest != self.dest:
+            raise ValueError(
+                f"last hop ends at {self.hops[-1].dest!r}, not {self.dest!r}")
+        for earlier, later in zip(self.hops, self.hops[1:]):
+            if earlier.dest != later.source:
+                raise ValueError(
+                    f"hop {earlier.source}→{earlier.dest} does not connect to "
+                    f"hop {later.source}→{later.dest}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_hops(self) -> int:
+        return len(self.hops)
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        """Steady-state throughput of the pipelined path (slowest link)."""
+        return min(hop.link.bandwidth for hop in self.hops)
+
+    @property
+    def total_latency(self) -> float:
+        """Fixed latency of the full path (each hop's, paid by the first chunk)."""
+        return sum(hop.link.latency for hop in self.hops)
+
+    def as_link(self) -> LinkSpec:
+        """The legacy single-link collapse of this path (min bw, summed lat)."""
+        names = "+".join(hop.link.name for hop in self.hops)
+        return LinkSpec(name=f"{self.source}-to-{self.dest} ({names})",
+                        bandwidth=self.bottleneck_bandwidth,
+                        latency=self.total_latency)
+
+    # ------------------------------------------------------------------
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` along the whole path, pipelined.
+
+        Chunked cut-through: hop latencies sum (first chunk), the slower
+        link's bandwidth bounds steady state.  Identical to the legacy
+        min-bandwidth/summed-latency single-link model.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.total_latency + num_bytes / self.bottleneck_bandwidth
+
+    def first_hop_time(self, num_bytes: float) -> float:
+        """Serialised time of the first (coldest) hop alone — the stage-in op."""
+        return self.hops[0].transfer_time(num_bytes)
+
+    def cut_through_tail(self, num_bytes: float) -> float:
+        """Pipelined time remaining after the first hop has fully landed.
+
+        When a transfer is split into a stage-in op (first hop) and a
+        dependent up-path op, the dependent op's duration is the path's
+        pipelined total minus the first hop's serial time: the last chunk
+        only has the remaining hops' latency (plus any bandwidth deficit of
+        the upper links) left to cover.  Always positive for a multi-hop
+        path; zero bytes cost zero.
+        """
+        if num_bytes == 0:
+            return 0.0
+        return self.transfer_time(num_bytes) - self.first_hop_time(num_bytes)
+
+    def breakdown(self, num_bytes: int) -> List[HopBreakdown]:
+        """Per-hop byte/latency attribution of one ``num_bytes`` transfer."""
+        return [
+            HopBreakdown(source=hop.source, dest=hop.dest,
+                         link_name=hop.link.name, bytes=int(num_bytes),
+                         latency=hop.link.latency,
+                         serial_time=hop.transfer_time(num_bytes))
+            for hop in self.hops
+        ]
+
+
+@dataclass(frozen=True)
+class FetchRoute:
+    """The scheduling decision for one expert fetch.
+
+    Produced by :meth:`repro.serving.placement.ModelPlacement.route_fetch`
+    and consumed by the per-iteration simulator:
+
+    * ``stage_duration > 0`` — schedule a stage-in op (the SSD→DRAM read) on
+      the stage copy stream; the GPU copy op depends on it.
+    * ``copy_duration`` — the GPU-visible copy op on the main copy stream.
+
+    ``stage_hit`` is ``None`` when no DRAM stage is configured; otherwise it
+    records whether the expert was already staged (SSD read skipped).
+    """
+
+    source_tier: str
+    copy_duration: float
+    stage_duration: float = 0.0
+    stage_hit: "bool | None" = None
+
+
+@dataclass
+class TierTransferStats:
+    """Per-tier transfer volume and DRAM-stage hit counters.
+
+    ``pcie_bytes`` counts every byte that crossed the DRAM→GPU link (all
+    expert fetches end with that hop); ``ssd_bytes_read`` counts bytes read
+    off the SSD (the coldest hop — a warm DRAM stage strictly reduces it);
+    ``ssd_bytes_saved`` is the SSD read volume avoided by stage hits.
+    """
+
+    fetches: int = 0
+    pcie_bytes: int = 0
+    ssd_bytes_read: int = 0
+    ssd_bytes_saved: int = 0
+    stage_hits: int = 0
+    stage_misses: int = 0
+    source_tier: str = "dram"
+
+    @property
+    def stage_accesses(self) -> int:
+        return self.stage_hits + self.stage_misses
+
+    @property
+    def stage_hit_rate(self) -> float:
+        accesses = self.stage_accesses
+        return self.stage_hits / accesses if accesses else 0.0
+
+    def record_fetch(self, route: FetchRoute, num_bytes: int) -> None:
+        """Account one issued expert fetch described by ``route``."""
+        self.fetches += 1
+        self.pcie_bytes += int(num_bytes)
+        if route.source_tier == "ssd":
+            if route.stage_hit:
+                self.stage_hits += 1
+                self.ssd_bytes_saved += int(num_bytes)
+            else:
+                self.ssd_bytes_read += int(num_bytes)
+                if route.stage_hit is not None:
+                    self.stage_misses += 1
+
+    def snapshot(self) -> "TierTransferStats":
+        return replace(self)
+
+    def since(self, earlier: "TierTransferStats") -> "TierTransferStats":
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        return TierTransferStats(
+            fetches=self.fetches - earlier.fetches,
+            pcie_bytes=self.pcie_bytes - earlier.pcie_bytes,
+            ssd_bytes_read=self.ssd_bytes_read - earlier.ssd_bytes_read,
+            ssd_bytes_saved=self.ssd_bytes_saved - earlier.ssd_bytes_saved,
+            stage_hits=self.stage_hits - earlier.stage_hits,
+            stage_misses=self.stage_misses - earlier.stage_misses,
+            source_tier=self.source_tier)
+
+    def merged_with(self, other: "TierTransferStats") -> "TierTransferStats":
+        """Pooled counters across replicas."""
+        tier = merged_source_tier(self.source_tier, other.source_tier)
+        return TierTransferStats(
+            fetches=self.fetches + other.fetches,
+            pcie_bytes=self.pcie_bytes + other.pcie_bytes,
+            ssd_bytes_read=self.ssd_bytes_read + other.ssd_bytes_read,
+            ssd_bytes_saved=self.ssd_bytes_saved + other.ssd_bytes_saved,
+            stage_hits=self.stage_hits + other.stage_hits,
+            stage_misses=self.stage_misses + other.stage_misses,
+            source_tier=tier)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "fetches": self.fetches,
+            "pcie_bytes": self.pcie_bytes,
+            "ssd_bytes_read": self.ssd_bytes_read,
+            "ssd_bytes_saved": self.ssd_bytes_saved,
+            "stage_hits": self.stage_hits,
+            "stage_misses": self.stage_misses,
+            "stage_hit_rate": self.stage_hit_rate,
+            "source_tier": self.source_tier,
+        }
+
+
+def merge_tier_stats(stats: "List[TierTransferStats | None]") -> "TierTransferStats | None":
+    """Merge per-replica tier stats, tolerating replicas without any.
+
+    Mirrors the ``cache_stats`` merging guard: replicas that never offloaded
+    (``gpu_only``, or mixed fleets) contribute nothing rather than breaking
+    the merge; the result is ``None`` only when *no* replica had stats.
+    """
+    return merge_optional_stats(stats)

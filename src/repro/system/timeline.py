@@ -1,10 +1,14 @@
-"""Dual-stream discrete-event execution timeline.
+"""Multi-stream discrete-event execution timeline.
 
-Models the two hardware queues that matter for MoE offloading performance:
+Models the hardware queues that matter for MoE offloading performance:
 
 * the **compute stream** — GPU kernels execute in issue order;
-* the **copy stream** — CPU→GPU (or SSD→GPU) expert transfers execute in
-  issue order, concurrently with the compute stream.
+* the **copy stream** — DRAM→GPU (or SSD→GPU) expert transfers execute in
+  issue order, concurrently with the compute stream;
+* the **stage stream** — SSD→DRAM staging reads, used when a host-DRAM
+  staging cache fronts SSD-resident experts: the SSD read of one expert
+  proceeds concurrently with *both* GPU compute and another expert's PCIe
+  copy, which is exactly the decoupling a staging buffer buys.
 
 An operation may declare dependencies on other operations (by id); it starts
 at the later of (a) the time its stream becomes free and (b) the completion
@@ -19,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 class Stream(Enum):
@@ -27,6 +31,9 @@ class Stream(Enum):
 
     COMPUTE = "compute"
     COPY = "copy"
+    #: Second copy queue: SSD→DRAM staging reads (the coldest hop of a
+    #: multi-hop expert fetch), overlapping both compute and PCIe copies.
+    STAGE = "stage"
 
 
 @dataclass
@@ -61,7 +68,7 @@ class ExecutionTimeline:
 
     def __init__(self) -> None:
         self._ops: List[TimelineOp] = []
-        self._stream_free: Dict[Stream, float] = {Stream.COMPUTE: 0.0, Stream.COPY: 0.0}
+        self._stream_free: Dict[Stream, float] = {stream: 0.0 for stream in Stream}
 
     # ------------------------------------------------------------------
     def add(self, name: str, stream: Stream, duration: float,
@@ -102,6 +109,13 @@ class ExecutionTimeline:
                  depends_on: Optional[Sequence[int]] = None,
                  category: str = "copy", earliest_start: float = 0.0) -> TimelineOp:
         return self.add(name, Stream.COPY, duration, depends_on, category,
+                        earliest_start=earliest_start)
+
+    def add_stage(self, name: str, duration: float,
+                  depends_on: Optional[Sequence[int]] = None,
+                  category: str = "stage_in", earliest_start: float = 0.0) -> TimelineOp:
+        """Schedule an SSD→DRAM staging read on the stage copy stream."""
+        return self.add(name, Stream.STAGE, duration, depends_on, category,
                         earliest_start=earliest_start)
 
     # ------------------------------------------------------------------
@@ -176,7 +190,10 @@ class ExecutionTimeline:
             return "(empty timeline)"
         total = self.makespan
         lines = []
-        for stream in (Stream.COMPUTE, Stream.COPY):
+        streams = [Stream.COMPUTE, Stream.COPY]
+        if self.stream_ops(Stream.STAGE):
+            streams.append(Stream.STAGE)
+        for stream in streams:
             cells = [" "] * width
             for op in self.stream_ops(stream):
                 lo = int(op.start / total * (width - 1)) if total else 0

@@ -10,15 +10,14 @@ These helpers orchestrate the Table II and Figure 13 experiments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from ..core.pregated_model import PreGatedSwitchTransformer
 from ..data.metrics import EvalScores
 from ..data.tasks import SyntheticTask, make_task, train_eval_split
-from ..data.tokenizer import Tokenizer, default_vocabulary
+from ..data.tokenizer import default_vocabulary
 from ..moe.configs import ModelConfig, get_config
 from ..moe.transformer import SwitchTransformer
 from .trainer import Trainer, TrainingConfig, TrainingResult

@@ -20,7 +20,7 @@ benchmarks (e.g. vLLM's benchmark_serving, mlperf-inference "server" vs
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 import numpy as np

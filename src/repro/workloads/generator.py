@@ -8,7 +8,7 @@ workload rather than ad-hoc constants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from ..moe.configs import ModelConfig, get_config

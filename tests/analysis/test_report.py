@@ -147,6 +147,29 @@ class TestLoadTestReport:
         assert row["gb_transferred"] == 2.0
         assert row["gb_saved"] == 6.0
 
+    def test_tier_columns(self):
+        from repro.analysis import load_test_report
+        from repro.system import TierTransferStats
+
+        plain = self.make_load_result()
+        row = dict(zip(load_test_report([plain]).headers,
+                       load_test_report([plain]).rows[0]))
+        assert row["offload_tier"] == "-"          # gpu-only style: no ledger
+        assert row["ssd_gb_read"] == "-"
+        assert row["stage_hit_rate"] == "-"
+
+        ssd = self.make_load_result()
+        ssd.tier_stats = TierTransferStats(fetches=4, pcie_bytes=int(4e9),
+                                           ssd_bytes_read=int(3e9),
+                                           ssd_bytes_saved=int(1e9),
+                                           stage_hits=1, stage_misses=3,
+                                           source_tier="ssd")
+        row = dict(zip(load_test_report([ssd]).headers,
+                       load_test_report([ssd]).rows[0]))
+        assert row["offload_tier"] == "ssd"
+        assert row["ssd_gb_read"] == 3.0
+        assert row["stage_hit_rate"] == 0.25
+
     def test_renderable(self):
         from repro.analysis import load_test_report
         text = load_test_report([self.make_load_result()],

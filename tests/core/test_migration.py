@@ -110,6 +110,36 @@ class TestGpuOnlyAndDispatch:
             plan_for_design("magic", activations, EXPERT_BYTES, num_experts=8)
 
 
+class TestSourceTier:
+    def test_default_source_is_dram(self, activations):
+        for design in ("ondemand", "prefetch_all", "pregated"):
+            plan = plan_for_design(design, activations, EXPERT_BYTES, num_experts=8)
+            assert all(t.source_tier == "dram" for t in plan.transfers)
+
+    def test_source_tier_stamped_on_every_transfer(self, activations):
+        for design in ("ondemand", "prefetch_all", "pregated"):
+            plan = plan_for_design(design, activations, EXPERT_BYTES,
+                                   num_experts=8, source_tier="ssd")
+            assert plan.transfers
+            assert all(t.source_tier == "ssd" for t in plan.transfers)
+
+    def test_hop_breakdown_follows_tier_path(self, activations):
+        from repro.system import SSD_SYSTEM
+
+        plan = plan_on_demand(activations, EXPERT_BYTES, source_tier="ssd")
+        path = SSD_SYSTEM.tier_path("ssd")
+        hops = plan.transfers[0].hop_breakdown(path)
+        assert [(h.source, h.dest) for h in hops] == [("ssd", "dram"), ("dram", "hbm")]
+        assert all(h.bytes == EXPERT_BYTES for h in hops)
+
+    def test_hop_breakdown_rejects_mismatched_path(self, activations):
+        from repro.system import SSD_SYSTEM
+
+        plan = plan_on_demand(activations, EXPERT_BYTES)  # dram-sourced
+        with pytest.raises(ValueError):
+            plan.transfers[0].hop_breakdown(SSD_SYSTEM.tier_path("ssd"))
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     num_blocks=st.integers(min_value=1, max_value=12),

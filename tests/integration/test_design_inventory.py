@@ -7,7 +7,6 @@ table/figure; these tests keep the repository honest about that inventory.
 import os
 import re
 
-import pytest
 
 import repro
 

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core import PreGatedSwitchTransformer, peak_memory_comparison
-from repro.moe import SwitchTransformer, get_config
+from repro.moe import get_config
 from repro.serving import compare_designs, make_engine
 from repro.system import ExpertCache, PAPER_SYSTEM, SSD_SYSTEM
 from repro.workloads import TraceGenerator, trace_from_routing

@@ -6,7 +6,6 @@ from repro.moe.configs import (
     BYTES_FP32,
     PERFORMANCE_CONFIGS,
     TABLE1_CONFIGS,
-    ModelConfig,
     get_config,
     list_configs,
 )

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.moe.expert import Expert, ExpertPool
-from repro.moe.gating import Router, RoutingDecision
+from repro.moe.gating import RoutingDecision
 from repro.moe.moe_block import MoEBlock
 from repro.tensor import Tensor
 

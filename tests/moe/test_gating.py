@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.moe.gating import Router, RoutingDecision, load_balancing_loss
+from repro.moe.gating import Router, load_balancing_loss
 from repro.tensor import Tensor
 from repro.tensor import functional as F
 

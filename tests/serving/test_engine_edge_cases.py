@@ -4,7 +4,7 @@ engine configuration knobs and memory accounting details."""
 import pytest
 
 from repro.moe import get_config
-from repro.serving import EngineConfig, compare_designs, make_engine
+from repro.serving import EngineConfig, make_engine
 from repro.system import ExecutionTimeline, Stream
 from repro.system.hardware import PAPER_SYSTEM
 from repro.workloads import TraceGenerator, expected_distinct_experts

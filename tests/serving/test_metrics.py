@@ -188,6 +188,55 @@ class TestMergeLoadResults:
         with pytest.raises(ValueError):
             merge_load_results([])
 
+    def test_merge_mixed_cached_and_cache_free_replicas(self):
+        """A fleet may mix cached, capacity-0 and cache-free replicas."""
+        from repro.system import ResidencyStats
+
+        cached = LoadTestResult(
+            design="pregated", config_name="c", makespan=1.0,
+            cache_stats=ResidencyStats(hits=3, misses=1, bytes_saved=300,
+                                       bytes_transferred=100))
+        zero_capacity = LoadTestResult(
+            design="pregated", config_name="c", makespan=1.0,
+            cache_stats=ResidencyStats())          # capacity 0: stats, no hits
+        cache_free = LoadTestResult(design="pregated", config_name="c",
+                                    makespan=1.0)  # no cache at all: None
+        merged = merge_load_results([cached, zero_capacity, cache_free])
+        assert merged.cache_stats is not None
+        assert merged.cache_stats.hits == 3
+        assert merged.cache_stats.misses == 1
+        assert merged.cache_hit_rate == pytest.approx(0.75)
+
+        all_free = merge_load_results([cache_free, cache_free])
+        assert all_free.cache_stats is None
+        assert all_free.cache_hit_rate is None
+        # The report renders these rows with placeholder cache cells.
+        assert all_free.summary()["cache_hit_rate"] is None
+
+    def test_merge_mixed_source_tiers_marked(self):
+        from repro.system import ResidencyStats
+
+        dram = LoadTestResult(design="pregated", config_name="c", makespan=1.0,
+                              cache_stats=ResidencyStats(source_tier="dram"))
+        ssd = LoadTestResult(design="pregated", config_name="c", makespan=1.0,
+                             cache_stats=ResidencyStats(source_tier="ssd"))
+        merged = merge_load_results([dram, ssd])
+        assert merged.cache_stats.source_tier == "mixed"
+
+    def test_merge_tier_stats_tolerates_missing(self):
+        from repro.system import TierTransferStats
+
+        offloaded = LoadTestResult(
+            design="pregated", config_name="c", makespan=1.0,
+            tier_stats=TierTransferStats(fetches=2, pcie_bytes=200,
+                                         ssd_bytes_read=200, source_tier="ssd"))
+        gpu_only = LoadTestResult(design="gpu_only", config_name="c", makespan=1.0)
+        merged = merge_load_results([offloaded, gpu_only])
+        assert merged.tier_stats is not None
+        assert merged.tier_stats.ssd_bytes_read == 200
+        assert merged.ssd_bytes_read == 200
+        assert merge_load_results([gpu_only, gpu_only]).tier_stats is None
+
 
 class TestNormalise:
     def test_normalise_to_reference(self):

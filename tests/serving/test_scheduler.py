@@ -10,7 +10,7 @@ from repro.serving import (
     make_scheduler,
     serve_load,
 )
-from repro.system import ExpertCache, Stream
+from repro.system import ExpertCache
 from repro.system.timeline import ExecutionTimeline
 from repro.workloads import (
     CLOSED_LOOP_QA_LOAD,

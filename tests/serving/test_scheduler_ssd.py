@@ -1,0 +1,200 @@
+"""SSD offloading through the serving stack: scheduler parity and DRAM staging.
+
+Covers the tiered-memory acceptance contracts:
+
+* ``serve_load``/``ContinuousBatchingScheduler`` accept ``SSD_SYSTEM`` and a
+  single request through the scheduler matches ``engine.run_request`` on the
+  SSD system exactly;
+* a zero-capacity DRAM stage reproduces the unstaged multi-hop SSD timeline
+  to 1e-9 (no buffer space means the links stay one cut-through queue);
+* a warm DRAM stage strictly reduces SSD bytes read under repeated expert
+  activation, reports a positive stage hit rate, and schedules its SSD reads
+  on the dedicated stage stream;
+* randomized invariant: staged bytes are always bounded by the stage's
+  retention capacity plus the in-flight pinned working set, and never
+  overflow the DRAM pool.
+"""
+
+import random
+
+import pytest
+
+from repro.moe import get_config
+from repro.serving import make_engine, make_scheduler, serve_load
+from repro.system import SSD_SYSTEM, Stream
+from repro.workloads import POISSON_QA_LOAD, TimedRequest, TraceGenerator, WorkloadSpec
+
+CONFIG = get_config("switch_base_64")
+DESIGNS = ("pregated", "ondemand", "prefetch_all")
+
+#: Skewed routing so repeat activations actually revisit experts.
+WORKLOAD = WorkloadSpec(name="ssd_hot_experts", num_requests=5, input_length=8,
+                        output_length=6, routing_skew=1.5, seed=0)
+
+
+def hot_requests(n=4, gap=0.2, seed=3):
+    traces = TraceGenerator(CONFIG, skew=1.5, seed=seed).workload(
+        n, input_length=8, output_length=6)
+    return [TimedRequest(request_id=i, arrival_time=gap * i, trace=t)
+            for i, t in enumerate(traces)]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return TraceGenerator(CONFIG, seed=0).request_trace(input_length=16, output_length=8)
+
+
+class TestSchedulerSsdParity:
+    """Single-request-through-scheduler parity with the engine on SSD."""
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_single_request_latency_parity(self, design, trace):
+        reference = make_engine(design, CONFIG, system=SSD_SYSTEM).run_request(trace)
+        served = make_scheduler(design, CONFIG, system=SSD_SYSTEM).serve([trace])
+        assert served.requests[0].completion_time == pytest.approx(
+            reference.total_time, abs=1e-9)
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_single_request_peak_memory_parity(self, design, trace):
+        engine = make_engine(design, CONFIG, system=SSD_SYSTEM)
+        reference = engine.run_request(trace)
+        result = make_scheduler(design, CONFIG, system=SSD_SYSTEM).serve([trace])
+        assert result.peak_gpu_bytes == reference.peak_gpu_bytes
+
+    def test_serve_load_accepts_ssd_system(self):
+        load = POISSON_QA_LOAD.with_overrides(request_rate=8.0)
+        result = serve_load("pregated", CONFIG, load, workload=WORKLOAD,
+                            system=SSD_SYSTEM, max_batch_size=4)
+        assert result.num_requests == WORKLOAD.num_requests
+        assert not result.oom
+        assert result.tier_stats is not None
+        assert result.tier_stats.source_tier == "ssd"
+        assert result.ssd_bytes_read > 0
+        assert result.stage_hit_rate is None      # no stage configured
+
+
+class TestZeroCapacityStageParity:
+    """A zero-capacity DRAM stage is time-identical to no stage at all."""
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_timeline_and_bytes_parity(self, design):
+        requests = hot_requests()
+        base = make_scheduler(design, CONFIG, system=SSD_SYSTEM,
+                              max_batch_size=4).serve(requests)
+        zero = make_scheduler(design, CONFIG, system=SSD_SYSTEM, max_batch_size=4,
+                              stage_policy="lru", stage_capacity=0).serve(requests)
+        assert zero.makespan == pytest.approx(base.makespan, abs=1e-9)
+        assert zero.expert_bytes_transferred == base.expert_bytes_transferred
+        assert zero.peak_gpu_bytes == base.peak_gpu_bytes
+        assert zero.ssd_bytes_read == base.ssd_bytes_read
+        for a, b in zip(base.requests, zero.requests):
+            assert b.completion_time == pytest.approx(a.completion_time, abs=1e-9)
+            assert b.first_token_time == pytest.approx(a.first_token_time, abs=1e-9)
+
+    def test_zero_capacity_still_counts_stage_misses(self):
+        requests = hot_requests()
+        zero = make_scheduler("pregated", CONFIG, system=SSD_SYSTEM, max_batch_size=4,
+                              stage_policy="lru", stage_capacity=0).serve(requests)
+        stats = zero.tier_stats
+        assert stats.stage_misses == stats.fetches > 0
+        assert stats.stage_hits == 0
+
+
+class TestWarmStage:
+    @pytest.mark.parametrize("design", ("pregated", "ondemand"))
+    def test_warm_stage_cuts_ssd_reads(self, design):
+        requests = hot_requests()
+        base = make_scheduler(design, CONFIG, system=SSD_SYSTEM,
+                              max_batch_size=4).serve(requests)
+        warm = make_scheduler(design, CONFIG, system=SSD_SYSTEM, max_batch_size=4,
+                              stage_policy="lru", stage_capacity=256).serve(requests)
+        assert warm.ssd_bytes_read < base.ssd_bytes_read
+        assert warm.stage_hit_rate > 0.0
+        assert warm.tier_stats.ssd_bytes_saved > 0
+        # Conservation: every fetch either read the SSD or was staged.
+        stats = warm.tier_stats
+        assert stats.ssd_bytes_read + stats.ssd_bytes_saved == \
+            stats.fetches * CONFIG.expert_bytes()
+
+    def test_stage_ops_land_on_stage_stream(self):
+        scheduler = make_scheduler("pregated", CONFIG, system=SSD_SYSTEM,
+                                   max_batch_size=4, stage_policy="lru",
+                                   stage_capacity=256)
+        timeline_ops = []
+        original = scheduler.simulator.simulate_stack_pass
+
+        def capture(timeline, *args, **kwargs):
+            result = original(timeline, *args, **kwargs)
+            timeline_ops.append(timeline)
+            return result
+
+        scheduler.simulator.simulate_stack_pass = capture
+        scheduler.serve(hot_requests())
+        timeline = timeline_ops[-1]
+        stage_ops = timeline.stream_ops(Stream.STAGE)
+        assert stage_ops, "stage misses must schedule SSD reads on the stage stream"
+        assert all(op.category == "stage_in" for op in stage_ops)
+        # Stage reads and PCIe copies are different queues: they may overlap.
+        copy_busy = timeline.stream_busy_time(Stream.COPY)
+        stage_busy = timeline.stream_busy_time(Stream.STAGE)
+        assert stage_busy > 0 and copy_busy > 0
+
+    def test_warm_stage_never_slower(self):
+        requests = hot_requests()
+        base = make_scheduler("pregated", CONFIG, system=SSD_SYSTEM,
+                              max_batch_size=4).serve(requests)
+        warm = make_scheduler("pregated", CONFIG, system=SSD_SYSTEM, max_batch_size=4,
+                              stage_policy="lru", stage_capacity=256).serve(requests)
+        assert warm.makespan <= base.makespan + 1e-9
+
+    def test_stage_rejected_on_dram_system(self):
+        with pytest.raises(ValueError, match="SSD offload"):
+            make_scheduler("pregated", CONFIG, stage_policy="lru", stage_capacity=8)
+
+    def test_stage_policy_requires_capacity(self):
+        with pytest.raises(ValueError, match="stage_capacity"):
+            make_scheduler("pregated", CONFIG, system=SSD_SYSTEM, stage_policy="lru")
+
+
+class TestStageInvariants:
+    """Randomized invariant: staged bytes stay within the stage pool bounds."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_staged_bytes_bounded(self, seed):
+        rng = random.Random(seed)
+        capacity = rng.choice([0, 4, 16, 64])
+        n = rng.randint(2, 5)
+        requests = hot_requests(n=n, gap=rng.choice([0.0, 0.1, 0.3]), seed=seed)
+        scheduler = make_scheduler(
+            rng.choice(["pregated", "ondemand"]), CONFIG, system=SSD_SYSTEM,
+            max_batch_size=rng.choice([2, 4]),
+            stage_policy=rng.choice(["lifo", "lru", "lfu"]),
+            stage_capacity=capacity)
+        stage = scheduler.placement.stage
+        dram_pool = scheduler.placement.memory.pool("dram")
+        expert_bytes = CONFIG.expert_bytes()
+
+        observed_peaks = []
+        original_pin = stage.pin
+
+        def watched_pin(key):
+            result = original_pin(key)
+            observed_peaks.append(stage.resident_bytes)
+            return result
+
+        stage.pin = watched_pin
+        result = scheduler.serve(requests)
+        assert not result.oom
+
+        # Retained entries never exceed the configured stage capacity, and
+        # the DRAM pool honours its byte accounting at every pin.
+        assert stage.retained_count <= capacity
+        assert stage.pinned_count == 0                  # all pins handed back
+        # The fetch path pins one expert at a time (pin → release around
+        # routing), so residency can never exceed retention + one in-flight.
+        assert max(observed_peaks) <= (capacity + 1) * expert_bytes
+        assert dram_pool.in_use <= dram_pool.capacity
+        assert dram_pool.category_peak("staged_experts") <= \
+            (capacity + 1) * expert_bytes
+        assert dram_pool.category_usage("staged_experts") == \
+            stage.retained_count * expert_bytes

@@ -9,7 +9,6 @@ from repro.system.hardware import (
     PAPER_SYSTEM,
     PCIE_GEN4,
     SSD_SYSTEM,
-    GpuSpec,
     LinkSpec,
     SystemSpec,
     get_system,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.system.hardware import PAPER_SYSTEM
-from repro.system.memory import MemoryHierarchy, MemoryPool, OutOfMemoryError
+from repro.system.memory import MemoryHierarchy, MemoryPool, OutOfMemoryError, TieredMemory
 
 
 class TestMemoryPool:
@@ -112,3 +112,50 @@ class TestMemoryHierarchy:
         hierarchy = MemoryHierarchy(gpu=MemoryPool("g", 10), cpu=MemoryPool("c", 10), ssd=None)
         with pytest.raises(ValueError):
             hierarchy.offload_pool("ssd")
+
+
+class TestTieredMemoryAccessor:
+    def test_pool_by_tier_name(self):
+        memory = TieredMemory.from_system(PAPER_SYSTEM)
+        assert memory.pool("hbm") is memory.gpu
+        assert memory.pool("dram") is memory.cpu
+        assert memory.pool("ssd") is memory.ssd
+
+    def test_pools_carry_tier_names(self):
+        memory = TieredMemory.from_system(PAPER_SYSTEM)
+        assert memory.pool("hbm").tier == "hbm"
+        assert memory.pool("dram").tier == "dram"
+        assert memory.pool("ssd").tier == "ssd"
+
+    def test_unknown_tier_lists_available(self):
+        memory = TieredMemory.from_system(PAPER_SYSTEM)
+        with pytest.raises(ValueError) as err:
+            memory.pool("floppy")
+        message = str(err.value)
+        for tier in ("hbm", "dram", "ssd"):
+            assert tier in message
+
+    def test_missing_ssd_not_listed(self):
+        memory = TieredMemory(gpu=MemoryPool("g", 10), cpu=MemoryPool("c", 10), ssd=None)
+        assert memory.available_tiers() == ["hbm", "dram"]
+        with pytest.raises(ValueError) as err:
+            memory.pool("ssd")
+        assert "['hbm', 'dram']" in str(err.value)
+
+    def test_alias_is_same_class(self):
+        assert MemoryHierarchy is TieredMemory
+
+    def test_oom_message_names_tier(self):
+        memory = TieredMemory.from_system(PAPER_SYSTEM)
+        pool = memory.pool("hbm")
+        with pytest.raises(OutOfMemoryError) as err:
+            pool.allocate("too_big", pool.capacity + 1)
+        assert "[hbm tier]" in str(err.value)
+        assert err.value.tier == "hbm"
+
+    def test_oom_message_without_tier_unchanged(self):
+        pool = MemoryPool("scratch", 10)
+        with pytest.raises(OutOfMemoryError) as err:
+            pool.allocate("x", 11)
+        assert "tier" not in str(err.value)
+        assert err.value.tier == ""

@@ -1,0 +1,183 @@
+"""Tests for the tiered memory hierarchy (multi-hop transfer paths)."""
+
+import pytest
+
+from repro.system.hardware import GB, PAPER_SYSTEM, SSD_SYSTEM, LinkSpec
+from repro.system.tiers import (
+    FetchRoute,
+    TierPath,
+    TierTransferStats,
+    TransferHop,
+    merge_tier_stats,
+)
+
+MB = int(1e6)
+
+
+def two_hop_path(ssd_bw=3 * GB, pcie_bw=32 * GB, ssd_lat=1e-4, pcie_lat=1e-5):
+    ssd = TransferHop("ssd", "dram", LinkSpec("ssd-read", ssd_bw, latency=ssd_lat))
+    pcie = TransferHop("dram", "hbm", LinkSpec("pcie", pcie_bw, latency=pcie_lat))
+    return TierPath(source="ssd", hops=(ssd, pcie))
+
+
+class TestTierPath:
+    def test_single_hop_matches_link(self):
+        link = LinkSpec("pcie", 32 * GB, latency=1e-5)
+        path = TierPath(source="dram", hops=(TransferHop("dram", "hbm", link),))
+        for size in (0, 1, 37 * MB, int(1e9)):
+            assert path.transfer_time(size) == pytest.approx(
+                link.transfer_time(size), abs=0)
+
+    def test_pipelined_two_hop_closed_form(self):
+        path = two_hop_path()
+        size = 50 * MB
+        expected = (1e-4 + 1e-5) + size / (3 * GB)   # summed latency, slow link bw
+        assert path.transfer_time(size) == pytest.approx(expected, rel=1e-12)
+        assert path.bottleneck_bandwidth == 3 * GB
+        assert path.total_latency == pytest.approx(1.1e-4)
+
+    def test_zero_bytes_are_free(self):
+        path = two_hop_path()
+        assert path.transfer_time(0) == 0.0
+        assert path.cut_through_tail(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            two_hop_path().transfer_time(-1)
+
+    def test_cut_through_decomposition(self):
+        """first hop + tail == the full pipelined time, and the tail is the
+        remaining hops' latency when the first hop is the bottleneck."""
+        path = two_hop_path()
+        size = 64 * MB
+        total = path.transfer_time(size)
+        assert path.first_hop_time(size) + path.cut_through_tail(size) == \
+            pytest.approx(total, rel=1e-12)
+        assert path.cut_through_tail(size) == pytest.approx(1e-5)  # pcie latency
+
+    def test_cut_through_tail_positive_when_upper_link_slower(self):
+        path = two_hop_path(ssd_bw=32 * GB, pcie_bw=3 * GB)
+        size = 64 * MB
+        assert path.cut_through_tail(size) > 0.0
+        assert path.first_hop_time(size) + path.cut_through_tail(size) == \
+            pytest.approx(path.transfer_time(size), rel=1e-12)
+
+    def test_breakdown_per_hop(self):
+        path = two_hop_path()
+        hops = path.breakdown(10 * MB)
+        assert [(h.source, h.dest) for h in hops] == [("ssd", "dram"), ("dram", "hbm")]
+        assert all(h.bytes == 10 * MB for h in hops)
+        assert hops[0].serial_time == pytest.approx(1e-4 + 10 * MB / (3 * GB))
+        assert hops[1].serial_time == pytest.approx(1e-5 + 10 * MB / (32 * GB))
+
+    def test_disconnected_hops_rejected(self):
+        ssd = TransferHop("ssd", "dram", LinkSpec("a", GB))
+        bad = TransferHop("hbm", "hbm", LinkSpec("b", GB))
+        with pytest.raises(ValueError):
+            TierPath(source="ssd", hops=(ssd, bad))
+        with pytest.raises(ValueError):
+            TierPath(source="dram", hops=(ssd,))
+        with pytest.raises(ValueError):
+            TierPath(source="ssd", hops=())
+
+    def test_as_link_collapse(self):
+        path = two_hop_path()
+        link = path.as_link()
+        assert link.bandwidth == path.bottleneck_bandwidth
+        assert link.latency == pytest.approx(path.total_latency)
+
+
+class TestSystemTierPaths:
+    def test_dram_path_is_pcie(self):
+        path = PAPER_SYSTEM.tier_path("dram")
+        assert path.num_hops == 1
+        for size in (0, MB, 37 * MB):
+            assert path.transfer_time(size) == pytest.approx(
+                PAPER_SYSTEM.pcie.transfer_time(size), abs=0)
+
+    def test_ssd_path_matches_legacy_offload_link(self):
+        """The 1e-9 parity contract: the pipelined multi-hop model equals the
+        legacy min-bandwidth/summed-latency single link."""
+        path = SSD_SYSTEM.tier_path("ssd")
+        assert path.num_hops == 2
+        legacy = SSD_SYSTEM.offload_link
+        for size in (0, MB, 37 * MB, int(1e9)):
+            assert path.transfer_time(size) == pytest.approx(
+                legacy.transfer_time(size), abs=1e-12)
+
+    def test_default_tier_follows_offload_tier(self):
+        assert PAPER_SYSTEM.tier_path().source == "dram"
+        assert SSD_SYSTEM.tier_path().source == "ssd"
+
+    def test_expert_transfer_time_delegates(self):
+        for system in (PAPER_SYSTEM, SSD_SYSTEM):
+            assert system.expert_transfer_time(37 * MB) == pytest.approx(
+                system.tier_path().transfer_time(37 * MB), abs=0)
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="no transfer path"):
+            PAPER_SYSTEM.tier_path("floppy")
+
+
+class TestTierTransferStats:
+    def test_record_dram_fetch(self):
+        stats = TierTransferStats()
+        stats.record_fetch(FetchRoute(source_tier="dram", copy_duration=1.0), 100)
+        assert stats.fetches == 1
+        assert stats.pcie_bytes == 100
+        assert stats.ssd_bytes_read == 0
+        assert stats.stage_accesses == 0
+
+    def test_record_ssd_fetch_without_stage(self):
+        stats = TierTransferStats(source_tier="ssd")
+        stats.record_fetch(FetchRoute(source_tier="ssd", copy_duration=1.0), 100)
+        assert stats.ssd_bytes_read == 100
+        assert stats.pcie_bytes == 100
+        assert stats.stage_accesses == 0     # no stage configured: no hit/miss
+
+    def test_record_stage_hit_and_miss(self):
+        stats = TierTransferStats(source_tier="ssd")
+        stats.record_fetch(FetchRoute(source_tier="ssd", copy_duration=1.0,
+                                      stage_hit=False), 100)
+        stats.record_fetch(FetchRoute(source_tier="ssd", copy_duration=1.0,
+                                      stage_hit=True), 100)
+        assert stats.stage_hits == 1 and stats.stage_misses == 1
+        assert stats.stage_hit_rate == pytest.approx(0.5)
+        assert stats.ssd_bytes_read == 100       # only the miss read the SSD
+        assert stats.ssd_bytes_saved == 100      # the hit skipped an SSD read
+        assert stats.pcie_bytes == 200           # both crossed PCIe
+
+    def test_snapshot_and_since(self):
+        stats = TierTransferStats(source_tier="ssd")
+        stats.record_fetch(FetchRoute(source_tier="ssd", copy_duration=1.0,
+                                      stage_hit=False), 100)
+        before = stats.snapshot()
+        stats.record_fetch(FetchRoute(source_tier="ssd", copy_duration=1.0,
+                                      stage_hit=True), 100)
+        delta = stats.since(before)
+        assert delta.fetches == 1
+        assert delta.stage_hits == 1 and delta.stage_misses == 0
+        assert delta.ssd_bytes_read == 0 and delta.ssd_bytes_saved == 100
+
+    def test_merge_tolerates_missing_replicas(self):
+        a = TierTransferStats(fetches=2, pcie_bytes=200, ssd_bytes_read=100,
+                              stage_hits=1, stage_misses=1, source_tier="ssd")
+        merged = merge_tier_stats([None, a, None])
+        assert merged is not None and merged.fetches == 2
+        assert merge_tier_stats([None, None]) is None
+
+    def test_merge_mixed_tiers(self):
+        a = TierTransferStats(fetches=1, pcie_bytes=10, source_tier="dram")
+        b = TierTransferStats(fetches=2, pcie_bytes=20, ssd_bytes_read=20,
+                              source_tier="ssd")
+        merged = merge_tier_stats([a, b])
+        assert merged.fetches == 3
+        assert merged.pcie_bytes == 30
+        assert merged.ssd_bytes_read == 20
+        assert merged.source_tier == "mixed"
+
+    def test_as_dict_round_trip(self):
+        stats = TierTransferStats(fetches=1, pcie_bytes=10, source_tier="ssd")
+        d = stats.as_dict()
+        assert d["fetches"] == 1 and d["source_tier"] == "ssd"
+        assert d["stage_hit_rate"] == 0.0

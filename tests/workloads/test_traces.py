@@ -8,7 +8,6 @@ from repro.moe import SwitchTransformer, get_config
 from repro.workloads import (
     SQUAD_SINGLE_BATCH,
     TraceGenerator,
-    WorkloadSpec,
     expected_distinct_experts,
     generate_traces,
     generate_traces_by_name,
