@@ -22,7 +22,8 @@ from repro.analysis import FigureReport
 from repro.moe import get_config
 from repro.serving import DESIGN_LABELS, serve_load
 from repro.system import cache_capacity_from_fraction
-from repro.workloads import POISSON_QA_LOAD, WorkloadSpec
+from repro.workloads import WorkloadSpec
+from sweeps import open_loop, run_grid
 
 CONFIG = get_config("switch_base_64")
 POLICIES = ("lifo", "lfu", "lru")
@@ -36,25 +37,22 @@ WORKLOAD = WorkloadSpec(name="fig15_load_hot_experts", num_requests=6,
 
 
 def _serve(design, rate, policy=None, fraction=None):
-    load = POISSON_QA_LOAD.with_overrides(request_rate=rate)
     capacity = None
     if fraction is not None:
         capacity = cache_capacity_from_fraction(
             CONFIG.num_moe_blocks("all"), CONFIG.num_experts, fraction)
-    return serve_load(design, CONFIG, load, workload=WORKLOAD,
+    return serve_load(design, CONFIG, open_loop(rate), workload=WORKLOAD,
                       engine_config=ENGINE_CONFIG, max_batch_size=4,
                       cache_policy=policy, cache_capacity=capacity)
 
 
 def run_cache_load_study():
-    results = {}
-    for design in DESIGNS:
-        for rate in LOADS:
-            results[(design, "w/o cache", 0.0, rate)] = _serve(design, rate)
-            for policy in POLICIES:
-                for fraction in FRACTIONS:
-                    results[(design, policy, fraction, rate)] = _serve(
-                        design, rate, policy=policy, fraction=fraction)
+    baseline = run_grid(_serve, design=DESIGNS, rate=LOADS)
+    cached = run_grid(_serve, design=DESIGNS, policy=POLICIES,
+                      fraction=FRACTIONS, rate=LOADS)
+    results = {(design, "w/o cache", 0.0, rate): result
+               for (design, rate), result in baseline.items()}
+    results.update(cached)
     return results
 
 
@@ -108,8 +106,7 @@ def test_fig15_expert_cache_under_load(benchmark, results_dir):
 def test_fig15_zero_capacity_parity(benchmark):
     def run():
         base = _serve("pregated", 8.0)
-        zero = serve_load("pregated", CONFIG,
-                          POISSON_QA_LOAD.with_overrides(request_rate=8.0),
+        zero = serve_load("pregated", CONFIG, open_loop(8.0),
                           workload=WORKLOAD, engine_config=ENGINE_CONFIG,
                           max_batch_size=4, cache_policy="lru", cache_capacity=0)
         return base, zero

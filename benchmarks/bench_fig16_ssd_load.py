@@ -25,7 +25,8 @@ from repro.analysis import FigureReport
 from repro.moe import get_config
 from repro.serving import DESIGN_LABELS, serve_load
 from repro.system import SSD_SYSTEM
-from repro.workloads import POISSON_QA_LOAD, WorkloadSpec
+from repro.workloads import WorkloadSpec
+from sweeps import open_loop, run_grid
 
 CONFIG = get_config("switch_base_64")
 DESIGNS = ("pregated", "ondemand", "prefetch_all")
@@ -38,22 +39,20 @@ WORKLOAD = WorkloadSpec(name="fig16_load_hot_experts", num_requests=5,
 
 
 def _serve(design, rate, stage_capacity=None):
-    load = POISSON_QA_LOAD.with_overrides(request_rate=rate)
     stage_policy = "lru" if stage_capacity is not None else None
-    return serve_load(design, CONFIG, load, workload=WORKLOAD,
+    return serve_load(design, CONFIG, open_loop(rate), workload=WORKLOAD,
                       system=SSD_SYSTEM, engine_config=ENGINE_CONFIG,
                       max_batch_size=4, stage_policy=stage_policy,
                       stage_capacity=stage_capacity)
 
 
 def run_ssd_load_study():
-    results = {}
-    for design in DESIGNS:
-        for rate in LOADS:
-            results[(design, None, rate)] = _serve(design, rate)
-            for capacity in STAGE_CAPACITIES:
-                results[(design, capacity, rate)] = _serve(
-                    design, rate, stage_capacity=capacity)
+    baseline = run_grid(_serve, design=DESIGNS, rate=LOADS)
+    staged = run_grid(_serve, design=DESIGNS, stage_capacity=STAGE_CAPACITIES,
+                      rate=LOADS)
+    results = {(design, None, rate): result
+               for (design, rate), result in baseline.items()}
+    results.update(staged)
     return results
 
 

@@ -87,17 +87,22 @@ def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence[object]
 #: Column order of load-test report rows; keys into
 #: :meth:`repro.serving.metrics.LoadTestResult.summary`.
 LOAD_REPORT_COLUMNS = [
-    "design", "config", "replicas", "offered_load_rps", "requests",
+    "design", "config", "replicas", "num_gpus", "offered_load_rps", "requests",
     "sustained_tokens_per_second", "p50_ttft_ms", "p99_ttft_ms",
     "p50_tbt_ms", "p99_tbt_ms", "mean_queueing_ms", "peak_gpu_gb",
     "cache_hit_rate", "cache_evictions", "gb_transferred", "gb_saved",
     "offload_tier", "ssd_gb_read", "stage_hit_rate",
+    "device_util", "alltoall_mb", "shard_imbalance",
 ]
 
 #: Load-report cells rendered as "-" when the run had no expert cache (or,
-#: for the tier columns, no offloading / no DRAM staging cache).
+#: for the tier columns, no offloading / no DRAM staging cache; for
+#: alltoall_mb/shard_imbalance, a single-GPU replica — device_util stays
+#: populated there, since one device's compute utilisation is still
+#: meaningful).
 _CACHE_COLUMNS = ("cache_hit_rate", "cache_evictions",
-                  "offload_tier", "ssd_gb_read", "stage_hit_rate")
+                  "offload_tier", "ssd_gb_read", "stage_hit_rate",
+                  "device_util", "alltoall_mb", "shard_imbalance")
 
 
 def load_test_report(results: Sequence, figure: str = "Serving load test",
@@ -119,7 +124,8 @@ def load_test_report(results: Sequence, figure: str = "Serving load test",
         for column in LOAD_REPORT_COLUMNS:
             value = summary.get(column)
             if summary.get("oom") and column not in ("design", "config", "replicas",
-                                                     "offered_load_rps", "requests"):
+                                                     "num_gpus", "offered_load_rps",
+                                                     "requests"):
                 row.append("OOM")
             elif column in _CACHE_COLUMNS and value is None:
                 row.append("-")

@@ -1,0 +1,94 @@
+"""Minimal command-line entry point: run a named benchmark sweep.
+
+``python -m repro <sweep>`` serves a small named load study and prints the
+paper-style load report (optionally also writing it as CSV) — the smoke path
+CI runs and the quickest way to see the simulator end-to-end without pytest:
+
+* ``expert_parallel`` — design × num_gpus on one replica (the expert-
+  parallel sharding study);
+* ``serving_load`` — design × offered load on a single-GPU replica.
+
+``--quick`` shrinks the request count and grid for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .analysis.report import FigureReport, load_test_report
+from .moe.configs import get_config
+from .serving.scheduler import serve_load
+from .workloads.arrivals import POISSON_QA_LOAD
+from .workloads.generator import WorkloadSpec
+
+
+def _workload(quick: bool) -> WorkloadSpec:
+    return WorkloadSpec(name="cli_sweep", num_requests=2 if quick else 4,
+                        input_length=8, output_length=4 if quick else 8,
+                        routing_skew=1.5, seed=0)
+
+
+def run_expert_parallel(quick: bool) -> FigureReport:
+    """Design × num_gpus sweep on one expert-parallel replica."""
+    config = get_config("switch_base_64")
+    designs = ("pregated", "ondemand") if quick else ("pregated", "ondemand",
+                                                      "prefetch_all")
+    gpu_counts = (1, 2) if quick else (1, 2, 4)
+    load = POISSON_QA_LOAD.with_overrides(request_rate=4.0)
+    results = [serve_load(design, config, load, workload=_workload(quick),
+                          max_batch_size=4, num_gpus=num_gpus)
+               for design in designs for num_gpus in gpu_counts]
+    return load_test_report(
+        results, figure="expert_parallel sweep",
+        description="Design ordering across expert-parallel replica sizes")
+
+
+def run_serving_load(quick: bool) -> FigureReport:
+    """Design × offered load on a single-GPU replica."""
+    config = get_config("switch_base_64")
+    designs = ("pregated", "ondemand") if quick else ("pregated", "ondemand",
+                                                      "prefetch_all")
+    rates = (4.0,) if quick else (2.0, 8.0)
+    results = [serve_load(design, config,
+                          POISSON_QA_LOAD.with_overrides(request_rate=rate),
+                          workload=_workload(quick), max_batch_size=4)
+               for design in designs for rate in rates]
+    return load_test_report(
+        results, figure="serving_load sweep",
+        description="Sustained throughput and tail latency under load")
+
+
+SWEEPS: Dict[str, object] = {
+    "expert_parallel": run_expert_parallel,
+    "serving_load": run_serving_load,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a named benchmark sweep of the Pre-gated MoE "
+                    "serving simulator.")
+    parser.add_argument("sweep", choices=sorted(SWEEPS) + ["list"],
+                        help="sweep to run ('list' prints the available names)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the grid for a CI smoke run")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="also write the report as CSV to PATH")
+    args = parser.parse_args(argv)
+    if args.sweep == "list":
+        for name, runner in sorted(SWEEPS.items()):
+            print(f"{name}: {runner.__doc__.strip().splitlines()[0]}")
+        return 0
+    report = SWEEPS[args.sweep](args.quick)
+    print(report.render())
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(report.as_csv())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -36,7 +36,14 @@ from .metrics import (
     normalise,
     percentile,
 )
-from .placement import ModelPlacement
+from .placement import (
+    SHARD_POLICIES,
+    DeviceShard,
+    ModelPlacement,
+    ShardAssignment,
+    ShardedPlacement,
+    ShardedResidency,
+)
 from .prefetch import CrossRequestPrefetcher, PrefetchRound
 from .scheduler import ContinuousBatchingScheduler, make_scheduler, serve_load
 from .simulator import IterationSimulator, SharedExpertRound
@@ -52,6 +59,11 @@ __all__ = [
     "compare_designs",
     "make_engine",
     "ModelPlacement",
+    "ShardedPlacement",
+    "ShardAssignment",
+    "ShardedResidency",
+    "DeviceShard",
+    "SHARD_POLICIES",
     "IterationSimulator",
     "SharedExpertRound",
     "CrossRequestPrefetcher",

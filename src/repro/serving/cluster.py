@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 from ..moe.configs import ModelConfig, get_config
-from ..system.hardware import PAPER_SYSTEM, SystemSpec
+from ..system.hardware import PAPER_SYSTEM, LinkSpec, SystemSpec
 from ..workloads.arrivals import TimedRequest
 from ..workloads.traces import RequestTrace
 from .engine import EngineConfig
@@ -79,7 +79,11 @@ class ReplicaCluster:
                  cache_policy: Optional[str] = None,
                  cache_capacity: Optional[int] = None,
                  stage_policy: Optional[str] = None,
-                 stage_capacity: Optional[int] = None) -> None:
+                 stage_capacity: Optional[int] = None,
+                 num_gpus: Optional[int] = None,
+                 shard_policy: str = "contiguous",
+                 expert_weights: Optional[Sequence[float]] = None,
+                 interconnect: Optional[LinkSpec] = None) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
         if policy not in ROUTING_POLICIES:
@@ -95,6 +99,8 @@ class ReplicaCluster:
         self.cache_capacity = cache_capacity
         self.stage_policy = stage_policy
         self.stage_capacity = stage_capacity
+        self.num_gpus = num_gpus
+        self.shard_policy = shard_policy
         self.replicas = [
             ContinuousBatchingScheduler(design, self.config, system=system,
                                         engine_config=engine_config,
@@ -102,7 +108,11 @@ class ReplicaCluster:
                                         cache_policy=cache_policy,
                                         cache_capacity=cache_capacity,
                                         stage_policy=stage_policy,
-                                        stage_capacity=stage_capacity)
+                                        stage_capacity=stage_capacity,
+                                        num_gpus=num_gpus,
+                                        shard_policy=shard_policy,
+                                        expert_weights=expert_weights,
+                                        interconnect=interconnect)
             for _ in range(num_replicas)
         ]
         self._affinity_window = (cache_capacity if cache_capacity

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..moe.configs import ModelConfig, get_config
 from ..system.cache import ExpertCache
-from ..system.hardware import PAPER_SYSTEM, SystemSpec
+from ..system.hardware import PAPER_SYSTEM, LinkSpec, SystemSpec
 from ..system.memory import MemoryHierarchy, MemoryPool, OutOfMemoryError
 from ..system.performance import GpuLatencyModel
 from ..system.timeline import ExecutionTimeline
@@ -73,7 +73,11 @@ class ServingEngine:
                  cache_policy: Optional[str] = None,
                  cache_capacity: Optional[int] = None,
                  stage_policy: Optional[str] = None,
-                 stage_capacity: Optional[int] = None) -> None:
+                 stage_capacity: Optional[int] = None,
+                 num_gpus: Optional[int] = None,
+                 shard_policy: str = "contiguous",
+                 expert_weights: Optional[Sequence[float]] = None,
+                 interconnect: Optional[LinkSpec] = None) -> None:
         if cache is not None and (cache_policy is not None or cache_capacity is not None):
             raise ValueError(
                 "pass either an ExpertCache or cache_policy/cache_capacity, not both")
@@ -82,6 +86,10 @@ class ServingEngine:
         if cache is None and cache_capacity is not None:
             cache = ExpertCache(capacity_experts=cache_capacity,
                                 policy=cache_policy or "lru")
+        if num_gpus is not None or interconnect is not None:
+            system = system.with_num_gpus(
+                num_gpus if num_gpus is not None else system.num_gpus,
+                interconnect=interconnect)
         self.config = get_config(config) if isinstance(config, str) else config
         self.system = system
         self.latency = latency_model or GpuLatencyModel(system.gpu)
@@ -90,11 +98,15 @@ class ServingEngine:
         self.placement = ModelPlacement(
             self.config, system, offload_experts=self.offloads_experts, cache=cache,
             stage_policy=stage_policy, stage_capacity=stage_capacity,
+            shard_policy=shard_policy, expert_weights=expert_weights,
             runtime_workspace_bytes=self.engine_config.runtime_workspace_bytes,
             allow_oversubscription=self.engine_config.allow_oversubscription)
         self.simulator = IterationSimulator(
             self.config, system, self.latency, self.design, self.placement,
             activation_level=self.engine_config.activation_level)
+        # Carry-over of a trailing all-to-all combine between consecutive
+        # passes on the same timeline (expert-parallel replicas only).
+        self._carry: "tuple[ExecutionTimeline, List[int]] | None" = None
 
     # ------------------------------------------------------------------
     # Placement delegation (kept on the engine for backward compatibility)
@@ -123,6 +135,12 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Public simulation API
     # ------------------------------------------------------------------
+    def _consume_carry(self, timeline: ExecutionTimeline) -> List[int]:
+        """Pending cross-pass deps for ``timeline`` (expert-parallel only)."""
+        if self._carry is not None and self._carry[0] is timeline:
+            return self._carry[1]
+        return []
+
     def run_decoder_iteration(self, activations: IterationActivations,
                               query_tokens: int = 1, self_kv_tokens: int = 1,
                               cross_kv_tokens: int = 32,
@@ -134,7 +152,8 @@ class ServingEngine:
         outcome = self.simulator.decoder_iteration(
             timeline, activations, query_tokens=query_tokens,
             self_kv_tokens=self_kv_tokens, cross_kv_tokens=cross_kv_tokens,
-            iteration=iteration)
+            iteration=iteration, extra_deps=self._consume_carry(timeline))
+        self._carry = (timeline, list(outcome.carry_deps))
         return outcome.result
 
     def run_encoder_pass(self, activations: IterationActivations, input_tokens: int,
@@ -142,7 +161,10 @@ class ServingEngine:
         """Simulate the encoder pass over ``input_tokens`` tokens."""
         self.load_model()
         timeline = timeline if timeline is not None else ExecutionTimeline()
-        outcome = self.simulator.encoder_pass(timeline, activations, input_tokens)
+        outcome = self.simulator.encoder_pass(
+            timeline, activations, input_tokens,
+            extra_deps=self._consume_carry(timeline))
+        self._carry = (timeline, list(outcome.carry_deps))
         return outcome.result
 
     def run_request(self, trace: RequestTrace) -> RequestResult:
@@ -163,12 +185,15 @@ class ServingEngine:
                 timeline=timeline, iteration=step)
             iterations.append(result)
         decode_time = timeline.makespan - encoder_time
+        # The carry only orders passes within this request; drop it so the
+        # engine does not keep the request's whole timeline alive.
+        self._carry = None
 
         return RequestResult(
             design=self.design, config_name=self.config.name,
             input_length=trace.input_length, output_length=trace.output_length,
             encoder_time=encoder_time, decode_time=decode_time,
-            iterations=iterations, peak_gpu_bytes=self.gpu_pool.peak)
+            iterations=iterations, peak_gpu_bytes=self.placement.peak_gpu_bytes)
 
     def run_workload(self, traces: Sequence[RequestTrace]) -> WorkloadResult:
         """Serve a list of requests and aggregate the metrics.
@@ -187,7 +212,7 @@ class ServingEngine:
         transfers_before = self.placement.transfers.snapshot()
         for trace in traces:
             result.requests.append(self.run_request(trace))
-        result.peak_gpu_bytes = self.gpu_pool.peak
+        result.peak_gpu_bytes = self.placement.peak_gpu_bytes
         if self.offloads_experts:
             result.tier_stats = self.placement.transfers.since(transfers_before)
         return result
@@ -239,14 +264,19 @@ def make_engine(design: str, config: "ModelConfig | str", system: SystemSpec = P
                 cache_policy: Optional[str] = None,
                 cache_capacity: Optional[int] = None,
                 stage_policy: Optional[str] = None,
-                stage_capacity: Optional[int] = None) -> ServingEngine:
+                stage_capacity: Optional[int] = None,
+                num_gpus: Optional[int] = None,
+                shard_policy: str = "contiguous",
+                expert_weights: Optional[Sequence[float]] = None,
+                interconnect: Optional[LinkSpec] = None) -> ServingEngine:
     """Factory for engines by design name.
 
     ``cache_policy``/``cache_capacity`` construct the per-request
     :class:`~repro.system.cache.ExpertCache` so callers can enable Figure 15
     caching without building the cache object by hand;
     ``stage_policy``/``stage_capacity`` enable the host-DRAM staging cache
-    for SSD-offload systems (Figure 16's tier).
+    for SSD-offload systems (Figure 16's tier); ``num_gpus``/``shard_policy``
+    shard the expert pool across an expert-parallel multi-GPU replica.
     """
     if design not in _ENGINES:
         raise ValueError(f"unknown design {design!r}; known: {sorted(_ENGINES)}")
@@ -255,7 +285,11 @@ def make_engine(design: str, config: "ModelConfig | str", system: SystemSpec = P
                             cache_policy=cache_policy,
                             cache_capacity=cache_capacity,
                             stage_policy=stage_policy,
-                            stage_capacity=stage_capacity)
+                            stage_capacity=stage_capacity,
+                            num_gpus=num_gpus,
+                            shard_policy=shard_policy,
+                            expert_weights=expert_weights,
+                            interconnect=interconnect)
 
 
 def compare_designs(config: "ModelConfig | str", traces: Sequence[RequestTrace],

@@ -266,6 +266,12 @@ class LoadTestResult:
     caching was enabled (``None`` otherwise); ``tier_stats`` carries the
     per-tier transfer ledger (bytes per link, DRAM-stage hits) whenever the
     design offloads experts.
+
+    Expert-parallel replicas additionally report ``num_gpus`` (``None`` after
+    merging a fleet with mixed per-replica GPU counts), per-device compute
+    ``device_utilisation``, ``alltoall_bytes`` of interconnect token traffic
+    and the ``shard_imbalance`` of fetched bytes across devices
+    (max-over-mean; ``None`` for single-GPU replicas).
     """
 
     design: str
@@ -278,6 +284,10 @@ class LoadTestResult:
     expert_bytes_transferred: int = 0
     cache_stats: Optional[ResidencyStats] = None
     tier_stats: Optional[TierTransferStats] = None
+    num_gpus: Optional[int] = 1
+    device_utilisation: List[float] = field(default_factory=list)
+    alltoall_bytes: int = 0
+    shard_imbalance: Optional[float] = None
     oom: bool = False
     oom_reason: str = ""
 
@@ -366,6 +376,15 @@ class LoadTestResult:
             "ssd_gb_read": (self.tier_stats.ssd_bytes_read / 1e9
                             if self.tier_stats is not None else None),
             "stage_hit_rate": self.stage_hit_rate,
+            "num_gpus": self.num_gpus if self.num_gpus is not None else "mixed",
+            "device_util": ("|".join(f"{u:.2f}" for u in self.device_utilisation)
+                            if self.device_utilisation else None),
+            # A single-GPU replica has no interconnect: dash the cell out
+            # like the other expert-parallel columns (mixed fleets keep the
+            # pooled value).
+            "alltoall_mb": (self.alltoall_bytes / 1e6
+                            if self.num_gpus != 1 else None),
+            "shard_imbalance": self.shard_imbalance,
         }
 
 
@@ -385,15 +404,27 @@ def merge_load_results(results: Sequence[LoadTestResult],
     """Combine per-replica load results into one cluster-level result.
 
     Requests are pooled; the makespan is the slowest replica's (replicas run
-    concurrently); the peak is summed because each replica is its own GPU.
+    concurrently); the peak is summed because each replica owns its GPUs.
     ``cache_stats`` and ``tier_stats`` are pooled over the replicas that
     have them — a mixed fleet (cached next to cache-free, or offloading
     next to GPU-only) merges cleanly instead of assuming every replica
-    carries stats.
+    carries stats.  A fleet mixing per-replica GPU counts merges with
+    ``num_gpus=None`` (rendered "mixed") and drops the per-device
+    utilisation breakdown, since device indices no longer line up; a
+    homogeneous fleet averages utilisation per device index.
     """
     if not results:
         raise ValueError("no results to merge")
     first = results[0]
+    gpu_counts = {r.num_gpus for r in results}
+    homogeneous = len(gpu_counts) == 1
+    device_util: List[float] = []
+    if homogeneous:
+        per_replica = [r.device_utilisation for r in results if r.device_utilisation]
+        if per_replica and all(len(u) == len(per_replica[0]) for u in per_replica):
+            device_util = [sum(us) / len(per_replica)
+                           for us in zip(*per_replica)]
+    imbalances = [r.shard_imbalance for r in results if r.shard_imbalance is not None]
     merged = LoadTestResult(
         design=first.design, config_name=first.config_name,
         offered_load=first.offered_load,
@@ -403,6 +434,10 @@ def merge_load_results(results: Sequence[LoadTestResult],
         expert_bytes_transferred=sum(r.expert_bytes_transferred for r in results),
         cache_stats=merge_cache_stats([r.cache_stats for r in results]),
         tier_stats=merge_tier_stats([r.tier_stats for r in results]),
+        num_gpus=first.num_gpus if homogeneous else None,
+        device_utilisation=device_util,
+        alltoall_bytes=sum(r.alltoall_bytes for r in results),
+        shard_imbalance=max(imbalances) if imbalances else None,
         oom=any(r.oom for r in results),
         oom_reason="; ".join(r.oom_reason for r in results if r.oom_reason),
     )

@@ -1,11 +1,20 @@
 """Model-placement layer: parameter storage and GPU expert-slot accounting.
 
 This is the first of the three serving layers (placement → per-iteration
-simulation → request lifecycle).  A :class:`ModelPlacement` owns the memory
+simulation → request lifecycle).  A :class:`ShardedPlacement` owns the memory
 hierarchy of one replica and implements the storage policy of a design
 (Figure 4): where the non-MoE parameters, the expert parameters and the
 runtime workspace live, plus the transient GPU allocations made while
 migrated experts are resident.
+
+A replica may span several GPUs (expert parallelism): the placement then
+splits into one :class:`DeviceShard` per device — each with its own HBM
+:class:`~repro.system.memory.MemoryPool`, shared-residency map and DRAM
+staging cache — and a :class:`ShardAssignment` that maps every expert id to
+the device owning its parameters.  Fetches, expert allocations and cache
+pins route to the owning shard.  A single-GPU replica is the degenerate
+one-shard case and behaves bit-identically to the original single-pool
+placement.
 
 It contains *no timing logic* — the per-iteration simulator decides when
 transfers happen; the placement only tracks the bytes they pin.
@@ -19,10 +28,10 @@ from ..core.migration import ExpertTransfer
 from ..moe.configs import ModelConfig
 from ..moe.transformer import _moe_layer_positions
 from ..system.cache import ExpertCache
-from ..system.hardware import SystemSpec
+from ..system.hardware import DeviceTopology, SystemSpec
 from ..system.memory import MemoryPool, TieredMemory
-from ..system.residency import ExpertResidency
-from ..system.tiers import FetchRoute, TierTransferStats
+from ..system.residency import ExpertResidency, ResidencyStats
+from ..system.tiers import FetchRoute, TierTransferStats, merge_optional_stats
 
 #: Fixed GPU memory consumed by the runtime itself (CUDA context, cuBLAS
 #: workspaces, FasterTransformer's pre-allocated activation buffers).  The
@@ -30,8 +39,190 @@ from ..system.tiers import FetchRoute, TierTransferStats
 #: simulator accounts for it explicitly.
 DEFAULT_RUNTIME_WORKSPACE_BYTES = int(2e9)
 
+#: Expert→device assignment policies of :class:`ShardAssignment`.
+SHARD_POLICIES = ("contiguous", "round_robin", "load_balanced")
 
-class ModelPlacement:
+
+class ShardAssignment:
+    """Static expert→device assignment for one expert-parallel replica.
+
+    The same map applies to every MoE block (the standard expert-parallel
+    layout: rank *d* owns the same expert-id slice of each layer).
+
+    Policies
+    --------
+    ``contiguous``
+        Expert *e* lives on device ``e * D // E`` — the natural slicing of a
+        checkpoint, but it concentrates hot low-id experts on device 0 when
+        the gate distribution is skewed.
+    ``round_robin``
+        Expert *e* lives on device ``e % D`` — spreads neighbouring ids.
+    ``load_balanced``
+        Greedy longest-processing-time assignment by expected gate load:
+        experts are placed heaviest-first onto the least-loaded device, so a
+        skewed popularity distribution ends up evenly spread.  With uniform
+        (or absent) ``expert_weights`` this degenerates to an equal split.
+    """
+
+    def __init__(self, num_experts: int, num_devices: int,
+                 policy: str = "contiguous",
+                 expert_weights: Optional[Sequence[float]] = None) -> None:
+        if policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"unknown shard policy {policy!r}; known: {SHARD_POLICIES}")
+        if num_experts < 0:
+            raise ValueError("num_experts must be non-negative")
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if expert_weights is not None:
+            if len(expert_weights) != num_experts:
+                raise ValueError(
+                    f"expert_weights has {len(expert_weights)} entries for "
+                    f"{num_experts} experts")
+            if any(w < 0 for w in expert_weights):
+                raise ValueError("expert_weights must be non-negative")
+            if num_experts > 0 and sum(expert_weights) == 0:
+                raise ValueError(
+                    "expert_weights must not be all zero (the load-balanced "
+                    "greedy would pile every expert onto device 0)")
+            weights = [float(w) for w in expert_weights]
+        else:
+            weights = [1.0] * num_experts
+        self.num_experts = num_experts
+        self.num_devices = num_devices
+        self.policy = policy
+        self.expert_weights = weights
+        self._device_of: List[int] = [0] * num_experts
+        self.device_weights: List[float] = [0.0] * num_devices
+        if policy == "contiguous":
+            for e in range(num_experts):
+                self._device_of[e] = e * num_devices // num_experts
+        elif policy == "round_robin":
+            for e in range(num_experts):
+                self._device_of[e] = e % num_devices
+        else:  # load_balanced: greedy LPT over the expected gate load
+            order = sorted(range(num_experts), key=lambda e: (-weights[e], e))
+            for e in order:
+                target = min(range(num_devices), key=lambda d: (self.device_weights[d], d))
+                self._device_of[e] = target
+                self.device_weights[target] += weights[e]
+        if policy != "load_balanced":
+            for e in range(num_experts):
+                self.device_weights[self._device_of[e]] += weights[e]
+
+    def device_of(self, expert_id: int) -> int:
+        """Device owning ``expert_id``'s parameter slice."""
+        if not 0 <= expert_id < self.num_experts:
+            raise ValueError(
+                f"expert_id must be in [0, {self.num_experts}), got {expert_id}")
+        return self._device_of[expert_id]
+
+    def experts_on(self, device: int) -> List[int]:
+        return [e for e in range(self.num_experts) if self._device_of[e] == device]
+
+    def imbalance(self) -> float:
+        """Max-over-mean expected gate load across devices (1.0 = balanced)."""
+        mean = sum(self.device_weights) / self.num_devices
+        if mean <= 0.0:
+            return 1.0
+        return max(self.device_weights) / mean
+
+
+class DeviceShard:
+    """One GPU's slice of an expert-parallel replica.
+
+    Owns the device's HBM :class:`~repro.system.memory.MemoryPool`, its
+    shared-residency map (cache of its own experts) and its slice of the
+    host-DRAM staging cache.  The shard holds only *its* experts' bytes —
+    the :class:`ShardAssignment` decides which those are.
+    """
+
+    def __init__(self, device_id: int, pool: MemoryPool,
+                 residency: Optional[ExpertResidency] = None,
+                 stage: Optional[ExpertResidency] = None) -> None:
+        self.device_id = device_id
+        self.pool = pool
+        self.residency = residency
+        self.stage = stage
+
+
+class ShardedResidency:
+    """Routes the :class:`~repro.system.residency.ExpertResidency` protocol
+    across per-shard maps by expert→device ownership.
+
+    Pins charge the owning shard's HBM pool and evictions stay shard-local,
+    exactly as an expert-parallel runtime refcounts pages per rank.  Only
+    constructed for multi-GPU placements; a single-GPU placement exposes its
+    one underlying map directly.
+    """
+
+    def __init__(self, residencies: Sequence[ExpertResidency],
+                 assignment: ShardAssignment) -> None:
+        self._residencies = list(residencies)
+        self.assignment = assignment
+
+    def _for(self, key: Tuple[int, int]) -> ExpertResidency:
+        return self._residencies[self.assignment.device_of(key[1])]
+
+    def pin(self, key: Tuple[int, int]) -> bool:
+        return self._for(key).pin(key)
+
+    def release(self, key: Tuple[int, int]) -> None:
+        self._for(key).release(key)
+
+    def is_resident(self, key: Tuple[int, int]) -> bool:
+        return self._for(key).is_resident(key)
+
+    def pins(self, key: Tuple[int, int]) -> int:
+        return self._for(key).pins(key)
+
+    def resident_for_block(self, block_index: int) -> List[int]:
+        resident: List[int] = []
+        for shard_map in self._residencies:
+            resident.extend(shard_map.resident_for_block(block_index))
+        return resident
+
+    def resident_keys(self) -> List[Tuple[int, int]]:
+        return [key for shard_map in self._residencies
+                for key in shard_map.resident_keys()]
+
+    def evict_unpinned(self) -> int:
+        return sum(shard_map.evict_unpinned() for shard_map in self._residencies)
+
+    def __len__(self) -> int:
+        return sum(len(shard_map) for shard_map in self._residencies)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return self.is_resident(key)
+
+    @property
+    def capacity(self) -> int:
+        return sum(shard_map.capacity for shard_map in self._residencies)
+
+    @property
+    def policy(self):
+        return self._residencies[0].policy
+
+    @property
+    def retained_count(self) -> int:
+        return sum(shard_map.retained_count for shard_map in self._residencies)
+
+    @property
+    def pinned_count(self) -> int:
+        return sum(shard_map.pinned_count for shard_map in self._residencies)
+
+    @property
+    def stats(self) -> ResidencyStats:
+        """Pooled counters across the shards (freshly merged each call)."""
+        return merge_optional_stats([r.stats for r in self._residencies])
+
+
+def _split_capacity(capacity: int, num_devices: int, device: int) -> int:
+    """Device ``device``'s share of a replica-wide entry budget."""
+    return capacity // num_devices + (1 if device < capacity % num_devices else 0)
+
+
+class ShardedPlacement:
     """Parameter placement and expert-slot accounting for one replica.
 
     Parameters
@@ -39,7 +230,9 @@ class ModelPlacement:
     config:
         Model configuration being served.
     system:
-        Hardware the replica runs on.
+        Hardware the replica runs on; its
+        :attr:`~repro.system.hardware.SystemSpec.device_topology` fixes the
+        shard count (one :class:`DeviceShard` per GPU).
     offload_experts:
         Whether expert parameters live in the offload tier (all designs
         except GPU-only).
@@ -51,20 +244,25 @@ class ModelPlacement:
         value used by the parity tests) and the design offloads experts, the
         placement owns a shared refcounted
         :class:`~repro.system.residency.ExpertResidency` map charged against
-        its GPU pool — the multi-request caching substrate the continuous-
-        batching scheduler builds on.
+        its GPU pool(s) — the multi-request caching substrate the continuous-
+        batching scheduler builds on.  With several devices the capacity is
+        split evenly across the shards (each rank caches its own experts).
     stage_policy / stage_capacity:
         Second-level cache for SSD offload: when ``stage_capacity`` is not
-        ``None`` and the system's offload tier is ``"ssd"``, the placement
-        owns a second :class:`~repro.system.residency.ExpertResidency`
-        instance over host DRAM — the staging cache SSD-resident experts
-        pass through on their way to the GPU.  Staged experts skip the SSD
-        read entirely (only the PCIe hop remains); bytes are charged to the
-        DRAM :class:`~repro.system.memory.MemoryPool` under the
+        ``None`` and the system's offload tier is ``"ssd"``, each shard owns
+        a slice of a host-DRAM :class:`~repro.system.residency.ExpertResidency`
+        — the staging cache SSD-resident experts pass through on their way
+        to the GPU.  Staged experts skip the SSD read entirely (only the
+        PCIe hop remains); bytes are charged to the DRAM
+        :class:`~repro.system.memory.MemoryPool` under the
         ``staged_experts`` category.  Capacity 0 keeps the staging
         machinery but retains nothing, reproducing the unstaged multi-hop
         timings exactly (no buffer space means the two links stay a single
         cut-through queue).
+    shard_policy / expert_weights:
+        Expert→device assignment policy (see :class:`ShardAssignment`) and
+        the optional expected per-expert gate load driving ``load_balanced``.
+        Irrelevant for single-GPU replicas.
     runtime_workspace_bytes / allow_oversubscription:
         See :class:`~repro.serving.engine.EngineConfig`.
     """
@@ -76,6 +274,8 @@ class ModelPlacement:
                  cache_capacity: Optional[int] = None,
                  stage_policy: Optional[str] = None,
                  stage_capacity: Optional[int] = None,
+                 shard_policy: str = "contiguous",
+                 expert_weights: Optional[Sequence[float]] = None,
                  runtime_workspace_bytes: int = DEFAULT_RUNTIME_WORKSPACE_BYTES,
                  allow_oversubscription: bool = False) -> None:
         if cache is not None and cache_capacity is not None:
@@ -96,33 +296,72 @@ class ModelPlacement:
                 f"this system's offload tier is {system.offload_tier!r}")
         self.config = config
         self.system = system
+        self.topology: DeviceTopology = system.device_topology
         self.offload_experts = offload_experts
         self.cache = cache
         self.runtime_workspace_bytes = runtime_workspace_bytes
         self.allow_oversubscription = allow_oversubscription
-        self.memory = TieredMemory.from_system(system)
-        self.gpu_pool: MemoryPool = self.memory.gpu
-        self.residency: Optional[ExpertResidency] = None
-        if cache_capacity is not None and offload_experts:
-            self.residency = ExpertResidency(
-                self.gpu_pool, config.expert_bytes(),
-                capacity_experts=cache_capacity,
-                policy=cache_policy or "lru",
-                source_tier=system.offload_tier,
-                allow_oversubscription=allow_oversubscription)
-        self.stage: Optional[ExpertResidency] = None
-        if stage_capacity is not None and offload_experts:
-            self.stage = ExpertResidency(
-                self.memory.pool("dram"), config.expert_bytes(),
-                capacity_experts=stage_capacity,
-                policy=stage_policy or "lru",
-                source_tier="ssd",
-                allow_oversubscription=allow_oversubscription,
-                tag_prefix="staged_expert", category="staged_experts")
+        num_devices = self.topology.num_devices
+        self.assignment = ShardAssignment(
+            config.num_experts if config.is_moe else 0, num_devices,
+            policy=shard_policy, expert_weights=expert_weights)
+
+        # Per-device HBM pools; the host DRAM and SSD tiers stay shared.
+        device_pools = [
+            MemoryPool(self._pool_name(d), gpu.memory_bytes, tier="hbm")
+            for d, gpu in enumerate(self.topology.devices)
+        ]
+        host = MemoryPool(f"CPU DRAM ({system.host.name})", system.host.dram_bytes,
+                          tier="dram")
+        ssd = MemoryPool(f"SSD ({system.ssd.name})", system.ssd.capacity_bytes,
+                         tier="ssd")
+        self.memory = TieredMemory(gpu=device_pools[0], cpu=host, ssd=ssd)
+        self.shards: List[DeviceShard] = []
+        for d, pool in enumerate(device_pools):
+            residency = None
+            if cache_capacity is not None and offload_experts:
+                residency = ExpertResidency(
+                    pool, config.expert_bytes(),
+                    capacity_experts=_split_capacity(cache_capacity, num_devices, d),
+                    policy=cache_policy or "lru",
+                    source_tier=system.offload_tier,
+                    allow_oversubscription=allow_oversubscription)
+            stage = None
+            if stage_capacity is not None and offload_experts:
+                stage = ExpertResidency(
+                    host, config.expert_bytes(),
+                    capacity_experts=_split_capacity(stage_capacity, num_devices, d),
+                    policy=stage_policy or "lru",
+                    source_tier="ssd",
+                    allow_oversubscription=allow_oversubscription,
+                    tag_prefix="staged_expert" if d == 0 else f"staged_expert.d{d}",
+                    category="staged_experts")
+            self.shards.append(DeviceShard(d, pool, residency=residency, stage=stage))
+
+        # Single-GPU placements expose the underlying maps directly (the
+        # legacy surface the engine/scheduler tests pin); multi-GPU
+        # placements expose ownership-routing views over the shards.
+        if num_devices == 1:
+            self.residency = self.shards[0].residency
+            self.stage = self.shards[0].stage
+        else:
+            self.residency = (ShardedResidency(
+                [s.residency for s in self.shards], self.assignment)
+                if cache_capacity is not None and offload_experts else None)
+            self.stage = (ShardedResidency(
+                [s.stage for s in self.shards], self.assignment)
+                if stage_capacity is not None and offload_experts else None)
+
         #: Per-tier transfer ledger: every issued expert fetch is recorded
         #: here with its per-hop byte attribution and stage hit/miss outcome.
         self.transfers = TierTransferStats(
             source_tier=system.offload_tier if offload_experts else "hbm")
+        #: Bytes each device's fetches moved over its copy lane (shard
+        #: imbalance telemetry).
+        self.device_fetch_bytes: List[int] = [0] * num_devices
+        #: Token bytes moved over the intra-node interconnect (all-to-all
+        #: dispatch + combine around the MoE blocks).
+        self.alltoall_bytes: int = 0
         # Tier paths are constants of the system spec; cache them so the
         # per-fetch routing in the hot simulation loop does not rebuild them.
         self._offload_path = system.tier_path() if offload_experts else None
@@ -139,6 +378,61 @@ class ModelPlacement:
             self.encoder_moe_positions = []
             self.decoder_moe_positions = []
 
+    def _pool_name(self, device: int) -> str:
+        gpu = self.topology.devices[device]
+        if self.topology.num_devices == 1:
+            return f"GPU ({gpu.name})"
+        return f"GPU{device} ({gpu.name})"
+
+    # ------------------------------------------------------------------
+    # Device/shard helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return self.topology.num_devices
+
+    @property
+    def gpu_pool(self) -> MemoryPool:
+        """Device 0's HBM pool (the whole GPU for single-device replicas)."""
+        return self.shards[0].pool
+
+    @property
+    def peak_gpu_bytes(self) -> int:
+        """Peak HBM usage summed over the replica's devices."""
+        return sum(shard.pool.peak for shard in self.shards)
+
+    def owner_device(self, expert_id: int) -> int:
+        """Device owning ``expert_id`` (0 for non-MoE configs)."""
+        if self.assignment.num_experts == 0:
+            return 0
+        return self.assignment.device_of(expert_id)
+
+    def shard_for(self, expert_id: int) -> DeviceShard:
+        return self.shards[self.owner_device(expert_id)]
+
+    def record_alltoall(self, num_bytes: float) -> None:
+        """Account one all-to-all dispatch/combine's interconnect traffic."""
+        self.alltoall_bytes += int(num_bytes)
+
+    def fetch_imbalance(self,
+                        since: Optional[Sequence[int]] = None) -> Optional[float]:
+        """Max-over-mean fetched bytes across devices (``None`` single-GPU).
+
+        ``since`` is an earlier copy of :attr:`device_fetch_bytes`, so a
+        load test reports the imbalance of *its* traffic rather than the
+        placement's lifetime.  Falls back to the assignment's expected-load
+        imbalance when nothing was fetched in the window.
+        """
+        if self.num_devices == 1:
+            return None
+        baseline = list(since) if since is not None else [0] * self.num_devices
+        deltas = [now - before
+                  for now, before in zip(self.device_fetch_bytes, baseline)]
+        total = sum(deltas)
+        if total == 0:
+            return self.assignment.imbalance()
+        return max(deltas) / (total / self.num_devices)
+
     # ------------------------------------------------------------------
     # Model loading (Figure 4)
     # ------------------------------------------------------------------
@@ -149,23 +443,41 @@ class ModelPlacement:
     def load_model(self) -> None:
         """Place model parameters according to the design's storage policy.
 
-        Raises :class:`~repro.system.memory.OutOfMemoryError` if the GPU
+        Raises :class:`~repro.system.memory.OutOfMemoryError` if a GPU
         cannot hold its share of the parameters (the GPU-only OOM case for
-        Switch-Large in Figures 10-12).
+        Switch-Large in Figures 10-12).  The non-MoE parameters and runtime
+        workspace are replicated on every device (expert parallelism keeps
+        the dense layers data-parallel); expert parameters land on their
+        owning shard — or in the offload tier when the design migrates them.
         """
         if self._loaded:
             return
         allow = self.allow_oversubscription
-        self.gpu_pool.allocate("runtime_workspace", self.runtime_workspace_bytes,
-                               category="workspace", allow_oversubscribe=allow)
-        self.gpu_pool.allocate("non_moe_params", self.config.non_moe_bytes(),
-                               category="non_moe", allow_oversubscribe=allow)
+        for shard in self.shards:
+            shard.pool.allocate("runtime_workspace", self.runtime_workspace_bytes,
+                                category="workspace", allow_oversubscribe=allow)
+            shard.pool.allocate("non_moe_params", self.config.non_moe_bytes(),
+                                category="non_moe", allow_oversubscribe=allow)
         if self.offload_experts:
             offload_pool = self.memory.pool(self.system.offload_tier)
             offload_pool.allocate("moe_params", self.config.moe_bytes(), category="moe")
-        else:
+        elif self.num_devices == 1:
             self.gpu_pool.allocate("moe_params", self.config.moe_bytes(),
                                    category="moe", allow_oversubscribe=allow)
+        else:
+            # GPU-only, expert-parallel: each shard holds its experts' slice
+            # of every MoE block.
+            expert_bytes = self.config.expert_bytes()
+            num_blocks = self.config.num_moe_blocks("all")
+            gate_bytes = self.config.moe_bytes() - (
+                num_blocks * self.config.num_experts * expert_bytes)
+            for shard in self.shards:
+                owned = len(self.assignment.experts_on(shard.device_id))
+                shard_bytes = num_blocks * owned * expert_bytes
+                if shard.device_id == 0:
+                    shard_bytes += max(0, gate_bytes)
+                shard.pool.allocate("moe_params", shard_bytes, category="moe",
+                                    allow_oversubscribe=allow)
         self._loaded = True
 
     # ------------------------------------------------------------------
@@ -184,11 +496,11 @@ class ModelPlacement:
     # ------------------------------------------------------------------
     def route_fetch(self, key: Tuple[int, int],
                     transfer: ExpertTransfer) -> FetchRoute:
-        """Decide the hop structure of one issued expert fetch.
+        """Decide the hop structure (and owning device) of one expert fetch.
 
         For DRAM-resident experts the route is the single PCIe hop (the
-        legacy path).  For SSD-resident experts the route consults the DRAM
-        staging cache when one is configured:
+        legacy path).  For SSD-resident experts the route consults the
+        owning shard's DRAM staging cache when one is configured:
 
         * **stage hit** — the expert's bytes are already in host DRAM, so
           only the PCIe hop remains (no SSD read at all);
@@ -203,32 +515,40 @@ class ModelPlacement:
 
         Side-effectful: stage residency is consulted (pin + release, so
         retention follows the stage policy/capacity) and the fetch is
-        recorded in the per-tier transfer ledger.
+        recorded in the per-tier transfer ledger.  The returned route's
+        ``device`` is the shard whose copy lane the fetch occupies.
         """
         tier = transfer.source_tier
         path = (self._offload_path
                 if self._offload_path is not None and self._offload_path.source == tier
                 else self.system.tier_path(tier))
         num_bytes = transfer.bytes
-        if tier != "ssd" or self.stage is None:
+        device = self.owner_device(transfer.expert_id)
+        stage = self.shards[device].stage
+        if tier != "ssd" or stage is None:
             route = FetchRoute(source_tier=tier,
-                               copy_duration=path.transfer_time(num_bytes))
+                               copy_duration=path.transfer_time(num_bytes),
+                               device=device)
         else:
-            hit = self.stage.pin(key)
-            self.stage.release(key)
+            hit = stage.pin(key)
+            stage.release(key)
             if hit:
                 route = FetchRoute(
                     source_tier="ssd", stage_hit=True,
-                    copy_duration=self._pcie_path.transfer_time(num_bytes))
-            elif self.stage.capacity <= 0:
+                    copy_duration=self._pcie_path.transfer_time(num_bytes),
+                    device=device)
+            elif stage.capacity <= 0:
                 route = FetchRoute(source_tier="ssd", stage_hit=False,
-                                   copy_duration=path.transfer_time(num_bytes))
+                                   copy_duration=path.transfer_time(num_bytes),
+                                   device=device)
             else:
                 route = FetchRoute(
                     source_tier="ssd", stage_hit=False,
                     stage_duration=path.first_hop_time(num_bytes),
-                    copy_duration=path.cut_through_tail(num_bytes))
+                    copy_duration=path.cut_through_tail(num_bytes),
+                    device=device)
         self.transfers.record_fetch(route, num_bytes)
+        self.device_fetch_bytes[device] += int(num_bytes)
         return route
 
     # ------------------------------------------------------------------
@@ -251,17 +571,21 @@ class ModelPlacement:
                 for block in range(num_blocks)]
 
     def allocate_expert(self, part: str, block_index: int, expert_id: int) -> str:
-        """Reserve GPU memory for one migrated expert; returns the allocation tag."""
+        """Reserve GPU memory for one migrated expert; returns the allocation tag.
+
+        The bytes land in the owning shard's pool.
+        """
         gb = self.global_block_index(part, block_index)
+        pool = self.shard_for(expert_id).pool
         if self.cache is not None and self.cache.enabled:
             tag = f"cached_expert:{gb}:{expert_id}"
-            if self.gpu_pool.has(tag):
+            if pool.has(tag):
                 return tag
         else:
             self._expert_seq += 1
             tag = f"expert:{gb}:{expert_id}:{self._expert_seq}"
-        self.gpu_pool.allocate(tag, self.config.expert_bytes(), category="experts",
-                               allow_oversubscribe=self.allow_oversubscription)
+        pool.allocate(tag, self.config.expert_bytes(), category="experts",
+                      allow_oversubscribe=self.allow_oversubscription)
         return tag
 
     def allocate_shared_expert(self, part: str, block_index: int, expert_id: int) -> str:
@@ -277,13 +601,16 @@ class ModelPlacement:
         gb = self.global_block_index(part, block_index)
         self._expert_seq += 1
         tag = f"batch_expert:{gb}:{expert_id}:{self._expert_seq}"
-        self.gpu_pool.allocate(tag, self.config.expert_bytes(), category="experts",
-                               allow_oversubscribe=self.allow_oversubscription)
+        self.shard_for(expert_id).pool.allocate(
+            tag, self.config.expert_bytes(), category="experts",
+            allow_oversubscribe=self.allow_oversubscription)
         return tag
 
     def free_expert(self, tag: str) -> None:
-        if self.gpu_pool.has(tag):
-            self.gpu_pool.free(tag)
+        for shard in self.shards:
+            if shard.pool.has(tag):
+                shard.pool.free(tag)
+                return
 
     def release_block_experts(self, part: str, block_index: int,
                               fetched_tags: Sequence[str], activated: Sequence[int]) -> None:
@@ -295,9 +622,12 @@ class ModelPlacement:
                 evicted = self.cache.insert((gb, expert_id))
                 if evicted is not None:
                     evicted_tag = f"cached_expert:{evicted[0]}:{evicted[1]}"
-                    if self.gpu_pool.has(evicted_tag):
-                        self.gpu_pool.free(evicted_tag)
+                    self.free_expert(evicted_tag)
             return
         for tag in fetched_tags:
-            if self.gpu_pool.has(tag):
-                self.gpu_pool.free(tag)
+            self.free_expert(tag)
+
+
+#: The historical name of the placement layer — a single-GPU replica is just
+#: a one-shard :class:`ShardedPlacement`.
+ModelPlacement = ShardedPlacement

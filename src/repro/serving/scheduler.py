@@ -42,7 +42,7 @@ from typing import List, Optional, Sequence, Union
 
 from ..moe.configs import ModelConfig, get_config
 from ..system.cache import ExpertCache
-from ..system.hardware import PAPER_SYSTEM, SystemSpec
+from ..system.hardware import PAPER_SYSTEM, LinkSpec, SystemSpec
 from ..system.memory import OutOfMemoryError
 from ..system.performance import GpuLatencyModel
 from ..system.timeline import ExecutionTimeline, Stream
@@ -65,6 +65,9 @@ class _InFlightRequest:
     next_decode: int = 0
     first_scheduled_time: Optional[float] = None
     token_times: List[float] = field(default_factory=list)
+    #: Op ids the request's next pass must wait for (a trailing all-to-all
+    #: combine on expert-parallel replicas; always empty single-GPU).
+    pending_deps: List[int] = field(default_factory=list)
 
     @property
     def trace(self) -> RequestTrace:
@@ -107,6 +110,16 @@ class ContinuousBatchingScheduler:
         SSD read and only cross PCIe.  ``stage_capacity=0`` keeps the
         machinery but retains nothing — time-identical to the unstaged SSD
         path (the tier parity contract).  Rejected on DRAM-offload systems.
+    num_gpus / interconnect:
+        Expert-parallel replica shape: ``num_gpus`` scales the system to
+        that many identical devices over ``interconnect`` (NVLink 3 by
+        default).  Left ``None``, the system's own topology applies;
+        ``num_gpus=1`` is the legacy single-GPU replica.
+    shard_policy / expert_weights:
+        Expert→device assignment (``contiguous`` / ``round_robin`` /
+        ``load_balanced``) and the expected per-expert gate load the
+        load-balanced policy spreads; see
+        :class:`~repro.serving.placement.ShardAssignment`.
     """
 
     def __init__(self, design: str, config: "ModelConfig | str",
@@ -118,7 +131,11 @@ class ContinuousBatchingScheduler:
                  cache_policy: Optional[str] = None,
                  cache_capacity: Optional[int] = None,
                  stage_policy: Optional[str] = None,
-                 stage_capacity: Optional[int] = None) -> None:
+                 stage_capacity: Optional[int] = None,
+                 num_gpus: Optional[int] = None,
+                 shard_policy: str = "contiguous",
+                 expert_weights: Optional[Sequence[float]] = None,
+                 interconnect: Optional[LinkSpec] = None) -> None:
         if design not in _ENGINES:
             raise ValueError(f"unknown design {design!r}; known: {sorted(_ENGINES)}")
         if max_batch_size < 1:
@@ -130,6 +147,10 @@ class ContinuousBatchingScheduler:
                     "cache_capacity, not both")
             cache_policy = cache.policy.name
             cache_capacity = cache.capacity
+        if num_gpus is not None or interconnect is not None:
+            system = system.with_num_gpus(
+                num_gpus if num_gpus is not None else system.num_gpus,
+                interconnect=interconnect)
         self.design = design
         self.config = get_config(config) if isinstance(config, str) else config
         self.system = system
@@ -140,6 +161,7 @@ class ContinuousBatchingScheduler:
             self.config, system, offload_experts=design != "gpu_only",
             cache_policy=cache_policy, cache_capacity=cache_capacity,
             stage_policy=stage_policy, stage_capacity=stage_capacity,
+            shard_policy=shard_policy, expert_weights=expert_weights,
             runtime_workspace_bytes=self.engine_config.runtime_workspace_bytes,
             allow_oversubscription=self.engine_config.allow_oversubscription)
         self.residency = self.placement.residency
@@ -169,10 +191,13 @@ class ContinuousBatchingScheduler:
                     f"request {req.request_id} has negative arrival_time "
                     f"{req.arrival_time}; arrivals are absolute timestamps >= 0")
         result = LoadTestResult(design=self.design, config_name=self.config.name,
-                                offered_load=offered_load)
+                                offered_load=offered_load,
+                                num_gpus=self.placement.num_devices)
         stats_before = (self.residency.stats.snapshot()
                         if self.residency is not None else None)
         transfers_before = self.placement.transfers.snapshot()
+        alltoall_before = self.placement.alltoall_bytes
+        fetch_bytes_before = list(self.placement.device_fetch_bytes)
         try:
             self.placement.load_model()
         except OutOfMemoryError as exc:
@@ -201,7 +226,7 @@ class ContinuousBatchingScheduler:
                 result.requests.append(self._finalise(state, replica))
 
         result.makespan = timeline.makespan
-        result.peak_gpu_bytes = self.placement.gpu_pool.peak
+        result.peak_gpu_bytes = self.placement.peak_gpu_bytes
         result.expert_bytes_transferred = (
             len(timeline.ops_by_category("expert_transfer"))
             * self.config.expert_bytes())
@@ -209,6 +234,12 @@ class ContinuousBatchingScheduler:
             result.cache_stats = self.residency.stats.since(stats_before)
         if self.placement.offload_experts:
             result.tier_stats = self.placement.transfers.since(transfers_before)
+        result.alltoall_bytes = self.placement.alltoall_bytes - alltoall_before
+        result.device_utilisation = [
+            timeline.device_utilisation(d)
+            for d in range(self.placement.num_devices)]
+        result.shard_imbalance = self.placement.fetch_imbalance(
+            since=fetch_bytes_before)
         result.requests.sort(key=lambda r: r.request_id)
         return result
 
@@ -247,7 +278,8 @@ class ContinuousBatchingScheduler:
         if not state.prefilled:
             outcome = self.simulator.encoder_pass(
                 timeline, state.trace.encoder_activations, state.trace.input_length,
-                start_at=start_at, batch_round=batch_round, label=label, plan=plan)
+                start_at=start_at, batch_round=batch_round, label=label, plan=plan,
+                extra_deps=state.pending_deps)
             state.prefilled = True
         else:
             step = state.next_decode
@@ -255,9 +287,11 @@ class ContinuousBatchingScheduler:
                 timeline, state.trace.decode_activations[step],
                 query_tokens=1, self_kv_tokens=step + 1,
                 cross_kv_tokens=state.trace.input_length, iteration=step,
-                start_at=start_at, batch_round=batch_round, label=label, plan=plan)
+                start_at=start_at, batch_round=batch_round, label=label, plan=plan,
+                extra_deps=state.pending_deps)
             state.next_decode += 1
             state.token_times.append(outcome.end)
+        state.pending_deps = list(outcome.carry_deps)
         if state.first_scheduled_time is None:
             state.first_scheduled_time = outcome.first_start
 
@@ -282,7 +316,11 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
                cache_policy: Optional[str] = None,
                cache_capacity: Optional[int] = None,
                stage_policy: Optional[str] = None,
-               stage_capacity: Optional[int] = None) -> LoadTestResult:
+               stage_capacity: Optional[int] = None,
+               num_gpus: Optional[int] = None,
+               shard_policy: str = "contiguous",
+               expert_weights: Optional[Sequence[float]] = None,
+               interconnect: Optional[LinkSpec] = None) -> LoadTestResult:
     """Materialise a :class:`LoadSpec` and serve it on one replica.
 
     The one-call load-test entry point: open-loop specs timestamp requests
@@ -292,7 +330,8 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
     ``cache_policy``/``cache_capacity`` enable shared expert caching without
     constructing the residency map by hand; ``stage_policy``/
     ``stage_capacity`` enable the host-DRAM staging cache when serving an
-    SSD-offload system (``SSD_SYSTEM``).
+    SSD-offload system (``SSD_SYSTEM``); ``num_gpus``/``shard_policy``
+    shard the expert pool across an expert-parallel multi-GPU replica.
     """
     requests = generate_timed_requests(config, load, workload=workload)
     if load.mode == "closed":
@@ -303,7 +342,11 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
                                             cache_policy=cache_policy,
                                             cache_capacity=cache_capacity,
                                             stage_policy=stage_policy,
-                                            stage_capacity=stage_capacity)
+                                            stage_capacity=stage_capacity,
+                                            num_gpus=num_gpus,
+                                            shard_policy=shard_policy,
+                                            expert_weights=expert_weights,
+                                            interconnect=interconnect)
     offered = load.request_rate if load.mode == "open" else None
     return scheduler.serve(requests, offered_load=offered)
 
@@ -315,7 +358,11 @@ def make_scheduler(design: str, config: "ModelConfig | str",
                    cache_policy: Optional[str] = None,
                    cache_capacity: Optional[int] = None,
                    stage_policy: Optional[str] = None,
-                   stage_capacity: Optional[int] = None) -> ContinuousBatchingScheduler:
+                   stage_capacity: Optional[int] = None,
+                   num_gpus: Optional[int] = None,
+                   shard_policy: str = "contiguous",
+                   expert_weights: Optional[Sequence[float]] = None,
+                   interconnect: Optional[LinkSpec] = None) -> ContinuousBatchingScheduler:
     """Factory mirroring :func:`repro.serving.engine.make_engine`."""
     return ContinuousBatchingScheduler(design, config, system=system,
                                        engine_config=engine_config,
@@ -323,4 +370,8 @@ def make_scheduler(design: str, config: "ModelConfig | str",
                                        cache_policy=cache_policy,
                                        cache_capacity=cache_capacity,
                                        stage_policy=stage_policy,
-                                       stage_capacity=stage_capacity)
+                                       stage_capacity=stage_capacity,
+                                       num_gpus=num_gpus,
+                                       shard_policy=shard_policy,
+                                       expert_weights=expert_weights,
+                                       interconnect=interconnect)

@@ -16,12 +16,22 @@ transfers across the requests of the round: when concurrent requests activate
 the same expert of the same block, only the first request issues the
 CPU→GPU migration and later requests execute against the already-resident
 copy (their execution depends on the original copy op).
+
+Expert-parallel replicas (a multi-device
+:class:`~repro.system.hardware.DeviceTopology`) additionally split every MoE
+block across the devices owning its activated experts: expert fetches land on
+the owning shard's copy lane, each participating device executes its share of
+the experts on its own compute lane, and the token traffic between the
+devices — all-to-all dispatch before execution, combine after — is modelled
+as transfers on the interconnect stream, sized from the gating activations.
+A single-device topology takes none of these paths and reproduces the
+original single-GPU timeline bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.migration import MigrationPlan, plan_for_design
 from ..core.pregate import PreGateSchedule
@@ -119,6 +129,10 @@ class StackPassResult:
     records: List[BlockLatencyRecord] = field(default_factory=list)
     first_op: Optional[TimelineOp] = None
     last_op: Optional[TimelineOp] = None
+    #: Op ids the next op after this pass must depend on explicitly: the
+    #: final block's all-to-all combine when it landed off device 0's
+    #: compute lane (expert-parallel replicas only; empty single-GPU).
+    carry_deps: List[int] = field(default_factory=list)
 
     @property
     def start(self) -> float:
@@ -136,6 +150,9 @@ class IterationOutcome:
     result: IterationResult
     first_start: float
     end: float
+    #: Cross-lane ordering the request's *next* stack pass must declare
+    #: (a trailing all-to-all combine; empty for single-GPU replicas).
+    carry_deps: List[int] = field(default_factory=list)
 
 
 class IterationSimulator:
@@ -150,6 +167,11 @@ class IterationSimulator:
         self.design = design
         self.placement = placement
         self.activation_level = activation_level
+        self.topology = system.device_topology
+        #: Whether MoE blocks split across devices (expert parallelism).
+        self.multi_device = self.topology.num_devices > 1
+        #: Bytes one token's activations occupy on the interconnect (fp16).
+        self._token_bytes = config.d_model * 2
 
     @property
     def offloads_experts(self) -> bool:
@@ -200,6 +222,7 @@ class IterationSimulator:
         batch_round: Optional[SharedExpertRound] = None,
         label: str = "",
         plan: Optional[MigrationPlan] = None,
+        extra_deps: Optional[Sequence[int]] = None,
     ) -> StackPassResult:
         """Walk one stack (encoder pass or one decoder iteration).
 
@@ -212,7 +235,9 @@ class IterationSimulator:
         names so interleaved requests stay distinguishable in traces;
         ``plan`` supplies a precomputed migration plan (the scheduler already
         planned each round member for dedup registration) instead of
-        re-planning here.
+        re-planning here; ``extra_deps`` are op ids this pass's first compute
+        op must wait for (the same request's trailing combine from its
+        previous pass on an expert-parallel replica).
         """
         config = self.config
         placement = self.placement
@@ -234,15 +259,24 @@ class IterationSimulator:
                                        activation_level=self.activation_level)
 
         gate_time = self.latency.gate_time(config, query_tokens)
-        transfer_ops_by_target: Dict[int, List[int]] = {}
+        #: Per-target-block list of (op_id, owning device) for issued fetches.
+        transfer_ops_by_target: Dict[int, List[Tuple[int, int]]] = {}
         allocation_tags: Dict[int, List[str]] = {}
         last_compute_op: Optional[TimelineOp] = None
         moe_block_cursor = 0
+        #: Cross-lane ordering the next device-0 compute op must declare:
+        #: the previous MoE block's combine op (expert-parallel only), seeded
+        #: with the caller's carry-over from the request's previous pass.
+        carry_deps: List[int] = list(extra_deps or [])
 
         def add_compute(name: str, duration: float, depends_on=None,
                         category: str = "compute") -> TimelineOp:
+            deps = list(depends_on or [])
+            if carry_deps:
+                deps.extend(carry_deps)
+                carry_deps.clear()
             op = timeline.add_compute(
-                f"{label}{name}", duration, depends_on=depends_on, category=category,
+                f"{label}{name}", duration, depends_on=deps, category=category,
                 earliest_start=start_at if outcome.first_op is None else 0.0)
             if outcome.first_op is None:
                 outcome.first_op = op
@@ -292,7 +326,8 @@ class IterationSimulator:
                         dedup_op = batch_round.copy_op(key)
                         if dedup_op is not None:
                             transfer_ops_by_target.setdefault(
-                                transfer.block_index, []).append(dedup_op)
+                                transfer.block_index, []).append(
+                                    (dedup_op, placement.owner_device(transfer.expert_id)))
                         continue
                     to_issue.append((transfer, key))
                 if to_issue:
@@ -304,7 +339,9 @@ class IterationSimulator:
                         # The placement routes the fetch through the tier
                         # path: a stage miss with a DRAM stage splits into an
                         # SSD→DRAM read on the stage stream plus a dependent
-                        # PCIe op carrying the pipelined remainder.
+                        # PCIe op carrying the pipelined remainder.  The
+                        # route's device is the shard owning the expert; its
+                        # copy/stage lanes carry the fetch.
                         route = placement.route_fetch(key, transfer)
                         base = (f"{label}{part}{iteration}"
                                 f".moe{transfer.block_index}")
@@ -312,14 +349,16 @@ class IterationSimulator:
                         if route.stage_duration > 0.0:
                             stage_op = timeline.add_stage(
                                 f"{base}.stage_expert{transfer.expert_id}",
-                                route.stage_duration, depends_on=deps)
+                                route.stage_duration, depends_on=deps,
+                                device=route.device)
                             deps = [stage_op.op_id]
                         copy_op = timeline.add_copy(
                             f"{base}.fetch_expert{transfer.expert_id}",
                             route.copy_duration, depends_on=deps,
-                            category="expert_transfer")
+                            category="expert_transfer", device=route.device)
                         transfer_ops_by_target.setdefault(
-                            transfer.block_index, []).append(copy_op.op_id)
+                            transfer.block_index, []).append(
+                                (copy_op.op_id, route.device))
                         if batch_round is not None:
                             batch_round.fetch(placement, part, transfer, key,
                                               copy_op.op_id)
@@ -330,19 +369,30 @@ class IterationSimulator:
 
             # (3) Expert-execution stage: waits for this block's transfers.
             activated = activations[block] if block < len(activations) else []
-            num_active = max(1, len(activated))
-            exec_time = self.latency.expert_execution_time(config, query_tokens, num_active)
-            deps = transfer_ops_by_target.get(block, [])
+            block_transfer_ops = transfer_ops_by_target.get(block, [])
             ready_before_exec = last_compute_op.end if last_compute_op else 0.0
-            exec_op = add_compute(
-                f"{part}{iteration}.moe{block}.experts", exec_time,
-                depends_on=deps, category="expert_execution")
-            last_compute_op = exec_op
+            if not self.multi_device:
+                num_active = max(1, len(activated))
+                exec_time = self.latency.expert_execution_time(
+                    config, query_tokens, num_active)
+                exec_op = add_compute(
+                    f"{part}{iteration}.moe{block}.experts", exec_time,
+                    depends_on=[op_id for op_id, _ in block_transfer_ops],
+                    category="expert_execution")
+                last_compute_op = exec_op
+                block_end = exec_op
+                exposed = max(0.0, exec_op.start - ready_before_exec)
+            else:
+                block_end, device0_exec, exposed = self._execute_sharded_block(
+                    timeline, part, iteration, block, activated, query_tokens,
+                    block_transfer_ops, last_compute_op, carry_deps, label)
+                if device0_exec is not None:
+                    last_compute_op = device0_exec
+                outcome.last_op = block_end
 
-            exposed = max(0.0, exec_op.start - ready_before_exec)
             outcome.records.append(BlockLatencyRecord(
                 part=part, iteration=iteration, block_index=block,
-                latency=exec_op.end - input_ready,
+                latency=block_end.end - input_ready,
                 num_active_experts=len(activated),
                 exposed_transfer_time=exposed))
 
@@ -355,7 +405,105 @@ class IterationSimulator:
                 placement.release_block_experts(
                     part, block, allocation_tags.get(block, []), activated)
 
+        outcome.carry_deps = list(carry_deps)
         return outcome
+
+    # ------------------------------------------------------------------
+    # Expert-parallel block execution
+    # ------------------------------------------------------------------
+    def _execute_sharded_block(self, timeline: ExecutionTimeline, part: str,
+                               iteration: int, block: int,
+                               activated, query_tokens: int,
+                               block_transfer_ops: List[Tuple[int, int]],
+                               last_compute_op: Optional[TimelineOp],
+                               carry_deps: List[int],
+                               label: str) -> Tuple[TimelineOp, Optional[TimelineOp], float]:
+        """Execute one MoE block across the devices owning its experts.
+
+        Tokens are dispatched from device 0 (where the gate ran) to every
+        remote device owning activated experts, each participating device
+        executes its share on its own compute lane, and the results combine
+        back — dispatch and combine are transfers on the interconnect
+        stream, sized from the activation counts, so they overlap with the
+        expert fetches in flight on the copy lanes.  Returns the op that
+        completes the block, device 0's exec op (``None`` when device 0
+        owns no activated expert) and the block's exposed transfer time —
+        the worst per-device stall between compute-side readiness (the
+        gate, or token arrival via dispatch for remote devices) and expert
+        execution, i.e. migration latency left unhidden, mirroring the
+        single-GPU definition.  Appends cross-lane ordering for the next
+        compute op to ``carry_deps``.
+        """
+        config = self.config
+        placement = self.placement
+        counts: Dict[int, int] = {}
+        for expert in activated:
+            device = placement.owner_device(int(expert))
+            counts[device] = counts.get(device, 0) + 1
+        if not counts:
+            # No activated expert recorded: the dispatch-overhead-only
+            # evaluation runs on device 0, mirroring the single-GPU path.
+            counts = {0: 0}
+        total_active = max(1, len(activated))
+        # Token routing estimate from the gating activations: query_tokens
+        # tokens each pick top_k experts, spread evenly over the activated
+        # set; assignments landing on remote devices cross the interconnect
+        # (once to dispatch, once to combine).
+        token_assignments = query_tokens * config.top_k
+        remote_share = sum(n for d, n in counts.items() if d != 0) / total_active
+        alltoall_bytes = token_assignments * remote_share * self._token_bytes
+        base = f"{label}{part}{iteration}.moe{block}"
+        participating = set(counts)
+        leftover_deps = [op_id for op_id, dev in block_transfer_ops
+                         if dev not in participating]
+
+        dispatch_op = None
+        if alltoall_bytes > 0:
+            gate_deps = [last_compute_op.op_id] if last_compute_op is not None else []
+            dispatch_op = timeline.add_interconnect(
+                f"{base}.dispatch", self.topology.all_to_all_time(alltoall_bytes),
+                depends_on=gate_deps)
+            placement.record_alltoall(alltoall_bytes)
+
+        exec_ops: List[TimelineOp] = []
+        device0_exec: Optional[TimelineOp] = None
+        gate_ready = last_compute_op.end if last_compute_op is not None else 0.0
+        exposed = 0.0
+        for device in sorted(counts):
+            exec_time = self.latency.expert_execution_time(
+                config, query_tokens, max(1, counts[device]))
+            deps = [op_id for op_id, dev in block_transfer_ops if dev == device]
+            if device != 0 and dispatch_op is not None:
+                deps.append(dispatch_op.op_id)
+            if device == 0 and dispatch_op is None:
+                # Sole-device block: adopt the transfers of non-participating
+                # shards too, matching the single-GPU "execution waits for
+                # every one of the block's transfers" semantics.
+                deps.extend(leftover_deps)
+                leftover_deps = []
+            op = timeline.add_compute(
+                f"{base}.experts", exec_time, depends_on=deps,
+                category="expert_execution", device=device)
+            exec_ops.append(op)
+            # The device is compute-ready once the gate has run and (for
+            # remote shards) its tokens have arrived; any further wait is a
+            # stall on expert fetches — exposed migration latency.
+            ready = gate_ready
+            if device != 0 and dispatch_op is not None:
+                ready = max(ready, dispatch_op.end)
+            exposed = max(exposed, op.start - ready)
+            if device == 0:
+                device0_exec = op
+        exposed = max(0.0, exposed)
+
+        if dispatch_op is None:
+            return exec_ops[0], device0_exec, exposed
+        combine_op = timeline.add_interconnect(
+            f"{base}.combine", self.topology.all_to_all_time(alltoall_bytes),
+            depends_on=[op.op_id for op in exec_ops] + leftover_deps)
+        placement.record_alltoall(alltoall_bytes)
+        carry_deps.append(combine_op.op_id)
+        return combine_op, device0_exec, exposed
 
     # ------------------------------------------------------------------
     # Whole-iteration helpers shared by the engine and the scheduler
@@ -367,17 +515,21 @@ class IterationSimulator:
                           start_at: float = 0.0,
                           batch_round: Optional[SharedExpertRound] = None,
                           label: str = "",
-                          plan: Optional[MigrationPlan] = None) -> IterationOutcome:
+                          plan: Optional[MigrationPlan] = None,
+                          extra_deps: Optional[Sequence[int]] = None) -> IterationOutcome:
         """One decoder iteration (all decoder layers plus the LM head)."""
         start = timeline.makespan
         pass_result = self.simulate_stack_pass(
             timeline, "decoder", iteration, activations,
             query_tokens=query_tokens, self_kv_tokens=self_kv_tokens,
             cross_kv_tokens=cross_kv_tokens, start_at=start_at,
-            batch_round=batch_round, label=label, plan=plan)
+            batch_round=batch_round, label=label, plan=plan,
+            extra_deps=extra_deps)
         lm_head = self.latency.lm_head_time(self.config, query_tokens)
+        # The LM head consumes any trailing combine of the final MoE block.
         lm_op = timeline.add_compute(
             f"{label}decoder{iteration}.lm_head", lm_head, category="non_moe",
+            depends_on=pass_result.carry_deps,
             earliest_start=start_at if pass_result.first_op is None else 0.0)
         result = IterationResult(part="decoder", iteration=iteration,
                                  duration=timeline.makespan - start,
@@ -390,16 +542,19 @@ class IterationSimulator:
                      start_at: float = 0.0,
                      batch_round: Optional[SharedExpertRound] = None,
                      label: str = "",
-                     plan: Optional[MigrationPlan] = None) -> IterationOutcome:
+                     plan: Optional[MigrationPlan] = None,
+                     extra_deps: Optional[Sequence[int]] = None) -> IterationOutcome:
         """The encoder pass over ``input_tokens`` tokens."""
         start = timeline.makespan
         pass_result = self.simulate_stack_pass(
             timeline, "encoder", 0, activations,
             query_tokens=input_tokens, self_kv_tokens=input_tokens,
             cross_kv_tokens=None, start_at=start_at,
-            batch_round=batch_round, label=label, plan=plan)
+            batch_round=batch_round, label=label, plan=plan,
+            extra_deps=extra_deps)
         result = IterationResult(part="encoder", iteration=0,
                                  duration=timeline.makespan - start,
                                  block_latencies=pass_result.records)
         return IterationOutcome(result=result, first_start=pass_result.start,
-                                end=pass_result.end)
+                                end=pass_result.end,
+                                carry_deps=list(pass_result.carry_deps))

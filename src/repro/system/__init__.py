@@ -21,10 +21,13 @@ from .hardware import (
     A100_40GB,
     A100_80GB,
     EPYC_7V12,
+    NVLINK3,
     NVME_SSD,
     PAPER_SYSTEM,
     PCIE_GEN4,
+    PCIE_P2P,
     SSD_SYSTEM,
+    DeviceTopology,
     GpuSpec,
     HostSpec,
     LinkSpec,
@@ -56,10 +59,13 @@ __all__ = [
     "A100_40GB",
     "A100_80GB",
     "EPYC_7V12",
+    "NVLINK3",
     "NVME_SSD",
     "PAPER_SYSTEM",
     "PCIE_GEN4",
+    "PCIE_P2P",
     "SSD_SYSTEM",
+    "DeviceTopology",
     "GpuSpec",
     "HostSpec",
     "LinkSpec",

@@ -13,8 +13,8 @@ different machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
 
 GB = 1e9
 TB = 1e12
@@ -42,6 +42,16 @@ class GpuSpec:
     #: the tens of microseconds a pure roofline model would predict.
     moe_dispatch_overhead: float = 550 * US
 
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError(f"{self.name!r}: memory_bytes must be positive")
+        if self.hbm_bandwidth <= 0:
+            raise ValueError(f"{self.name!r}: hbm_bandwidth must be positive")
+        if self.fp16_tflops <= 0:
+            raise ValueError(f"{self.name!r}: fp16_tflops must be positive")
+        if self.kernel_launch_overhead < 0 or self.moe_dispatch_overhead < 0:
+            raise ValueError(f"{self.name!r}: overheads must be non-negative")
+
     @property
     def flops_per_second(self) -> float:
         return self.fp16_tflops * 1e12
@@ -63,6 +73,12 @@ class LinkSpec:
     name: str
     bandwidth: float              # bytes / second
     latency: float = 10 * US      # fixed per-transfer latency (seconds)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"{self.name!r}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError(f"{self.name!r}: latency must be non-negative")
 
     def transfer_time(self, num_bytes: float) -> float:
         """Seconds to move ``num_bytes`` across this link."""
@@ -87,12 +103,69 @@ class SsdSpec:
                         latency=self.read_latency)
 
 
+#: Intra-node GPU↔GPU interconnects for expert-parallel replicas.  NVLink 3
+#: (A100 generation) moves ~300 GB/s per direction between peers; PCIe P2P is
+#: the fallback when GPUs only share the host's PCIe fabric.
+NVLINK3 = LinkSpec(name="NVLink3", bandwidth=300 * GB, latency=2 * US)
+PCIE_P2P = LinkSpec(name="PCIe gen4 P2P", bandwidth=25 * GB, latency=10 * US)
+
+
+@dataclass(frozen=True)
+class DeviceTopology:
+    """The GPU complement of one replica: N devices plus their interconnect.
+
+    A single-GPU replica is the degenerate topology (one device, interconnect
+    unused); expert-parallel replicas shard the expert pool across
+    ``devices`` and route tokens over ``interconnect`` (all-to-all dispatch/
+    combine around every MoE block).
+    """
+
+    devices: Tuple[GpuSpec, ...]
+    interconnect: LinkSpec = NVLINK3
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("a DeviceTopology needs at least one device")
+
+    @classmethod
+    def single(cls, gpu: GpuSpec) -> "DeviceTopology":
+        """The degenerate one-GPU topology every single-GPU system implies."""
+        return cls(devices=(gpu,))
+
+    @classmethod
+    def homogeneous(cls, gpu: GpuSpec, num_devices: int,
+                    interconnect: LinkSpec = NVLINK3) -> "DeviceTopology":
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        return cls(devices=(gpu,) * num_devices, interconnect=interconnect)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return sum(device.memory_bytes for device in self.devices)
+
+    def device(self, index: int) -> GpuSpec:
+        return self.devices[index]
+
+    def all_to_all_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` of token traffic over the interconnect."""
+        if self.num_devices == 1 or num_bytes == 0:
+            return 0.0
+        return self.interconnect.transfer_time(num_bytes)
+
+
 @dataclass(frozen=True)
 class SystemSpec:
-    """A complete serving machine: GPU + host + interconnects.
+    """A complete serving machine: GPU(s) + host + interconnects.
 
     ``offload_tier`` selects where the expert parameters live when offloaded:
     ``"dram"`` (the paper's main configuration) or ``"ssd"`` (Figure 16).
+    ``topology`` describes the replica's GPU complement for expert-parallel
+    serving; ``None`` means the degenerate single-GPU topology built from
+    ``gpu``, which keeps every legacy single-GPU timing bit-identical.
     """
 
     name: str
@@ -106,10 +179,38 @@ class SystemSpec:
     #: transfer (all CPU-GPU designs) or when a prefetch is enqueued on the
     #: copy stream.
     host_sync_overhead: float = 50 * US
+    #: Multi-GPU device topology; ``None`` is the one-GPU machine.
+    topology: Optional[DeviceTopology] = field(default=None)
 
     def __post_init__(self) -> None:
         if self.offload_tier not in ("dram", "ssd"):
             raise ValueError(f"offload_tier must be 'dram' or 'ssd', got {self.offload_tier!r}")
+
+    @property
+    def device_topology(self) -> DeviceTopology:
+        """The replica's topology (degenerate single-GPU when unset)."""
+        if self.topology is not None:
+            return self.topology
+        return DeviceTopology.single(self.gpu)
+
+    @property
+    def num_gpus(self) -> int:
+        return self.device_topology.num_devices
+
+    def with_num_gpus(self, num_gpus: int,
+                      interconnect: Optional[LinkSpec] = None) -> "SystemSpec":
+        """This machine scaled to ``num_gpus`` identical devices.
+
+        ``num_gpus=1`` with no explicit interconnect clears the topology so
+        the result is exactly the legacy single-GPU spec.
+        """
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if num_gpus == 1 and interconnect is None:
+            return replace(self, topology=None)
+        topology = DeviceTopology.homogeneous(
+            self.gpu, num_gpus, interconnect=interconnect or NVLINK3)
+        return replace(self, topology=topology)
 
     @property
     def offload_link(self) -> LinkSpec:
@@ -206,11 +307,15 @@ SSD_SYSTEM = PAPER_SYSTEM.with_offload_tier("ssd")
 
 
 def get_system(name: str = "paper") -> SystemSpec:
-    """Look up a reference system spec by short name."""
+    """Look up a reference system spec by short name.
+
+    Raises :class:`ValueError` naming the available systems for a bad name.
+    """
     systems: Dict[str, SystemSpec] = {
         "paper": PAPER_SYSTEM,
         "ssd": SSD_SYSTEM,
     }
     if name not in systems:
-        raise KeyError(f"unknown system {name!r}; known: {sorted(systems)}")
+        raise ValueError(
+            f"unknown system {name!r}; available systems: {sorted(systems)}")
     return systems[name]

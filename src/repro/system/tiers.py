@@ -198,12 +198,15 @@ class FetchRoute:
 
     ``stage_hit`` is ``None`` when no DRAM stage is configured; otherwise it
     records whether the expert was already staged (SSD read skipped).
+    ``device`` is the GPU whose copy lane the fetch occupies — the shard
+    owning the expert in an expert-parallel replica (0 for single-GPU).
     """
 
     source_tier: str
     copy_duration: float
     stage_duration: float = 0.0
     stage_hit: "bool | None" = None
+    device: int = 0
 
 
 @dataclass

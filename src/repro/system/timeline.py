@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class Stream(Enum):
@@ -34,6 +34,9 @@ class Stream(Enum):
     #: Second copy queue: SSD→DRAM staging reads (the coldest hop of a
     #: multi-hop expert fetch), overlapping both compute and PCIe copies.
     STAGE = "stage"
+    #: Intra-node GPU↔GPU interconnect (NVLink / PCIe-P2P): all-to-all
+    #: token dispatch/combine traffic of expert-parallel replicas.
+    INTERCONNECT = "interconnect"
 
 
 @dataclass
@@ -52,6 +55,11 @@ class TimelineOp:
     #: stream/dependency readiness (e.g. the arrival time of the request it
     #: belongs to, for open-loop load simulations).
     earliest_start: float = 0.0
+    #: GPU the op's queue belongs to.  Each (stream, device) pair is its own
+    #: FIFO lane, so device 1's compute proceeds concurrently with device 0's
+    #: (expert parallelism); single-GPU timelines leave every op on device 0.
+    #: Interconnect ops are replica-wide and always use device 0.
+    device: int = 0
 
     @property
     def scheduled(self) -> bool:
@@ -59,64 +67,80 @@ class TimelineOp:
 
 
 class ExecutionTimeline:
-    """Schedules operations on a compute stream and a copy stream.
+    """Schedules operations on per-device compute/copy/stage lanes.
 
-    Operations are scheduled eagerly as they are added (the streams are FIFO
-    and dependencies must already exist), so querying times is O(1) and the
-    object doubles as an execution trace.
+    Operations are scheduled eagerly as they are added (each (stream, device)
+    lane is FIFO and dependencies must already exist), so querying times is
+    O(1) and the object doubles as an execution trace.  A single-GPU replica
+    uses only device 0's lanes, which reproduces the original two-stream
+    timeline exactly.
     """
 
     def __init__(self) -> None:
         self._ops: List[TimelineOp] = []
-        self._stream_free: Dict[Stream, float] = {stream: 0.0 for stream in Stream}
+        self._lane_free: Dict[Tuple[Stream, int], float] = {}
 
     # ------------------------------------------------------------------
     def add(self, name: str, stream: Stream, duration: float,
             depends_on: Optional[Sequence[int]] = None,
-            category: str = "generic", earliest_start: float = 0.0) -> TimelineOp:
+            category: str = "generic", earliest_start: float = 0.0,
+            device: int = 0) -> TimelineOp:
         """Schedule an operation and return it (with start/end filled in).
 
         ``earliest_start`` gates the op on wall-clock time in addition to
-        stream order and dependencies — used by the request scheduler so no
+        lane order and dependencies — used by the request scheduler so no
         work for a request starts before the request has arrived.
+        ``device`` selects the GPU whose lane of ``stream`` the op joins.
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
         if earliest_start < 0:
             raise ValueError("earliest_start must be non-negative")
+        if device < 0:
+            raise ValueError("device must be non-negative")
         deps = list(depends_on or [])
         for dep in deps:
             if not 0 <= dep < len(self._ops):
                 raise ValueError(f"dependency {dep} does not reference a scheduled op")
         op = TimelineOp(op_id=len(self._ops), name=name, stream=stream,
                         duration=duration, depends_on=deps, category=category,
-                        earliest_start=earliest_start)
+                        earliest_start=earliest_start, device=device)
+        lane = (stream, device)
         ready = max((self._ops[d].end for d in deps), default=0.0)
-        start = max(ready, self._stream_free[stream], earliest_start)
+        start = max(ready, self._lane_free.get(lane, 0.0), earliest_start)
         op.start = start
         op.end = start + duration
-        self._stream_free[stream] = op.end
+        self._lane_free[lane] = op.end
         self._ops.append(op)
         return op
 
     def add_compute(self, name: str, duration: float,
                     depends_on: Optional[Sequence[int]] = None,
-                    category: str = "compute", earliest_start: float = 0.0) -> TimelineOp:
+                    category: str = "compute", earliest_start: float = 0.0,
+                    device: int = 0) -> TimelineOp:
         return self.add(name, Stream.COMPUTE, duration, depends_on, category,
-                        earliest_start=earliest_start)
+                        earliest_start=earliest_start, device=device)
 
     def add_copy(self, name: str, duration: float,
                  depends_on: Optional[Sequence[int]] = None,
-                 category: str = "copy", earliest_start: float = 0.0) -> TimelineOp:
+                 category: str = "copy", earliest_start: float = 0.0,
+                 device: int = 0) -> TimelineOp:
         return self.add(name, Stream.COPY, duration, depends_on, category,
-                        earliest_start=earliest_start)
+                        earliest_start=earliest_start, device=device)
 
     def add_stage(self, name: str, duration: float,
                   depends_on: Optional[Sequence[int]] = None,
-                  category: str = "stage_in", earliest_start: float = 0.0) -> TimelineOp:
+                  category: str = "stage_in", earliest_start: float = 0.0,
+                  device: int = 0) -> TimelineOp:
         """Schedule an SSD→DRAM staging read on the stage copy stream."""
         return self.add(name, Stream.STAGE, duration, depends_on, category,
-                        earliest_start=earliest_start)
+                        earliest_start=earliest_start, device=device)
+
+    def add_interconnect(self, name: str, duration: float,
+                         depends_on: Optional[Sequence[int]] = None,
+                         category: str = "alltoall") -> TimelineOp:
+        """Schedule an all-to-all dispatch/combine on the interconnect queue."""
+        return self.add(name, Stream.INTERCONNECT, duration, depends_on, category)
 
     # ------------------------------------------------------------------
     # Queries
@@ -133,11 +157,24 @@ class ExecutionTimeline:
         """Completion time of the last operation."""
         return max((op.end for op in self._ops), default=0.0)
 
-    def stream_busy_time(self, stream: Stream) -> float:
-        return sum(op.duration for op in self._ops if op.stream == stream)
+    def stream_busy_time(self, stream: Stream, device: Optional[int] = None) -> float:
+        return sum(op.duration for op in self._ops
+                   if op.stream == stream and (device is None or op.device == device))
 
-    def stream_ops(self, stream: Stream) -> List[TimelineOp]:
-        return [op for op in self._ops if op.stream == stream]
+    def stream_ops(self, stream: Stream, device: Optional[int] = None) -> List[TimelineOp]:
+        return [op for op in self._ops
+                if op.stream == stream and (device is None or op.device == device)]
+
+    def devices(self) -> List[int]:
+        """Device ids that have scheduled at least one op (sorted)."""
+        return sorted({op.device for op in self._ops})
+
+    def device_utilisation(self, device: int) -> float:
+        """Fraction of the makespan the device's compute lane was busy."""
+        total = self.makespan
+        if total <= 0.0:
+            return 0.0
+        return self.stream_busy_time(Stream.COMPUTE, device) / total
 
     def category_time(self, category: str) -> float:
         return sum(op.duration for op in self._ops if op.category == category)
@@ -149,29 +186,37 @@ class ExecutionTimeline:
         """Copy time not hidden under compute: the headline "how much
         migration latency was NOT overlapped" metric of the paper.
 
-        Measured as the sum, over compute-stream ops, of the stall each op
-        suffers beyond its compute-side readiness: an op is "compute-ready"
-        once the previous compute op has retired, its compute-stream
-        dependencies have finished and its ``earliest_start`` (request
-        arrival) has passed.  Any additional wait is, by elimination, a stall
-        on a copy-stream dependency — i.e. exposed transfer time.  Idle gaps
-        caused by compute-side dependencies or by waiting for request
-        arrivals are *not* counted.
+        Measured as the sum, over each device's compute-lane ops, of the
+        stall each op suffers beyond its compute-side readiness: an op is
+        "compute-ready" once the previous op of its lane has retired, its
+        compute-stream dependencies have finished and its ``earliest_start``
+        (request arrival) has passed.  Any additional wait is, by
+        elimination, a stall on a copy/stage/interconnect dependency — i.e.
+        exposed transfer time.  Idle gaps caused by compute-side dependencies
+        or by waiting for request arrivals are *not* counted.
         """
         exposed = 0.0
-        prev_end = 0.0
-        for op in self.stream_ops(Stream.COMPUTE):
-            compute_dep_ready = max(
-                (self._ops[d].end for d in op.depends_on
-                 if self._ops[d].stream == Stream.COMPUTE), default=0.0)
-            compute_ready = max(prev_end, compute_dep_ready, op.earliest_start)
-            exposed += max(0.0, op.start - compute_ready)
-            prev_end = op.end
+        for device in self.devices():
+            prev_end = 0.0
+            for op in self.stream_ops(Stream.COMPUTE, device):
+                compute_dep_ready = max(
+                    (self._ops[d].end for d in op.depends_on
+                     if self._ops[d].stream == Stream.COMPUTE), default=0.0)
+                compute_ready = max(prev_end, compute_dep_ready, op.earliest_start)
+                exposed += max(0.0, op.start - compute_ready)
+                prev_end = op.end
         return exposed
 
-    def stream_free_time(self, stream: Stream) -> float:
-        """Time at which ``stream`` becomes free for the next queued op."""
-        return self._stream_free[stream]
+    def stream_free_time(self, stream: Stream, device: Optional[int] = None) -> float:
+        """Time at which ``stream`` becomes free for the next queued op.
+
+        With ``device=None`` this is the latest free time over every device's
+        lane of the stream — "when is the whole replica's compute free".
+        """
+        if device is not None:
+            return self._lane_free.get((stream, device), 0.0)
+        lanes = [t for (s, _), t in self._lane_free.items() if s == stream]
+        return max(lanes, default=0.0)
 
     def overlap_efficiency(self) -> float:
         """Fraction of copy-stream time hidden under compute (1.0 = fully hidden)."""
@@ -190,18 +235,24 @@ class ExecutionTimeline:
             return "(empty timeline)"
         total = self.makespan
         lines = []
-        streams = [Stream.COMPUTE, Stream.COPY]
-        if self.stream_ops(Stream.STAGE):
-            streams.append(Stream.STAGE)
-        for stream in streams:
+        devices = self.devices()
+        multi_device = devices != [0]
+        lanes: List[Tuple[Stream, int]] = []
+        for stream in (Stream.COMPUTE, Stream.COPY):
+            lanes.extend((stream, d) for d in devices
+                         if d == 0 or self.stream_ops(stream, d))
+        for stream in (Stream.STAGE, Stream.INTERCONNECT):
+            lanes.extend((stream, d) for d in devices if self.stream_ops(stream, d))
+        for stream, device in lanes:
             cells = [" "] * width
-            for op in self.stream_ops(stream):
+            for op in self.stream_ops(stream, device):
                 lo = int(op.start / total * (width - 1)) if total else 0
                 hi = max(lo + 1, int(op.end / total * (width - 1)) + 1) if total else 1
                 symbol = op.name[0].upper() if op.name else "#"
                 for i in range(lo, min(hi, width)):
                     cells[i] = symbol
-            label = f"{stream.value:<{label_width}}"[:label_width]
+            name = f"{stream.value}[{device}]" if multi_device else stream.value
+            label = f"{name:<{label_width}}"[:label_width]
             lines.append(f"{label}|{''.join(cells)}|")
         lines.append(f"{'(makespan)':<{label_width}} {total * 1e3:.3f} ms")
         return "\n".join(lines)
@@ -213,6 +264,7 @@ class ExecutionTimeline:
                 "op_id": op.op_id,
                 "name": op.name,
                 "stream": op.stream.value,
+                "device": op.device,
                 "category": op.category,
                 "start": op.start,
                 "end": op.end,

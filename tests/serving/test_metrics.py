@@ -103,6 +103,24 @@ class TestPercentile:
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.5)
+
+    def test_single_sample_is_every_percentile(self):
+        for p in (0, 1, 37.5, 50, 99, 100):
+            assert percentile([42.0], p) == pytest.approx(42.0)
+
+    def test_p0_and_p100_are_min_and_max_of_unsorted_input(self):
+        values = [7.0, -1.0, 3.5, 10.0, 0.0]
+        assert percentile(values, 0) == pytest.approx(-1.0)
+        assert percentile(values, 100) == pytest.approx(10.0)
+
+    def test_unsorted_input_matches_sorted(self):
+        values = [9.0, 1.0, 5.0, 3.0, 7.0]
+        for p in (0, 25, 50, 90, 100):
+            assert percentile(values, p) == pytest.approx(
+                percentile(sorted(values), p))
+        assert percentile(values, 90) == pytest.approx(8.2)
 
 
 class TestLatencyStats:
@@ -222,6 +240,47 @@ class TestMergeLoadResults:
                              cache_stats=ResidencyStats(source_tier="ssd"))
         merged = merge_load_results([dram, ssd])
         assert merged.cache_stats.source_tier == "mixed"
+
+    def test_merge_mixed_num_gpus_marked(self):
+        """A fleet mixing replica GPU counts merges with num_gpus marked mixed."""
+        wide = LoadTestResult(design="pregated", config_name="c", makespan=1.0,
+                              num_gpus=2, device_utilisation=[0.5, 0.25],
+                              alltoall_bytes=100, shard_imbalance=1.5)
+        narrow = LoadTestResult(design="pregated", config_name="c", makespan=2.0,
+                                num_gpus=1, device_utilisation=[0.6])
+        merged = merge_load_results([wide, narrow])
+        assert merged.num_gpus is None
+        assert merged.summary()["num_gpus"] == "mixed"
+        # Device indices no longer line up: the breakdown is dropped.
+        assert merged.device_utilisation == []
+        assert merged.summary()["device_util"] is None
+        assert merged.alltoall_bytes == 100
+        assert merged.shard_imbalance == pytest.approx(1.5)
+
+    def test_merge_homogeneous_num_gpus_averages_utilisation(self):
+        a = LoadTestResult(design="pregated", config_name="c", makespan=1.0,
+                           num_gpus=2, device_utilisation=[0.4, 0.2],
+                           alltoall_bytes=100, shard_imbalance=1.2)
+        b = LoadTestResult(design="pregated", config_name="c", makespan=1.0,
+                           num_gpus=2, device_utilisation=[0.6, 0.4],
+                           alltoall_bytes=50, shard_imbalance=2.0)
+        merged = merge_load_results([a, b])
+        assert merged.num_gpus == 2
+        assert merged.device_utilisation == pytest.approx([0.5, 0.3])
+        assert merged.alltoall_bytes == 150
+        # The worst replica's imbalance is the fleet's headline.
+        assert merged.shard_imbalance == pytest.approx(2.0)
+
+    def test_merge_single_gpu_fleet_keeps_defaults(self):
+        a = LoadTestResult(design="pregated", config_name="c", makespan=1.0,
+                           device_utilisation=[0.8])
+        b = LoadTestResult(design="pregated", config_name="c", makespan=1.0,
+                           device_utilisation=[0.4])
+        merged = merge_load_results([a, b])
+        assert merged.num_gpus == 1
+        assert merged.device_utilisation == pytest.approx([0.6])
+        assert merged.shard_imbalance is None
+        assert merged.summary()["shard_imbalance"] is None
 
     def test_merge_tier_stats_tolerates_missing(self):
         from repro.system import TierTransferStats

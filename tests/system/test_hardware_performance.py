@@ -58,7 +58,9 @@ class TestSystemSpec:
     def test_get_system_by_name(self):
         assert get_system("paper") is PAPER_SYSTEM
         assert get_system("ssd").offload_tier == "ssd"
-        with pytest.raises(KeyError):
+
+    def test_get_system_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match=r"'paper'.*'ssd'"):
             get_system("tpu")
 
     def test_with_offload_tier_returns_copy(self):

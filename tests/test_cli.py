@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` sweep CLI."""
+
+import pytest
+
+from repro.cli import SWEEPS, main
+
+
+class TestCli:
+    def test_list_names_every_sweep(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in SWEEPS:
+            assert name in out
+
+    def test_unknown_sweep_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_serving_load_quick_prints_report(self, capsys):
+        assert main(["serving_load", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "serving_load sweep" in out
+        assert "sustained_tokens_per_second" in out
+        assert "pregated" in out
+
+    def test_expert_parallel_quick_writes_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        assert main(["expert_parallel", "--quick", "--csv", str(csv_path)]) == 0
+        text = csv_path.read_text()
+        header = text.splitlines()[0]
+        assert "num_gpus" in header
+        assert "alltoall_mb" in header
+        # One row per design × gpu-count cell of the quick grid.
+        assert len(text.strip().splitlines()) == 1 + 4
