@@ -1,0 +1,59 @@
+"""Simulator self-performance: throughput and memory of the serving loop.
+
+Unlike the figure benchmarks (which measure the *simulated* designs), this
+one measures the simulator itself and seeds the repo's perf trajectory:
+serving a pregated Switch-Base-128 Poisson load, it records
+
+* simulated requests per wall-clock second,
+* total ops scheduled and the peak op count resident in memory,
+
+for both serving modes — ``record_trace=False`` (production default:
+incremental aggregates + op retirement) and ``record_trace=True`` (the
+Figure 9 trace mode) — and writes them to ``BENCH_simperf.json`` at the
+repo root.  The assertions pin the two structural wins of the incremental
+timeline: both modes simulate the *same* execution (equal makespan), and
+the no-trace mode's resident-op window stays far below the trace's O(total
+ops) footprint.
+
+Run directly via ``python -m repro simperf [--quick]`` for the same
+measurement outside pytest.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.simperf import SIMPERF_FILENAME, run_simperf, write_simperf
+
+#: Committed at the repo root so the perf trajectory is versioned.
+OUTPUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           SIMPERF_FILENAME)
+
+
+def test_simperf_records_trajectory():
+    quick = os.environ.get("SIMPERF_QUICK", "") not in ("", "0", "false", "False")
+    payload = run_simperf(quick=quick)
+    write_simperf(payload, os.path.abspath(OUTPUT_PATH))
+
+    no_trace = payload["modes"]["no_trace"]
+    trace = payload["modes"]["trace"]
+    # Same simulated execution in both modes.
+    assert no_trace["makespan_seconds"] == trace["makespan_seconds"]
+    assert no_trace["sustained_tokens_per_second"] == trace["sustained_tokens_per_second"]
+    assert no_trace["total_ops"] == trace["total_ops"]
+    # Trace mode keeps every op; no-trace retires them round by round, so
+    # its resident window must be a small fraction of the total.
+    assert trace["peak_resident_ops"] == trace["total_ops"]
+    assert no_trace["peak_resident_ops"] < trace["total_ops"] / 10
+    # Throughput numbers are meaningful (positive, finite).
+    for mode in (no_trace, trace):
+        assert mode["simulated_requests_per_second"] > 0
+        assert mode["wall_seconds"] > 0
+
+    print()
+    print(f"simperf ({payload['num_requests']} requests, "
+          f"{payload['design']}/{payload['config']}):")
+    for name, mode in payload["modes"].items():
+        print(f"  {name:>9}: {mode['simulated_requests_per_second']:8.1f} sim req/s  "
+              f"{mode['peak_resident_ops']:>8} peak resident ops  "
+              f"({mode['total_ops']} total)")

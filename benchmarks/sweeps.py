@@ -1,39 +1,12 @@
 """Shared sweep scaffolding for the serving load benchmarks.
 
-The load studies (Figure 15 under load, Figure 16 under load, the
-expert-parallel sweep) all walk a cartesian grid of serving knobs — design ×
-capacity × offered load × … — and key their results by the swept values.
-:func:`run_grid` is that loop, written once: axes are declared as keyword
-arguments (name → values, in key order) and the serve callable receives one
-keyword per axis.
+The implementation moved into the installed package (:mod:`repro.sweeps`)
+so the ``python -m repro`` CLI can drive the same grids (optionally over a
+process pool); this module re-exports it for the benchmark files.
 """
 
 from __future__ import annotations
 
-from itertools import product
-from typing import Any, Callable, Dict, Sequence, Tuple
+from repro.sweeps import open_loop, run_grid
 
-from repro.workloads import POISSON_QA_LOAD, LoadSpec
-
-
-def open_loop(rate: float, base: LoadSpec = POISSON_QA_LOAD) -> LoadSpec:
-    """Open-loop Poisson arrivals at ``rate`` requests/second."""
-    return base.with_overrides(request_rate=rate)
-
-
-def run_grid(serve: Callable[..., Any],
-             **axes: Sequence[Any]) -> Dict[Tuple[Any, ...], Any]:
-    """Run ``serve(**combo)`` for every combination of the named axes.
-
-    ``axes`` maps axis names to their swept values; combinations are visited
-    in row-major order of the declaration.  Returns a dict keyed by the
-    tuple of axis values (declaration order) — the shape every load
-    benchmark's report/assert loops consume.
-    """
-    if not axes:
-        raise ValueError("run_grid needs at least one axis")
-    names = list(axes)
-    results: Dict[Tuple[Any, ...], Any] = {}
-    for combo in product(*axes.values()):
-        results[combo] = serve(**dict(zip(names, combo)))
-    return results
+__all__ = ["open_loop", "run_grid"]

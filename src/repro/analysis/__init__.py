@@ -1,5 +1,6 @@
 """Reporting and figure/table reconstruction helpers."""
 
+from .simperf import run_simperf, write_simperf
 from .report import (
     FigureReport,
     LOAD_REPORT_COLUMNS,
@@ -18,6 +19,8 @@ __all__ = [
     "load_test_report",
     "normalise_series",
     "pick_reference",
+    "run_simperf",
     "to_csv",
     "write_csv",
+    "write_simperf",
 ]

@@ -1,0 +1,92 @@
+"""Simulator self-performance benchmark (the perf trajectory seed).
+
+Where every other benchmark measures the *simulated* systems, this one
+measures the simulator: how many simulated requests per wall-clock second
+the continuous-batching scheduler sustains, and how many timeline ops stay
+resident while it runs.  The two serving modes are compared:
+
+* ``no_trace`` — the production default: incremental aggregates only, ops
+  retired once no live dependency can reference them (memory O(active
+  window));
+* ``trace`` — the Figure 9 mode: every op kept for rendering/export
+  (memory O(total ops)).
+
+Both modes must agree on every load metric (the parity tests pin them to
+1e-9); the benchmark records the throughput and peak-resident-op cost of
+each so regressions in either dimension show up in ``BENCH_simperf.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, Optional
+
+from ..serving.scheduler import serve_load
+from ..workloads.arrivals import POISSON_QA_LOAD
+from ..workloads.generator import WorkloadSpec
+
+#: Default measurement shape: the ISSUE's profiling scenario (pregated
+#: Switch-Base-128 under Poisson load) at a request count big enough for
+#: throughput to stabilise but small enough for a CI smoke job.
+DEFAULT_CONFIG = "switch_base_128"
+DEFAULT_DESIGN = "pregated"
+DEFAULT_REQUESTS = 400
+QUICK_REQUESTS = 40
+
+#: Canonical artifact filename (committed at the repo root; the CLI writes
+#: it to the current directory, the benchmark anchors it to the repo root).
+SIMPERF_FILENAME = "BENCH_simperf.json"
+
+
+def measure_mode(record_trace: bool, num_requests: int = DEFAULT_REQUESTS,
+                 config: str = DEFAULT_CONFIG, design: str = DEFAULT_DESIGN,
+                 request_rate: float = 8.0, max_batch_size: int = 8,
+                 routing_skew: float = 1.2, seed: int = 0) -> Dict[str, float]:
+    """Serve one load and report the simulator's own cost for that mode."""
+    workload = WorkloadSpec(name="simperf", num_requests=num_requests,
+                            input_length=8, output_length=8,
+                            routing_skew=routing_skew, seed=seed)
+    load = POISSON_QA_LOAD.with_overrides(request_rate=request_rate)
+    started = time.perf_counter()
+    result = serve_load(design, config, load, workload=workload,
+                        max_batch_size=max_batch_size,
+                        record_trace=record_trace)
+    wall = time.perf_counter() - started
+    return {
+        "record_trace": record_trace,
+        "wall_seconds": wall,
+        "simulated_requests_per_second": num_requests / wall if wall > 0 else 0.0,
+        "simulated_seconds_per_wall_second": result.makespan / wall if wall > 0 else 0.0,
+        "total_ops": result.timeline_total_ops,
+        "peak_resident_ops": result.timeline_peak_live_ops,
+        "makespan_seconds": result.makespan,
+        "sustained_tokens_per_second": result.sustained_tokens_per_second,
+    }
+
+
+def run_simperf(quick: bool = False,
+                num_requests: Optional[int] = None) -> Dict[str, object]:
+    """Measure both serving modes; returns the ``BENCH_simperf.json`` payload."""
+    requests = num_requests if num_requests is not None else (
+        QUICK_REQUESTS if quick else DEFAULT_REQUESTS)
+    modes = {
+        "no_trace": measure_mode(False, num_requests=requests),
+        "trace": measure_mode(True, num_requests=requests),
+    }
+    return {
+        "benchmark": "simperf",
+        "config": DEFAULT_CONFIG,
+        "design": DEFAULT_DESIGN,
+        "num_requests": requests,
+        "python": platform.python_version(),
+        "modes": modes,
+    }
+
+
+def write_simperf(payload: Dict[str, object], path: str) -> None:
+    """Persist a :func:`run_simperf` payload as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -6,22 +6,34 @@ CI runs and the quickest way to see the simulator end-to-end without pytest:
 
 * ``expert_parallel`` — design × num_gpus on one replica (the expert-
   parallel sharding study);
-* ``serving_load`` — design × offered load on a single-GPU replica.
+* ``serving_load`` — design × offered load on a single-GPU replica;
+* ``simperf`` — the simulator's own performance (simulated requests per
+  wall-clock second, peak resident op count) in trace vs. no-trace mode,
+  also written to ``BENCH_simperf.json``.
 
-``--quick`` shrinks the request count and grid for CI smoke runs.
+``--quick`` shrinks the request count and grid for CI smoke runs;
+``--workers N`` fans the sweep's grid cells out over a process pool (cells
+are independent simulations and the merged report is identical to the
+serial one).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 from typing import Dict, List, Optional
 
 from .analysis.report import FigureReport, load_test_report
+from .analysis.simperf import SIMPERF_FILENAME, run_simperf, write_simperf
 from .moe.configs import get_config
 from .serving.scheduler import serve_load
+from .sweeps import run_grid
 from .workloads.arrivals import POISSON_QA_LOAD
 from .workloads.generator import WorkloadSpec
+
+#: Default output path of the ``simperf`` sweep (in the current directory).
+SIMPERF_JSON = SIMPERF_FILENAME
 
 
 def _workload(quick: bool) -> WorkloadSpec:
@@ -30,39 +42,74 @@ def _workload(quick: bool) -> WorkloadSpec:
                         routing_skew=1.5, seed=0)
 
 
-def run_expert_parallel(quick: bool) -> FigureReport:
+# The grid cells run through repro.sweeps.run_grid, which may dispatch them
+# to a process pool — so the serve callables are top-level functions
+# (picklable), parameterised with functools.partial.
+def _serve_expert_parallel(design: str, num_gpus: int, quick: bool = False):
+    return serve_load(design, get_config("switch_base_64"),
+                      POISSON_QA_LOAD.with_overrides(request_rate=4.0),
+                      workload=_workload(quick), max_batch_size=4,
+                      num_gpus=num_gpus)
+
+
+def _serve_load_cell(design: str, rate: float, quick: bool = False):
+    return serve_load(design, get_config("switch_base_64"),
+                      POISSON_QA_LOAD.with_overrides(request_rate=rate),
+                      workload=_workload(quick), max_batch_size=4)
+
+
+def run_expert_parallel(quick: bool, workers: Optional[int] = None) -> FigureReport:
     """Design × num_gpus sweep on one expert-parallel replica."""
-    config = get_config("switch_base_64")
     designs = ("pregated", "ondemand") if quick else ("pregated", "ondemand",
                                                       "prefetch_all")
     gpu_counts = (1, 2) if quick else (1, 2, 4)
-    load = POISSON_QA_LOAD.with_overrides(request_rate=4.0)
-    results = [serve_load(design, config, load, workload=_workload(quick),
-                          max_batch_size=4, num_gpus=num_gpus)
-               for design in designs for num_gpus in gpu_counts]
+    results = run_grid(partial(_serve_expert_parallel, quick=quick),
+                       max_workers=workers,
+                       design=list(designs), num_gpus=list(gpu_counts))
     return load_test_report(
-        results, figure="expert_parallel sweep",
+        list(results.values()), figure="expert_parallel sweep",
         description="Design ordering across expert-parallel replica sizes")
 
 
-def run_serving_load(quick: bool) -> FigureReport:
+def run_serving_load(quick: bool, workers: Optional[int] = None) -> FigureReport:
     """Design × offered load on a single-GPU replica."""
-    config = get_config("switch_base_64")
     designs = ("pregated", "ondemand") if quick else ("pregated", "ondemand",
                                                       "prefetch_all")
     rates = (4.0,) if quick else (2.0, 8.0)
-    results = [serve_load(design, config,
-                          POISSON_QA_LOAD.with_overrides(request_rate=rate),
-                          workload=_workload(quick), max_batch_size=4)
-               for design in designs for rate in rates]
+    results = run_grid(partial(_serve_load_cell, quick=quick),
+                       max_workers=workers,
+                       design=list(designs), rate=list(rates))
     return load_test_report(
-        results, figure="serving_load sweep",
+        list(results.values()), figure="serving_load sweep",
         description="Sustained throughput and tail latency under load")
+
+
+def run_simperf_sweep(quick: bool, workers: Optional[int] = None) -> FigureReport:
+    """Simulator self-performance: trace vs. no-trace serving cost."""
+    # Always serial: the measurement is the wall clock (main() rejects
+    # --workers for this sweep).
+    payload = run_simperf(quick=quick)
+    write_simperf(payload, SIMPERF_JSON)
+    report = FigureReport(
+        figure="simperf",
+        description=(f"Simulator throughput serving {payload['num_requests']} "
+                     f"requests of {payload['design']}/{payload['config']} "
+                     f"(written to {SIMPERF_JSON})"),
+        headers=["mode", "wall (s)", "sim req/s", "total ops",
+                 "peak resident ops"],
+    )
+    for mode in ("no_trace", "trace"):
+        row = payload["modes"][mode]
+        report.add_row(mode, round(row["wall_seconds"], 3),
+                       round(row["simulated_requests_per_second"], 1),
+                       row["total_ops"], row["peak_resident_ops"])
+    return report
 
 
 SWEEPS: Dict[str, object] = {
     "expert_parallel": run_expert_parallel,
     "serving_load": run_serving_load,
+    "simperf": run_simperf_sweep,
 }
 
 
@@ -75,14 +122,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="sweep to run ('list' prints the available names)")
     parser.add_argument("--quick", action="store_true",
                         help="shrink the grid for a CI smoke run")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run the sweep's grid cells on an N-process pool")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="also write the report as CSV to PATH")
     args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.sweep == "simperf" and args.workers is not None:
+        parser.error("simperf measures the simulator's wall-clock serially; "
+                     "--workers would distort it")
     if args.sweep == "list":
         for name, runner in sorted(SWEEPS.items()):
             print(f"{name}: {runner.__doc__.strip().splitlines()[0]}")
         return 0
-    report = SWEEPS[args.sweep](args.quick)
+    report = SWEEPS[args.sweep](args.quick, workers=args.workers)
     print(report.render())
     if args.csv:
         with open(args.csv, "w") as handle:

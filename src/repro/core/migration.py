@@ -68,14 +68,42 @@ class ExpertTransfer:
 
 @dataclass
 class MigrationPlan:
-    """The full expert-transfer schedule for one decoder iteration."""
+    """The full expert-transfer schedule for one decoder iteration.
+
+    Plans are built once and then only read (the scheduler memoises and
+    shares them across rounds), so per-block lookups run off a lazily built
+    index that is invalidated if the transfer list grows after first use.
+    """
 
     design: str
     transfers: List[ExpertTransfer] = field(default_factory=list)
+    _by_block: "dict[int, List[ExpertTransfer]] | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    _by_issue: "dict[int, List[ExpertTransfer]] | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    _indexed_len: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def _build_indexes(self) -> None:
+        if self._indexed_len == len(self.transfers):
+            return
+        by_block: dict[int, List[ExpertTransfer]] = {}
+        by_issue: dict[int, List[ExpertTransfer]] = {}
+        for transfer in self.transfers:
+            by_block.setdefault(transfer.block_index, []).append(transfer)
+            by_issue.setdefault(transfer.issue_block, []).append(transfer)
+        self._by_block = by_block
+        self._by_issue = by_issue
+        self._indexed_len = len(self.transfers)
 
     def transfers_for_block(self, block_index: int) -> List[ExpertTransfer]:
         """Transfers required before ``block_index`` can execute its experts."""
-        return [t for t in self.transfers if t.block_index == block_index]
+        self._build_indexes()
+        return self._by_block.get(block_index, [])
+
+    def by_issue_block(self) -> "dict[int, List[ExpertTransfer]]":
+        """Transfers grouped by the block whose execution issues them."""
+        self._build_indexes()
+        return self._by_issue
 
     def issued_during_block(self, issue_block: int) -> List[ExpertTransfer]:
         """Transfers that may be in flight while ``issue_block`` executes."""

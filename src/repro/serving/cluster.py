@@ -26,6 +26,16 @@ request to a replica with one of two policies:
 
 Replicas run concurrently, so cluster throughput divides total generated
 tokens by the slowest replica's makespan.
+
+The replicas' simulations are independent, so :meth:`ReplicaCluster.serve`
+can fan them out over a process pool (``max_workers``): each worker serves
+one replica's request list on a pickled copy of its scheduler and the
+per-replica results are merged in replica-id order, making the parallel run
+bit-identical to the serial one.  The trade-off is that the parent
+process's scheduler objects are not mutated in parallel mode — cache
+warmth and memory-pool peaks accumulated *inside* a parallel ``serve`` stay
+in the workers — so serve sequentially when chaining load tests that must
+share replica state.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 from ..moe.configs import ModelConfig, get_config
+from ..sweeps import ordered_pool_map
 from ..system.hardware import PAPER_SYSTEM, LinkSpec, SystemSpec
 from ..workloads.arrivals import TimedRequest
 from ..workloads.traces import RequestTrace
@@ -43,6 +54,13 @@ from .metrics import LoadTestResult, merge_load_results
 from .scheduler import ContinuousBatchingScheduler
 
 ROUTING_POLICIES = ("round_robin", "least_loaded", "cache_aware")
+
+
+def _serve_replica(item) -> "Tuple[int, LoadTestResult]":
+    """Serve one replica's assignment (module-level for process-pool pickling)."""
+    replica_id, scheduler, assigned, offered_load = item
+    return replica_id, scheduler.serve(assigned, offered_load=offered_load,
+                                       replica=replica_id)
 
 #: Router-side affinity window when no cache capacity is configured.
 DEFAULT_AFFINITY_WINDOW = 256
@@ -83,9 +101,13 @@ class ReplicaCluster:
                  num_gpus: Optional[int] = None,
                  shard_policy: str = "contiguous",
                  expert_weights: Optional[Sequence[float]] = None,
-                 interconnect: Optional[LinkSpec] = None) -> None:
+                 interconnect: Optional[LinkSpec] = None,
+                 record_trace: bool = False,
+                 max_workers: Optional[int] = None) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1 (or None for serial)")
         if policy not in ROUTING_POLICIES:
             raise ValueError(f"unknown policy {policy!r}; known: {ROUTING_POLICIES}")
         self.design = design
@@ -101,6 +123,10 @@ class ReplicaCluster:
         self.stage_capacity = stage_capacity
         self.num_gpus = num_gpus
         self.shard_policy = shard_policy
+        self.record_trace = record_trace
+        #: Process-pool width for :meth:`serve`; ``None``/1 serves the
+        #: replicas sequentially in-process.
+        self.max_workers = max_workers
         self.replicas = [
             ContinuousBatchingScheduler(design, self.config, system=system,
                                         engine_config=engine_config,
@@ -112,7 +138,8 @@ class ReplicaCluster:
                                         num_gpus=num_gpus,
                                         shard_policy=shard_policy,
                                         expert_weights=expert_weights,
-                                        interconnect=interconnect)
+                                        interconnect=interconnect,
+                                        record_trace=record_trace)
             for _ in range(num_replicas)
         ]
         self._affinity_window = (cache_capacity if cache_capacity
@@ -185,12 +212,22 @@ class ReplicaCluster:
         return assignments
 
     def serve(self, requests: Sequence[TimedRequest],
-              offered_load: Optional[float] = None) -> ClusterResult:
-        """Route and serve all requests; replicas simulate independently."""
+              offered_load: Optional[float] = None,
+              max_workers: Optional[int] = None) -> ClusterResult:
+        """Route and serve all requests; replicas simulate independently.
+
+        ``max_workers`` (defaulting to the constructor's value) > 1 serves
+        the replicas on a process pool.  Results are merged in replica-id
+        order, so parallel and serial runs produce identical
+        :class:`ClusterResult`\\ s; in parallel mode each worker operates on
+        a pickled copy of its scheduler, so the parent's replica objects
+        keep their pre-serve state (see the module docstring).
+        """
         result = ClusterResult(design=self.design, config_name=self.config.name,
                                policy=self.policy, num_replicas=self.num_replicas)
-        for replica_id, assigned in enumerate(self.route(requests)):
-            replica_result = self.replicas[replica_id].serve(
-                assigned, offered_load=offered_load, replica=replica_id)
+        workers = max_workers if max_workers is not None else self.max_workers
+        items = [(replica_id, self.replicas[replica_id], assigned, offered_load)
+                 for replica_id, assigned in enumerate(self.route(requests))]
+        for _, replica_result in ordered_pool_map(_serve_replica, items, workers):
             result.replica_results.append(replica_result)
         return result

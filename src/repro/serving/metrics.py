@@ -288,6 +288,11 @@ class LoadTestResult:
     device_utilisation: List[float] = field(default_factory=list)
     alltoall_bytes: int = 0
     shard_imbalance: Optional[float] = None
+    #: Simulator-side telemetry: ops ever scheduled on the timeline and the
+    #: high-water mark of ops resident in memory (== total in trace mode;
+    #: O(active window) with op retirement).  Summed across a merged fleet.
+    timeline_total_ops: int = 0
+    timeline_peak_live_ops: int = 0
     oom: bool = False
     oom_reason: str = ""
 
@@ -438,6 +443,8 @@ def merge_load_results(results: Sequence[LoadTestResult],
         device_utilisation=device_util,
         alltoall_bytes=sum(r.alltoall_bytes for r in results),
         shard_imbalance=max(imbalances) if imbalances else None,
+        timeline_total_ops=sum(r.timeline_total_ops for r in results),
+        timeline_peak_live_ops=sum(r.timeline_peak_live_ops for r in results),
         oom=any(r.oom for r in results),
         oom_reason="; ".join(r.oom_reason for r in results if r.oom_reason),
     )

@@ -366,6 +366,11 @@ class ShardedPlacement:
         # per-fetch routing in the hot simulation loop does not rebuild them.
         self._offload_path = system.tier_path() if offload_experts else None
         self._pcie_path = system.tier_path("dram")
+        # Transfer durations along a fixed path depend only on the byte
+        # count, and expert fetches are all the same size — memoise the
+        # (path, bytes) → duration evaluations instead of re-walking the
+        # hop list on every fetch of every round.
+        self._path_time_cache: dict = {}
         self._loaded = False
         self._expert_seq = 0
 
@@ -527,7 +532,7 @@ class ShardedPlacement:
         stage = self.shards[device].stage
         if tier != "ssd" or stage is None:
             route = FetchRoute(source_tier=tier,
-                               copy_duration=path.transfer_time(num_bytes),
+                               copy_duration=self._path_times(path, num_bytes)[0],
                                device=device)
         else:
             hit = stage.pin(key)
@@ -535,21 +540,39 @@ class ShardedPlacement:
             if hit:
                 route = FetchRoute(
                     source_tier="ssd", stage_hit=True,
-                    copy_duration=self._pcie_path.transfer_time(num_bytes),
+                    copy_duration=self._path_times(self._pcie_path, num_bytes)[0],
                     device=device)
             elif stage.capacity <= 0:
                 route = FetchRoute(source_tier="ssd", stage_hit=False,
-                                   copy_duration=path.transfer_time(num_bytes),
+                                   copy_duration=self._path_times(path, num_bytes)[0],
                                    device=device)
             else:
+                times = self._path_times(path, num_bytes)
                 route = FetchRoute(
                     source_tier="ssd", stage_hit=False,
-                    stage_duration=path.first_hop_time(num_bytes),
-                    copy_duration=path.cut_through_tail(num_bytes),
+                    stage_duration=times[1],
+                    copy_duration=times[2],
                     device=device)
         self.transfers.record_fetch(route, num_bytes)
         self.device_fetch_bytes[device] += int(num_bytes)
         return route
+
+    def _path_times(self, path, num_bytes: int) -> Tuple[float, float, float]:
+        """(pipelined total, first-hop, cut-through-tail) for ``num_bytes``.
+
+        Memoised per (source, dest, byte count): within one placement the
+        system spec fixes the hop structure of a (source, dest) route, and
+        fetches are expert-sized, so the cache holds a handful of entries
+        while saving a hop-list walk per fetch.
+        """
+        cache_key = (path.source, path.dest, num_bytes)
+        times = self._path_time_cache.get(cache_key)
+        if times is None:
+            times = (path.transfer_time(num_bytes),
+                     path.first_hop_time(num_bytes),
+                     path.cut_through_tail(num_bytes))
+            self._path_time_cache[cache_key] = times
+        return times
 
     # ------------------------------------------------------------------
     # Transient expert allocations

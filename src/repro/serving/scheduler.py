@@ -120,6 +120,13 @@ class ContinuousBatchingScheduler:
         ``load_balanced``) and the expected per-expert gate load the
         load-balanced policy spreads; see
         :class:`~repro.serving.placement.ShardAssignment`.
+    record_trace:
+        ``False`` (default) serves on a bounded-memory timeline: each
+        round's ops are retired once no in-flight request can reference
+        them, so resident op count stays O(active window) and 100k-request
+        loads fit in RAM.  ``True`` keeps the full op trace (Figure 9
+        rendering / ``to_records`` export).  Every reported load metric is
+        identical in both modes — the parity tests pin them to 1e-9.
     """
 
     def __init__(self, design: str, config: "ModelConfig | str",
@@ -135,7 +142,8 @@ class ContinuousBatchingScheduler:
                  num_gpus: Optional[int] = None,
                  shard_policy: str = "contiguous",
                  expert_weights: Optional[Sequence[float]] = None,
-                 interconnect: Optional[LinkSpec] = None) -> None:
+                 interconnect: Optional[LinkSpec] = None,
+                 record_trace: bool = False) -> None:
         if design not in _ENGINES:
             raise ValueError(f"unknown design {design!r}; known: {sorted(_ENGINES)}")
         if max_batch_size < 1:
@@ -157,6 +165,7 @@ class ContinuousBatchingScheduler:
         self.latency = latency_model or GpuLatencyModel(system.gpu)
         self.engine_config = engine_config or EngineConfig()
         self.max_batch_size = max_batch_size
+        self.record_trace = record_trace
         self.placement = ModelPlacement(
             self.config, system, offload_experts=design != "gpu_only",
             cache_policy=cache_policy, cache_capacity=cache_capacity,
@@ -170,6 +179,17 @@ class ContinuousBatchingScheduler:
         self.simulator = IterationSimulator(
             self.config, system, self.latency, design, self.placement,
             activation_level=self.engine_config.activation_level)
+        #: Timeline of the most recent :meth:`serve` call (rendering /
+        #: aggregate inspection; a full op trace only with ``record_trace``).
+        self.last_timeline: Optional[ExecutionTimeline] = None
+
+    def __getstate__(self):
+        # When a ReplicaCluster ships schedulers to process-pool workers,
+        # a previous serve's timeline (potentially a full op trace) is dead
+        # weight the worker never reads — drop it from the pickle.
+        state = dict(self.__dict__)
+        state["last_timeline"] = None
+        return state
 
     # ------------------------------------------------------------------
     def serve(self, requests: Sequence[Union[TimedRequest, RequestTrace]],
@@ -205,7 +225,8 @@ class ContinuousBatchingScheduler:
             result.oom_reason = str(exc)
             return result
 
-        timeline = ExecutionTimeline()
+        timeline = ExecutionTimeline(record_trace=self.record_trace)
+        self.last_timeline = timeline
         pending = deque(sorted(timed, key=lambda r: (r.arrival_time, r.request_id)))
         active: List[_InFlightRequest] = []
 
@@ -221,15 +242,29 @@ class ContinuousBatchingScheduler:
                 active.append(_InFlightRequest(timed=pending.popleft()))
 
             self._run_round(timeline, active)
-            for state in [s for s in active if s.done]:
-                active.remove(state)
-                result.requests.append(self._finalise(state, replica))
+            # One-pass rebuild of the in-flight list; removing finished
+            # states with list.remove() was O(batch²) per round.
+            still_active: List[_InFlightRequest] = []
+            for state in active:
+                if state.done:
+                    result.requests.append(self._finalise(state, replica))
+                else:
+                    still_active.append(state)
+            active = still_active
+            # After a round, the only op ids a future op can name are the
+            # in-flight requests' carried cross-pass dependencies (trailing
+            # all-to-all combines); everything else is retired so resident
+            # op count stays O(active window) in no-trace mode.
+            timeline.retire_completed(
+                keep=[dep for state in active for dep in state.pending_deps])
 
         result.makespan = timeline.makespan
         result.peak_gpu_bytes = self.placement.peak_gpu_bytes
         result.expert_bytes_transferred = (
-            len(timeline.ops_by_category("expert_transfer"))
+            timeline.category_count("expert_transfer")
             * self.config.expert_bytes())
+        result.timeline_total_ops = timeline.num_ops
+        result.timeline_peak_live_ops = timeline.peak_live_ops
         if self.residency is not None:
             result.cache_stats = self.residency.stats.since(stats_before)
         if self.placement.offload_experts:
@@ -320,7 +355,8 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
                num_gpus: Optional[int] = None,
                shard_policy: str = "contiguous",
                expert_weights: Optional[Sequence[float]] = None,
-               interconnect: Optional[LinkSpec] = None) -> LoadTestResult:
+               interconnect: Optional[LinkSpec] = None,
+               record_trace: bool = False) -> LoadTestResult:
     """Materialise a :class:`LoadSpec` and serve it on one replica.
 
     The one-call load-test entry point: open-loop specs timestamp requests
@@ -346,7 +382,8 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
                                             num_gpus=num_gpus,
                                             shard_policy=shard_policy,
                                             expert_weights=expert_weights,
-                                            interconnect=interconnect)
+                                            interconnect=interconnect,
+                                            record_trace=record_trace)
     offered = load.request_rate if load.mode == "open" else None
     return scheduler.serve(requests, offered_load=offered)
 
@@ -362,7 +399,8 @@ def make_scheduler(design: str, config: "ModelConfig | str",
                    num_gpus: Optional[int] = None,
                    shard_policy: str = "contiguous",
                    expert_weights: Optional[Sequence[float]] = None,
-                   interconnect: Optional[LinkSpec] = None) -> ContinuousBatchingScheduler:
+                   interconnect: Optional[LinkSpec] = None,
+                   record_trace: bool = False) -> ContinuousBatchingScheduler:
     """Factory mirroring :func:`repro.serving.engine.make_engine`."""
     return ContinuousBatchingScheduler(design, config, system=system,
                                        engine_config=engine_config,
@@ -374,4 +412,5 @@ def make_scheduler(design: str, config: "ModelConfig | str",
                                        num_gpus=num_gpus,
                                        shard_policy=shard_policy,
                                        expert_weights=expert_weights,
-                                       interconnect=interconnect)
+                                       interconnect=interconnect,
+                                       record_trace=record_trace)

@@ -172,6 +172,12 @@ class IterationSimulator:
         self.multi_device = self.topology.num_devices > 1
         #: Bytes one token's activations occupy on the interconnect (fp16).
         self._token_bytes = config.d_model * 2
+        #: Memoised migration plans keyed by (part, activations).  Only
+        #: valid when the placement has no residency map / expert cache —
+        #: plans then depend solely on the activations, so identical gating
+        #: outcomes (ubiquitous in long decode-heavy loads) reuse one plan
+        #: object instead of re-running the planner every round.
+        self._plan_cache: Dict[Tuple, MigrationPlan] = {}
 
     @property
     def offloads_experts(self) -> bool:
@@ -185,13 +191,35 @@ class IterationSimulator:
 
         Deterministic given the placement's cache state, so a scheduler can
         pre-register a round's plans for transfer dedup before simulating it.
+        Cache-free placements memoise the result by activation pattern (the
+        planner's output then depends on nothing else); plans are treated as
+        immutable by every consumer, so sharing one object across rounds is
+        safe.
         """
-        num_blocks = len(self.placement.moe_positions(part))
-        resident = self.placement.cache_resident(part, num_blocks)
-        return plan_for_design(
+        placement = self.placement
+        memoizable = placement.residency is None and placement.cache is None
+        key: Optional[Tuple] = None
+        if memoizable:
+            if self.design in ("gpu_only", "prefetch_all"):
+                # These planners ignore *which* experts are activated — only
+                # how many blocks the pass traverses.
+                key = (part, len(activations))
+            else:
+                key = (part, tuple(tuple(block) for block in activations))
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                return cached
+        num_blocks = len(placement.moe_positions(part))
+        resident = placement.cache_resident(part, num_blocks)
+        plan = plan_for_design(
             self.design, activations, self.config.expert_bytes(), self.config.num_experts,
             activation_level=self.activation_level, resident=resident,
             source_tier=self.system.offload_tier)
+        if key is not None:
+            if len(self._plan_cache) >= 16384:
+                self._plan_cache.clear()
+            self._plan_cache[key] = plan
+        return plan
 
     def _gates_evaluated_at(self, block: int,
                             schedule: Optional[PreGateSchedule]) -> int:
@@ -249,9 +277,7 @@ class IterationSimulator:
 
         if plan is None:
             plan = self.make_plan(part, activations)
-        transfers_by_issue: Dict[int, List] = {}
-        for transfer in plan.transfers:
-            transfers_by_issue.setdefault(transfer.issue_block, []).append(transfer)
+        transfers_by_issue = plan.by_issue_block()
 
         schedule = None
         if self.design == "pregated" and num_blocks > 0:
@@ -350,12 +376,13 @@ class IterationSimulator:
                             stage_op = timeline.add_stage(
                                 f"{base}.stage_expert{transfer.expert_id}",
                                 route.stage_duration, depends_on=deps,
-                                device=route.device)
+                                device=route.device, num_bytes=transfer.bytes)
                             deps = [stage_op.op_id]
                         copy_op = timeline.add_copy(
                             f"{base}.fetch_expert{transfer.expert_id}",
                             route.copy_duration, depends_on=deps,
-                            category="expert_transfer", device=route.device)
+                            category="expert_transfer", device=route.device,
+                            num_bytes=transfer.bytes)
                         transfer_ops_by_target.setdefault(
                             transfer.block_index, []).append(
                                 (copy_op.op_id, route.device))
@@ -462,7 +489,7 @@ class IterationSimulator:
             gate_deps = [last_compute_op.op_id] if last_compute_op is not None else []
             dispatch_op = timeline.add_interconnect(
                 f"{base}.dispatch", self.topology.all_to_all_time(alltoall_bytes),
-                depends_on=gate_deps)
+                depends_on=gate_deps, num_bytes=alltoall_bytes)
             placement.record_alltoall(alltoall_bytes)
 
         exec_ops: List[TimelineOp] = []
@@ -500,7 +527,8 @@ class IterationSimulator:
             return exec_ops[0], device0_exec, exposed
         combine_op = timeline.add_interconnect(
             f"{base}.combine", self.topology.all_to_all_time(alltoall_bytes),
-            depends_on=[op.op_id for op in exec_ops] + leftover_deps)
+            depends_on=[op.op_id for op in exec_ops] + leftover_deps,
+            num_bytes=alltoall_bytes)
         placement.record_alltoall(alltoall_bytes)
         carry_deps.append(combine_op.op_id)
         return combine_op, device0_exec, exposed

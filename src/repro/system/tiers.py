@@ -36,6 +36,7 @@ The module also defines the bookkeeping types the serving layers share:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Dict, List, Tuple
 
 from .hardware import LinkSpec
@@ -125,12 +126,16 @@ class TierPath:
     def num_hops(self) -> int:
         return len(self.hops)
 
-    @property
+    @cached_property
     def bottleneck_bandwidth(self) -> float:
-        """Steady-state throughput of the pipelined path (slowest link)."""
+        """Steady-state throughput of the pipelined path (slowest link).
+
+        Cached: the hop tuple of a (frozen) path never changes, and the
+        serving hot loop evaluates transfer times per expert fetch.
+        """
         return min(hop.link.bandwidth for hop in self.hops)
 
-    @property
+    @cached_property
     def total_latency(self) -> float:
         """Fixed latency of the full path (each hop's, paid by the first chunk)."""
         return sum(hop.link.latency for hop in self.hops)

@@ -17,13 +17,35 @@ streams with events, and is what produces Figure 9's execution timelines:
 MoE-OnDemand's transfers depend on the same block's gate (serialised),
 whereas Pre-gated MoE's transfers depend only on the *previous* block's
 pre-gate and therefore overlap with expert execution.
+
+Performance model of the timeline itself
+----------------------------------------
+Every aggregate a load test asks about — :attr:`~ExecutionTimeline.makespan`,
+per-lane busy time, device utilisation, exposed copy time, per-category op
+counts/durations/bytes — is maintained *incrementally* inside :meth:`add`,
+so querying them is O(1) regardless of how many ops were ever scheduled.
+(The original implementation recomputed them by scanning the full op list;
+called once per decoder iteration that made serving loads accidentally
+quadratic in request count.)
+
+For long serving runs the trace itself is the memory bottleneck: a
+100k-request load schedules hundreds of millions of ops.  Constructing the
+timeline with ``record_trace=False`` keeps only the *live* ops — those a
+future op may still name as a dependency — and lets the owner retire ops it
+knows can no longer be referenced (:meth:`retire_completed`).  Aggregates
+are unaffected (they never consult the trace); trace-only queries
+(:attr:`ops`, :meth:`render_ascii`, :meth:`to_records`, the ``scan_*``
+reference implementations) raise in this mode.  The continuous-batching
+scheduler serves with ``record_trace=False`` by default and retires each
+round's ops as the round completes, keeping resident op count O(active
+window) instead of O(total ops).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class Stream(Enum):
@@ -60,6 +82,9 @@ class TimelineOp:
     #: (expert parallelism); single-GPU timelines leave every op on device 0.
     #: Interconnect ops are replica-wide and always use device 0.
     device: int = 0
+    #: Payload bytes the op moves (transfers) — feeds the per-category byte
+    #: aggregates; 0 for kernels.
+    num_bytes: float = 0.0
 
     @property
     def scheduled(self) -> bool:
@@ -74,23 +99,49 @@ class ExecutionTimeline:
     O(1) and the object doubles as an execution trace.  A single-GPU replica
     uses only device 0's lanes, which reproduces the original two-stream
     timeline exactly.
+
+    Parameters
+    ----------
+    record_trace:
+        ``True`` (default) keeps every op for rendering / record export (the
+        Figure 9 trace mode).  ``False`` keeps only ops that may still be
+        referenced as dependencies; the owner retires finished ops via
+        :meth:`retire_completed`, bounding memory for very long runs.  All
+        aggregate queries behave identically in both modes.
     """
 
-    def __init__(self) -> None:
-        self._ops: List[TimelineOp] = []
+    def __init__(self, record_trace: bool = True) -> None:
+        self.record_trace = record_trace
+        #: Live ops by id (all ops ever added in trace mode; the un-retired
+        #: window otherwise).  Insertion-ordered.
+        self._live: Dict[int, TimelineOp] = {}
+        self._next_op_id = 0
         self._lane_free: Dict[Tuple[Stream, int], float] = {}
+        # ---- incremental aggregates --------------------------------------
+        self._makespan = 0.0
+        self._lane_busy: Dict[Tuple[Stream, int], float] = {}
+        self._lane_exposed: Dict[int, float] = {}
+        self._device_set: set = set()
+        self._category_count: Dict[str, int] = {}
+        self._category_duration: Dict[str, float] = {}
+        self._category_bytes: Dict[str, float] = {}
+        self._retired_count = 0
+        self._peak_live_ops = 0
 
     # ------------------------------------------------------------------
     def add(self, name: str, stream: Stream, duration: float,
             depends_on: Optional[Sequence[int]] = None,
             category: str = "generic", earliest_start: float = 0.0,
-            device: int = 0) -> TimelineOp:
+            device: int = 0, num_bytes: float = 0.0) -> TimelineOp:
         """Schedule an operation and return it (with start/end filled in).
 
         ``earliest_start`` gates the op on wall-clock time in addition to
         lane order and dependencies — used by the request scheduler so no
         work for a request starts before the request has arrived.
-        ``device`` selects the GPU whose lane of ``stream`` the op joins.
+        ``device`` selects the GPU whose lane of ``stream`` the op joins;
+        ``num_bytes`` is the transfer payload (byte aggregates only — it
+        does not affect timing, the caller already folded bandwidth into
+        ``duration``).
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
@@ -98,20 +149,55 @@ class ExecutionTimeline:
             raise ValueError("earliest_start must be non-negative")
         if device < 0:
             raise ValueError("device must be non-negative")
+        live = self._live
         deps = list(depends_on or [])
+        ready = 0.0
+        compute_dep_ready = 0.0
         for dep in deps:
-            if not 0 <= dep < len(self._ops):
+            dep_op = live.get(dep)
+            if dep_op is None:
                 raise ValueError(f"dependency {dep} does not reference a scheduled op")
-        op = TimelineOp(op_id=len(self._ops), name=name, stream=stream,
+            if dep_op.end > ready:
+                ready = dep_op.end
+            if dep_op.stream is Stream.COMPUTE and dep_op.end > compute_dep_ready:
+                compute_dep_ready = dep_op.end
+        op_id = self._next_op_id
+        self._next_op_id = op_id + 1
+        op = TimelineOp(op_id=op_id, name=name, stream=stream,
                         duration=duration, depends_on=deps, category=category,
-                        earliest_start=earliest_start, device=device)
+                        earliest_start=earliest_start, device=device,
+                        num_bytes=num_bytes)
         lane = (stream, device)
-        ready = max((self._ops[d].end for d in deps), default=0.0)
-        start = max(ready, self._lane_free.get(lane, 0.0), earliest_start)
+        lane_free = self._lane_free.get(lane, 0.0)
+        start = max(ready, lane_free, earliest_start)
         op.start = start
-        op.end = start + duration
-        self._lane_free[lane] = op.end
-        self._ops.append(op)
+        end = start + duration
+        op.end = end
+        self._lane_free[lane] = end
+        live[op_id] = op
+        # ---- fold the op into the running aggregates ---------------------
+        if end > self._makespan:
+            self._makespan = end
+        self._lane_busy[lane] = self._lane_busy.get(lane, 0.0) + duration
+        self._device_set.add(device)
+        self._category_count[category] = self._category_count.get(category, 0) + 1
+        self._category_duration[category] = (
+            self._category_duration.get(category, 0.0) + duration)
+        if num_bytes:
+            self._category_bytes[category] = (
+                self._category_bytes.get(category, 0.0) + num_bytes)
+        if stream is Stream.COMPUTE:
+            # Online exposed-copy accounting: the op was compute-ready once
+            # its lane drained, its compute-stream dependencies finished and
+            # its arrival gate passed; any further wait is a stall on a
+            # copy/stage/interconnect dependency — exposed transfer time.
+            compute_ready = max(lane_free, compute_dep_ready, earliest_start)
+            stall = start - compute_ready
+            if stall > 0.0:
+                self._lane_exposed[device] = (
+                    self._lane_exposed.get(device, 0.0) + stall)
+        if len(live) > self._peak_live_ops:
+            self._peak_live_ops = len(live)
         return op
 
     def add_compute(self, name: str, duration: float,
@@ -124,65 +210,127 @@ class ExecutionTimeline:
     def add_copy(self, name: str, duration: float,
                  depends_on: Optional[Sequence[int]] = None,
                  category: str = "copy", earliest_start: float = 0.0,
-                 device: int = 0) -> TimelineOp:
+                 device: int = 0, num_bytes: float = 0.0) -> TimelineOp:
         return self.add(name, Stream.COPY, duration, depends_on, category,
-                        earliest_start=earliest_start, device=device)
+                        earliest_start=earliest_start, device=device,
+                        num_bytes=num_bytes)
 
     def add_stage(self, name: str, duration: float,
                   depends_on: Optional[Sequence[int]] = None,
                   category: str = "stage_in", earliest_start: float = 0.0,
-                  device: int = 0) -> TimelineOp:
+                  device: int = 0, num_bytes: float = 0.0) -> TimelineOp:
         """Schedule an SSD→DRAM staging read on the stage copy stream."""
         return self.add(name, Stream.STAGE, duration, depends_on, category,
-                        earliest_start=earliest_start, device=device)
+                        earliest_start=earliest_start, device=device,
+                        num_bytes=num_bytes)
 
     def add_interconnect(self, name: str, duration: float,
                          depends_on: Optional[Sequence[int]] = None,
-                         category: str = "alltoall") -> TimelineOp:
+                         category: str = "alltoall",
+                         num_bytes: float = 0.0) -> TimelineOp:
         """Schedule an all-to-all dispatch/combine on the interconnect queue."""
-        return self.add(name, Stream.INTERCONNECT, duration, depends_on, category)
+        return self.add(name, Stream.INTERCONNECT, duration, depends_on, category,
+                        num_bytes=num_bytes)
 
     # ------------------------------------------------------------------
-    # Queries
+    # Op retirement (bounded-memory serving mode)
+    # ------------------------------------------------------------------
+    def retire_completed(self, keep: Iterable[int] = ()) -> int:
+        """Drop ops no future dependency can reference; returns the count.
+
+        Only meaningful with ``record_trace=False`` (a no-op in trace mode —
+        the trace is the point).  ``keep`` lists op ids that *may* still be
+        named by future :meth:`add` calls (e.g. a request's trailing
+        all-to-all combine carried into its next pass); everything else is
+        retired.  The caller owns the invariant: after this call, adding an
+        op that depends on a retired id raises.  Aggregates and lane clocks
+        are unaffected — retirement frees memory, never rewrites history.
+        """
+        if self.record_trace:
+            return 0
+        keep_set = set(keep)
+        live = self._live
+        if keep_set:
+            retired = [op_id for op_id in live if op_id not in keep_set]
+        else:
+            retired = list(live)
+        for op_id in retired:
+            del live[op_id]
+        self._retired_count += len(retired)
+        return len(retired)
+
+    # ------------------------------------------------------------------
+    # Queries (all O(1) / O(#lanes), served from the running aggregates)
     # ------------------------------------------------------------------
     def op(self, op_id: int) -> TimelineOp:
-        return self._ops[op_id]
+        try:
+            return self._live[op_id]
+        except KeyError:
+            raise KeyError(
+                f"op {op_id} is not live (retired, or never scheduled)") from None
+
+    @property
+    def num_ops(self) -> int:
+        """Total operations ever scheduled (retired ops included)."""
+        return self._next_op_id
+
+    @property
+    def live_op_count(self) -> int:
+        """Operations currently held in memory."""
+        return len(self._live)
+
+    @property
+    def peak_live_ops(self) -> int:
+        """High-water mark of resident ops (== :attr:`num_ops` in trace mode)."""
+        return self._peak_live_ops
 
     @property
     def ops(self) -> List[TimelineOp]:
-        return list(self._ops)
+        self._require_trace("ops")
+        return list(self._live.values())
 
     @property
     def makespan(self) -> float:
         """Completion time of the last operation."""
-        return max((op.end for op in self._ops), default=0.0)
+        return self._makespan
 
     def stream_busy_time(self, stream: Stream, device: Optional[int] = None) -> float:
-        return sum(op.duration for op in self._ops
-                   if op.stream == stream and (device is None or op.device == device))
+        if device is not None:
+            return self._lane_busy.get((stream, device), 0.0)
+        return sum(busy for (s, _), busy in self._lane_busy.items() if s is stream)
 
     def stream_ops(self, stream: Stream, device: Optional[int] = None) -> List[TimelineOp]:
-        return [op for op in self._ops
+        self._require_trace("stream_ops")
+        return [op for op in self._live.values()
                 if op.stream == stream and (device is None or op.device == device)]
 
     def devices(self) -> List[int]:
         """Device ids that have scheduled at least one op (sorted)."""
-        return sorted({op.device for op in self._ops})
+        return sorted(self._device_set)
 
     def device_utilisation(self, device: int) -> float:
         """Fraction of the makespan the device's compute lane was busy."""
-        total = self.makespan
+        total = self._makespan
         if total <= 0.0:
             return 0.0
-        return self.stream_busy_time(Stream.COMPUTE, device) / total
+        return self._lane_busy.get((Stream.COMPUTE, device), 0.0) / total
 
     def category_time(self, category: str) -> float:
-        return sum(op.duration for op in self._ops if op.category == category)
+        return self._category_duration.get(category, 0.0)
+
+    def category_count(self, category: str) -> int:
+        """Number of ops scheduled under ``category`` (O(1))."""
+        return self._category_count.get(category, 0)
+
+    def category_bytes(self, category: str) -> float:
+        """Total payload bytes of ``category``'s transfer ops (O(1))."""
+        return self._category_bytes.get(category, 0.0)
 
     def ops_by_category(self, category: str) -> List[TimelineOp]:
-        return [op for op in self._ops if op.category == category]
+        self._require_trace("ops_by_category")
+        return [op for op in self._live.values() if op.category == category]
 
-    def exposed_copy_time(self) -> float:
+    def exposed_copy_time(self, device: Optional[int] = None) -> float:
         """Copy time not hidden under compute: the headline "how much
         migration latency was NOT overlapped" metric of the paper.
 
@@ -194,18 +342,13 @@ class ExecutionTimeline:
         elimination, a stall on a copy/stage/interconnect dependency — i.e.
         exposed transfer time.  Idle gaps caused by compute-side dependencies
         or by waiting for request arrivals are *not* counted.
+
+        Accumulated online as ops are added; ``device`` restricts the total
+        to one compute lane.
         """
-        exposed = 0.0
-        for device in self.devices():
-            prev_end = 0.0
-            for op in self.stream_ops(Stream.COMPUTE, device):
-                compute_dep_ready = max(
-                    (self._ops[d].end for d in op.depends_on
-                     if self._ops[d].stream == Stream.COMPUTE), default=0.0)
-                compute_ready = max(prev_end, compute_dep_ready, op.earliest_start)
-                exposed += max(0.0, op.start - compute_ready)
-                prev_end = op.end
-        return exposed
+        if device is not None:
+            return self._lane_exposed.get(device, 0.0)
+        return sum(self._lane_exposed[d] for d in sorted(self._lane_exposed))
 
     def stream_free_time(self, stream: Stream, device: Optional[int] = None) -> float:
         """Time at which ``stream`` becomes free for the next queued op.
@@ -227,11 +370,53 @@ class ExecutionTimeline:
         return max(0.0, 1.0 - exposed / copy_busy)
 
     # ------------------------------------------------------------------
+    # Scan-based reference implementations (trace mode only)
+    # ------------------------------------------------------------------
+    # These recompute the aggregates from the recorded trace, exactly as the
+    # original O(n) queries did.  They exist so the parity tests can pin the
+    # incremental aggregates against first-principles scans; production code
+    # should use the O(1) properties above.
+    def _require_trace(self, what: str) -> None:
+        if not self.record_trace:
+            raise RuntimeError(
+                f"{what} needs the recorded trace; this timeline was built "
+                "with record_trace=False (aggregate queries remain available)")
+
+    def scan_makespan(self) -> float:
+        self._require_trace("scan_makespan")
+        return max((op.end for op in self._live.values()), default=0.0)
+
+    def scan_stream_busy_time(self, stream: Stream,
+                              device: Optional[int] = None) -> float:
+        self._require_trace("scan_stream_busy_time")
+        return sum(op.duration for op in self._live.values()
+                   if op.stream == stream and (device is None or op.device == device))
+
+    def scan_category_time(self, category: str) -> float:
+        self._require_trace("scan_category_time")
+        return sum(op.duration for op in self._live.values() if op.category == category)
+
+    def scan_exposed_copy_time(self) -> float:
+        self._require_trace("scan_exposed_copy_time")
+        exposed = 0.0
+        for device in self.devices():
+            prev_end = 0.0
+            for op in self.stream_ops(Stream.COMPUTE, device):
+                compute_dep_ready = max(
+                    (self._live[d].end for d in op.depends_on
+                     if self._live[d].stream == Stream.COMPUTE), default=0.0)
+                compute_ready = max(prev_end, compute_dep_ready, op.earliest_start)
+                exposed += max(0.0, op.start - compute_ready)
+                prev_end = op.end
+        return exposed
+
+    # ------------------------------------------------------------------
     # Rendering (Figure 9 style traces)
     # ------------------------------------------------------------------
     def render_ascii(self, width: int = 80, label_width: int = 28) -> str:
         """Render a compact two-row Gantt chart of the timeline."""
-        if not self._ops:
+        self._require_trace("render_ascii")
+        if not self._live:
             return "(empty timeline)"
         total = self.makespan
         lines = []
@@ -259,6 +444,7 @@ class ExecutionTimeline:
 
     def to_records(self) -> List[Dict[str, object]]:
         """Timeline as a list of dictionaries (for CSV emission / reporting)."""
+        self._require_trace("to_records")
         return [
             {
                 "op_id": op.op_id,
@@ -270,5 +456,5 @@ class ExecutionTimeline:
                 "end": op.end,
                 "duration": op.duration,
             }
-            for op in self._ops
+            for op in self._live.values()
         ]

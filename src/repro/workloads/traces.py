@@ -90,6 +90,9 @@ class TraceGenerator:
                 f"top_k must be in [1, {config.num_experts}], got {self.top_k}")
         self._rng = np.random.default_rng(seed)
         self._probabilities = self._expert_distribution()
+        #: log-probabilities for the Gumbel top-k sampler (cached per shape:
+        #: the distribution is a constant of the generator).
+        self._log_probabilities = np.log(self._probabilities)
 
     def _expert_distribution(self) -> np.ndarray:
         num_experts = self.config.num_experts
@@ -101,15 +104,27 @@ class TraceGenerator:
 
     # ------------------------------------------------------------------
     def block_activation(self, num_tokens: int, top_k: Optional[int] = None) -> BlockActivation:
-        """Distinct experts activated when ``num_tokens`` tokens are routed."""
+        """Distinct experts activated when ``num_tokens`` tokens are routed.
+
+        Vectorised over the tokens (the per-token Python loop dominated
+        trace generation for large workloads): top-1 routing is a single
+        categorical draw per block; top-k draws per-token Gumbel keys and
+        takes each row's k largest — the Gumbel-top-k trick, which samples
+        exactly the same without-replacement (Plackett–Luce) distribution
+        as sequential renormalised draws.
+        """
         k = top_k if top_k is not None else self.top_k
+        if k < 1:
+            raise ValueError(f"top_k must be >= 1, got {k}")
         num_experts = self.config.num_experts
-        activated: set[int] = set()
-        for _ in range(num_tokens):
-            chosen = self._rng.choice(num_experts, size=min(k, num_experts),
-                                      replace=False, p=self._probabilities)
-            activated.update(int(e) for e in chosen)
-        return sorted(activated)
+        k = min(k, num_experts)
+        if k == 1:
+            draws = self._rng.choice(num_experts, size=num_tokens,
+                                     p=self._probabilities)
+            return [int(e) for e in np.unique(draws)]
+        keys = self._rng.gumbel(size=(num_tokens, num_experts)) + self._log_probabilities
+        top = np.argpartition(-keys, k - 1, axis=1)[:, :k]
+        return [int(e) for e in np.unique(top)]
 
     def iteration_activations(self, num_tokens: int, num_moe_blocks: int,
                               top_k: Optional[int] = None) -> IterationActivations:

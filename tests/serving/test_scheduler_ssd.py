@@ -119,7 +119,7 @@ class TestWarmStage:
     def test_stage_ops_land_on_stage_stream(self):
         scheduler = make_scheduler("pregated", CONFIG, system=SSD_SYSTEM,
                                    max_batch_size=4, stage_policy="lru",
-                                   stage_capacity=256)
+                                   stage_capacity=256, record_trace=True)
         timeline_ops = []
         original = scheduler.simulator.simulate_stack_pass
 

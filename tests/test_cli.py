@@ -1,5 +1,8 @@
 """Tests for the ``python -m repro`` sweep CLI."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import SWEEPS, main
@@ -32,3 +35,27 @@ class TestCli:
         assert "alltoall_mb" in header
         # One row per design × gpu-count cell of the quick grid.
         assert len(text.strip().splitlines()) == 1 + 4
+
+    def test_workers_flag_matches_serial(self, tmp_path, capsys):
+        serial_csv = tmp_path / "serial.csv"
+        parallel_csv = tmp_path / "parallel.csv"
+        assert main(["serving_load", "--quick", "--csv", str(serial_csv)]) == 0
+        assert main(["serving_load", "--quick", "--workers", "2",
+                     "--csv", str(parallel_csv)]) == 0
+        assert serial_csv.read_text() == parallel_csv.read_text()
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serving_load", "--quick", "--workers", "0"])
+
+    def test_simperf_quick_writes_json(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["simperf", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "peak resident ops" in out
+        payload = json.loads((tmp_path / "BENCH_simperf.json").read_text())
+        assert set(payload["modes"]) == {"no_trace", "trace"}
+        for mode in payload["modes"].values():
+            assert mode["simulated_requests_per_second"] > 0
+            assert mode["peak_resident_ops"] > 0
+        assert os.path.exists(tmp_path / "BENCH_simperf.json")

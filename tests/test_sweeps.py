@@ -1,0 +1,91 @@
+"""Tests for the shared sweep grid and its process-pool execution path."""
+
+import pytest
+
+from repro.serving.cluster import ReplicaCluster
+from repro.sweeps import open_loop, run_grid
+from repro.workloads.arrivals import POISSON_QA_LOAD, generate_timed_requests
+from repro.workloads.generator import WorkloadSpec
+
+WORKLOAD = WorkloadSpec(name="sweep_test", num_requests=6, input_length=6,
+                        output_length=3, routing_skew=1.2, seed=0)
+
+
+def combo_cell(a, b):
+    """Deterministic top-level cell (picklable for the process pool)."""
+    return (a, b, a * 10 + b)
+
+
+def failing_cell(a, b):
+    raise RuntimeError(f"boom {a}{b}")
+
+
+class TestRunGrid:
+    def test_row_major_order_and_keys(self):
+        results = run_grid(combo_cell, a=[1, 2], b=[3, 4])
+        assert list(results) == [(1, 3), (1, 4), (2, 3), (2, 4)]
+        assert results[(2, 3)] == (2, 3, 23)
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ValueError):
+            run_grid(combo_cell)
+
+    def test_parallel_matches_serial(self):
+        serial = run_grid(combo_cell, a=[1, 2, 3], b=[4, 5])
+        parallel = run_grid(combo_cell, max_workers=3, a=[1, 2, 3], b=[4, 5])
+        assert serial == parallel
+        assert list(serial) == list(parallel)  # same declaration order
+
+    def test_single_cell_stays_serial(self):
+        # One combination never pays the pool spin-up.
+        assert run_grid(combo_cell, max_workers=8, a=[1], b=[2]) == {(1, 2): (1, 2, 12)}
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError):
+            run_grid(failing_cell, max_workers=2, a=[1, 2], b=[3])
+
+    def test_open_loop_override(self):
+        load = open_loop(12.5)
+        assert load.request_rate == 12.5
+        assert load.mode == POISSON_QA_LOAD.mode
+
+
+class TestParallelCluster:
+    def _requests(self):
+        load = POISSON_QA_LOAD.with_overrides(request_rate=12.0)
+        return generate_timed_requests("switch_base_64", load, workload=WORKLOAD)
+
+    @pytest.mark.parametrize("policy", ("round_robin", "least_loaded"))
+    def test_parallel_serve_matches_serial(self, policy):
+        requests = self._requests()
+        serial = ReplicaCluster("pregated", "switch_base_64", num_replicas=3,
+                                policy=policy).serve(requests, offered_load=12.0)
+        parallel = ReplicaCluster("pregated", "switch_base_64", num_replicas=3,
+                                  policy=policy, max_workers=3).serve(
+                                      requests, offered_load=12.0)
+        assert serial.combined().summary() == parallel.combined().summary()
+        # Per-replica results line up in replica-id order in both modes.
+        for left, right in zip(serial.replica_results, parallel.replica_results):
+            assert left.makespan == pytest.approx(right.makespan, abs=1e-9)
+            assert [r.request_id for r in left.requests] == \
+                [r.request_id for r in right.requests]
+
+    def test_serve_override_beats_constructor(self):
+        requests = self._requests()
+        cluster = ReplicaCluster("ondemand", "switch_base_64", num_replicas=2,
+                                 max_workers=2)
+        serial = cluster.serve(requests, max_workers=1)
+        parallel = cluster.serve(requests)  # constructor's pool width
+        assert serial.combined().summary() == parallel.combined().summary()
+
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaCluster("pregated", "switch_base_64", num_replicas=2,
+                           max_workers=0)
+
+    def test_single_replica_never_pools(self):
+        requests = self._requests()
+        result = ReplicaCluster("pregated", "switch_base_64", num_replicas=1,
+                                max_workers=4).serve(requests)
+        assert result.num_replicas == 1
+        assert len(result.replica_results) == 1
