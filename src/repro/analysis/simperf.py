@@ -2,18 +2,32 @@
 
 Where every other benchmark measures the *simulated* systems, this one
 measures the simulator: how many simulated requests per wall-clock second
-the continuous-batching scheduler sustains, and how many timeline ops stay
-resident while it runs.  The two serving modes are compared:
+the continuous-batching scheduler sustains at growing request counts, and
+how many timeline ops stay resident while it runs.  Four serving modes are
+compared on one decode-heavy scenario (the paper's per-request batch-size-1
+serving mode, long generations):
 
-* ``no_trace`` — the production default: incremental aggregates only, ops
-  retired once no live dependency can reference them (memory O(active
+* ``trace`` — the Figure 9 mode: scalar op-at-a-time timeline, every op
+  kept for rendering/export (memory O(total ops));
+* ``no_trace`` — the scalar production path of earlier revisions:
+  incremental aggregates only, ops retired round by round (memory O(active
   window));
-* ``trace`` — the Figure 9 mode: every op kept for rendering/export
-  (memory O(total ops)).
+* ``kernel`` — the batched columnar timeline engine
+  (:class:`~repro.system.timeline.ArrayTimeline`): each round emitted as
+  one op batch and committed in a single kernel call;
+* ``kernel_replay`` — the kernel plus steady-state round replay
+  (:class:`~repro.serving.scheduler._RoundReplay`): structurally identical
+  decode rounds are fast-forwarded in closed form instead of re-simulated.
 
-Both modes must agree on every load metric (the parity tests pin them to
-1e-9); the benchmark records the throughput and peak-resident-op cost of
-each so regressions in either dimension show up in ``BENCH_simperf.json``.
+All four modes simulate the *same* execution: trace/no-trace/kernel are
+bit-identical, and replay matches them to 1e-9 on every load metric (the
+parity tests pin both).  The benchmark records throughput and peak-resident
+ops for each mode into ``BENCH_simperf.json`` so regressions in either
+dimension show up in review.
+
+Requests are timed from one pre-generated trace pool (tiled for the larger
+counts) so every mode serves the identical workload and the wall clock
+measures the serving loop, not the trace generator.
 """
 
 from __future__ import annotations
@@ -21,68 +35,170 @@ from __future__ import annotations
 import json
 import platform
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
-from ..serving.scheduler import serve_load
-from ..workloads.arrivals import POISSON_QA_LOAD
-from ..workloads.generator import WorkloadSpec
+import numpy as np
 
-#: Default measurement shape: the ISSUE's profiling scenario (pregated
-#: Switch-Base-128 under Poisson load) at a request count big enough for
-#: throughput to stabilise but small enough for a CI smoke job.
+from ..moe.configs import get_config
+from ..serving.scheduler import ContinuousBatchingScheduler
+from ..workloads.arrivals import TimedRequest
+from ..workloads.traces import TraceGenerator
+
+#: The measurement scenario: pregated Switch-Base-128 serving one request
+#: at a time (the paper's systems are optimised for per-request batch size
+#: 1) with decode-heavy generations — the regime a million-request
+#: simulation lives in, and the one where steady-state rounds dominate.
 DEFAULT_CONFIG = "switch_base_128"
 DEFAULT_DESIGN = "pregated"
+INPUT_LENGTH = 8
+OUTPUT_LENGTH = 96
+MAX_BATCH_SIZE = 1
+REQUEST_RATE = 8.0
+ROUTING_SKEW = 1.2
+SEED = 0
+
+#: Unique traces generated per run; larger request counts tile the pool
+#: (every request is still fully simulated — only generation is shared).
+TRACE_POOL = 400
+
+#: Request counts of the recorded scaling sweep.  The trace mode only runs
+#: at the smallest count (it keeps every op in memory); the scalar modes
+#: stop at 16k (they are the slow baselines being replaced); the kernel +
+#: replay engine runs the full ladder.
+FULL_SIZES: Dict[int, Sequence[str]] = {
+    1_600: ("trace", "no_trace", "kernel", "kernel_replay"),
+    16_000: ("no_trace", "kernel", "kernel_replay"),
+    100_000: ("kernel_replay",),
+}
 DEFAULT_REQUESTS = 400
-QUICK_REQUESTS = 40
+QUICK_REQUESTS = 120
+
+#: Serving-mode knobs, keyed by mode name.
+MODES: Dict[str, Dict[str, object]] = {
+    "trace": {"timeline_engine": "scalar", "round_replay": False,
+              "record_trace": True},
+    "no_trace": {"timeline_engine": "scalar", "round_replay": False,
+                 "record_trace": False},
+    "kernel": {"timeline_engine": "array", "round_replay": False,
+               "record_trace": False},
+    "kernel_replay": {"timeline_engine": "array", "round_replay": True,
+                      "record_trace": False},
+}
+
+#: CI floor: a quick run's no-trace throughput below this fails the perf
+#: smoke job (value is ~0.25x the measurement on the recording machine, so
+#: honest slowdowns trip it but CI-runner jitter does not).
+NO_TRACE_FLOOR_REQ_PER_S = 4.0
 
 #: Canonical artifact filename (committed at the repo root; the CLI writes
 #: it to the current directory, the benchmark anchors it to the repo root).
 SIMPERF_FILENAME = "BENCH_simperf.json"
 
 
-def measure_mode(record_trace: bool, num_requests: int = DEFAULT_REQUESTS,
-                 config: str = DEFAULT_CONFIG, design: str = DEFAULT_DESIGN,
-                 request_rate: float = 8.0, max_batch_size: int = 8,
-                 routing_skew: float = 1.2, seed: int = 0) -> Dict[str, float]:
-    """Serve one load and report the simulator's own cost for that mode."""
-    workload = WorkloadSpec(name="simperf", num_requests=num_requests,
-                            input_length=8, output_length=8,
-                            routing_skew=routing_skew, seed=seed)
-    load = POISSON_QA_LOAD.with_overrides(request_rate=request_rate)
+def build_requests(num_requests: int,
+                   pool_size: int = TRACE_POOL) -> List[TimedRequest]:
+    """The scenario's request stream, from a tiled pre-generated pool.
+
+    Poisson arrivals at :data:`REQUEST_RATE` (seeded, vectorised); traces
+    come from a pool of ``min(pool_size, num_requests)`` unique generations
+    reused round-robin, so building a 100k-request stream costs seconds,
+    not the minutes a fresh 100k-trace generation would.
+    """
+    pool = TraceGenerator(get_config(DEFAULT_CONFIG), skew=ROUTING_SKEW,
+                          seed=SEED).workload(
+        min(pool_size, num_requests), input_length=INPUT_LENGTH,
+        output_length=OUTPUT_LENGTH)
+    gaps = np.random.default_rng(SEED).exponential(
+        1.0 / REQUEST_RATE, size=num_requests)
+    arrivals = np.cumsum(gaps)
+    return [TimedRequest(request_id=i, arrival_time=float(arrivals[i]),
+                         trace=pool[i % len(pool)])
+            for i in range(num_requests)]
+
+
+def measure_mode(mode: str, requests: Sequence[TimedRequest],
+                 config: str = DEFAULT_CONFIG,
+                 design: str = DEFAULT_DESIGN) -> Dict[str, float]:
+    """Serve the request stream in one mode; report the simulator's cost.
+
+    Only :meth:`~repro.serving.scheduler.ContinuousBatchingScheduler.serve`
+    is inside the timed region — scheduler construction and request
+    generation are shared setup, identical across modes.
+    """
+    knobs = MODES[mode]
+    scheduler = ContinuousBatchingScheduler(
+        design, config, max_batch_size=MAX_BATCH_SIZE, **knobs)
+    num_requests = len(requests)
     started = time.perf_counter()
-    result = serve_load(design, config, load, workload=workload,
-                        max_batch_size=max_batch_size,
-                        record_trace=record_trace)
+    result = scheduler.serve(requests, offered_load=REQUEST_RATE)
     wall = time.perf_counter() - started
+    tokens = sum(req.trace.output_length for req in requests)
     return {
-        "record_trace": record_trace,
+        "mode": mode,
         "wall_seconds": wall,
         "simulated_requests_per_second": num_requests / wall if wall > 0 else 0.0,
+        "simulated_tokens_per_second": tokens / wall if wall > 0 else 0.0,
         "simulated_seconds_per_wall_second": result.makespan / wall if wall > 0 else 0.0,
         "total_ops": result.timeline_total_ops,
         "peak_resident_ops": result.timeline_peak_live_ops,
         "makespan_seconds": result.makespan,
         "sustained_tokens_per_second": result.sustained_tokens_per_second,
+        "mean_e2e_latency_seconds": result.e2e_stats.mean,
+        "replay_windows": result.replay_windows,
+        "replay_rounds": result.replay_rounds,
+        "replay_ops": result.replay_ops,
     }
 
 
-def run_simperf(quick: bool = False,
+def run_simperf(quick: bool = False, full: bool = False,
                 num_requests: Optional[int] = None) -> Dict[str, object]:
-    """Measure both serving modes; returns the ``BENCH_simperf.json`` payload."""
-    requests = num_requests if num_requests is not None else (
-        QUICK_REQUESTS if quick else DEFAULT_REQUESTS)
-    modes = {
-        "no_trace": measure_mode(False, num_requests=requests),
-        "trace": measure_mode(True, num_requests=requests),
-    }
-    return {
+    """Measure the serving modes; returns the ``BENCH_simperf.json`` payload.
+
+    ``quick`` serves :data:`QUICK_REQUESTS` requests through the no-trace,
+    kernel and kernel+replay modes (the CI smoke shape); the default serves
+    :data:`DEFAULT_REQUESTS` through all four; ``full`` runs the recorded
+    1.6k/16k/100k scaling ladder of :data:`FULL_SIZES` (minutes of wall
+    time — the artifact-regeneration path, not a CI job).
+    """
+    if full:
+        sizes = dict(FULL_SIZES)
+    else:
+        requests = num_requests if num_requests is not None else (
+            QUICK_REQUESTS if quick else DEFAULT_REQUESTS)
+        modes = (("no_trace", "kernel", "kernel_replay") if quick
+                 else tuple(MODES))
+        sizes = {requests: modes}
+    scaling: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for size, modes in sizes.items():
+        stream = build_requests(size)
+        scaling[str(size)] = {mode: measure_mode(mode, stream)
+                              for mode in modes}
+    payload: Dict[str, object] = {
         "benchmark": "simperf",
         "config": DEFAULT_CONFIG,
         "design": DEFAULT_DESIGN,
-        "num_requests": requests,
+        "scenario": {
+            "input_length": INPUT_LENGTH,
+            "output_length": OUTPUT_LENGTH,
+            "max_batch_size": MAX_BATCH_SIZE,
+            "request_rate": REQUEST_RATE,
+            "routing_skew": ROUTING_SKEW,
+            "trace_pool": TRACE_POOL,
+            "seed": SEED,
+        },
+        "floors": {"no_trace_req_per_s": NO_TRACE_FLOOR_REQ_PER_S},
         "python": platform.python_version(),
-        "modes": modes,
+        "scaling": scaling,
     }
+    speedups = {}
+    for size, by_mode in scaling.items():
+        if "no_trace" in by_mode and "kernel_replay" in by_mode:
+            base = by_mode["no_trace"]["simulated_requests_per_second"]
+            fast = by_mode["kernel_replay"]["simulated_requests_per_second"]
+            if base > 0:
+                speedups[size] = fast / base
+    payload["kernel_replay_speedup_over_no_trace"] = speedups
+    return payload
 
 
 def write_simperf(payload: Dict[str, object], path: str) -> None:

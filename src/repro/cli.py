@@ -8,13 +8,17 @@ CI runs and the quickest way to see the simulator end-to-end without pytest:
   parallel sharding study);
 * ``serving_load`` — design × offered load on a single-GPU replica;
 * ``simperf`` — the simulator's own performance (simulated requests per
-  wall-clock second, peak resident op count) in trace vs. no-trace mode,
-  also written to ``BENCH_simperf.json``.
+  wall-clock second, peak resident op count) across the serving-engine
+  modes (trace / no-trace / kernel / kernel+replay); ``--full`` runs the
+  recorded 1.6k/16k/100k scaling ladder and rewrites
+  ``BENCH_simperf.json``, and quick runs fail if the no-trace throughput
+  drops below the recorded floor (the CI perf smoke).
 
 ``--quick`` shrinks the request count and grid for CI smoke runs;
 ``--workers N`` fans the sweep's grid cells out over a process pool (cells
 are independent simulations and the merged report is identical to the
-serial one).
+serial one); ``--profile`` wraps the in-process sweep in :mod:`cProfile`
+and prints the 25 highest-cumulative-time functions.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from .analysis.report import FigureReport, load_test_report
 from .analysis.simperf import SIMPERF_FILENAME, run_simperf, write_simperf
 from .moe.configs import get_config
 from .serving.scheduler import serve_load
-from .sweeps import run_grid
+from .sweeps import profiled, run_grid
 from .workloads.arrivals import POISSON_QA_LOAD
 from .workloads.generator import WorkloadSpec
 
@@ -84,25 +88,43 @@ def run_serving_load(quick: bool, workers: Optional[int] = None) -> FigureReport
         description="Sustained throughput and tail latency under load")
 
 
-def run_simperf_sweep(quick: bool, workers: Optional[int] = None) -> FigureReport:
-    """Simulator self-performance: trace vs. no-trace serving cost."""
+def run_simperf_sweep(quick: bool, workers: Optional[int] = None,
+                      full: bool = False) -> FigureReport:
+    """Simulator self-performance: serving-engine modes across request counts."""
     # Always serial: the measurement is the wall clock (main() rejects
     # --workers for this sweep).
-    payload = run_simperf(quick=quick)
-    write_simperf(payload, SIMPERF_JSON)
+    payload = run_simperf(quick=quick, full=full)
+    if full:
+        # Only the full 1.6k/16k/100k ladder is worth committing; smoke
+        # shapes must not overwrite the recorded artifact.
+        write_simperf(payload, SIMPERF_JSON)
+    written = f" (written to {SIMPERF_JSON})" if full else ""
     report = FigureReport(
         figure="simperf",
-        description=(f"Simulator throughput serving {payload['num_requests']} "
-                     f"requests of {payload['design']}/{payload['config']} "
-                     f"(written to {SIMPERF_JSON})"),
-        headers=["mode", "wall (s)", "sim req/s", "total ops",
-                 "peak resident ops"],
+        description=(f"Simulator throughput serving "
+                     f"{payload['design']}/{payload['config']} "
+                     f"decode-heavy batch-1 requests{written}"),
+        headers=["requests", "mode", "wall (s)", "sim req/s", "total ops",
+                 "peak resident ops", "replayed rounds"],
     )
-    for mode in ("no_trace", "trace"):
-        row = payload["modes"][mode]
-        report.add_row(mode, round(row["wall_seconds"], 3),
-                       round(row["simulated_requests_per_second"], 1),
-                       row["total_ops"], row["peak_resident_ops"])
+    for size, by_mode in sorted(payload["scaling"].items(),
+                                key=lambda kv: int(kv[0])):
+        for mode, row in by_mode.items():
+            report.add_row(int(size), mode, round(row["wall_seconds"], 3),
+                           round(row["simulated_requests_per_second"], 1),
+                           row["total_ops"], row["peak_resident_ops"],
+                           row["replay_rounds"])
+    floor = payload["floors"]["no_trace_req_per_s"]
+    for size, by_mode in payload["scaling"].items():
+        no_trace = by_mode.get("no_trace")
+        if no_trace is None:
+            continue
+        measured = no_trace["simulated_requests_per_second"]
+        if measured < floor:
+            raise SystemExit(
+                f"simperf regression: no_trace mode served {measured:.1f} "
+                f"sim req/s at {size} requests, below the recorded floor of "
+                f"{floor:.1f} (see {SIMPERF_FILENAME})")
     return report
 
 
@@ -122,8 +144,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="sweep to run ('list' prints the available names)")
     parser.add_argument("--quick", action="store_true",
                         help="shrink the grid for a CI smoke run")
+    parser.add_argument("--full", action="store_true",
+                        help="simperf only: run the recorded 1.6k/16k/100k "
+                             "scaling ladder and rewrite BENCH_simperf.json "
+                             "(minutes of wall time)")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="run the sweep's grid cells on an N-process pool")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the sweep under cProfile and print the top "
+                             "25 functions by cumulative time")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="also write the report as CSV to PATH")
     args = parser.parse_args(argv)
@@ -132,11 +161,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.sweep == "simperf" and args.workers is not None:
         parser.error("simperf measures the simulator's wall-clock serially; "
                      "--workers would distort it")
+    if args.full and args.sweep != "simperf":
+        parser.error("--full only applies to the simperf sweep")
+    if args.full and args.quick:
+        parser.error("--full and --quick are mutually exclusive")
+    if args.profile and args.workers is not None and args.workers > 1:
+        parser.error("--profile profiles the in-process sweep; it cannot "
+                     "see into --workers subprocesses")
     if args.sweep == "list":
         for name, runner in sorted(SWEEPS.items()):
             print(f"{name}: {runner.__doc__.strip().splitlines()[0]}")
         return 0
-    report = SWEEPS[args.sweep](args.quick, workers=args.workers)
+    runner = SWEEPS[args.sweep]
+    kwargs = {"workers": args.workers}
+    if args.sweep == "simperf":
+        kwargs["full"] = args.full
+    if args.profile:
+        report = profiled(runner, args.quick, **kwargs)
+    else:
+        report = runner(args.quick, **kwargs)
     print(report.render())
     if args.csv:
         with open(args.csv, "w") as handle:

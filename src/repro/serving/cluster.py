@@ -103,6 +103,8 @@ class ReplicaCluster:
                  expert_weights: Optional[Sequence[float]] = None,
                  interconnect: Optional[LinkSpec] = None,
                  record_trace: bool = False,
+                 timeline_engine: str = "array",
+                 round_replay: bool = True,
                  max_workers: Optional[int] = None) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
@@ -124,6 +126,8 @@ class ReplicaCluster:
         self.num_gpus = num_gpus
         self.shard_policy = shard_policy
         self.record_trace = record_trace
+        self.timeline_engine = timeline_engine
+        self.round_replay = round_replay
         #: Process-pool width for :meth:`serve`; ``None``/1 serves the
         #: replicas sequentially in-process.
         self.max_workers = max_workers
@@ -139,7 +143,9 @@ class ReplicaCluster:
                                         shard_policy=shard_policy,
                                         expert_weights=expert_weights,
                                         interconnect=interconnect,
-                                        record_trace=record_trace)
+                                        record_trace=record_trace,
+                                        timeline_engine=timeline_engine,
+                                        round_replay=round_replay)
             for _ in range(num_replicas)
         ]
         self._affinity_window = (cache_capacity if cache_capacity

@@ -293,6 +293,13 @@ class LoadTestResult:
     #: O(active window) with op retirement).  Summed across a merged fleet.
     timeline_total_ops: int = 0
     timeline_peak_live_ops: int = 0
+    #: Round-replay telemetry: how many steady-state windows were
+    #: fast-forwarded analytically, how many scheduling rounds they covered,
+    #: and how many per-op schedulings were thereby skipped.  All zero when
+    #: replay is disabled or never fired; summed across a merged fleet.
+    replay_windows: int = 0
+    replay_rounds: int = 0
+    replay_ops: int = 0
     oom: bool = False
     oom_reason: str = ""
 
@@ -445,6 +452,9 @@ def merge_load_results(results: Sequence[LoadTestResult],
         shard_imbalance=max(imbalances) if imbalances else None,
         timeline_total_ops=sum(r.timeline_total_ops for r in results),
         timeline_peak_live_ops=sum(r.timeline_peak_live_ops for r in results),
+        replay_windows=sum(r.replay_windows for r in results),
+        replay_rounds=sum(r.replay_rounds for r in results),
+        replay_ops=sum(r.replay_ops for r in results),
         oom=any(r.oom for r in results),
         oom_reason="; ".join(r.oom_reason for r in results if r.oom_reason),
     )

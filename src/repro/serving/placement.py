@@ -419,6 +419,46 @@ class ShardedPlacement:
         """Account one all-to-all dispatch/combine's interconnect traffic."""
         self.alltoall_bytes += int(num_bytes)
 
+    # ------------------------------------------------------------------
+    # Round-replay counter fast-forward
+    # ------------------------------------------------------------------
+    def replay_counters(self) -> Tuple[int, ...]:
+        """Flat snapshot of every counter round replay bumps.
+
+        All integers, so the replay controller can require *exact* per-round
+        delta equality before fast-forwarding, and bump by ``n * delta``
+        without floating-point drift.  Order is fixed: the
+        :class:`~repro.system.tiers.TierTransferStats` fields, the all-to-all
+        byte counter, then per-device fetched bytes.
+        """
+        t = self.transfers
+        return (t.fetches, t.pcie_bytes, t.ssd_bytes_read, t.ssd_bytes_saved,
+                t.stage_hits, t.stage_misses, self.alltoall_bytes,
+                *self.device_fetch_bytes)
+
+    def replay_fast_forward(self, num_rounds: int,
+                            delta: Sequence[int]) -> None:
+        """Advance the counters by ``num_rounds`` identical rounds' worth.
+
+        ``delta`` is the per-round difference of :meth:`replay_counters`
+        the replay controller verified to be constant across its recorded
+        window.  Only counters are touched — replayed rounds allocate and
+        free the same expert slots the recorded rounds did, so memory state
+        and peaks are already exact.
+        """
+        (fetches, pcie, ssd_read, ssd_saved, hits, misses,
+         alltoall, *fetch_bytes) = delta
+        t = self.transfers
+        t.fetches += num_rounds * fetches
+        t.pcie_bytes += num_rounds * pcie
+        t.ssd_bytes_read += num_rounds * ssd_read
+        t.ssd_bytes_saved += num_rounds * ssd_saved
+        t.stage_hits += num_rounds * hits
+        t.stage_misses += num_rounds * misses
+        self.alltoall_bytes += num_rounds * alltoall
+        for device, per_round in enumerate(fetch_bytes):
+            self.device_fetch_bytes[device] += num_rounds * per_round
+
     def fetch_imbalance(self,
                         since: Optional[Sequence[int]] = None) -> Optional[float]:
         """Max-over-mean fetched bytes across devices (``None`` single-GPU).

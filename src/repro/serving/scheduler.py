@@ -38,14 +38,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..moe.configs import ModelConfig, get_config
 from ..system.cache import ExpertCache
 from ..system.hardware import PAPER_SYSTEM, LinkSpec, SystemSpec
 from ..system.memory import OutOfMemoryError
 from ..system.performance import GpuLatencyModel
-from ..system.timeline import ExecutionTimeline, Stream
+from ..system.timeline import (_COMPUTE_CODE, STREAMS, ArrayTimeline,
+                               ExecutionTimeline, OpBatch, Stream,
+                               TIMELINE_ENGINES, make_timeline)
 from ..workloads.arrivals import LoadSpec, TimedRequest, generate_timed_requests
 from ..workloads.generator import WorkloadSpec
 from ..workloads.traces import RequestTrace
@@ -53,7 +57,7 @@ from .engine import EngineConfig, _ENGINES
 from .metrics import LoadTestResult, ServedRequestResult
 from .placement import ModelPlacement
 from .prefetch import CrossRequestPrefetcher
-from .simulator import IterationSimulator, SharedExpertRound
+from .simulator import EmittedPass, IterationSimulator, SharedExpertRound
 
 
 @dataclass
@@ -68,6 +72,8 @@ class _InFlightRequest:
     #: Op ids the request's next pass must wait for (a trailing all-to-all
     #: combine on expert-parallel replicas; always empty single-GPU).
     pending_deps: List[int] = field(default_factory=list)
+    #: Memo of per-step structural signatures used by round replay.
+    step_sigs: Dict[int, Tuple] = field(default_factory=dict)
 
     @property
     def trace(self) -> RequestTrace:
@@ -76,6 +82,519 @@ class _InFlightRequest:
     @property
     def done(self) -> bool:
         return self.prefilled and self.next_decode >= len(self.trace.decode_activations)
+
+
+@dataclass
+class _RoundRecord:
+    """Everything round replay needs about one executed decode round.
+
+    Captured by the batched round path when the round is replay-eligible
+    (decode-only, no carried cross-pass deps, no cache/stage state).  The
+    :class:`~repro.system.timeline.OpBatch` is kept by reference — its
+    columns are the round's structural template.
+    """
+
+    base_id: int
+    num_ops: int
+    req_ids: Tuple[int, ...]
+    batch: OpBatch
+    starts: np.ndarray
+    ends: np.ndarray
+    #: Per-state (first op, last op) batch indices of the request's pass.
+    first_index: Tuple[int, ...]
+    last_index: Tuple[int, ...]
+    lane_free_before: Dict[Tuple[Stream, int], float]
+    #: :meth:`ExecutionTimeline.replay_snapshot` taken after the commit.
+    snapshot: Dict[str, object]
+    #: :meth:`ModelPlacement.replay_counters` taken after the round.
+    counters: Tuple[int, ...]
+    peak_gpu_bytes: int
+
+
+def _quad_coeffs(v0: float, v1: float, v2: float) -> Tuple[float, float, float]:
+    """Quadratic-extrapolation coefficients from three trailing samples.
+
+    ``v0, v1, v2`` are the values at rounds ``j0-2, j0-1, j0``.  The value
+    ``m`` rounds past ``j0`` is ``v2 + m*delta + T(m)*curv`` with
+    ``T(m) = m(m+1)/2`` — exact whenever the underlying sequence is a
+    quadratic in the round index, which is what affine per-round durations
+    produce (attention time grows linearly with KV length; everything else
+    is constant).
+    """
+    delta = v2 - v1
+    curv = delta - (v1 - v0)
+    return v2, delta, curv
+
+
+def _quad_eval(coeffs: Tuple[float, float, float], m: np.ndarray) -> np.ndarray:
+    v2, delta, curv = coeffs
+    return v2 + m * delta + (m * (m + 1) / 2.0) * curv
+
+
+class _RoundReplay:
+    """Steady-state decode-round fast-forward controller.
+
+    Watches the batched round path for runs of **structurally identical**
+    decode rounds (same requests, same op columns: streams, devices,
+    categories, bytes, dependency pattern).  Op *durations* are allowed to
+    drift affinely with the round index — that is exactly what growing KV
+    lengths do to the attention ops — which makes every op time, lane clock
+    and accumulated aggregate an exact quadratic in the round index.
+
+    After :data:`HISTORY` consecutive identical rounds it plans a window:
+
+    * **completion bound** — never replay past any request's last decode;
+    * **signature scan** — upcoming rounds must keep the template's
+      structure (expert-collision pattern and shard ownership, anonymised
+      over expert ids);
+    * **duration model check** — per-round durations must be affine across
+      the window *and* the roofline model must still be on the same branch
+      at the landing round (binary-searched if not);
+    * **counter check** — placement/tier counters must tick by exactly the
+      same integer delta each round;
+    * **crossing horizon** — for every op, the winning term of its
+      ``max(lane free, dep ready, earliest)`` (and of the exposed-stall
+      submax) must keep winning for the whole window; each loser's margin
+      is itself a quadratic, so the first future violation is found in
+      closed form;
+    * **arrival bound** — never replay past the point where the compute
+      lanes catch up with the next pending arrival while a batch slot is
+      open.
+
+    A planned window of ``n`` rounds is applied in closed form:
+    :meth:`~repro.system.timeline.ExecutionTimeline.fast_forward` jumps the
+    lane clocks and aggregates, the placement counters bump by ``n`` deltas,
+    and each request's token clock is extended with its extrapolated
+    per-round completion times.  Exact scheduling resumes on the next round.
+    """
+
+    #: Consecutive identical rounds required before planning (4 gives three
+    #: per-round deltas — enough to pin a quadratic accumulation exactly).
+    HISTORY = 4
+    #: Smallest window worth the planning cost.
+    MIN_ROUNDS = 3
+    #: Hard cap per window (keeps constraint matrices small; a new window
+    #: starts immediately after, so long steady states still replay fully).
+    MAX_ROUNDS = 512
+    #: Rounds to wait after a failed plan before trying again.
+    COOLDOWN = 2
+
+    def __init__(self, scheduler: "ContinuousBatchingScheduler") -> None:
+        self.scheduler = scheduler
+        self.placement = scheduler.placement
+        self.simulator = scheduler.simulator
+        self.history: deque = deque(maxlen=self.HISTORY)
+        self.cooldown = 0
+        # Telemetry (copied into the LoadTestResult by serve()).
+        self.windows = 0
+        self.rounds = 0
+        self.ops = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.history.clear()
+
+    def observe(self, record: _RoundRecord) -> None:
+        """Chain a freshly executed eligible round into the history."""
+        if self.history and not self._same_shape(self.history[-1], record):
+            self.history.clear()
+        self.history.append(record)
+        if self.cooldown:
+            self.cooldown -= 1
+
+    def ready(self) -> bool:
+        return len(self.history) == self.HISTORY and self.cooldown == 0
+
+    @staticmethod
+    def _same_shape(prev: _RoundRecord, rec: _RoundRecord) -> bool:
+        """Structural equality of two rounds (durations excluded)."""
+        if (prev.req_ids != rec.req_ids or prev.num_ops != rec.num_ops
+                or prev.first_index != rec.first_index
+                or prev.last_index != rec.last_index):
+            return False
+        pb, rb = prev.batch, rec.batch
+        if (pb.stream != rb.stream or pb.device != rb.device
+                or pb.category != rb.category or pb.num_bytes != rb.num_bytes
+                or pb.dep_offsets != rb.dep_offsets):
+            return False
+        shift = rec.base_id - prev.base_id
+        for a, b in zip(pb.dep_ids, rb.dep_ids):
+            if b - a != shift:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Round structure signatures (forward scan)
+    # ------------------------------------------------------------------
+    #: Cached single-device top-1 signatures: with one expert per block the
+    #: ``(block, expert)`` keys are all distinct, so the anonymised pattern
+    #: is ``((1, 0), (1, 1), ...)`` whatever the expert ids — the common
+    #: decode case, worth skipping the seen-dict walk for.
+    _TOP1_SIGS: Dict[int, Tuple] = {}
+
+    @classmethod
+    def _top1_signature(cls, num_blocks: int) -> Tuple:
+        sig = cls._TOP1_SIGS.get(num_blocks)
+        if sig is None:
+            sig = cls._TOP1_SIGS[num_blocks] = tuple(
+                (1, i) for i in range(num_blocks))
+        return sig
+
+    def _step_signature(self, state: _InFlightRequest, step: int) -> Tuple:
+        """Canonical structure of one request's decode step, cached.
+
+        Expert ids are anonymised to first-occurrence indices (the dedup
+        collision pattern is what shapes the round, not the ids); shard
+        ownership is included on multi-GPU replicas because it routes the
+        fetch lanes.
+        """
+        cache = state.step_sigs
+        sig = cache.get(step)
+        if sig is None:
+            multi = self.simulator.multi_device
+            acts = state.trace.decode_activations[step]
+            if not multi and all(len(e) == 1 for e in acts):
+                cache[step] = sig = self._top1_signature(len(acts))
+                return sig
+            owner = self.placement.owner_device
+            seen: Dict[Tuple[int, int], int] = {}
+            counter = 0
+            parts = []
+            for block, experts in enumerate(state.trace.decode_activations[step]):
+                entry = [len(experts)]
+                for expert in experts:
+                    expert = int(expert)
+                    idx = seen.get((block, expert))
+                    if idx is None:
+                        seen[(block, expert)] = idx = counter
+                        counter += 1
+                    entry.append(idx)
+                    if multi:
+                        entry.append(owner(expert))
+                parts.append(tuple(entry))
+            sig = cache[step] = tuple(parts)
+        return sig
+
+    def _round_signature(self, active: Sequence[_InFlightRequest],
+                         offset: int) -> Tuple:
+        """Structure signature of the round ``offset`` steps ahead.
+
+        ``offset`` is relative to each state's ``next_decode`` (-1 is the
+        round just executed).  Single-request rounds use the cached
+        per-step signature; multi-request rounds additionally canonicalise
+        the *cross*-request collision pattern.
+        """
+        if len(active) == 1:
+            state = active[0]
+            return self._step_signature(state, state.next_decode + offset)
+        multi = self.simulator.multi_device
+        owner = self.placement.owner_device
+        seen: Dict[Tuple[int, int], int] = {}
+        counter = 0
+        parts = []
+        for state in active:
+            acts = state.trace.decode_activations[state.next_decode + offset]
+            for block, experts in enumerate(acts):
+                entry = [len(experts)]
+                for expert in experts:
+                    expert = int(expert)
+                    idx = seen.get((block, expert))
+                    if idx is None:
+                        seen[(block, expert)] = idx = counter
+                        counter += 1
+                    entry.append(idx)
+                    if multi:
+                        entry.append(owner(expert))
+                parts.append(tuple(entry))
+        return tuple(parts)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def try_apply(self, timeline: ArrayTimeline,
+                  active: List[_InFlightRequest],
+                  pending: deque) -> bool:
+        """Plan and apply a replay window; returns whether rounds were skipped."""
+        records = list(self.history)
+        last = records[-1]
+        if tuple(s.timed.request_id for s in active) != last.req_ids:
+            self.history.clear()
+            return False
+        # ---- completion bound ----------------------------------------
+        n = min(self.MAX_ROUNDS,
+                min(len(s.trace.decode_activations) - s.next_decode
+                    for s in active))
+        if n < 1:
+            return False
+        # ---- forward structure scan ----------------------------------
+        template = self._round_signature(active, -1)
+        n_sig = 0
+        while n_sig < n and self._round_signature(active, n_sig) == template:
+            n_sig += 1
+        n = n_sig
+        if n < self.MIN_ROUNDS:
+            self.cooldown = self.COOLDOWN
+            return False
+        # ---- per-round durations affine across the window ------------
+        d = [np.asarray(r.batch.duration) for r in records]
+        diff = d[3] - d[2]
+        if (not np.allclose(d[1] - d[0], diff, rtol=0.0, atol=1e-15)
+                or not np.allclose(d[2] - d[1], diff, rtol=0.0, atol=1e-15)):
+            self.cooldown = self.COOLDOWN
+            return False
+        # ---- integer counters tick identically -----------------------
+        deltas = [tuple(b - a for a, b in zip(r1.counters, r2.counters))
+                  for r1, r2 in zip(records, records[1:])]
+        if deltas[0] != deltas[1] or deltas[1] != deltas[2]:
+            self.cooldown = self.COOLDOWN
+            return False
+        if len({r.peak_gpu_bytes for r in records}) != 1:
+            self.cooldown = self.COOLDOWN
+            return False
+        # ---- duration model still on the recorded roofline branch ----
+        n = self._duration_model_bound(active, records, diff, n)
+        if n < 1:
+            self.cooldown = self.COOLDOWN
+            return False
+        # ---- crossing horizon (argmax stability) ---------------------
+        n = self._crossing_bound(records, n)
+        if n < 1:
+            self.cooldown = self.COOLDOWN
+            return False
+        # ---- arrival bound -------------------------------------------
+        if pending and len(active) < self.scheduler.max_batch_size:
+            n = self._arrival_bound(records, pending[0].arrival_time, n)
+            if n < 1:
+                self.cooldown = self.COOLDOWN
+                return False
+        self._apply(timeline, active, records, n)
+        return True
+
+    def _duration_model_bound(self, active, records, diff, n: int) -> int:
+        """Largest window on which the affine duration model stays exact.
+
+        The only round-varying durations in a steady decode round are the
+        non-MoE attention ops (KV length grows by one per round).  The
+        roofline model is piecewise affine in KV length — extrapolation is
+        exact until the max(compute, memory) branch flips.  Verify the
+        landing round against the real model; binary-search the boundary if
+        it moved.
+        """
+        last = records[-1]
+
+        def model_ok(m: int) -> bool:
+            for state, first in zip(active, last.first_index):
+                predicted = last.batch.duration[first] + m * diff[first]
+                actual = self.simulator._nonmoe_duration(
+                    "decoder", 1, state.next_decode + m,
+                    state.trace.input_length)
+                if abs(actual - predicted) > 1e-15 + 1e-12 * abs(actual):
+                    return False
+            return True
+
+        if model_ok(n):
+            return n
+        lo, hi = 0, n
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if model_ok(mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _crossing_bound(self, records: List[_RoundRecord], n: int) -> int:
+        """Largest window on which every op's schedule argmax is stable.
+
+        Each op starts at ``max(lane free, dep ready, earliest)`` and its
+        exposed-stall floor is ``max(lane free, compute-dep ready,
+        earliest)``.  With affine durations every candidate term is an
+        exact quadratic in the round index, so each loser's margin
+        ``D(m) = start - candidate`` is too; the window must stop before
+        any margin crosses zero.  Built from the last three recorded
+        rounds; requires the recorded winner to have been the same term in
+        all three (otherwise an argmax already flipped inside the window).
+        """
+        r1, r2, r3 = records[-3], records[-2], records[-1]
+        batch = r3.batch
+        num = r3.num_ops
+        streams = batch.stream
+        devices = batch.device
+        offsets = batch.dep_offsets
+        dep_ids = batch.dep_ids
+        base = r3.base_id
+        starts = (r1.starts, r2.starts, r3.starts)
+        ends = (r1.ends, r2.ends, r3.ends)
+        lfb = (r1.lane_free_before, r2.lane_free_before, r3.lane_free_before)
+
+        # Candidate rows: (op index, 3 candidate samples, is_compute_cand).
+        row_op: List[int] = []
+        row_samples: List[Tuple[float, float, float]] = []
+        row_is_compute: List[bool] = []
+        lane_prev: Dict[Tuple[int, int], int] = {}
+        for i in range(num):
+            lane = (streams[i], devices[i])
+            prev = lane_prev.get(lane)
+            if prev is None:
+                key = (STREAMS[streams[i]], devices[i])
+                samples = tuple(f.get(key, 0.0) for f in lfb)
+            else:
+                samples = tuple(e[prev] for e in ends)
+            row_op.append(i)
+            row_samples.append(samples)
+            row_is_compute.append(True)  # the lane term floors the stall too
+            lane_prev[lane] = i
+            for k in range(offsets[i], offsets[i + 1]):
+                j = dep_ids[k] - base
+                row_op.append(i)
+                row_samples.append(tuple(e[j] for e in ends))
+                row_is_compute.append(streams[j] == _COMPUTE_CODE)
+        op_idx = np.asarray(row_op, dtype=np.int64)
+        cand = np.asarray(row_samples, dtype=np.float64)
+        is_comp = np.asarray(row_is_compute, dtype=bool)
+        start_samples = np.stack([s[op_idx] for s in starts], axis=1)
+
+        # The start max: margins of every candidate against the actual start.
+        margin = start_samples - cand
+        # Winner stability: some candidate must explain the start exactly in
+        # all three rounds (the kernel computes start as that very max, so
+        # the winner's margin is exactly 0.0).
+        winner_rows = np.all(margin == 0.0, axis=1)
+        explained = np.zeros(num, dtype=bool)
+        explained[op_idx[winner_rows]] = True
+        # Ops whose start is the constant zero floor (earliest_start == 0
+        # for every replay-eligible op) are stable by definition.
+        explained[np.all(np.stack(starts, axis=1) == 0.0, axis=1)] = True
+        if not explained.all():
+            return 0
+
+        # The exposed-stall floor max over compute-side candidates only.
+        is_compute_op = np.asarray(
+            [s == _COMPUTE_CODE for s in streams], dtype=bool)
+        comp_rows = is_comp & is_compute_op[op_idx]
+        ready = np.full((num, 3), -np.inf)
+        np.maximum.at(ready, op_idx[comp_rows], cand[comp_rows])
+        ready[~is_compute_op] = 0.0
+        ready = np.maximum(ready, 0.0)  # the earliest_start (= 0) floor
+        ready_margin = ready[op_idx[comp_rows]] - cand[comp_rows]
+        r_winner = np.all(ready_margin == 0.0, axis=1)
+        r_explained = np.zeros(num, dtype=bool)
+        r_explained[op_idx[comp_rows][r_winner]] = True
+        r_explained[np.all(ready == 0.0, axis=1)] = True
+        if not r_explained[is_compute_op].all():
+            return 0
+
+        rows = np.concatenate([margin, ready_margin])
+        # Quadratic margin extrapolation: D(m) = D0 + m*delta + T(m)*curv.
+        d0 = rows[:, 2]
+        delta = rows[:, 2] - rows[:, 1]
+        curv = delta - (rows[:, 1] - rows[:, 0])
+        # Constant non-negative margins can never cross; drop them.
+        live = ~((delta == 0.0) & (curv == 0.0))
+        d0, delta, curv = d0[live], delta[live], curv[live]
+        if d0.size == 0:
+            return n
+        m = np.arange(1, n + 1, dtype=np.float64)
+        margins = (d0[:, None] + np.outer(delta, m)
+                   + np.outer(curv, m * (m + 1) / 2.0))
+        bad = (margins < 0.0).any(axis=0)
+        if bad.any():
+            return int(np.argmax(bad))
+        return n
+
+    def _arrival_bound(self, records: List[_RoundRecord], arrival: float,
+                       n: int) -> int:
+        """Stop before the compute lanes catch up with the next arrival."""
+        r1, r2, r3 = records[-3], records[-2], records[-1]
+        lanes = [key for key in r3.snapshot["lane_free"]
+                 if key[0] is Stream.COMPUTE]
+        m = np.arange(1, n + 1, dtype=np.float64)
+        now = np.full(n, -np.inf)
+        for key in lanes:
+            coeffs = _quad_coeffs(r1.snapshot["lane_free"].get(key, 0.0),
+                                  r2.snapshot["lane_free"].get(key, 0.0),
+                                  r3.snapshot["lane_free"][key])
+            now = np.maximum(now, _quad_eval(coeffs, m))
+        admits = now >= arrival
+        if admits.any():
+            # Replaying up to (and including) the first admitting round is
+            # exact: admission happens at the next loop turn, as it would
+            # have step-by-step.
+            return int(np.argmax(admits)) + 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def _apply(self, timeline: ArrayTimeline,
+               active: List[_InFlightRequest],
+               records: List[_RoundRecord], n: int) -> None:
+        r0, r1, r2, r3 = records
+        m = np.arange(1, n + 1, dtype=np.float64)
+
+        # Per-request token clocks: the pass-completion time is an exact
+        # quadratic in the round index.
+        for idx, state in enumerate(active):
+            last = r3.last_index[idx]
+            coeffs = _quad_coeffs(float(r1.ends[last]), float(r2.ends[last]),
+                                  float(r3.ends[last]))
+            state.token_times.extend(_quad_eval(coeffs, m).tolist())
+            state.next_decode += n
+
+        # Lane clocks (values — quadratic) and accumulated aggregates
+        # (per-round deltas quadratic: three snapshot deltas pin them).
+        snaps = [r.snapshot for r in records]
+        lane_free: Dict[Tuple[Stream, int], float] = {}
+        makespan = float(snaps[-1]["makespan"])
+        for key in snaps[-1]["lane_free"]:
+            coeffs = _quad_coeffs(
+                float(snaps[1]["lane_free"].get(key, 0.0)),
+                float(snaps[2]["lane_free"].get(key, 0.0)),
+                float(snaps[3]["lane_free"][key]))
+            value = float(_quad_eval(coeffs, np.float64(n)))
+            lane_free[key] = value
+            if value > makespan:
+                makespan = value
+
+        def accumulate(field_name: str) -> Dict:
+            latest = snaps[3][field_name]
+            out = {}
+            for key, current in latest.items():
+                samples = [s[field_name].get(key, 0.0) for s in snaps]
+                d1, d2, d3 = (samples[1] - samples[0], samples[2] - samples[1],
+                              samples[3] - samples[2])
+                delta = d3 - d2
+                curv = delta - (d2 - d1)
+                total = (n * d3 + (n * (n + 1) / 2.0) * delta
+                         + (n * (n + 1) * (n + 2) / 6.0) * curv)
+                out[key] = current + total
+            return out
+
+        def accumulate_exact(field_name: str, cast) -> Dict:
+            latest = snaps[3][field_name]
+            out = {}
+            for key, current in latest.items():
+                samples = [s[field_name].get(key, cast(0)) for s in snaps]
+                d3 = samples[3] - samples[2]
+                # Structural identity makes these per-round deltas constant;
+                # replay was vetoed earlier if any counter drifted.
+                out[key] = current + cast(n) * d3
+            return out
+
+        counter_delta = tuple(b - a for a, b in
+                              zip(r2.counters, r3.counters))
+        timeline.fast_forward(
+            num_ops=n * r3.num_ops, makespan=makespan, lane_free=lane_free,
+            lane_busy=accumulate("lane_busy"),
+            lane_exposed=accumulate("lane_exposed"),
+            category_count=accumulate_exact("category_count", int),
+            category_duration=accumulate("category_duration"),
+            category_bytes=accumulate_exact("category_bytes", float))
+        self.placement.replay_fast_forward(n, counter_delta)
+        self.windows += 1
+        self.rounds += n
+        self.ops += n * r3.num_ops
+        self.history.clear()
 
 
 class ContinuousBatchingScheduler:
@@ -127,6 +646,21 @@ class ContinuousBatchingScheduler:
         loads fit in RAM.  ``True`` keeps the full op trace (Figure 9
         rendering / ``to_records`` export).  Every reported load metric is
         identical in both modes — the parity tests pin them to 1e-9.
+    timeline_engine:
+        ``"array"`` (default) runs rounds through the batched columnar
+        timeline kernel (:class:`~repro.system.timeline.ArrayTimeline`):
+        each round's ops are emitted as one
+        :class:`~repro.system.timeline.OpBatch` and scheduled with
+        vectorised aggregate folds.  ``"scalar"`` keeps the op-at-a-time
+        reference path.  Both produce bit-identical schedules — the parity
+        tests pin every metric across engines.
+    round_replay:
+        With the array engine in no-trace mode on cache-free, stage-free
+        placements, detect steady-state decode rounds and fast-forward them
+        in closed form (see :class:`_RoundReplay`).  Exact by construction:
+        replay only applies when the extrapolation provably matches what
+        step-by-step execution would produce.  Ignored (never fires) with
+        the scalar engine, trace recording, caches or staging.
     """
 
     def __init__(self, design: str, config: "ModelConfig | str",
@@ -143,11 +677,17 @@ class ContinuousBatchingScheduler:
                  shard_policy: str = "contiguous",
                  expert_weights: Optional[Sequence[float]] = None,
                  interconnect: Optional[LinkSpec] = None,
-                 record_trace: bool = False) -> None:
+                 record_trace: bool = False,
+                 timeline_engine: str = "array",
+                 round_replay: bool = True) -> None:
         if design not in _ENGINES:
             raise ValueError(f"unknown design {design!r}; known: {sorted(_ENGINES)}")
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if timeline_engine not in TIMELINE_ENGINES:
+            raise ValueError(
+                f"unknown timeline_engine {timeline_engine!r}; "
+                f"known: {sorted(TIMELINE_ENGINES)}")
         if cache is not None:
             if cache_policy is not None or cache_capacity is not None:
                 raise ValueError(
@@ -166,6 +706,8 @@ class ContinuousBatchingScheduler:
         self.engine_config = engine_config or EngineConfig()
         self.max_batch_size = max_batch_size
         self.record_trace = record_trace
+        self.timeline_engine = timeline_engine
+        self.round_replay = round_replay
         self.placement = ModelPlacement(
             self.config, system, offload_experts=design != "gpu_only",
             cache_policy=cache_policy, cache_capacity=cache_capacity,
@@ -182,13 +724,18 @@ class ContinuousBatchingScheduler:
         #: Timeline of the most recent :meth:`serve` call (rendering /
         #: aggregate inspection; a full op trace only with ``record_trace``).
         self.last_timeline: Optional[ExecutionTimeline] = None
+        #: Replay controller of the most recent :meth:`serve` call (None
+        #: when the configuration makes replay ineligible).
+        self.last_replay: Optional[_RoundReplay] = None
 
     def __getstate__(self):
         # When a ReplicaCluster ships schedulers to process-pool workers,
         # a previous serve's timeline (potentially a full op trace) is dead
-        # weight the worker never reads — drop it from the pickle.
+        # weight the worker never reads — drop it from the pickle, along
+        # with the replay controller's round history.
         state = dict(self.__dict__)
         state["last_timeline"] = None
+        state["last_replay"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -225,8 +772,19 @@ class ContinuousBatchingScheduler:
             result.oom_reason = str(exc)
             return result
 
-        timeline = ExecutionTimeline(record_trace=self.record_trace)
+        timeline = make_timeline(self.timeline_engine,
+                                 record_trace=self.record_trace)
         self.last_timeline = timeline
+        batched = isinstance(timeline, ArrayTimeline)
+        # Round replay needs deterministic per-round structure: no shared
+        # cache or staging state evolving across rounds, no trace rows to
+        # materialise, and the batched kernel's column template.
+        replay: Optional[_RoundReplay] = None
+        if (batched and self.round_replay and not self.record_trace
+                and self.placement.residency is None
+                and self.placement.stage is None):
+            replay = _RoundReplay(self)
+        self.last_replay = replay
         pending = deque(sorted(timed, key=lambda r: (r.arrival_time, r.request_id)))
         active: List[_InFlightRequest] = []
 
@@ -241,7 +799,12 @@ class ContinuousBatchingScheduler:
                    and pending[0].arrival_time <= now):
                 active.append(_InFlightRequest(timed=pending.popleft()))
 
-            self._run_round(timeline, active)
+            if not (replay is not None and replay.ready()
+                    and replay.try_apply(timeline, active, pending)):
+                if batched:
+                    self._run_round_batched(timeline, active, replay)
+                else:
+                    self._run_round(timeline, active)
             # One-pass rebuild of the in-flight list; removing finished
             # states with list.remove() was O(batch²) per round.
             still_active: List[_InFlightRequest] = []
@@ -275,6 +838,10 @@ class ContinuousBatchingScheduler:
             for d in range(self.placement.num_devices)]
         result.shard_imbalance = self.placement.fetch_imbalance(
             since=fetch_bytes_before)
+        if replay is not None:
+            result.replay_windows = replay.windows
+            result.replay_rounds = replay.rounds
+            result.replay_ops = replay.ops
         result.requests.sort(key=lambda r: r.request_id)
         return result
 
@@ -300,6 +867,89 @@ class ContinuousBatchingScheduler:
                 self._advance(timeline, state, batch_round, plan)
         finally:
             batch_round.drain(self.placement)
+
+    def _run_round_batched(self, timeline: ArrayTimeline,
+                           active: Sequence[_InFlightRequest],
+                           replay: Optional[_RoundReplay]) -> None:
+        """Advance every in-flight request by one unit as one op batch.
+
+        The columnar twin of :meth:`_run_round`: the same plans, the same
+        transfer sharing, the same op stream — but emitted into one
+        :class:`~repro.system.timeline.OpBatch` and scheduled by the array
+        kernel's single commit.  Replay-eligible rounds (pure decode, no
+        carried cross-pass deps) are recorded for :class:`_RoundReplay`.
+        """
+        batch_round = (self.prefetcher.begin_round()
+                       if self.prefetcher is not None else SharedExpertRound())
+        plans = []
+        for state in active:
+            part, activations = self._next_unit(state)
+            plan = self.simulator.make_plan(part, activations)
+            batch_round.register_plan(self.placement, part, plan, activations)
+            plans.append(plan)
+        # A replay-eligible round is pure decode with no carried deps: every
+        # dependency is then intra-batch, no op is arrival-gated, and the
+        # round's op columns are a function of the activations alone.
+        eligible = (replay is not None
+                    and all(s.prefilled and not s.pending_deps
+                            for s in active))
+        if eligible:
+            # Lane clocks as the round found them (the commit advances
+            # them); nothing between commits moves a lane.
+            lane_free_before = dict(timeline._lane_free)
+        batch = timeline.begin_batch()
+        passes: List[EmittedPass] = []
+        was_decode: List[bool] = []
+        try:
+            for state, plan in zip(active, plans):
+                label = f"r{state.timed.request_id}."
+                start_at = (state.timed.arrival_time
+                            if state.first_scheduled_time is None else 0.0)
+                if not state.prefilled:
+                    em = self.simulator.emit_encoder_pass(
+                        batch, state.trace.encoder_activations,
+                        state.trace.input_length, start_at=start_at,
+                        batch_round=batch_round, label=label, plan=plan,
+                        extra_deps=state.pending_deps)
+                    state.prefilled = True
+                    was_decode.append(False)
+                else:
+                    step = state.next_decode
+                    em = self.simulator.emit_decoder_iteration(
+                        batch, state.trace.decode_activations[step],
+                        query_tokens=1, self_kv_tokens=step + 1,
+                        cross_kv_tokens=state.trace.input_length,
+                        iteration=step, start_at=start_at,
+                        batch_round=batch_round, label=label, plan=plan,
+                        extra_deps=state.pending_deps)
+                    state.next_decode += 1
+                    was_decode.append(True)
+                passes.append(em)
+        finally:
+            batch_round.drain(self.placement)
+        starts, ends = timeline.commit_batch(batch)
+        for state, em, decoded in zip(active, passes, was_decode):
+            if decoded:
+                state.token_times.append(float(ends[em.last_index]))
+            state.pending_deps = list(em.carry_deps)
+            if state.first_scheduled_time is None:
+                state.first_scheduled_time = float(starts[em.first_index])
+        if replay is None:
+            return
+        if not eligible or (batch.dep_ids
+                            and min(batch.dep_ids) < batch.base_id):
+            replay.reset()
+            return
+        replay.observe(_RoundRecord(
+            base_id=batch.base_id, num_ops=len(batch.stream),
+            req_ids=tuple(s.timed.request_id for s in active),
+            batch=batch, starts=starts, ends=ends,
+            first_index=tuple(em.first_index for em in passes),
+            last_index=tuple(em.last_index for em in passes),
+            lane_free_before=lane_free_before,
+            snapshot=timeline.replay_snapshot(),
+            counters=self.placement.replay_counters(),
+            peak_gpu_bytes=self.placement.peak_gpu_bytes))
 
     def _next_unit(self, state: _InFlightRequest):
         if not state.prefilled:
@@ -356,7 +1006,9 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
                shard_policy: str = "contiguous",
                expert_weights: Optional[Sequence[float]] = None,
                interconnect: Optional[LinkSpec] = None,
-               record_trace: bool = False) -> LoadTestResult:
+               record_trace: bool = False,
+               timeline_engine: str = "array",
+               round_replay: bool = True) -> LoadTestResult:
     """Materialise a :class:`LoadSpec` and serve it on one replica.
 
     The one-call load-test entry point: open-loop specs timestamp requests
@@ -383,7 +1035,9 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
                                             shard_policy=shard_policy,
                                             expert_weights=expert_weights,
                                             interconnect=interconnect,
-                                            record_trace=record_trace)
+                                            record_trace=record_trace,
+                                            timeline_engine=timeline_engine,
+                                            round_replay=round_replay)
     offered = load.request_rate if load.mode == "open" else None
     return scheduler.serve(requests, offered_load=offered)
 
@@ -400,7 +1054,9 @@ def make_scheduler(design: str, config: "ModelConfig | str",
                    shard_policy: str = "contiguous",
                    expert_weights: Optional[Sequence[float]] = None,
                    interconnect: Optional[LinkSpec] = None,
-                   record_trace: bool = False) -> ContinuousBatchingScheduler:
+                   record_trace: bool = False,
+                   timeline_engine: str = "array",
+                   round_replay: bool = True) -> ContinuousBatchingScheduler:
     """Factory mirroring :func:`repro.serving.engine.make_engine`."""
     return ContinuousBatchingScheduler(design, config, system=system,
                                        engine_config=engine_config,
@@ -413,4 +1069,6 @@ def make_scheduler(design: str, config: "ModelConfig | str",
                                        shard_policy=shard_policy,
                                        expert_weights=expert_weights,
                                        interconnect=interconnect,
-                                       record_trace=record_trace)
+                                       record_trace=record_trace,
+                                       timeline_engine=timeline_engine,
+                                       round_replay=round_replay)

@@ -38,13 +38,28 @@ from ..core.pregate import PreGateSchedule
 from ..moe.configs import ModelConfig
 from ..system.hardware import SystemSpec
 from ..system.performance import GpuLatencyModel
-from ..system.timeline import ExecutionTimeline, TimelineOp
+from ..system.timeline import (STREAM_CODE, ExecutionTimeline, OpBatch,
+                               Stream, TimelineOp, category_code)
 from ..workloads.traces import IterationActivations
 from .metrics import BlockLatencyRecord, IterationResult
 from .placement import ModelPlacement
 
 #: Key identifying one migratable expert: (global block index, expert id).
 ExpertKey = Tuple[int, int]
+
+# Stream / category codes used by the columnar emission path.
+_COMPUTE = STREAM_CODE[Stream.COMPUTE]
+_COPY = STREAM_CODE[Stream.COPY]
+_STAGE = STREAM_CODE[Stream.STAGE]
+_INTERCONNECT = STREAM_CODE[Stream.INTERCONNECT]
+CAT_NON_MOE = category_code("non_moe")
+CAT_GATE = category_code("gate")
+CAT_SYNC = category_code("sync")
+CAT_EXPERT_TRANSFER = category_code("expert_transfer")
+CAT_EXPERT_EXECUTION = category_code("expert_execution")
+CAT_STAGE_IN = category_code("stage_in")
+CAT_ALLTOALL = category_code("alltoall")
+CAT_COMPUTE = category_code("compute")
 
 
 class SharedExpertRound:
@@ -144,6 +159,25 @@ class StackPassResult:
 
 
 @dataclass
+class EmittedPass:
+    """Batch-relative anchors of one stack pass emitted as columns.
+
+    The batched (array-kernel) twin of :class:`StackPassResult`: op *times*
+    do not exist until the owning timeline commits the batch, so the
+    emission returns indices into the batch — the scheduler reads
+    ``starts[first_index]`` / ``ends[last_index]`` after the commit.
+    """
+
+    #: Index (within the batch) of the pass's first op, -1 if none emitted.
+    first_index: int
+    #: Index of the op whose end is the pass completion time.
+    last_index: int
+    #: Global op ids the request's next pass must depend on (trailing
+    #: all-to-all combine; empty single-GPU and after a decoder iteration).
+    carry_deps: List[int] = field(default_factory=list)
+
+
+@dataclass
 class IterationOutcome:
     """An :class:`IterationResult` plus the timeline anchors the scheduler needs."""
 
@@ -178,10 +212,66 @@ class IterationSimulator:
         #: outcomes (ubiquitous in long decode-heavy loads) reuse one plan
         #: object instead of re-running the planner every round.
         self._plan_cache: Dict[Tuple, MigrationPlan] = {}
+        #: Memoised op durations keyed by (kind, token counts).  The latency
+        #: model is a pure function of these, so the batched emission path
+        #: skips the roofline arithmetic for the (ubiquitous) repeated
+        #: shapes of steady decode rounds.  Keys are bounded by the distinct
+        #: token counts a workload produces.
+        self._duration_cache: Dict[Tuple, float] = {}
 
     @property
     def offloads_experts(self) -> bool:
         return self.design != "gpu_only"
+
+    # ------------------------------------------------------------------
+    # Memoised latency lookups (batched emission path)
+    # ------------------------------------------------------------------
+    def _nonmoe_duration(self, part: str, query_tokens: int,
+                         self_kv_tokens: int, cross_kv_tokens: int) -> float:
+        key = ("nonmoe", part, query_tokens, self_kv_tokens, cross_kv_tokens)
+        value = self._duration_cache.get(key)
+        if value is None:
+            if part == "encoder":
+                value = self.latency.encoder_layer_nonmoe_time(
+                    self.config, query_tokens)
+            else:
+                value = self.latency.decoder_layer_nonmoe_time(
+                    self.config, query_tokens, self_kv_tokens, cross_kv_tokens)
+            self._duration_cache[key] = value
+        return value
+
+    def _ffn_duration(self, query_tokens: int) -> float:
+        key = ("ffn", query_tokens)
+        value = self._duration_cache.get(key)
+        if value is None:
+            value = self._duration_cache[key] = self.latency.ffn_time(
+                self.config, query_tokens)
+        return value
+
+    def _gate_duration(self, query_tokens: int) -> float:
+        key = ("gate", query_tokens)
+        value = self._duration_cache.get(key)
+        if value is None:
+            value = self._duration_cache[key] = self.latency.gate_time(
+                self.config, query_tokens)
+        return value
+
+    def _exec_duration(self, query_tokens: int, num_active: int) -> float:
+        key = ("exec", query_tokens, num_active)
+        value = self._duration_cache.get(key)
+        if value is None:
+            value = self._duration_cache[key] = (
+                self.latency.expert_execution_time(
+                    self.config, query_tokens, num_active))
+        return value
+
+    def _lm_duration(self, query_tokens: int) -> float:
+        key = ("lm_head", query_tokens)
+        value = self._duration_cache.get(key)
+        if value is None:
+            value = self._duration_cache[key] = self.latency.lm_head_time(
+                self.config, query_tokens)
+        return value
 
     # ------------------------------------------------------------------
     # Migration planning
@@ -586,3 +676,281 @@ class IterationSimulator:
         return IterationOutcome(result=result, first_start=pass_result.start,
                                 end=pass_result.end,
                                 carry_deps=list(pass_result.carry_deps))
+
+    # ------------------------------------------------------------------
+    # Columnar emission (array-kernel hot path)
+    # ------------------------------------------------------------------
+    def emit_stack_pass(
+        self,
+        batch: OpBatch,
+        part: str,
+        iteration: int,
+        activations: IterationActivations,
+        query_tokens: int,
+        self_kv_tokens: int,
+        cross_kv_tokens: Optional[int],
+        start_at: float = 0.0,
+        batch_round: Optional[SharedExpertRound] = None,
+        label: str = "",
+        plan: Optional[MigrationPlan] = None,
+        extra_deps: Optional[Sequence[int]] = None,
+    ) -> EmittedPass:
+        """Columnar twin of :meth:`simulate_stack_pass`.
+
+        Emits *exactly* the ops the scalar walk would add — same order,
+        durations, dependencies, categories, devices and bytes — as columns
+        into ``batch``, without constructing :class:`TimelineOp` objects or
+        (in no-trace mode) op-name strings.  Placement side effects (fetch
+        routing, shared-slot allocation, transfer stats) happen here, in the
+        scalar order; op times exist only once the owning timeline commits
+        the batch.  The parity test matrix pins the two paths to each other.
+        """
+        config = self.config
+        placement = self.placement
+        moe_positions = placement.moe_positions(part)
+        num_layers = (config.num_encoder_layers if part == "encoder"
+                      else config.num_decoder_layers)
+        num_blocks = len(moe_positions)
+        if plan is None:
+            plan = self.make_plan(part, activations)
+        transfers_by_issue = plan.by_issue_block()
+        schedule = None
+        if self.design == "pregated" and num_blocks > 0:
+            schedule = PreGateSchedule(num_blocks=num_blocks,
+                                       activation_level=self.activation_level)
+        gate_time = self._gate_duration(query_tokens)
+        names = batch.record_names
+        base_id = batch.base_id
+        emitted = EmittedPass(first_index=-1, last_index=-1)
+        transfer_ops_by_target: Dict[int, List[Tuple[int, int]]] = {}
+        allocation_tags: Dict[int, List[str]] = {}
+        last_compute_id = -1
+        moe_block_cursor = 0
+        carry_deps: List[int] = list(extra_deps or [])
+        batch_add = batch.add
+
+        def add_compute(name: Optional[str], duration: float,
+                        deps: Sequence[int] = (),
+                        category: int = CAT_COMPUTE) -> int:
+            dep_list = list(deps)
+            if carry_deps:
+                dep_list.extend(carry_deps)
+                carry_deps.clear()
+            op_id = batch_add(
+                _COMPUTE, duration, deps=dep_list, category=category,
+                earliest_start=start_at if emitted.first_index < 0 else 0.0,
+                name=name)
+            if emitted.first_index < 0:
+                emitted.first_index = op_id - base_id
+            emitted.last_index = op_id - base_id
+            return op_id
+
+        for layer in range(num_layers):
+            # --- non-MoE portion of the transformer block -------------
+            nonmoe = self._nonmoe_duration(
+                part, query_tokens, self_kv_tokens,
+                cross_kv_tokens or self_kv_tokens)
+            last_compute_id = add_compute(
+                f"{label}{part}{iteration}.layer{layer}.attention"
+                if names else None, nonmoe, category=CAT_NON_MOE)
+
+            if layer not in moe_positions:
+                last_compute_id = add_compute(
+                    f"{label}{part}{iteration}.layer{layer}.ffn"
+                    if names else None, self._ffn_duration(query_tokens),
+                    category=CAT_NON_MOE)
+                continue
+
+            # --- MoE block --------------------------------------------
+            block = moe_block_cursor
+            moe_block_cursor += 1
+
+            num_gates = self._gates_evaluated_at(block, schedule)
+            if num_gates > 0:
+                last_compute_id = add_compute(
+                    f"{label}{part}{iteration}.moe{block}.gate"
+                    if names else None, num_gates * gate_time,
+                    category=CAT_GATE)
+
+            issued = transfers_by_issue.get(block, [])
+            if issued and self.offloads_experts:
+                to_issue = []
+                for transfer in issued:
+                    key = (placement.global_block_index(part, transfer.block_index),
+                           transfer.expert_id)
+                    if batch_round is not None and batch_round.is_fetched(key):
+                        dedup_op = batch_round.copy_op(key)
+                        if dedup_op is not None:
+                            transfer_ops_by_target.setdefault(
+                                transfer.block_index, []).append(
+                                    (dedup_op,
+                                     placement.owner_device(transfer.expert_id)))
+                        continue
+                    to_issue.append((transfer, key))
+                if to_issue:
+                    sync_id = add_compute(
+                        f"{label}{part}{iteration}.moe{block}.issue_transfers"
+                        if names else None, self.system.host_sync_overhead,
+                        category=CAT_SYNC)
+                    last_compute_id = sync_id
+                    for transfer, key in to_issue:
+                        route = placement.route_fetch(key, transfer)
+                        deps: List[int] = [sync_id]
+                        if route.stage_duration > 0.0:
+                            stage_id = batch_add(
+                                _STAGE, route.stage_duration, deps=deps,
+                                category=CAT_STAGE_IN, device=route.device,
+                                num_bytes=transfer.bytes,
+                                name=(f"{label}{part}{iteration}"
+                                      f".moe{transfer.block_index}"
+                                      f".stage_expert{transfer.expert_id}")
+                                if names else None)
+                            deps = [stage_id]
+                        copy_id = batch_add(
+                            _COPY, route.copy_duration, deps=deps,
+                            category=CAT_EXPERT_TRANSFER, device=route.device,
+                            num_bytes=transfer.bytes,
+                            name=(f"{label}{part}{iteration}"
+                                  f".moe{transfer.block_index}"
+                                  f".fetch_expert{transfer.expert_id}")
+                            if names else None)
+                        transfer_ops_by_target.setdefault(
+                            transfer.block_index, []).append(
+                                (copy_id, route.device))
+                        if batch_round is not None:
+                            batch_round.fetch(placement, part, transfer, key,
+                                              copy_id)
+                        else:
+                            tag = placement.allocate_expert(
+                                part, transfer.block_index, transfer.expert_id)
+                            allocation_tags.setdefault(
+                                transfer.block_index, []).append(tag)
+
+            activated = activations[block] if block < len(activations) else []
+            block_transfer_ops = transfer_ops_by_target.get(block, [])
+            if not self.multi_device:
+                exec_time = self._exec_duration(query_tokens,
+                                                max(1, len(activated)))
+                last_compute_id = add_compute(
+                    f"{label}{part}{iteration}.moe{block}.experts"
+                    if names else None, exec_time,
+                    deps=[op_id for op_id, _ in block_transfer_ops],
+                    category=CAT_EXPERT_EXECUTION)
+            else:
+                block_end_id, device0_exec_id = self._emit_sharded_block(
+                    batch, part, iteration, block, activated, query_tokens,
+                    block_transfer_ops, last_compute_id, carry_deps, label)
+                if device0_exec_id >= 0:
+                    last_compute_id = device0_exec_id
+                emitted.last_index = block_end_id - base_id
+
+            if batch_round is not None:
+                for key in batch_round.release_keys(placement, part, plan,
+                                                    activations, block):
+                    batch_round.release(placement, key)
+            else:
+                placement.release_block_experts(
+                    part, block, allocation_tags.get(block, []), activated)
+
+        emitted.carry_deps = list(carry_deps)
+        return emitted
+
+    def _emit_sharded_block(self, batch: OpBatch, part: str, iteration: int,
+                            block: int, activated, query_tokens: int,
+                            block_transfer_ops: List[Tuple[int, int]],
+                            last_compute_id: int, carry_deps: List[int],
+                            label: str) -> Tuple[int, int]:
+        """Columnar twin of :meth:`_execute_sharded_block` (ids, not ops)."""
+        config = self.config
+        placement = self.placement
+        counts: Dict[int, int] = {}
+        for expert in activated:
+            device = placement.owner_device(int(expert))
+            counts[device] = counts.get(device, 0) + 1
+        if not counts:
+            counts = {0: 0}
+        total_active = max(1, len(activated))
+        token_assignments = query_tokens * config.top_k
+        remote_share = sum(n for d, n in counts.items() if d != 0) / total_active
+        alltoall_bytes = token_assignments * remote_share * self._token_bytes
+        names = batch.record_names
+        base = f"{label}{part}{iteration}.moe{block}" if names else None
+        participating = set(counts)
+        leftover_deps = [op_id for op_id, dev in block_transfer_ops
+                         if dev not in participating]
+
+        dispatch_id = -1
+        if alltoall_bytes > 0:
+            dispatch_id = batch.add(
+                _INTERCONNECT, self.topology.all_to_all_time(alltoall_bytes),
+                deps=[last_compute_id] if last_compute_id >= 0 else [],
+                category=CAT_ALLTOALL, num_bytes=alltoall_bytes,
+                name=f"{base}.dispatch" if names else None)
+            placement.record_alltoall(alltoall_bytes)
+
+        exec_ids: List[int] = []
+        device0_exec_id = -1
+        for device in sorted(counts):
+            exec_time = self._exec_duration(query_tokens,
+                                            max(1, counts[device]))
+            deps = [op_id for op_id, dev in block_transfer_ops if dev == device]
+            if device != 0 and dispatch_id >= 0:
+                deps.append(dispatch_id)
+            if device == 0 and dispatch_id < 0:
+                deps.extend(leftover_deps)
+                leftover_deps = []
+            op_id = batch.add(_COMPUTE, exec_time, deps=deps,
+                              category=CAT_EXPERT_EXECUTION, device=device,
+                              name=f"{base}.experts" if names else None)
+            exec_ids.append(op_id)
+            if device == 0:
+                device0_exec_id = op_id
+        if dispatch_id < 0:
+            return exec_ids[0], device0_exec_id
+        combine_id = batch.add(
+            _INTERCONNECT, self.topology.all_to_all_time(alltoall_bytes),
+            deps=exec_ids + leftover_deps, category=CAT_ALLTOALL,
+            num_bytes=alltoall_bytes, name=f"{base}.combine" if names else None)
+        placement.record_alltoall(alltoall_bytes)
+        carry_deps.append(combine_id)
+        return combine_id, device0_exec_id
+
+    def emit_decoder_iteration(self, batch: OpBatch,
+                               activations: IterationActivations,
+                               query_tokens: int = 1, self_kv_tokens: int = 1,
+                               cross_kv_tokens: int = 32, iteration: int = 0,
+                               start_at: float = 0.0,
+                               batch_round: Optional[SharedExpertRound] = None,
+                               label: str = "",
+                               plan: Optional[MigrationPlan] = None,
+                               extra_deps: Optional[Sequence[int]] = None) -> EmittedPass:
+        """Columnar twin of :meth:`decoder_iteration` (pass + LM head)."""
+        emitted = self.emit_stack_pass(
+            batch, "decoder", iteration, activations,
+            query_tokens=query_tokens, self_kv_tokens=self_kv_tokens,
+            cross_kv_tokens=cross_kv_tokens, start_at=start_at,
+            batch_round=batch_round, label=label, plan=plan,
+            extra_deps=extra_deps)
+        lm_id = batch.add(
+            _COMPUTE, self._lm_duration(query_tokens),
+            deps=emitted.carry_deps, category=CAT_NON_MOE,
+            earliest_start=start_at if emitted.first_index < 0 else 0.0,
+            name=f"{label}decoder{iteration}.lm_head"
+            if batch.record_names else None)
+        lm_index = lm_id - batch.base_id
+        first = emitted.first_index if emitted.first_index >= 0 else lm_index
+        return EmittedPass(first_index=first, last_index=lm_index)
+
+    def emit_encoder_pass(self, batch: OpBatch,
+                          activations: IterationActivations,
+                          input_tokens: int, start_at: float = 0.0,
+                          batch_round: Optional[SharedExpertRound] = None,
+                          label: str = "",
+                          plan: Optional[MigrationPlan] = None,
+                          extra_deps: Optional[Sequence[int]] = None) -> EmittedPass:
+        """Columnar twin of :meth:`encoder_pass`."""
+        return self.emit_stack_pass(
+            batch, "encoder", 0, activations, query_tokens=input_tokens,
+            self_kv_tokens=input_tokens, cross_kv_tokens=None,
+            start_at=start_at, batch_round=batch_round, label=label,
+            plan=plan, extra_deps=extra_deps)

@@ -56,6 +56,30 @@ def ordered_pool_map(fn: Callable[[Any], Any], items: Sequence[Any],
         return list(pool.map(fn, items))
 
 
+def profiled(fn: Callable[..., Any], *args: Any,
+             top: int = 25, sort: str = "cumulative",
+             **kwargs: Any) -> Any:
+    """Run ``fn(*args, **kwargs)`` under :mod:`cProfile`; print the top rows.
+
+    The CLI's ``--profile`` hook: the sweep runs in-process under the
+    profiler and the ``top`` highest-``sort`` entries are printed to stdout
+    after the sweep's own output would normally appear.  Returns ``fn``'s
+    result unchanged, so a profiled sweep still renders its report.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(sort).print_stats(top)
+    return result
+
+
 def run_grid(serve: Callable[..., Any],
              max_workers: Optional[int] = None,
              **axes: Sequence[Any]) -> Dict[Tuple[Any, ...], Any]:

@@ -47,6 +47,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 
 class Stream(Enum):
     """Hardware queue an operation executes on."""
@@ -59,6 +61,94 @@ class Stream(Enum):
     #: Intra-node GPU↔GPU interconnect (NVLink / PCIe-P2P): all-to-all
     #: token dispatch/combine traffic of expert-parallel replicas.
     INTERCONNECT = "interconnect"
+
+
+#: Dense integer codes for streams, used by the columnar batch interface.
+STREAMS: Tuple[Stream, ...] = (Stream.COMPUTE, Stream.COPY, Stream.STAGE,
+                               Stream.INTERCONNECT)
+STREAM_CODE: Dict[Stream, int] = {stream: code for code, stream in enumerate(STREAMS)}
+_COMPUTE_CODE = STREAM_CODE[Stream.COMPUTE]
+
+# Interned op-category names.  Categories are a tiny closed set ("non_moe",
+# "expert_transfer", …); the columnar batch stores the integer code so the
+# hot path never hashes strings.
+_CATEGORY_CODES: Dict[str, int] = {}
+_CATEGORY_NAMES: List[str] = []
+
+
+def category_code(category: str) -> int:
+    """Intern ``category`` and return its dense integer code."""
+    code = _CATEGORY_CODES.get(category)
+    if code is None:
+        code = len(_CATEGORY_NAMES)
+        _CATEGORY_CODES[category] = code
+        _CATEGORY_NAMES.append(category)
+    return code
+
+
+def category_name(code: int) -> str:
+    return _CATEGORY_NAMES[code]
+
+
+class OpBatch:
+    """Column-oriented builder for a batch of timeline operations.
+
+    Obtained from :meth:`ExecutionTimeline.begin_batch`; op ids are assigned
+    eagerly (``base_id + index``) so dependencies *within* the batch — the
+    common case for a scheduling round — can be declared before the batch is
+    committed.  Dependencies are stored flat (CSR-style ``dep_ids`` +
+    ``dep_offsets``), avoiding one list object per op.  ``names`` is kept
+    only when the owning timeline records a trace; no-trace serving never
+    builds op-name strings at all.
+    """
+
+    __slots__ = ("base_id", "record_names", "stream", "device", "duration",
+                 "earliest", "category", "num_bytes", "names", "dep_ids",
+                 "dep_offsets")
+
+    def __init__(self, base_id: int, record_names: bool) -> None:
+        self.base_id = base_id
+        self.record_names = record_names
+        self.stream: List[int] = []
+        self.device: List[int] = []
+        self.duration: List[float] = []
+        self.earliest: List[float] = []
+        self.category: List[int] = []
+        self.num_bytes: List[float] = []
+        self.names: Optional[List[str]] = [] if record_names else None
+        self.dep_ids: List[int] = []
+        self.dep_offsets: List[int] = [0]
+
+    def __len__(self) -> int:
+        return len(self.duration)
+
+    def add(self, stream_code: int, duration: float,
+            deps: Sequence[int] = (), category: int = 0, device: int = 0,
+            earliest_start: float = 0.0, num_bytes: float = 0.0,
+            name: Optional[str] = None) -> int:
+        """Append one op to the batch; returns its (global) op id."""
+        self.stream.append(stream_code)
+        self.device.append(device)
+        self.duration.append(duration)
+        self.earliest.append(earliest_start)
+        self.category.append(category)
+        self.num_bytes.append(num_bytes)
+        if deps:
+            self.dep_ids.extend(deps)
+        self.dep_offsets.append(len(self.dep_ids))
+        if self.names is not None:
+            self.names.append(name if name is not None else "")
+        return self.base_id + len(self.duration) - 1
+
+    def op_label(self, index: int) -> str:
+        """Human-readable identity of op ``index`` for error messages."""
+        if self.names is not None and self.names[index]:
+            name = repr(self.names[index])
+        else:
+            name = f"#{self.base_id + index}"
+        stream = STREAMS[self.stream[index]]
+        return (f"op {name} ({category_name(self.category[index])}) on lane "
+                f"({stream.value}, device {self.device[index]})")
 
 
 @dataclass
@@ -143,12 +233,15 @@ class ExecutionTimeline:
         does not affect timing, the caller already folded bandwidth into
         ``duration``).
         """
+        label = f"op {name!r} on lane ({stream.value}, device {device})"
         if duration < 0:
-            raise ValueError("duration must be non-negative")
+            raise ValueError(
+                f"{label}: duration must be non-negative (got {duration})")
         if earliest_start < 0:
-            raise ValueError("earliest_start must be non-negative")
+            raise ValueError(
+                f"{label}: earliest_start must be non-negative (got {earliest_start})")
         if device < 0:
-            raise ValueError("device must be non-negative")
+            raise ValueError(f"{label}: device must be non-negative")
         live = self._live
         deps = list(depends_on or [])
         ready = 0.0
@@ -156,7 +249,9 @@ class ExecutionTimeline:
         for dep in deps:
             dep_op = live.get(dep)
             if dep_op is None:
-                raise ValueError(f"dependency {dep} does not reference a scheduled op")
+                raise ValueError(
+                    f"{label}: dependency {dep} does not reference a scheduled "
+                    "op (retired, or never added)")
             if dep_op.end > ready:
                 ready = dep_op.end
             if dep_op.stream is Stream.COMPUTE and dep_op.end > compute_dep_ready:
@@ -231,6 +326,103 @@ class ExecutionTimeline:
         """Schedule an all-to-all dispatch/combine on the interconnect queue."""
         return self.add(name, Stream.INTERCONNECT, duration, depends_on, category,
                         num_bytes=num_bytes)
+
+    # ------------------------------------------------------------------
+    # Batched op interface (the array-kernel entry point)
+    # ------------------------------------------------------------------
+    def begin_batch(self) -> OpBatch:
+        """Start a columnar op batch whose ids continue this timeline's.
+
+        The batch must be the *next* ops added (no interleaved :meth:`add`
+        calls) and is applied with :meth:`commit_batch` / :meth:`add_ops`.
+        """
+        return OpBatch(self._next_op_id, self.record_trace)
+
+    def commit_batch(self, batch: OpBatch) -> Tuple[np.ndarray, np.ndarray]:
+        """Resolve and fold in a batch; returns (starts, ends) arrays.
+
+        The scalar engine's reference implementation simply replays the
+        batch through :meth:`add`, one op at a time — bit-identical to
+        having never batched.  :class:`ArrayTimeline` overrides this with
+        the vectorized kernel.
+        """
+        if batch.base_id != self._next_op_id:
+            raise RuntimeError(
+                f"batch expects op ids from {batch.base_id} but the timeline "
+                f"is at {self._next_op_id}; batches may not interleave with "
+                "other adds")
+        n = len(batch)
+        starts = np.empty(n, dtype=np.float64)
+        ends = np.empty(n, dtype=np.float64)
+        offsets = batch.dep_offsets
+        dep_ids = batch.dep_ids
+        names = batch.names
+        for i in range(n):
+            op = self.add(
+                names[i] if names is not None else f"op#{batch.base_id + i}",
+                STREAMS[batch.stream[i]], batch.duration[i],
+                depends_on=dep_ids[offsets[i]:offsets[i + 1]],
+                category=category_name(batch.category[i]),
+                earliest_start=batch.earliest[i], device=batch.device[i],
+                num_bytes=batch.num_bytes[i])
+            starts[i] = op.start
+            ends[i] = op.end
+        return starts, ends
+
+    def add_ops(self, batch: OpBatch) -> Tuple[np.ndarray, np.ndarray]:
+        """Alias of :meth:`commit_batch` (the batched ``add``)."""
+        return self.commit_batch(batch)
+
+    # ------------------------------------------------------------------
+    # Analytic fast-forward (round replay)
+    # ------------------------------------------------------------------
+    def replay_snapshot(self) -> Dict[str, object]:
+        """Copy of every aggregate round replay extrapolates (cheap dicts)."""
+        return {
+            "makespan": self._makespan,
+            "lane_free": dict(self._lane_free),
+            "lane_busy": dict(self._lane_busy),
+            "lane_exposed": dict(self._lane_exposed),
+            "category_count": dict(self._category_count),
+            "category_duration": dict(self._category_duration),
+            "category_bytes": dict(self._category_bytes),
+        }
+
+    def fast_forward(self, num_ops: int, makespan: float,
+                     lane_free: Dict[Tuple[Stream, int], float],
+                     lane_busy: Dict[Tuple[Stream, int], float],
+                     lane_exposed: Dict[int, float],
+                     category_count: Dict[str, int],
+                     category_duration: Dict[str, float],
+                     category_bytes: Dict[str, float]) -> None:
+        """Apply a closed-form round-replay window to the aggregates.
+
+        The caller (the scheduler's replay controller) has analytically
+        advanced ``num_ops`` operations' worth of identical-shape rounds and
+        supplies the resulting *absolute* aggregate values.  Lane clocks and
+        aggregates jump; no per-op state is created, which is the point.
+        Refused in trace mode — a trace must contain every op it claims to
+        cover.
+        """
+        if self.record_trace:
+            raise RuntimeError(
+                "fast_forward is not available on a trace-recording timeline; "
+                "round replay requires record_trace=False")
+        if num_ops < 0:
+            raise ValueError("num_ops must be non-negative")
+        if makespan < self._makespan:
+            raise ValueError(
+                f"fast_forward may not rewind the makespan "
+                f"({makespan} < {self._makespan})")
+        self._next_op_id += num_ops
+        self._retired_count += num_ops
+        self._makespan = makespan
+        self._lane_free.update(lane_free)
+        self._lane_busy.update(lane_busy)
+        self._lane_exposed.update(lane_exposed)
+        self._category_count.update(category_count)
+        self._category_duration.update(category_duration)
+        self._category_bytes.update(category_bytes)
 
     # ------------------------------------------------------------------
     # Op retirement (bounded-memory serving mode)
@@ -458,3 +650,330 @@ class ExecutionTimeline:
             }
             for op in self._live.values()
         ]
+
+
+class _LaneStore:
+    """Growable columnar op storage for one (stream, device) lane.
+
+    Preallocated numpy columns (doubling growth) for the numeric fields;
+    names and dependency tuples stay Python lists (ragged).  Only built in
+    trace mode — no-trace array timelines store no per-op state at all.
+    """
+
+    __slots__ = ("size", "op_id", "start", "end", "duration", "num_bytes",
+                 "earliest", "category", "names", "deps")
+
+    _COLUMNS = ("op_id", "start", "end", "duration", "num_bytes",
+                "earliest", "category")
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.size = 0
+        self.op_id = np.empty(capacity, dtype=np.int64)
+        self.start = np.empty(capacity, dtype=np.float64)
+        self.end = np.empty(capacity, dtype=np.float64)
+        self.duration = np.empty(capacity, dtype=np.float64)
+        self.num_bytes = np.empty(capacity, dtype=np.float64)
+        self.earliest = np.empty(capacity, dtype=np.float64)
+        self.category = np.empty(capacity, dtype=np.int32)
+        self.names: List[str] = []
+        self.deps: List[Tuple[int, ...]] = []
+
+    def append(self, op_id: int, start: float, end: float, duration: float,
+               num_bytes: float, earliest: float, category: int,
+               name: str, deps: Tuple[int, ...]) -> None:
+        row = self.size
+        if row == len(self.op_id):
+            for column in self._COLUMNS:
+                old = getattr(self, column)
+                grown = np.empty(2 * len(old), dtype=old.dtype)
+                grown[:row] = old
+                setattr(self, column, grown)
+        self.op_id[row] = op_id
+        self.start[row] = start
+        self.end[row] = end
+        self.duration[row] = duration
+        self.num_bytes[row] = num_bytes
+        self.earliest[row] = earliest
+        self.category[row] = category
+        self.names.append(name)
+        self.deps.append(deps)
+        self.size = row + 1
+
+
+class ArrayTimeline(ExecutionTimeline):
+    """Array-backed timeline engine: same API, columnar hot path.
+
+    Ops arrive as :class:`OpBatch` columns (one batch per scheduling round)
+    and are resolved by a tight loop over primitive lists — no
+    :class:`TimelineOp` objects, no per-op name strings, no per-op attribute
+    access — followed by vectorized per-batch folds of the category/lane
+    aggregates.  Dependency lookups hit a plain ``{op_id: (end, stream)}``
+    dict for cross-batch deps and the in-flight ``ends`` list for
+    intra-batch deps.
+
+    Start times are the same ``max(dep ready, lane free, earliest_start)``
+    chain the scalar engine computes, in the same order, so all *time*
+    results (starts, ends, makespan, token clocks) are bit-identical to
+    :class:`ExecutionTimeline`.  Summed aggregates (lane busy time, category
+    durations) are folded per batch with :func:`numpy.bincount` instead of
+    per op, which reassociates the float additions — the parity tests pin
+    them to the scalar engine at 1e-9.
+
+    With ``record_trace=True`` each committed op is also appended to
+    preallocated, growable per-lane column arrays (:class:`_LaneStore`);
+    trace queries (``ops``, ``render_ascii``, ``to_records``, ``scan_*``)
+    lazily materialise :class:`TimelineOp` objects from the columns, so the
+    full trace API keeps working at reconstruction cost only when asked.
+    """
+
+    def __init__(self, record_trace: bool = False) -> None:
+        super().__init__(record_trace=record_trace)
+        #: Live dependency info by op id: (end time, stream code).
+        self._live_info: Dict[int, Tuple[float, int]] = {}
+        self._lanes: Dict[Tuple[Stream, int], _LaneStore] = {}
+        self._trace_dirty = False
+
+    # ------------------------------------------------------------------
+    # Scalar add routes through the kernel (one-op batch)
+    # ------------------------------------------------------------------
+    def add(self, name: str, stream: Stream, duration: float,
+            depends_on: Optional[Sequence[int]] = None,
+            category: str = "generic", earliest_start: float = 0.0,
+            device: int = 0, num_bytes: float = 0.0) -> TimelineOp:
+        # One-op batch; the name is always kept so validation errors can
+        # point at the op even in no-trace mode.
+        batch = OpBatch(self._next_op_id, record_names=True)
+        deps = list(depends_on or [])
+        batch.add(STREAM_CODE[stream], duration, deps=deps,
+                  category=category_code(category), device=device,
+                  earliest_start=earliest_start, num_bytes=num_bytes,
+                  name=name)
+        starts, ends = self.commit_batch(batch)
+        return TimelineOp(op_id=batch.base_id, name=name, stream=stream,
+                          duration=duration, depends_on=deps,
+                          category=category, start=float(starts[0]),
+                          end=float(ends[0]), earliest_start=earliest_start,
+                          device=device, num_bytes=num_bytes)
+
+    # ------------------------------------------------------------------
+    # The kernel
+    # ------------------------------------------------------------------
+    def commit_batch(self, batch: OpBatch) -> Tuple[np.ndarray, np.ndarray]:
+        if batch.base_id != self._next_op_id:
+            raise RuntimeError(
+                f"batch expects op ids from {batch.base_id} but the timeline "
+                f"is at {self._next_op_id}; batches may not interleave with "
+                "other adds")
+        n = len(batch)
+        if n == 0:
+            return (np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64))
+        streams_t = STREAMS
+        stream_codes = batch.stream
+        devices = batch.device
+        durations = batch.duration
+        earliest = batch.earliest
+        dep_ids = batch.dep_ids
+        offsets = batch.dep_offsets
+        base = batch.base_id
+        starts: List[float] = [0.0] * n
+        ends: List[float] = [0.0] * n
+        lane_free = self._lane_free
+        live_info = self._live_info
+        exposed = self._lane_exposed
+        for i in range(n):
+            duration = durations[i]
+            earliest_start = earliest[i]
+            device = devices[i]
+            if duration < 0 or earliest_start < 0 or device < 0:
+                self._raise_invalid_op(batch, i)
+            s_code = stream_codes[i]
+            lane = (streams_t[s_code], device)
+            free = lane_free.get(lane, 0.0)
+            ready = 0.0
+            compute_ready = 0.0
+            for k in range(offsets[i], offsets[i + 1]):
+                dep = dep_ids[k]
+                if dep >= base:
+                    j = dep - base
+                    if j >= i:
+                        self._raise_bad_dep(batch, i, dep)
+                    dep_end = ends[j]
+                    dep_stream = stream_codes[j]
+                else:
+                    info = live_info.get(dep)
+                    if info is None:
+                        self._raise_bad_dep(batch, i, dep)
+                    dep_end, dep_stream = info
+                if dep_end > ready:
+                    ready = dep_end
+                if dep_stream == _COMPUTE_CODE and dep_end > compute_ready:
+                    compute_ready = dep_end
+            start = free
+            if ready > start:
+                start = ready
+            if earliest_start > start:
+                start = earliest_start
+            end = start + duration
+            lane_free[lane] = end
+            starts[i] = start
+            ends[i] = end
+            live_info[base + i] = (end, s_code)
+            if s_code == _COMPUTE_CODE:
+                # Online exposed-copy accounting, same definition as the
+                # scalar engine: stall beyond compute-side readiness.
+                stall_floor = free
+                if compute_ready > stall_floor:
+                    stall_floor = compute_ready
+                if earliest_start > stall_floor:
+                    stall_floor = earliest_start
+                stall = start - stall_floor
+                if stall > 0.0:
+                    exposed[device] = exposed.get(device, 0.0) + stall
+        self._next_op_id = base + n
+        starts_arr = np.array(starts)
+        ends_arr = np.array(ends)
+        # ---- vectorized per-batch aggregate folds ------------------------
+        duration_arr = np.array(durations)
+        batch_makespan = float(ends_arr.max())
+        if batch_makespan > self._makespan:
+            self._makespan = batch_makespan
+        stream_arr = np.array(stream_codes, dtype=np.int64)
+        device_arr = np.array(devices, dtype=np.int64)
+        lane_keys = (stream_arr << 32) | device_arr
+        unique_lanes, inverse = np.unique(lane_keys, return_inverse=True)
+        lane_sums = np.bincount(inverse, weights=duration_arr)
+        lane_busy = self._lane_busy
+        for key, busy in zip(unique_lanes.tolist(), lane_sums.tolist()):
+            lane = (streams_t[key >> 32], key & 0xFFFFFFFF)
+            lane_busy[lane] = lane_busy.get(lane, 0.0) + busy
+        self._device_set.update(devices)
+        category_arr = np.array(batch.category, dtype=np.int64)
+        num_categories = len(_CATEGORY_NAMES)
+        counts = np.bincount(category_arr, minlength=num_categories)
+        duration_sums = np.bincount(category_arr, weights=duration_arr,
+                                    minlength=num_categories)
+        bytes_arr = np.array(batch.num_bytes)
+        byte_sums = np.bincount(category_arr, weights=bytes_arr,
+                                minlength=num_categories)
+        category_count = self._category_count
+        category_duration = self._category_duration
+        category_bytes = self._category_bytes
+        for code in np.nonzero(counts)[0].tolist():
+            name = _CATEGORY_NAMES[code]
+            category_count[name] = category_count.get(name, 0) + int(counts[code])
+            category_duration[name] = (
+                category_duration.get(name, 0.0) + float(duration_sums[code]))
+            if byte_sums[code]:
+                category_bytes[name] = (
+                    category_bytes.get(name, 0.0) + float(byte_sums[code]))
+        if len(live_info) > self._peak_live_ops:
+            self._peak_live_ops = len(live_info)
+        if self.record_trace:
+            self._store_trace_rows(batch, starts, ends)
+        return starts_arr, ends_arr
+
+    def _raise_invalid_op(self, batch: OpBatch, index: int) -> None:
+        label = batch.op_label(index)
+        if batch.duration[index] < 0:
+            raise ValueError(f"{label}: duration must be non-negative "
+                             f"(got {batch.duration[index]})")
+        if batch.earliest[index] < 0:
+            raise ValueError(f"{label}: earliest_start must be non-negative "
+                             f"(got {batch.earliest[index]})")
+        raise ValueError(f"{label}: device must be non-negative")
+
+    def _raise_bad_dep(self, batch: OpBatch, index: int, dep: int) -> None:
+        raise ValueError(
+            f"{batch.op_label(index)}: dependency {dep} does not reference a "
+            "scheduled op (retired, later in the batch, or never added)")
+
+    # ------------------------------------------------------------------
+    # Retirement / live-window bookkeeping
+    # ------------------------------------------------------------------
+    def retire_completed(self, keep: Iterable[int] = ()) -> int:
+        if self.record_trace:
+            return 0
+        keep_set = set(keep)
+        live = self._live_info
+        if keep_set:
+            retired = [op_id for op_id in live if op_id not in keep_set]
+        else:
+            retired = list(live)
+        for op_id in retired:
+            del live[op_id]
+        self._retired_count += len(retired)
+        return len(retired)
+
+    @property
+    def live_op_count(self) -> int:
+        return len(self._live_info)
+
+    def op(self, op_id: int) -> TimelineOp:
+        if self.record_trace:
+            self._materialise()
+            return super().op(op_id)
+        raise KeyError(
+            f"op {op_id} is not addressable: an ArrayTimeline keeps no op "
+            "objects with record_trace=False")
+
+    # ------------------------------------------------------------------
+    # Trace reconstruction (columns → TimelineOp objects, on demand)
+    # ------------------------------------------------------------------
+    def _store_trace_rows(self, batch: OpBatch, starts: Sequence[float],
+                          ends: Sequence[float]) -> None:
+        lanes = self._lanes
+        offsets = batch.dep_offsets
+        names = batch.names
+        for i in range(len(batch)):
+            lane = (STREAMS[batch.stream[i]], batch.device[i])
+            store = lanes.get(lane)
+            if store is None:
+                store = lanes[lane] = _LaneStore()
+            store.append(batch.base_id + i, starts[i], ends[i],
+                         batch.duration[i], batch.num_bytes[i],
+                         batch.earliest[i], batch.category[i],
+                         names[i] if names is not None else "",
+                         tuple(batch.dep_ids[offsets[i]:offsets[i + 1]]))
+        self._trace_dirty = True
+
+    def _require_trace(self, what: str) -> None:
+        super()._require_trace(what)
+        self._materialise()
+
+    def _materialise(self) -> None:
+        if not self._trace_dirty:
+            return
+        ops: List[TimelineOp] = []
+        for (stream, device), store in self._lanes.items():
+            for row in range(store.size):
+                ops.append(TimelineOp(
+                    op_id=int(store.op_id[row]), name=store.names[row],
+                    stream=stream, duration=float(store.duration[row]),
+                    depends_on=list(store.deps[row]),
+                    category=category_name(int(store.category[row])),
+                    start=float(store.start[row]), end=float(store.end[row]),
+                    earliest_start=float(store.earliest[row]), device=device,
+                    num_bytes=float(store.num_bytes[row])))
+        ops.sort(key=lambda op: op.op_id)
+        self._live.clear()
+        for op in ops:
+            self._live[op.op_id] = op
+        self._trace_dirty = False
+
+
+#: Timeline engine registry: scheduler knob value → constructor.
+TIMELINE_ENGINES = {
+    "scalar": ExecutionTimeline,
+    "array": ArrayTimeline,
+}
+
+
+def make_timeline(engine: str, record_trace: bool = True) -> ExecutionTimeline:
+    """Construct a timeline by engine name (``scalar`` or ``array``)."""
+    try:
+        factory = TIMELINE_ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown timeline engine {engine!r}; "
+            f"known: {sorted(TIMELINE_ENGINES)}") from None
+    return factory(record_trace=record_trace)

@@ -93,6 +93,14 @@ class TraceGenerator:
         #: log-probabilities for the Gumbel top-k sampler (cached per shape:
         #: the distribution is a constant of the generator).
         self._log_probabilities = np.log(self._probabilities)
+        #: Normalised CDF for the top-1 sampler.  ``Generator.choice(p=...)``
+        #: rebuilds this cumsum on every call; caching it and drawing via
+        #: ``random`` + ``searchsorted`` consumes the identical RNG stream
+        #: (that is exactly ``choice``'s internal algorithm), so traces are
+        #: bit-identical to the uncached path while generation is ~10x
+        #: faster at decode (one block draw per call).
+        self._cdf = self._probabilities.cumsum()
+        self._cdf /= self._cdf[-1]
 
     def _expert_distribution(self) -> np.ndarray:
         num_experts = self.config.num_experts
@@ -119,12 +127,14 @@ class TraceGenerator:
         num_experts = self.config.num_experts
         k = min(k, num_experts)
         if k == 1:
-            draws = self._rng.choice(num_experts, size=num_tokens,
-                                     p=self._probabilities)
-            return [int(e) for e in np.unique(draws)]
+            draws = self._cdf.searchsorted(self._rng.random(num_tokens),
+                                           side="right")
+            if num_tokens == 1:
+                return [int(draws[0])]
+            return sorted({int(e) for e in draws})
         keys = self._rng.gumbel(size=(num_tokens, num_experts)) + self._log_probabilities
         top = np.argpartition(-keys, k - 1, axis=1)[:, :k]
-        return [int(e) for e in np.unique(top)]
+        return sorted({int(e) for e in top.ravel()})
 
     def iteration_activations(self, num_tokens: int, num_moe_blocks: int,
                               top_k: Optional[int] = None) -> IterationActivations:

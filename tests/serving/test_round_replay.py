@@ -1,0 +1,186 @@
+"""Steady-state round replay: fast-forwarded serving equals step-by-step.
+
+The replay controller (:class:`repro.serving.scheduler._RoundReplay`)
+detects structurally identical decode rounds and advances them in closed
+form instead of re-simulating each one.  These tests pin its contract:
+
+* serve-level parity — for every single-replica scenario in the matrix,
+  replay-enabled serving matches the replay-disabled kernel engine to
+  1e-9 on the makespan, every request's token clock, device utilisation
+  and the byte/op counters (which must be *exactly* equal: replay may
+  only skip rounds it can reproduce, never approximate counters);
+* the scalar engine and the array kernel are bit-identical (replay's
+  baseline is itself exact);
+* replay actually fires on the steady-state single-GPU scenarios and
+  skips a meaningful share of rounds, and it never engages where its
+  preconditions fail (multi-GPU shards, DRAM staging, expert caches,
+  trace recording);
+* boundary behaviour — staggered arrivals and completions land on the
+  same timestamps with and without replay, i.e. fast-forward windows
+  never cross an admission or completion event;
+* the scheduler validates its engine/replay knobs.
+"""
+
+import pytest
+
+from repro.moe import get_config
+from repro.serving import make_scheduler
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.system import SSD_SYSTEM
+from repro.workloads import TimedRequest, TraceGenerator
+
+CONFIG = get_config("switch_base_64")
+
+#: Single-replica serving matrix: design + scheduler knobs.  Scenarios map
+#: to whether replay is expected to engage (single GPU, no residency cache,
+#: no DRAM stage) or must stay out of the way.
+SCENARIOS = {
+    "pregated": ("pregated", {}, True),
+    "ondemand": ("ondemand", {}, True),
+    "prefetch_all": ("prefetch_all", {}, True),
+    "gpu_only": ("gpu_only", {}, True),
+    "ondemand_ssd": ("ondemand", {"system": SSD_SYSTEM}, True),
+    "pregated_2gpu": ("pregated", {"num_gpus": 2}, False),
+    "ondemand_4gpu": ("ondemand", {"num_gpus": 4,
+                                   "shard_policy": "round_robin"}, False),
+    "pregated_ssd_staged": ("pregated", {"system": SSD_SYSTEM,
+                                         "stage_policy": "lru",
+                                         "stage_capacity": 64}, False),
+    "pregated_cached": ("pregated", {"cache_policy": "lru",
+                                     "cache_capacity": 32}, False),
+}
+
+
+def steady_requests(n=5, out=40, gap=0.05):
+    gen = TraceGenerator(CONFIG, skew=1.2, seed=11)
+    return [TimedRequest(request_id=i, arrival_time=gap * i,
+                         trace=gen.request_trace(input_length=6,
+                                                 output_length=out))
+            for i in range(n)]
+
+
+def serve(design, kwargs, engine, replay, requests):
+    scheduler = make_scheduler(design, CONFIG, max_batch_size=2,
+                               timeline_engine=engine, round_replay=replay,
+                               **kwargs)
+    return scheduler.serve(requests)
+
+
+def rel(a, b):
+    return abs(a - b) / max(abs(a), abs(b), 1e-12)
+
+
+def assert_replay_parity(kernel, replayed, label):
+    """Replay-enabled result vs the step-by-step kernel result."""
+    assert rel(kernel.makespan, replayed.makespan) < 1e-9, label
+    # Structural and byte counters are exact: replay only skips rounds whose
+    # counter deltas it reproduced bit-for-bit.
+    assert replayed.timeline_total_ops == kernel.timeline_total_ops, label
+    assert replayed.expert_bytes_transferred == \
+        kernel.expert_bytes_transferred, label
+    assert replayed.peak_gpu_bytes == kernel.peak_gpu_bytes, label
+    assert replayed.alltoall_bytes == kernel.alltoall_bytes, label
+    if kernel.tier_stats is not None:
+        assert replayed.tier_stats.as_dict() == \
+            kernel.tier_stats.as_dict(), label
+    # Every request's every token lands on the same clock (1e-9: token
+    # clocks inside a window are extrapolated quadratics).
+    for a, b in zip(kernel.requests, replayed.requests):
+        assert len(a.token_times) == len(b.token_times), label
+        for x, y in zip(a.token_times, b.token_times):
+            assert rel(x, y) < 1e-9, (label, a.request_id)
+        assert rel(a.completion_time, b.completion_time) < 1e-9, label
+        assert rel(a.first_token_time, b.first_token_time) < 1e-9, label
+    for u_k, u_r in zip(kernel.device_utilisation, replayed.device_utilisation):
+        assert rel(u_k, u_r) < 1e-9, label
+
+
+class TestServeParityMatrix:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_replay_matches_step_by_step(self, name):
+        design, kwargs, expect_replay = SCENARIOS[name]
+        requests = steady_requests()
+        scalar = serve(design, kwargs, "scalar", False, requests)
+        kernel = serve(design, kwargs, "array", False, requests)
+        replayed = serve(design, kwargs, "array", True, requests)
+        # Scalar and kernel are the same simulator, bit for bit.
+        assert kernel.makespan == scalar.makespan
+        assert kernel.timeline_total_ops == scalar.timeline_total_ops
+        for a, b in zip(scalar.requests, kernel.requests):
+            assert a.token_times == b.token_times
+        assert_replay_parity(kernel, replayed, name)
+        if expect_replay:
+            assert replayed.replay_windows > 0, name
+            assert replayed.replay_rounds >= replayed.replay_windows
+            assert replayed.replay_ops > 0
+        else:
+            # Preconditions (single GPU, no cache/stage) not met: the
+            # controller must never fire — correctness over speed.
+            assert replayed.replay_windows == 0, name
+            assert replayed.replay_ops == 0, name
+
+
+class TestReplayEngagement:
+    def test_replay_skips_most_steady_decode_rounds(self):
+        """Batch-1 decode (the paper's serving mode) replays almost fully.
+
+        A solo top-1 request's decode rounds all share one structural
+        signature, so after the 4-round history warms up the controller
+        should fast-forward nearly the whole generation.
+        """
+        requests = steady_requests(n=2, out=96, gap=0.0)
+        scheduler = make_scheduler("pregated", CONFIG, max_batch_size=1,
+                                   timeline_engine="array", round_replay=True)
+        replayed = scheduler.serve(requests)
+        kernel = make_scheduler("pregated", CONFIG, max_batch_size=1,
+                                timeline_engine="array",
+                                round_replay=False).serve(requests)
+        assert_replay_parity(kernel, replayed, "steady_decode")
+        # Long identical decode tails: replay should cover over half the ops.
+        assert replayed.replay_ops > replayed.timeline_total_ops / 2
+        assert replayed.replay_rounds > 0
+
+    def test_trace_recording_disables_replay(self):
+        requests = steady_requests(n=2, out=24)
+        scheduler = make_scheduler("pregated", CONFIG, max_batch_size=2,
+                                   timeline_engine="array", round_replay=True,
+                                   record_trace=True)
+        result = scheduler.serve(requests)
+        assert result.replay_windows == 0
+        # The trace really contains every op it claims to cover.
+        assert len(scheduler.last_timeline.ops) == result.timeline_total_ops
+
+    def test_replay_respects_arrival_boundaries(self):
+        """Late arrivals are admitted at the same round with replay on.
+
+        Request 0 decodes solo with a free batch slot while the later
+        arrivals are still pending, so every replay window is clipped by
+        the arrival bound; parity on every token/completion clock proves
+        no window ever skipped past an admission.
+        """
+        gen = TraceGenerator(CONFIG, skew=1.2, seed=7)
+        requests = [TimedRequest(request_id=i, arrival_time=arrival,
+                                 trace=gen.request_trace(input_length=6,
+                                                         output_length=48))
+                    for i, arrival in enumerate([0.0, 0.35, 0.9, 1.3])]
+        kernel = serve("pregated", {}, "array", False, requests)
+        replayed = serve("pregated", {}, "array", True, requests)
+        assert_replay_parity(kernel, replayed, "arrivals")
+        assert replayed.replay_windows > 0
+
+    def test_scalar_engine_ignores_replay_knob(self):
+        requests = steady_requests(n=2, out=24)
+        result = serve("pregated", {}, "scalar", True, requests)
+        assert result.replay_windows == 0
+
+
+class TestKnobValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown timeline_engine"):
+            ContinuousBatchingScheduler("pregated", CONFIG,
+                                        timeline_engine="vectorised")
+
+    def test_defaults_are_array_with_replay(self):
+        scheduler = ContinuousBatchingScheduler("pregated", CONFIG)
+        assert scheduler.timeline_engine == "array"
+        assert scheduler.round_replay is True

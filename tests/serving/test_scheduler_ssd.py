@@ -120,17 +120,8 @@ class TestWarmStage:
         scheduler = make_scheduler("pregated", CONFIG, system=SSD_SYSTEM,
                                    max_batch_size=4, stage_policy="lru",
                                    stage_capacity=256, record_trace=True)
-        timeline_ops = []
-        original = scheduler.simulator.simulate_stack_pass
-
-        def capture(timeline, *args, **kwargs):
-            result = original(timeline, *args, **kwargs)
-            timeline_ops.append(timeline)
-            return result
-
-        scheduler.simulator.simulate_stack_pass = capture
         scheduler.serve(hot_requests())
-        timeline = timeline_ops[-1]
+        timeline = scheduler.last_timeline
         stage_ops = timeline.stream_ops(Stream.STAGE)
         assert stage_ops, "stage misses must schedule SSD reads on the stage stream"
         assert all(op.category == "stage_in" for op in stage_ops)

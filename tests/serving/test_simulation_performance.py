@@ -5,11 +5,12 @@ Two contracts:
 * **Mode parity** — serving with ``record_trace=False`` (incremental
   aggregates + op retirement, the production default) reports *exactly* the
   same load metrics as trace mode, across designs, multi-GPU replicas and
-  SSD staging; and in trace mode, the incremental aggregates agree with the
-  first-principles trace scans to 1e-9.
-* **Scaling regression** — total op work grows ~linearly with request count
-  while the resident-op window stays bounded (the fix for the accidental
-  O(n²) makespan scans).
+  SSD staging, and under every timeline engine (scalar reference, array
+  kernel, kernel + round replay); and in trace mode, the incremental
+  aggregates agree with the first-principles trace scans to 1e-9.
+* **Scaling regression** — on every engine, total op work grows ~linearly
+  with request count while the resident-op window stays bounded (the fix
+  for the accidental O(n²) makespan scans).
 """
 
 import numpy as np
@@ -63,15 +64,25 @@ SCENARIOS = {
 }
 
 
+#: (timeline_engine, round_replay) combinations the no-trace side serves
+#: under — the scalar reference, the array kernel, and the kernel with
+#: steady-state round replay.  All must report identical load metrics.
+ENGINES = (("scalar", False), ("array", False), ("array", True))
+
+
 class TestTraceNoTraceParity:
+    @pytest.mark.parametrize("engine,replay", ENGINES,
+                             ids=["scalar", "kernel", "kernel_replay"])
     @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
     @pytest.mark.parametrize("seed", (0, 1))
-    def test_load_metrics_identical(self, scenario, seed):
+    def test_load_metrics_identical(self, scenario, seed, engine, replay):
         design, kwargs = SCENARIOS[scenario]
         requests = poisson_requests(8, seed=seed)
         traced = make_scheduler(design, CONFIG, max_batch_size=4,
+                                timeline_engine="scalar",
                                 record_trace=True, **kwargs).serve(requests)
         bare = make_scheduler(design, CONFIG, max_batch_size=4,
+                              timeline_engine=engine, round_replay=replay,
                               record_trace=False, **kwargs).serve(requests)
         assert bare.makespan == pytest.approx(traced.makespan, abs=1e-9)
         assert bare.expert_bytes_transferred == traced.expert_bytes_transferred
@@ -121,10 +132,14 @@ class TestTraceNoTraceParity:
 
 
 class TestScalingRegression:
-    def test_op_work_linear_and_window_bounded(self):
+    @pytest.mark.parametrize("engine,replay", ENGINES,
+                             ids=["scalar", "kernel", "kernel_replay"])
+    def test_op_work_linear_and_window_bounded(self, engine, replay):
         """Total op count grows ~linearly; the live window does not grow."""
-        small = make_scheduler("pregated", CONFIG, max_batch_size=4)
-        large = make_scheduler("pregated", CONFIG, max_batch_size=4)
+        small = make_scheduler("pregated", CONFIG, max_batch_size=4,
+                               timeline_engine=engine, round_replay=replay)
+        large = make_scheduler("pregated", CONFIG, max_batch_size=4,
+                               timeline_engine=engine, round_replay=replay)
         small_result = small.serve(poisson_requests(10, seed=3))
         large_result = large.serve(poisson_requests(40, seed=3))
         ratio = large_result.timeline_total_ops / small_result.timeline_total_ops

@@ -1,6 +1,5 @@
 """Tests for the ``python -m repro`` sweep CLI."""
 
-import json
 import os
 
 import pytest
@@ -48,14 +47,32 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["serving_load", "--quick", "--workers", "0"])
 
-    def test_simperf_quick_writes_json(self, tmp_path, monkeypatch, capsys):
+    def test_simperf_quick_smokes_without_writing_json(self, tmp_path,
+                                                       monkeypatch, capsys):
         monkeypatch.chdir(tmp_path)
         assert main(["simperf", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "peak resident ops" in out
-        payload = json.loads((tmp_path / "BENCH_simperf.json").read_text())
-        assert set(payload["modes"]) == {"no_trace", "trace"}
-        for mode in payload["modes"].values():
-            assert mode["simulated_requests_per_second"] > 0
-            assert mode["peak_resident_ops"] > 0
-        assert os.path.exists(tmp_path / "BENCH_simperf.json")
+        for mode in ("no_trace", "kernel", "kernel_replay"):
+            assert mode in out
+        # Only --full (the recorded scaling ladder) writes the artifact —
+        # a smoke shape must never overwrite the committed trajectory.
+        assert not os.path.exists(tmp_path / "BENCH_simperf.json")
+
+    def test_simperf_rejects_workers_and_full_needs_simperf(self):
+        with pytest.raises(SystemExit):
+            main(["simperf", "--quick", "--workers", "2"])
+        with pytest.raises(SystemExit):
+            main(["serving_load", "--full"])
+        with pytest.raises(SystemExit):
+            main(["simperf", "--full", "--quick"])
+
+    def test_profile_flag_prints_cprofile_table(self, capsys):
+        assert main(["serving_load", "--quick", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out          # pstats header
+        assert "serving_load sweep" in out  # the report still renders
+
+    def test_profile_rejected_with_worker_pool(self):
+        with pytest.raises(SystemExit):
+            main(["serving_load", "--quick", "--profile", "--workers", "2"])
