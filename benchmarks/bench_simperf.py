@@ -3,12 +3,14 @@
 Unlike the figure benchmarks (which measure the *simulated* designs), this
 one measures the simulator itself and records the repo's perf trajectory:
 serving a decode-heavy pregated Switch-Base-128 load (per-request batch
-size 1 — the paper's serving mode), it compares four serving modes:
+size 1 — the paper's serving mode), it compares the serving modes:
 
-* ``trace``          — scalar timeline, full op trace kept (Figure 9 mode);
-* ``no_trace``       — scalar timeline, incremental aggregates + retirement;
-* ``kernel``         — batched columnar timeline engine (``ArrayTimeline``);
-* ``kernel_replay``  — the kernel plus steady-state round replay.
+* ``trace``           — scalar timeline, full op trace kept (Figure 9 mode);
+* ``no_trace``        — scalar timeline, incremental aggregates + retirement;
+* ``kernel``          — batched columnar timeline engine (``ArrayTimeline``);
+* ``kernel_replay``   — the kernel plus steady-state round replay;
+* ``no_trace_probed`` — ``no_trace`` with sampled observability probes on,
+  pinning the probe layer's overhead against the no-trace floor.
 
 The assertions pin the engine contract end-to-end: trace, no-trace and
 kernel simulate the *same* execution bit-for-bit (equal makespan, ops and
@@ -66,6 +68,13 @@ def test_simperf_records_trajectory():
         if trace is not None:
             # Trace keeps every op; the others retire them round by round.
             assert trace["peak_resident_ops"] == trace["total_ops"]
+        probed = by_mode.get("no_trace_probed")
+        if probed is not None and no_trace is not None:
+            # Probes observe the run, they must not change it.
+            assert probed["makespan_seconds"] == no_trace["makespan_seconds"]
+            assert probed["total_ops"] == no_trace["total_ops"]
+            assert probed["sustained_tokens_per_second"] == \
+                no_trace["sustained_tokens_per_second"]
         if no_trace is not None:
             assert no_trace["peak_resident_ops"] < no_trace["total_ops"] / 10
         # Replay simulates the same load while skipping most rounds.  The

@@ -93,16 +93,20 @@ LOAD_REPORT_COLUMNS = [
     "cache_hit_rate", "cache_evictions", "gb_transferred", "gb_saved",
     "offload_tier", "ssd_gb_read", "stage_hit_rate",
     "device_util", "alltoall_mb", "shard_imbalance",
+    "replay_windows", "replay_rounds", "replay_ops",
+    "probe_samples", "max_queue_depth",
 ]
 
 #: Load-report cells rendered as "-" when the run had no expert cache (or,
 #: for the tier columns, no offloading / no DRAM staging cache; for
 #: alltoall_mb/shard_imbalance, a single-GPU replica — device_util stays
 #: populated there, since one device's compute utilisation is still
-#: meaningful).
+#: meaningful; for probe_samples/max_queue_depth, a run without sampled
+#: probes enabled).
 _CACHE_COLUMNS = ("cache_hit_rate", "cache_evictions",
                   "offload_tier", "ssd_gb_read", "stage_hit_rate",
-                  "device_util", "alltoall_mb", "shard_imbalance")
+                  "device_util", "alltoall_mb", "shard_imbalance",
+                  "probe_samples", "max_queue_depth")
 
 
 def load_test_report(results: Sequence, figure: str = "Serving load test",

@@ -17,9 +17,12 @@ serving mode, long generations):
   one op batch and committed in a single kernel call;
 * ``kernel_replay`` — the kernel plus steady-state round replay
   (:class:`~repro.serving.scheduler._RoundReplay`): structurally identical
-  decode rounds are fast-forwarded in closed form instead of re-simulated.
+  decode rounds are fast-forwarded in closed form instead of re-simulated;
+* ``no_trace_probed`` — ``no_trace`` with the sampled observability probes
+  (:class:`~repro.obs.probes.ServingProbes`) enabled, pinning the probe
+  layer's overhead against the same throughput floor.
 
-All four modes simulate the *same* execution: trace/no-trace/kernel are
+All the modes simulate the *same* execution: trace/no-trace/kernel are
 bit-identical, and replay matches them to 1e-9 on every load metric (the
 parity tests pin both).  The benchmark records throughput and peak-resident
 ops for each mode into ``BENCH_simperf.json`` so regressions in either
@@ -67,7 +70,7 @@ TRACE_POOL = 400
 #: replay engine runs the full ladder.
 FULL_SIZES: Dict[int, Sequence[str]] = {
     1_600: ("trace", "no_trace", "kernel", "kernel_replay"),
-    16_000: ("no_trace", "kernel", "kernel_replay"),
+    16_000: ("no_trace", "no_trace_probed", "kernel", "kernel_replay"),
     100_000: ("kernel_replay",),
 }
 DEFAULT_REQUESTS = 400
@@ -83,6 +86,11 @@ MODES: Dict[str, Dict[str, object]] = {
                "record_trace": False},
     "kernel_replay": {"timeline_engine": "array", "round_replay": True,
                       "record_trace": False},
+    # no_trace with the sampled probe layer on — measured so the
+    # observability overhead is pinned against the same floor as no_trace
+    # (the probes must stay within ~10% of it).
+    "no_trace_probed": {"timeline_engine": "scalar", "round_replay": False,
+                        "record_trace": False, "probe_interval": 1.0},
 }
 
 #: CI floor: a quick run's no-trace throughput below this fails the perf
@@ -165,8 +173,8 @@ def run_simperf(quick: bool = False, full: bool = False,
     else:
         requests = num_requests if num_requests is not None else (
             QUICK_REQUESTS if quick else DEFAULT_REQUESTS)
-        modes = (("no_trace", "kernel", "kernel_replay") if quick
-                 else tuple(MODES))
+        modes = (("no_trace", "no_trace_probed", "kernel", "kernel_replay")
+                 if quick else tuple(MODES))
         sizes = {requests: modes}
     scaling: Dict[str, Dict[str, Dict[str, float]]] = {}
     for size, modes in sizes.items():

@@ -7,18 +7,25 @@ CI runs and the quickest way to see the simulator end-to-end without pytest:
 * ``expert_parallel`` — design × num_gpus on one replica (the expert-
   parallel sharding study);
 * ``serving_load`` — design × offered load on a single-GPU replica;
+* ``trace`` — one observability run: a multi-GPU SSD-staged pregated serve
+  with span logging and probes on, written as Chrome trace-event JSON
+  (``--out``, openable at https://ui.perfetto.dev) with the sampled
+  metrics optionally exported via ``--metrics-out``;
 * ``simperf`` — the simulator's own performance (simulated requests per
   wall-clock second, peak resident op count) across the serving-engine
-  modes (trace / no-trace / kernel / kernel+replay); ``--full`` runs the
-  recorded 1.6k/16k/100k scaling ladder and rewrites
-  ``BENCH_simperf.json``, and quick runs fail if the no-trace throughput
-  drops below the recorded floor (the CI perf smoke).
+  modes (trace / no-trace / kernel / kernel+replay / probed); ``--full``
+  runs the recorded 1.6k/16k/100k scaling ladder and rewrites
+  ``BENCH_simperf.json``, and quick runs fail if the no-trace or probed
+  throughput drops below the recorded floor (the CI perf smoke).
 
 ``--quick`` shrinks the request count and grid for CI smoke runs;
+``--seed N`` reseeds the sweep's workload and arrival process;
 ``--workers N`` fans the sweep's grid cells out over a process pool (cells
 are independent simulations and the merged report is identical to the
-serial one); ``--profile`` wraps the in-process sweep in :mod:`cProfile`
-and prints the 25 highest-cumulative-time functions.
+serial one); ``--metrics-out PATH`` exports every cell's sampled probe
+series as JSONL (or CSV when PATH ends in ``.csv``); ``--profile`` wraps
+the in-process sweep in :mod:`cProfile` and prints the 25
+highest-cumulative-time functions.
 """
 
 from __future__ import annotations
@@ -31,61 +38,126 @@ from typing import Dict, List, Optional
 from .analysis.report import FigureReport, load_test_report
 from .analysis.simperf import SIMPERF_FILENAME, run_simperf, write_simperf
 from .moe.configs import get_config
-from .serving.scheduler import serve_load
+from .obs.probes import append_metrics_rows, write_metrics_rows
+from .obs.trace_export import write_chrome_trace
+from .serving.scheduler import make_scheduler, serve_load
 from .sweeps import profiled, run_grid
-from .workloads.arrivals import POISSON_QA_LOAD
+from .system.hardware import SSD_SYSTEM
+from .workloads.arrivals import POISSON_QA_LOAD, generate_timed_requests
 from .workloads.generator import WorkloadSpec
 
 #: Default output path of the ``simperf`` sweep (in the current directory).
 SIMPERF_JSON = SIMPERF_FILENAME
 
+#: Probe cadence (simulated seconds) for sweep cells when ``--metrics-out``
+#: is given, and for the ``trace`` scenario (always probed).
+PROBE_INTERVAL = 0.05
 
-def _workload(quick: bool) -> WorkloadSpec:
+#: Default output path of the ``trace`` sweep.
+TRACE_JSON = "trace.json"
+
+
+def _workload(quick: bool, seed: int = 0) -> WorkloadSpec:
     return WorkloadSpec(name="cli_sweep", num_requests=2 if quick else 4,
                         input_length=8, output_length=4 if quick else 8,
-                        routing_skew=1.5, seed=0)
+                        routing_skew=1.5, seed=seed)
 
 
 # The grid cells run through repro.sweeps.run_grid, which may dispatch them
 # to a process pool — so the serve callables are top-level functions
 # (picklable), parameterised with functools.partial.
-def _serve_expert_parallel(design: str, num_gpus: int, quick: bool = False):
+def _serve_expert_parallel(design: str, num_gpus: int, quick: bool = False,
+                           seed: int = 0, probes: bool = False):
     return serve_load(design, get_config("switch_base_64"),
-                      POISSON_QA_LOAD.with_overrides(request_rate=4.0),
-                      workload=_workload(quick), max_batch_size=4,
-                      num_gpus=num_gpus)
+                      POISSON_QA_LOAD.with_overrides(request_rate=4.0, seed=seed),
+                      workload=_workload(quick, seed), max_batch_size=4,
+                      num_gpus=num_gpus,
+                      probe_interval=PROBE_INTERVAL if probes else None)
 
 
-def _serve_load_cell(design: str, rate: float, quick: bool = False):
+def _serve_load_cell(design: str, rate: float, quick: bool = False,
+                     seed: int = 0, probes: bool = False):
     return serve_load(design, get_config("switch_base_64"),
-                      POISSON_QA_LOAD.with_overrides(request_rate=rate),
-                      workload=_workload(quick), max_batch_size=4)
+                      POISSON_QA_LOAD.with_overrides(request_rate=rate, seed=seed),
+                      workload=_workload(quick, seed), max_batch_size=4,
+                      probe_interval=PROBE_INTERVAL if probes else None)
 
 
-def run_expert_parallel(quick: bool, workers: Optional[int] = None) -> FigureReport:
+def _export_grid_metrics(results: Dict, axis_names: List[str],
+                         path: str) -> None:
+    """Write every probed cell's metric records, tagged with its axis values."""
+    rows: List[Dict[str, object]] = []
+    for combo, result in results.items():
+        if result.probes is None:
+            continue
+        append_metrics_rows(rows, result.probes, dict(zip(axis_names, combo)))
+    write_metrics_rows(rows, path)
+
+
+def run_expert_parallel(quick: bool, workers: Optional[int] = None,
+                        seed: int = 0,
+                        metrics_out: Optional[str] = None) -> FigureReport:
     """Design × num_gpus sweep on one expert-parallel replica."""
     designs = ("pregated", "ondemand") if quick else ("pregated", "ondemand",
                                                       "prefetch_all")
     gpu_counts = (1, 2) if quick else (1, 2, 4)
-    results = run_grid(partial(_serve_expert_parallel, quick=quick),
+    results = run_grid(partial(_serve_expert_parallel, quick=quick, seed=seed,
+                               probes=metrics_out is not None),
                        max_workers=workers,
                        design=list(designs), num_gpus=list(gpu_counts))
+    if metrics_out:
+        _export_grid_metrics(results, ["design", "num_gpus"], metrics_out)
     return load_test_report(
         list(results.values()), figure="expert_parallel sweep",
         description="Design ordering across expert-parallel replica sizes")
 
 
-def run_serving_load(quick: bool, workers: Optional[int] = None) -> FigureReport:
+def run_serving_load(quick: bool, workers: Optional[int] = None,
+                     seed: int = 0,
+                     metrics_out: Optional[str] = None) -> FigureReport:
     """Design × offered load on a single-GPU replica."""
     designs = ("pregated", "ondemand") if quick else ("pregated", "ondemand",
                                                       "prefetch_all")
     rates = (4.0,) if quick else (2.0, 8.0)
-    results = run_grid(partial(_serve_load_cell, quick=quick),
+    results = run_grid(partial(_serve_load_cell, quick=quick, seed=seed,
+                               probes=metrics_out is not None),
                        max_workers=workers,
                        design=list(designs), rate=list(rates))
+    if metrics_out:
+        _export_grid_metrics(results, ["design", "rate"], metrics_out)
     return load_test_report(
         list(results.values()), figure="serving_load sweep",
         description="Sustained throughput and tail latency under load")
+
+
+def run_trace(quick: bool, out: str = TRACE_JSON, seed: int = 0,
+              metrics_out: Optional[str] = None) -> FigureReport:
+    """One observed serve: spans + probes on, exported as a Perfetto trace."""
+    config = get_config("switch_base_64")
+    workload = _workload(quick, seed).with_overrides(
+        name="cli_trace", num_requests=4 if quick else 8)
+    load = POISSON_QA_LOAD.with_overrides(request_rate=4.0, seed=seed)
+    scheduler = make_scheduler("pregated", config, system=SSD_SYSTEM,
+                               stage_policy="lru", stage_capacity=8,
+                               num_gpus=2, max_batch_size=4,
+                               record_trace=True, span_log=True,
+                               probe_interval=PROBE_INTERVAL)
+    requests = generate_timed_requests(config, load, workload=workload)
+    result = scheduler.serve(requests, offered_load=load.request_rate)
+    write_chrome_trace(out, timeline=scheduler.last_timeline,
+                       spans=result.spans,
+                       metadata={"design": scheduler.design,
+                                 "config": config.name,
+                                 "system": SSD_SYSTEM.name,
+                                 "num_gpus": 2, "seed": seed})
+    if metrics_out:
+        rows: List[Dict[str, object]] = []
+        append_metrics_rows(rows, result.probes, {"design": scheduler.design})
+        write_metrics_rows(rows, metrics_out)
+    return load_test_report(
+        [result], figure="trace",
+        description=f"SSD-staged 2-GPU pregated serve, trace written to {out} "
+                    "(open at https://ui.perfetto.dev)")
 
 
 def run_simperf_sweep(quick: bool, workers: Optional[int] = None,
@@ -115,16 +187,19 @@ def run_simperf_sweep(quick: bool, workers: Optional[int] = None,
                            row["total_ops"], row["peak_resident_ops"],
                            row["replay_rounds"])
     floor = payload["floors"]["no_trace_req_per_s"]
+    # The probed mode shares the no-trace floor: the sampled probe layer
+    # must not cost a no-trace run more than the floor's jitter headroom.
     for size, by_mode in payload["scaling"].items():
-        no_trace = by_mode.get("no_trace")
-        if no_trace is None:
-            continue
-        measured = no_trace["simulated_requests_per_second"]
-        if measured < floor:
-            raise SystemExit(
-                f"simperf regression: no_trace mode served {measured:.1f} "
-                f"sim req/s at {size} requests, below the recorded floor of "
-                f"{floor:.1f} (see {SIMPERF_FILENAME})")
+        for mode in ("no_trace", "no_trace_probed"):
+            measured_mode = by_mode.get(mode)
+            if measured_mode is None:
+                continue
+            measured = measured_mode["simulated_requests_per_second"]
+            if measured < floor:
+                raise SystemExit(
+                    f"simperf regression: {mode} mode served {measured:.1f} "
+                    f"sim req/s at {size} requests, below the recorded floor "
+                    f"of {floor:.1f} (see {SIMPERF_FILENAME})")
     return report
 
 
@@ -132,6 +207,7 @@ SWEEPS: Dict[str, object] = {
     "expert_parallel": run_expert_parallel,
     "serving_load": run_serving_load,
     "simperf": run_simperf_sweep,
+    "trace": run_trace,
 }
 
 
@@ -148,6 +224,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="simperf only: run the recorded 1.6k/16k/100k "
                              "scaling ladder and rewrite BENCH_simperf.json "
                              "(minutes of wall time)")
+    parser.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="reseed the sweep's workload and arrival "
+                             "process (default 0)")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="run the sweep's grid cells on an N-process pool")
     parser.add_argument("--profile", action="store_true",
@@ -155,16 +234,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "25 functions by cumulative time")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="also write the report as CSV to PATH")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="trace only: trace-event JSON output path "
+                             f"(default {TRACE_JSON})")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="export sampled probe series as JSONL "
+                             "(CSV when PATH ends in .csv)")
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
     if args.sweep == "simperf" and args.workers is not None:
         parser.error("simperf measures the simulator's wall-clock serially; "
                      "--workers would distort it")
+    if args.sweep == "trace" and args.workers is not None:
+        parser.error("trace serves one scenario; --workers does not apply")
     if args.full and args.sweep != "simperf":
         parser.error("--full only applies to the simperf sweep")
     if args.full and args.quick:
         parser.error("--full and --quick are mutually exclusive")
+    if args.out is not None and args.sweep != "trace":
+        parser.error("--out only applies to the trace sweep")
+    if args.seed is not None and args.sweep == "simperf":
+        parser.error("simperf measures the recorded (seed-pinned) scenario; "
+                     "--seed does not apply")
+    if args.metrics_out is not None and args.sweep == "simperf":
+        parser.error("simperf reports wall-clock, not probe series; "
+                     "--metrics-out does not apply")
     if args.profile and args.workers is not None and args.workers > 1:
         parser.error("--profile profiles the in-process sweep; it cannot "
                      "see into --workers subprocesses")
@@ -173,9 +268,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name}: {runner.__doc__.strip().splitlines()[0]}")
         return 0
     runner = SWEEPS[args.sweep]
-    kwargs = {"workers": args.workers}
-    if args.sweep == "simperf":
-        kwargs["full"] = args.full
+    if args.sweep == "trace":
+        kwargs = {"out": args.out if args.out is not None else TRACE_JSON,
+                  "seed": args.seed or 0, "metrics_out": args.metrics_out}
+    elif args.sweep == "simperf":
+        kwargs = {"workers": args.workers, "full": args.full}
+    else:
+        kwargs = {"workers": args.workers, "seed": args.seed or 0,
+                  "metrics_out": args.metrics_out}
     if args.profile:
         report = profiled(runner, args.quick, **kwargs)
     else:

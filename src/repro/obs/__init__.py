@@ -1,0 +1,50 @@
+"""Observability layer: request spans, sampled probes, Perfetto export.
+
+Three complementary views of a serving run, all cheap enough to leave on
+in production-sized simulations:
+
+* :mod:`~repro.obs.spans` — per-request span trees (queue → prefill →
+  decode iterations → expert fetches with tier/hit attribution),
+  assembled from data the scheduler's round commits already produce;
+* :mod:`~repro.obs.probes` — sampled time-series gauges plus counters and
+  log-bucket histograms, surfaced on ``LoadTestResult.probes`` and merged
+  across replicas;
+* :mod:`~repro.obs.trace_export` — Chrome trace-event / Perfetto JSON
+  rendering of trace-mode timelines (lanes as tracks, requests as flows)
+  and span trees.
+"""
+
+from .probes import (
+    Counter,
+    GaugeSeries,
+    LogBucketHistogram,
+    MetricsRegistry,
+    ServingProbes,
+    merge_metrics,
+    write_metrics,
+)
+from .spans import PassFetch, RequestSpans, Span, SpanLog
+from .trace_export import (
+    build_chrome_trace,
+    span_trace_events,
+    timeline_trace_events,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "GaugeSeries",
+    "LogBucketHistogram",
+    "MetricsRegistry",
+    "ServingProbes",
+    "merge_metrics",
+    "write_metrics",
+    "PassFetch",
+    "RequestSpans",
+    "Span",
+    "SpanLog",
+    "build_chrome_trace",
+    "span_trace_events",
+    "timeline_trace_events",
+    "write_chrome_trace",
+]

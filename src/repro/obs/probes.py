@@ -1,0 +1,387 @@
+"""Sampled time-series probes: gauges, counters and log-bucket histograms.
+
+End-of-run aggregates (:class:`~repro.serving.metrics.LoadTestResult`) say
+*what* a load test did; they cannot say *when*.  The paper's claims — and
+the ROADMAP's autoscaler, which needs queue-depth and utilisation signals
+to act on — are temporal, so this module provides the time-series side of
+the observability layer:
+
+* :class:`GaugeSeries` — one sampled signal as parallel ``(time, value)``
+  arrays, with a declared merge ``mode`` (``sum`` for extensive quantities
+  like queue depth pooled across replicas, ``mean`` for intensive ones like
+  utilisation, ``max`` for high-water marks);
+* :class:`Counter` — a monotone event count;
+* :class:`LogBucketHistogram` — a log-bucketed distribution (exact count,
+  sum, min/max; power-of-``base`` buckets), cheap enough to observe every
+  scheduling round;
+* :class:`MetricsRegistry` — the named collection of all three, carried on
+  ``LoadTestResult.probes`` and merged across replicas like the existing
+  cache/tier stats (:func:`merge_metrics`).
+
+Cadence semantics
+-----------------
+The serving scheduler samples through :class:`ServingProbes` at **round
+boundaries**: after a round (or replayed window) completes, a sample is
+taken iff at least ``interval`` simulated seconds have passed since the
+previous sample.  Sample times are therefore *at least* ``interval`` apart
+but not on a fixed grid — a long round (or a fast-forwarded replay window)
+simply lands one sample at its end.  A forced final sample at the end of
+``serve`` pins the last value of every gauge to the end-of-run aggregate
+(the consistency contract the tests hold to 1e-9).
+
+Because replicas do not share a sample grid, gauges merge by **step
+alignment**: the merged series is sampled at the union of the input sample
+times, each input held at its last sampled value (0.0 before its first
+sample), combined under the series' merge mode.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from typing import Dict, List, Optional, Sequence
+
+GAUGE_MODES = ("sum", "mean", "max")
+
+
+class GaugeSeries:
+    """One sampled time series: parallel time/value lists plus a merge mode."""
+
+    __slots__ = ("name", "mode", "times", "values")
+
+    def __init__(self, name: str, mode: str = "sum") -> None:
+        if mode not in GAUGE_MODES:
+            raise ValueError(f"unknown gauge mode {mode!r}; known: {GAUGE_MODES}")
+        self.name = name
+        self.mode = mode
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def sample(self, t: float, value: float) -> None:
+        """Record ``value`` at time ``t`` (non-decreasing times)."""
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"gauge {self.name!r} sampled at t={t} after t={self.times[-1]}")
+        self.times.append(t)
+        self.values.append(value)
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    @property
+    def max_value(self) -> Optional[float]:
+        return max(self.values) if self.values else None
+
+    @property
+    def mean_value(self) -> Optional[float]:
+        return sum(self.values) / len(self.values) if self.values else None
+
+    @staticmethod
+    def merged(series: Sequence["GaugeSeries"]) -> "GaugeSeries":
+        """Step-aligned merge of same-named series from concurrent replicas.
+
+        The output is sampled at the union of the inputs' sample times;
+        each input contributes its last value at or before the sample time
+        (0.0 before its first sample), combined under the shared mode.
+        """
+        if not series:
+            raise ValueError("no series to merge")
+        first = series[0]
+        for s in series[1:]:
+            if s.name != first.name or s.mode != first.mode:
+                raise ValueError(
+                    f"cannot merge gauge {s.name!r} ({s.mode}) into "
+                    f"{first.name!r} ({first.mode})")
+        out = GaugeSeries(first.name, first.mode)
+        times = sorted({t for s in series for t in s.times})
+        cursors = [0] * len(series)
+        held = [0.0] * len(series)
+        for t in times:
+            for i, s in enumerate(series):
+                while cursors[i] < len(s.times) and s.times[cursors[i]] <= t:
+                    held[i] = s.values[cursors[i]]
+                    cursors[i] += 1
+            if first.mode == "sum":
+                value = sum(held)
+            elif first.mode == "max":
+                value = max(held)
+            else:
+                value = sum(held) / len(held)
+            out.sample(t, value)
+        return out
+
+
+class Counter:
+    """A monotone event counter (merged by summing)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+
+class LogBucketHistogram:
+    """Distribution summary with power-of-``base`` buckets.
+
+    Bucket ``k`` covers ``(base**(k-1), base**k]``; zero observations are
+    counted separately.  Count, sum, min and max are tracked exactly, so
+    the mean is exact and only the shape is quantised.  Merged by summing
+    bucket counts.
+    """
+
+    __slots__ = ("name", "base", "buckets", "zeros", "count", "total",
+                 "min_value", "max_value")
+
+    def __init__(self, name: str, base: float = 2.0) -> None:
+        if base <= 1.0:
+            raise ValueError("histogram base must be > 1")
+        self.name = name
+        self.base = base
+        self.buckets: Dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r} observed negative {value}")
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        if value == 0:
+            self.zeros += 1
+            return
+        bucket = math.ceil(math.log(value, self.base) - 1e-12)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def upper_bound(self, bucket: int) -> float:
+        return self.base ** bucket
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> Dict[str, object]:
+        return {"count": self.count, "sum": self.total, "mean": self.mean,
+                "min": self.min_value, "max": self.max_value,
+                "zeros": self.zeros,
+                "buckets": {self.upper_bound(k): n
+                            for k, n in sorted(self.buckets.items())}}
+
+
+class MetricsRegistry:
+    """Named gauges, counters and histograms of one serving run."""
+
+    def __init__(self) -> None:
+        self.gauges: Dict[str, GaugeSeries] = {}
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, LogBucketHistogram] = {}
+
+    def gauge(self, name: str, mode: str = "sum") -> GaugeSeries:
+        series = self.gauges.get(name)
+        if series is None:
+            series = self.gauges[name] = GaugeSeries(name, mode)
+        elif series.mode != mode:
+            raise ValueError(
+                f"gauge {name!r} registered with mode {series.mode!r}, "
+                f"requested {mode!r}")
+        return series
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str, base: float = 2.0) -> LogBucketHistogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = LogBucketHistogram(name, base=base)
+        return hist
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """Scalar roll-up of every instrument (for reports and asserts)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, g in sorted(self.gauges.items()):
+            out[name] = {"kind": "gauge", "mode": g.mode, "samples": len(g),
+                         "last": g.last, "max": g.max_value,
+                         "mean": g.mean_value}
+        for name, c in sorted(self.counters.items()):
+            out[name] = {"kind": "counter", "value": c.value}
+        for name, h in sorted(self.histograms.items()):
+            out[name] = {"kind": "histogram", **h.summary()}
+        return out
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """Flat export rows (JSONL / CSV): kind, name, t, value.
+
+        Gauges emit one row per sample (``t`` = sample time); counters one
+        row (``t`` empty); histograms one row per bucket (``t`` = bucket
+        upper bound, ``value`` = count) plus a ``histogram_count`` /
+        ``histogram_sum`` pair.
+        """
+        rows: List[Dict[str, object]] = []
+        for name, g in sorted(self.gauges.items()):
+            rows.extend({"kind": "gauge", "name": name, "t": t, "value": v}
+                        for t, v in zip(g.times, g.values))
+        for name, c in sorted(self.counters.items()):
+            rows.append({"kind": "counter", "name": name, "t": None,
+                         "value": c.value})
+        for name, h in sorted(self.histograms.items()):
+            rows.append({"kind": "histogram_count", "name": name, "t": None,
+                         "value": h.count})
+            rows.append({"kind": "histogram_sum", "name": name, "t": None,
+                         "value": h.total})
+            if h.zeros:
+                rows.append({"kind": "histogram_bucket", "name": name,
+                             "t": 0.0, "value": h.zeros})
+            rows.extend({"kind": "histogram_bucket", "name": name,
+                         "t": h.upper_bound(k), "value": n}
+                        for k, n in sorted(h.buckets.items()))
+        return rows
+
+    def merged_with(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        merged = merge_metrics([self, other])
+        assert merged is not None
+        return merged
+
+
+def merge_metrics(registries: Sequence[Optional[MetricsRegistry]]
+                  ) -> Optional[MetricsRegistry]:
+    """Pool per-replica registries; ``None`` only when no replica had one.
+
+    Gauges merge by step alignment under their declared mode (see the
+    module docstring); counters and histogram buckets sum.  Instruments
+    present on only some replicas merge over the replicas that have them.
+    """
+    present = [r for r in registries if r is not None]
+    if not present:
+        return None
+    merged = MetricsRegistry()
+    gauge_names = sorted({n for r in present for n in r.gauges})
+    for name in gauge_names:
+        series = [r.gauges[name] for r in present if name in r.gauges]
+        merged.gauges[name] = GaugeSeries.merged(series)
+    counter_names = sorted({n for r in present for n in r.counters})
+    for name in counter_names:
+        merged.counter(name).add(sum(r.counters[name].value for r in present
+                                     if name in r.counters))
+    hist_names = sorted({n for r in present for n in r.histograms})
+    for name in hist_names:
+        parts = [r.histograms[name] for r in present if name in r.histograms]
+        out = merged.histogram(name, base=parts[0].base)
+        for h in parts:
+            if h.base != out.base:
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bases {out.base} vs {h.base}")
+            out.count += h.count
+            out.total += h.total
+            out.zeros += h.zeros
+            for k, n in h.buckets.items():
+                out.buckets[k] = out.buckets.get(k, 0) + n
+            if h.min_value is not None and (out.min_value is None
+                                            or h.min_value < out.min_value):
+                out.min_value = h.min_value
+            if h.max_value is not None and (out.max_value is None
+                                            or h.max_value > out.max_value):
+                out.max_value = h.max_value
+    return merged
+
+
+class ServingProbes:
+    """Round-boundary sampler owned by one scheduler's ``serve`` call.
+
+    Holds the cadence state (``interval``, time of the next eligible
+    sample) and the registry the samples land in; the scheduler supplies
+    the signal values because only it can read them cheaply.  All per-round
+    work is a single float comparison when no sample is due.
+    """
+
+    __slots__ = ("interval", "registry", "_next_sample", "last_sample")
+
+    def __init__(self, interval: float) -> None:
+        if interval <= 0:
+            raise ValueError(f"probe interval must be > 0, got {interval}")
+        self.interval = interval
+        self.registry = MetricsRegistry()
+        self._next_sample = 0.0
+        self.last_sample: Optional[float] = None
+
+    def due(self, now: float) -> bool:
+        return now >= self._next_sample
+
+    def mark_sampled(self, now: float) -> None:
+        self._next_sample = now + self.interval
+        self.last_sample = now
+
+    def observe_round(self, num_ops: int) -> None:
+        """Account one executed (non-replayed) scheduling round."""
+        self.registry.counter("rounds").add(1)
+        self.registry.histogram("round_ops").observe(float(num_ops))
+
+
+def write_metrics(registry: MetricsRegistry, path: str,
+                  extra: Optional[Dict[str, object]] = None) -> None:
+    """Write a registry's records to ``path`` as JSONL or CSV.
+
+    The format follows the extension: ``.csv`` writes a header plus one
+    row per record; anything else writes JSON-lines.  ``extra`` adds
+    constant key/value columns to every row (sweep-cell identification).
+    """
+    rows = registry.to_records()
+    if extra:
+        rows = [{**extra, **row} for row in rows]
+    if path.endswith(".csv"):
+        fields = list(extra or ()) + ["kind", "name", "t", "value"]
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer.writeheader()
+            writer.writerows(rows)
+    else:
+        with open(path, "w") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+
+
+def append_metrics_rows(rows: List[Dict[str, object]],
+                        registry: MetricsRegistry,
+                        extra: Dict[str, object]) -> None:
+    """Collect one sweep cell's records, tagged with its axis values."""
+    rows.extend({**extra, **row} for row in registry.to_records())
+
+
+def write_metrics_rows(rows: List[Dict[str, object]], path: str) -> None:
+    """Write pre-collected (possibly multi-cell) metric rows to disk."""
+    if path.endswith(".csv"):
+        fields: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in fields:
+                    fields.append(key)
+        if not fields:
+            fields = ["kind", "name", "t", "value"]
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer.writeheader()
+            writer.writerows(rows)
+    else:
+        with open(path, "w") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")

@@ -105,6 +105,8 @@ class ReplicaCluster:
                  record_trace: bool = False,
                  timeline_engine: str = "array",
                  round_replay: bool = True,
+                 probe_interval: Optional[float] = None,
+                 span_log: bool = False,
                  max_workers: Optional[int] = None) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
@@ -128,6 +130,8 @@ class ReplicaCluster:
         self.record_trace = record_trace
         self.timeline_engine = timeline_engine
         self.round_replay = round_replay
+        self.probe_interval = probe_interval
+        self.span_log = span_log
         #: Process-pool width for :meth:`serve`; ``None``/1 serves the
         #: replicas sequentially in-process.
         self.max_workers = max_workers
@@ -145,7 +149,9 @@ class ReplicaCluster:
                                         interconnect=interconnect,
                                         record_trace=record_trace,
                                         timeline_engine=timeline_engine,
-                                        round_replay=round_replay)
+                                        round_replay=round_replay,
+                                        probe_interval=probe_interval,
+                                        span_log=span_log)
             for _ in range(num_replicas)
         ]
         self._affinity_window = (cache_capacity if cache_capacity

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.probes import MetricsRegistry, merge_metrics
+from ..obs.spans import RequestSpans
 from ..system.residency import ResidencyStats
 from ..system.tiers import TierTransferStats, merge_optional_stats, merge_tier_stats
 
@@ -300,6 +302,14 @@ class LoadTestResult:
     replay_windows: int = 0
     replay_rounds: int = 0
     replay_ops: int = 0
+    #: Sampled time-series probes (queue depth, utilisation, residency …)
+    #: when the scheduler served with ``probe_interval`` set; ``None``
+    #: otherwise.  Merged across replicas by
+    #: :func:`repro.obs.probes.merge_metrics`.
+    probes: Optional[MetricsRegistry] = None
+    #: Per-request span trees when the scheduler served with ``span_log``;
+    #: ``None`` otherwise.  Pooled (sorted by request id) across a fleet.
+    spans: Optional[List[RequestSpans]] = None
     oom: bool = False
     oom_reason: str = ""
 
@@ -361,6 +371,21 @@ class LoadTestResult:
         """Bytes read off the SSD tier (0 for DRAM offload / GPU-only)."""
         return self.tier_stats.ssd_bytes_read if self.tier_stats is not None else 0
 
+    @property
+    def probe_samples(self) -> Optional[int]:
+        """Samples taken by the widest probe gauge; ``None`` without probes."""
+        if self.probes is None or not self.probes.gauges:
+            return None
+        return max(len(g) for g in self.probes.gauges.values())
+
+    @property
+    def max_queue_depth(self) -> Optional[float]:
+        """Peak sampled queue depth; ``None`` without probes."""
+        if self.probes is None:
+            return None
+        gauge = self.probes.gauges.get("queue_depth")
+        return gauge.max_value if gauge is not None else None
+
     def summary(self) -> Dict[str, object]:
         ttft = self.ttft_stats
         tbt = self.tbt_stats
@@ -397,6 +422,11 @@ class LoadTestResult:
             "alltoall_mb": (self.alltoall_bytes / 1e6
                             if self.num_gpus != 1 else None),
             "shard_imbalance": self.shard_imbalance,
+            "replay_windows": self.replay_windows,
+            "replay_rounds": self.replay_rounds,
+            "replay_ops": self.replay_ops,
+            "probe_samples": self.probe_samples,
+            "max_queue_depth": self.max_queue_depth,
         }
 
 
@@ -455,9 +485,14 @@ def merge_load_results(results: Sequence[LoadTestResult],
         replay_windows=sum(r.replay_windows for r in results),
         replay_rounds=sum(r.replay_rounds for r in results),
         replay_ops=sum(r.replay_ops for r in results),
+        probes=merge_metrics([r.probes for r in results]),
         oom=any(r.oom for r in results),
         oom_reason="; ".join(r.oom_reason for r in results if r.oom_reason),
     )
+    span_lists = [r.spans for r in results if r.spans is not None]
+    if span_lists:
+        merged.spans = sorted((tree for trees in span_lists for tree in trees),
+                              key=lambda tree: tree.request_id)
     for result in results:
         merged.requests.extend(result.requests)
     merged.requests.sort(key=lambda r: (r.arrival_time, r.request_id))

@@ -356,6 +356,13 @@ class ShardedPlacement:
         #: here with its per-hop byte attribution and stage hit/miss outcome.
         self.transfers = TierTransferStats(
             source_tier=system.offload_tier if offload_experts else "hbm")
+        #: Observability hook: when a list is installed here (the scheduler
+        #: does so while span logging is enabled), :meth:`route_fetch`
+        #: appends ``(source_tier, stage_hit)`` per issued fetch, in copy-op
+        #: emission order — the attribution the span assembler zips with
+        #: the pass's transfer ops.  ``None`` (default) costs one ``is not
+        #: None`` check per fetch.
+        self.route_log: Optional[List[Tuple[str, bool]]] = None
         #: Bytes each device's fetches moved over its copy lane (shard
         #: imbalance telemetry).
         self.device_fetch_bytes: List[int] = [0] * num_devices
@@ -595,6 +602,8 @@ class ShardedPlacement:
                     device=device)
         self.transfers.record_fetch(route, num_bytes)
         self.device_fetch_bytes[device] += int(num_bytes)
+        if self.route_log is not None:
+            self.route_log.append((route.source_tier, route.stage_hit))
         return route
 
     def _path_times(self, path, num_bytes: int) -> Tuple[float, float, float]:

@@ -43,6 +43,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..moe.configs import ModelConfig, get_config
+from ..obs.probes import ServingProbes
+from ..obs.spans import (CAT_DECODE as SPAN_DECODE, CAT_FETCH as SPAN_FETCH,
+                         CAT_PREFILL as SPAN_PREFILL, CAT_STAGE as SPAN_STAGE,
+                         PassFetch, SpanLog)
 from ..system.cache import ExpertCache
 from ..system.hardware import PAPER_SYSTEM, LinkSpec, SystemSpec
 from ..system.memory import OutOfMemoryError
@@ -57,7 +61,8 @@ from .engine import EngineConfig, _ENGINES
 from .metrics import LoadTestResult, ServedRequestResult
 from .placement import ModelPlacement
 from .prefetch import CrossRequestPrefetcher
-from .simulator import EmittedPass, IterationSimulator, SharedExpertRound
+from .simulator import (CAT_EXPERT_TRANSFER, CAT_STAGE_IN, EmittedPass,
+                        IterationSimulator, SharedExpertRound)
 
 
 @dataclass
@@ -660,7 +665,23 @@ class ContinuousBatchingScheduler:
         in closed form (see :class:`_RoundReplay`).  Exact by construction:
         replay only applies when the extrapolation provably matches what
         step-by-step execution would produce.  Ignored (never fires) with
-        the scalar engine, trace recording, caches or staging.
+        the scalar engine, trace recording, caches, staging or span
+        logging.
+    probe_interval:
+        Enable the sampled probe layer: every ``probe_interval`` simulated
+        seconds (measured at round boundaries — see
+        :class:`~repro.obs.probes.ServingProbes` for the cadence
+        semantics), gauges for queue depth, active batch size, HBM usage,
+        resident/staged expert bytes, per-device utilisation, replay
+        engagement and timeline op count are sampled into a
+        :class:`~repro.obs.probes.MetricsRegistry` surfaced as
+        ``result.probes``.  ``None`` (default) disables all probe work.
+    span_log:
+        Record a per-request span tree (queue → prefill → decode
+        iterations → expert fetches with source-tier and stage hit/miss
+        attribution) on ``result.spans``.  Assembled from each round's
+        committed op columns, so it works in no-trace mode; requires the
+        array timeline engine and stands down round replay.
     """
 
     def __init__(self, design: str, config: "ModelConfig | str",
@@ -679,7 +700,9 @@ class ContinuousBatchingScheduler:
                  interconnect: Optional[LinkSpec] = None,
                  record_trace: bool = False,
                  timeline_engine: str = "array",
-                 round_replay: bool = True) -> None:
+                 round_replay: bool = True,
+                 probe_interval: Optional[float] = None,
+                 span_log: bool = False) -> None:
         if design not in _ENGINES:
             raise ValueError(f"unknown design {design!r}; known: {sorted(_ENGINES)}")
         if max_batch_size < 1:
@@ -688,6 +711,14 @@ class ContinuousBatchingScheduler:
             raise ValueError(
                 f"unknown timeline_engine {timeline_engine!r}; "
                 f"known: {sorted(TIMELINE_ENGINES)}")
+        if probe_interval is not None and probe_interval <= 0:
+            raise ValueError(
+                f"probe_interval must be > 0 (or None), got {probe_interval}")
+        if span_log and timeline_engine != "array":
+            raise ValueError(
+                "span_log needs the array timeline engine: spans are "
+                "assembled from each round's committed op columns, which "
+                "the scalar path never materialises")
         if cache is not None:
             if cache_policy is not None or cache_capacity is not None:
                 raise ValueError(
@@ -708,6 +739,8 @@ class ContinuousBatchingScheduler:
         self.record_trace = record_trace
         self.timeline_engine = timeline_engine
         self.round_replay = round_replay
+        self.probe_interval = probe_interval
+        self.span_log = span_log
         self.placement = ModelPlacement(
             self.config, system, offload_experts=design != "gpu_only",
             cache_policy=cache_policy, cache_capacity=cache_capacity,
@@ -781,46 +814,84 @@ class ContinuousBatchingScheduler:
         # materialise, and the batched kernel's column template.
         replay: Optional[_RoundReplay] = None
         if (batched and self.round_replay and not self.record_trace
+                and not self.span_log
                 and self.placement.residency is None
                 and self.placement.stage is None):
             replay = _RoundReplay(self)
         self.last_replay = replay
+        probes = (ServingProbes(self.probe_interval)
+                  if self.probe_interval is not None else None)
+        spans = SpanLog() if self.span_log else None
+        logged_spans: List = []
+        if spans is not None:
+            # Install the fetch-attribution hook; drained once per round by
+            # the batched path, uninstalled when serving ends.
+            self.placement.route_log = []
         pending = deque(sorted(timed, key=lambda r: (r.arrival_time, r.request_id)))
         active: List[_InFlightRequest] = []
 
-        while pending or active:
-            now = timeline.stream_free_time(Stream.COMPUTE)
-            if not active and pending:
-                # Idle replica: jump to the next arrival so every request of
-                # a simultaneous burst is admitted into the same round (the
-                # ops themselves are gated on arrival via earliest_start).
-                now = max(now, pending[0].arrival_time)
-            while (pending and len(active) < self.max_batch_size
-                   and pending[0].arrival_time <= now):
-                active.append(_InFlightRequest(timed=pending.popleft()))
+        try:
+            while pending or active:
+                now = timeline.stream_free_time(Stream.COMPUTE)
+                if not active and pending:
+                    # Idle replica: jump to the next arrival so every request of
+                    # a simultaneous burst is admitted into the same round (the
+                    # ops themselves are gated on arrival via earliest_start).
+                    now = max(now, pending[0].arrival_time)
+                while (pending and len(active) < self.max_batch_size
+                       and pending[0].arrival_time <= now):
+                    admitted = _InFlightRequest(timed=pending.popleft())
+                    active.append(admitted)
+                    if spans is not None:
+                        spans.admit(admitted.timed.request_id,
+                                    admitted.timed.arrival_time)
 
-            if not (replay is not None and replay.ready()
-                    and replay.try_apply(timeline, active, pending)):
-                if batched:
-                    self._run_round_batched(timeline, active, replay)
-                else:
-                    self._run_round(timeline, active)
-            # One-pass rebuild of the in-flight list; removing finished
-            # states with list.remove() was O(batch²) per round.
-            still_active: List[_InFlightRequest] = []
-            for state in active:
-                if state.done:
-                    result.requests.append(self._finalise(state, replica))
-                else:
-                    still_active.append(state)
-            active = still_active
-            # After a round, the only op ids a future op can name are the
-            # in-flight requests' carried cross-pass dependencies (trailing
-            # all-to-all combines); everything else is retired so resident
-            # op count stays O(active window) in no-trace mode.
-            timeline.retire_completed(
-                keep=[dep for state in active for dep in state.pending_deps])
+                ops_before = timeline.num_ops if probes is not None else 0
+                replayed = (replay is not None and replay.ready()
+                            and replay.try_apply(timeline, active, pending))
+                if not replayed:
+                    if batched:
+                        self._run_round_batched(timeline, active, replay, spans)
+                    else:
+                        self._run_round(timeline, active)
+                    if probes is not None:
+                        probes.observe_round(timeline.num_ops - ops_before)
+                # One-pass rebuild of the in-flight list; removing finished
+                # states with list.remove() was O(batch²) per round.
+                still_active: List[_InFlightRequest] = []
+                for state in active:
+                    if state.done:
+                        result.requests.append(self._finalise(state, replica))
+                        if spans is not None:
+                            logged_spans.append(spans.finalise(
+                                state.timed.request_id,
+                                state.token_times[-1] if state.token_times
+                                else (state.first_scheduled_time or 0.0)))
+                    else:
+                        still_active.append(state)
+                active = still_active
+                # After a round, the only op ids a future op can name are the
+                # in-flight requests' carried cross-pass dependencies (trailing
+                # all-to-all combines); everything else is retired so resident
+                # op count stays O(active window) in no-trace mode.
+                timeline.retire_completed(
+                    keep=[dep for state in active for dep in state.pending_deps])
+                if probes is not None and probes.due(timeline.makespan):
+                    self._sample_probes(probes, timeline, timeline.makespan,
+                                        len(pending), len(active), replay)
+        finally:
+            if spans is not None:
+                self.placement.route_log = None
 
+        if probes is not None:
+            # Forced final sample: every gauge's last value matches the
+            # end-of-run aggregates (the probe-consistency contract).
+            if probes.last_sample != timeline.makespan:
+                self._sample_probes(probes, timeline, timeline.makespan,
+                                    0, 0, replay)
+            result.probes = probes.registry
+        if spans is not None:
+            result.spans = logged_spans
         result.makespan = timeline.makespan
         result.peak_gpu_bytes = self.placement.peak_gpu_bytes
         result.expert_bytes_transferred = (
@@ -870,7 +941,8 @@ class ContinuousBatchingScheduler:
 
     def _run_round_batched(self, timeline: ArrayTimeline,
                            active: Sequence[_InFlightRequest],
-                           replay: Optional[_RoundReplay]) -> None:
+                           replay: Optional[_RoundReplay],
+                           spans: Optional[SpanLog] = None) -> None:
         """Advance every in-flight request by one unit as one op batch.
 
         The columnar twin of :meth:`_run_round`: the same plans, the same
@@ -900,11 +972,18 @@ class ContinuousBatchingScheduler:
         batch = timeline.begin_batch()
         passes: List[EmittedPass] = []
         was_decode: List[bool] = []
+        route_log = self.placement.route_log
+        # Per-pass (op_lo, op_hi, route_lo, route_hi) slices of the batch
+        # and the fetch-attribution log, recorded only when span logging.
+        pass_bounds: List[Tuple[int, int, int, int]] = []
         try:
             for state, plan in zip(active, plans):
                 label = f"r{state.timed.request_id}."
                 start_at = (state.timed.arrival_time
                             if state.first_scheduled_time is None else 0.0)
+                if spans is not None:
+                    ops_lo = len(batch.stream)
+                    routes_lo = len(route_log) if route_log is not None else 0
                 if not state.prefilled:
                     em = self.simulator.emit_encoder_pass(
                         batch, state.trace.encoder_activations,
@@ -925,6 +1004,10 @@ class ContinuousBatchingScheduler:
                     state.next_decode += 1
                     was_decode.append(True)
                 passes.append(em)
+                if spans is not None:
+                    pass_bounds.append((
+                        ops_lo, len(batch.stream), routes_lo,
+                        len(route_log) if route_log is not None else 0))
         finally:
             batch_round.drain(self.placement)
         starts, ends = timeline.commit_batch(batch)
@@ -934,6 +1017,18 @@ class ContinuousBatchingScheduler:
             state.pending_deps = list(em.carry_deps)
             if state.first_scheduled_time is None:
                 state.first_scheduled_time = float(starts[em.first_index])
+        if spans is not None:
+            for state, em, decoded, bounds in zip(active, passes, was_decode,
+                                                  pass_bounds):
+                # next_decode was already advanced above for decode passes.
+                iteration = state.next_decode - 1 if decoded else 0
+                spans.record_pass(
+                    state.timed.request_id,
+                    SPAN_DECODE if decoded else SPAN_PREFILL, iteration,
+                    float(starts[em.first_index]), float(ends[em.last_index]),
+                    self._pass_fetches(batch, starts, ends, bounds, route_log))
+            if route_log is not None:
+                del route_log[:]
         if replay is None:
             return
         if not eligible or (batch.dep_ids
@@ -950,6 +1045,67 @@ class ContinuousBatchingScheduler:
             snapshot=timeline.replay_snapshot(),
             counters=self.placement.replay_counters(),
             peak_gpu_bytes=self.placement.peak_gpu_bytes))
+
+    def _pass_fetches(self, batch: OpBatch, starts: np.ndarray,
+                      ends: np.ndarray, bounds: Tuple[int, int, int, int],
+                      route_log) -> List[PassFetch]:
+        """Attribute one pass's expert-fetch ops to their routing decisions.
+
+        ``route_fetch`` calls align 1:1 with ``CAT_EXPERT_TRANSFER`` copy ops
+        in emission order, and a ``CAT_STAGE_IN`` op (when present) directly
+        precedes its copy op — so the stage op peeks the route at the cursor
+        without consuming it.
+        """
+        lo, hi, rlo, rhi = bounds
+        routes = route_log[rlo:rhi] if route_log is not None else []
+        categories = batch.category
+        devices = batch.device
+        num_bytes = batch.num_bytes
+        fetches: List[PassFetch] = []
+        cursor = 0
+        for i in range(lo, hi):
+            cat = categories[i]
+            if cat == CAT_EXPERT_TRANSFER:
+                tier, hit = (routes[cursor] if cursor < len(routes)
+                             else ("unknown", False))
+                cursor += 1
+                kind = SPAN_FETCH
+            elif cat == CAT_STAGE_IN:
+                tier, hit = (routes[cursor] if cursor < len(routes)
+                             else ("unknown", False))
+                kind = SPAN_STAGE
+            else:
+                continue
+            fetches.append(PassFetch(
+                kind=kind, start=float(starts[i]), end=float(ends[i]),
+                device=int(devices[i]), num_bytes=float(num_bytes[i]),
+                source_tier=tier, stage_hit=hit))
+        return fetches
+
+    def _sample_probes(self, probes: ServingProbes,
+                       timeline: Union[ExecutionTimeline, ArrayTimeline],
+                       now: float, queue_depth: int, active_requests: int,
+                       replay: Optional[_RoundReplay]) -> None:
+        """Record one sample of every serving gauge at sim-time ``now``."""
+        reg = probes.registry
+        placement = self.placement
+        reg.gauge("queue_depth", mode="max").sample(now, float(queue_depth))
+        reg.gauge("active_requests").sample(now, float(active_requests))
+        reg.gauge("hbm_used_bytes").sample(
+            now, float(sum(s.pool.in_use for s in placement.shards)))
+        reg.gauge("resident_expert_bytes").sample(
+            now, float(sum(s.pool.category_usage("experts")
+                           for s in placement.shards)))
+        staged = sum(s.stage.resident_bytes for s in placement.shards
+                     if s.stage is not None)
+        reg.gauge("staged_expert_bytes").sample(now, float(staged))
+        for d in range(placement.num_devices):
+            reg.gauge(f"device{d}_utilisation", mode="mean").sample(
+                now, timeline.device_utilisation(d))
+        reg.gauge("replay_rounds").sample(
+            now, float(replay.rounds if replay is not None else 0))
+        reg.gauge("timeline_ops").sample(now, float(timeline.num_ops))
+        probes.mark_sampled(now)
 
     def _next_unit(self, state: _InFlightRequest):
         if not state.prefilled:
@@ -1008,7 +1164,9 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
                interconnect: Optional[LinkSpec] = None,
                record_trace: bool = False,
                timeline_engine: str = "array",
-               round_replay: bool = True) -> LoadTestResult:
+               round_replay: bool = True,
+               probe_interval: Optional[float] = None,
+               span_log: bool = False) -> LoadTestResult:
     """Materialise a :class:`LoadSpec` and serve it on one replica.
 
     The one-call load-test entry point: open-loop specs timestamp requests
@@ -1037,7 +1195,9 @@ def serve_load(design: str, config: "ModelConfig | str", load: LoadSpec,
                                             interconnect=interconnect,
                                             record_trace=record_trace,
                                             timeline_engine=timeline_engine,
-                                            round_replay=round_replay)
+                                            round_replay=round_replay,
+                                            probe_interval=probe_interval,
+                                            span_log=span_log)
     offered = load.request_rate if load.mode == "open" else None
     return scheduler.serve(requests, offered_load=offered)
 
@@ -1056,7 +1216,9 @@ def make_scheduler(design: str, config: "ModelConfig | str",
                    interconnect: Optional[LinkSpec] = None,
                    record_trace: bool = False,
                    timeline_engine: str = "array",
-                   round_replay: bool = True) -> ContinuousBatchingScheduler:
+                   round_replay: bool = True,
+                   probe_interval: Optional[float] = None,
+                   span_log: bool = False) -> ContinuousBatchingScheduler:
     """Factory mirroring :func:`repro.serving.engine.make_engine`."""
     return ContinuousBatchingScheduler(design, config, system=system,
                                        engine_config=engine_config,
@@ -1071,4 +1233,6 @@ def make_scheduler(design: str, config: "ModelConfig | str",
                                        interconnect=interconnect,
                                        record_trace=record_trace,
                                        timeline_engine=timeline_engine,
-                                       round_replay=round_replay)
+                                       round_replay=round_replay,
+                                       probe_interval=probe_interval,
+                                       span_log=span_log)

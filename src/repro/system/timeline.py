@@ -606,7 +606,12 @@ class ExecutionTimeline:
     # Rendering (Figure 9 style traces)
     # ------------------------------------------------------------------
     def render_ascii(self, width: int = 80, label_width: int = 28) -> str:
-        """Render a compact two-row Gantt chart of the timeline."""
+        """Render a compact two-row Gantt chart of the timeline.
+
+        A quick terminal sketch; for a zoomable, queryable view export the
+        timeline with :func:`repro.obs.trace_export.write_chrome_trace`
+        and open it in Perfetto / chrome://tracing.
+        """
         self._require_trace("render_ascii")
         if not self._live:
             return "(empty timeline)"
@@ -635,7 +640,8 @@ class ExecutionTimeline:
         return "\n".join(lines)
 
     def to_records(self) -> List[Dict[str, object]]:
-        """Timeline as a list of dictionaries (for CSV emission / reporting)."""
+        """Timeline as a list of dictionaries (CSV emission / reporting /
+        the Perfetto exporter in :mod:`repro.obs.trace_export`)."""
         self._require_trace("to_records")
         return [
             {
@@ -647,6 +653,8 @@ class ExecutionTimeline:
                 "start": op.start,
                 "end": op.end,
                 "duration": op.duration,
+                "num_bytes": op.num_bytes,
+                "earliest_start": op.earliest_start,
             }
             for op in self._live.values()
         ]

@@ -170,6 +170,38 @@ class TestLoadTestReport:
         assert row["ssd_gb_read"] == 3.0
         assert row["stage_hit_rate"] == 0.25
 
+    def test_replay_and_probe_columns(self):
+        from repro.analysis import load_test_report
+        from repro.obs.probes import MetricsRegistry
+
+        plain = self.make_load_result()
+        row = dict(zip(load_test_report([plain]).headers,
+                       load_test_report([plain]).rows[0]))
+        # Replay telemetry is always reported (0 when replay never engaged);
+        # probe columns show placeholders when probes were off.
+        assert row["replay_windows"] == 0
+        assert row["replay_rounds"] == 0
+        assert row["replay_ops"] == 0
+        assert row["probe_samples"] == "-"
+        assert row["max_queue_depth"] == "-"
+
+        probed = self.make_load_result()
+        probed.replay_windows = 2
+        probed.replay_rounds = 40
+        probed.replay_ops = 1200
+        probed.probes = MetricsRegistry()
+        gauge = probed.probes.gauge("queue_depth", mode="max")
+        gauge.sample(0.0, 1.0)
+        gauge.sample(0.5, 5.0)
+        gauge.sample(1.0, 0.0)
+        row = dict(zip(load_test_report([probed]).headers,
+                       load_test_report([probed]).rows[0]))
+        assert row["replay_windows"] == 2
+        assert row["replay_rounds"] == 40
+        assert row["replay_ops"] == 1200
+        assert row["probe_samples"] == 3
+        assert row["max_queue_depth"] == 5.0
+
     def test_renderable(self):
         from repro.analysis import load_test_report
         text = load_test_report([self.make_load_result()],

@@ -1,0 +1,250 @@
+"""Tests for the sampled probe layer: gauges, counters, histograms, export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.obs.probes import (
+    GAUGE_MODES,
+    Counter,
+    GaugeSeries,
+    LogBucketHistogram,
+    MetricsRegistry,
+    ServingProbes,
+    append_metrics_rows,
+    merge_metrics,
+    write_metrics,
+    write_metrics_rows,
+)
+
+
+class TestGaugeSeries:
+    def test_sample_and_aggregates(self):
+        g = GaugeSeries("queue_depth")
+        for t, v in [(0.0, 2.0), (1.0, 5.0), (2.0, 1.0)]:
+            g.sample(t, v)
+        assert len(g) == 3
+        assert g.last == 1.0
+        assert g.max_value == 5.0
+        assert g.mean_value == pytest.approx(8.0 / 3)
+
+    def test_empty_aggregates_are_none(self):
+        g = GaugeSeries("x")
+        assert g.last is None and g.max_value is None and g.mean_value is None
+
+    def test_rejects_decreasing_time(self):
+        g = GaugeSeries("x")
+        g.sample(1.0, 0.0)
+        with pytest.raises(ValueError, match="sampled at t=0.5"):
+            g.sample(0.5, 0.0)
+
+    def test_equal_times_allowed(self):
+        g = GaugeSeries("x")
+        g.sample(1.0, 1.0)
+        g.sample(1.0, 2.0)
+        assert g.values == [1.0, 2.0]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown gauge mode"):
+            GaugeSeries("x", mode="median")
+
+    @pytest.mark.parametrize("mode", GAUGE_MODES)
+    def test_merged_modes(self, mode):
+        a = GaugeSeries("g", mode)
+        b = GaugeSeries("g", mode)
+        a.sample(0.0, 2.0)
+        a.sample(2.0, 4.0)
+        b.sample(1.0, 10.0)
+        merged = GaugeSeries.merged([a, b])
+        # Union grid, each input held at its last value (0.0 before first).
+        assert merged.times == [0.0, 1.0, 2.0]
+        expected = {"sum": [2.0, 12.0, 14.0],
+                    "max": [2.0, 10.0, 10.0],
+                    "mean": [1.0, 6.0, 7.0]}[mode]
+        assert merged.values == expected
+
+    def test_merged_rejects_mode_mismatch(self):
+        a = GaugeSeries("g", "sum")
+        b = GaugeSeries("g", "max")
+        with pytest.raises(ValueError, match="cannot merge"):
+            GaugeSeries.merged([a, b])
+
+    def test_merged_needs_series(self):
+        with pytest.raises(ValueError):
+            GaugeSeries.merged([])
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("rounds")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x").add(-1)
+
+
+class TestLogBucketHistogram:
+    def test_bucket_edges(self):
+        h = LogBucketHistogram("ops", base=2.0)
+        # Bucket k covers (2**(k-1), 2**k]: 2.0 lands in bucket 1, 2.5 and
+        # 4.0 in bucket 2, 5.0 in bucket 3.
+        for v in (2.0, 2.5, 4.0, 5.0):
+            h.observe(v)
+        assert h.buckets == {1: 1, 2: 2, 3: 1}
+        assert h.count == 4
+        assert h.total == pytest.approx(13.5)
+        assert h.mean == pytest.approx(13.5 / 4)
+        assert (h.min_value, h.max_value) == (2.0, 5.0)
+
+    def test_zeros_counted_separately(self):
+        h = LogBucketHistogram("ops")
+        h.observe(0.0)
+        h.observe(1.0)
+        assert h.zeros == 1
+        assert h.buckets == {0: 1}
+
+    def test_rejects_negative_and_bad_base(self):
+        with pytest.raises(ValueError):
+            LogBucketHistogram("x").observe(-1.0)
+        with pytest.raises(ValueError):
+            LogBucketHistogram("x", base=1.0)
+
+    def test_summary_upper_bounds(self):
+        h = LogBucketHistogram("ops", base=2.0)
+        h.observe(3.0)
+        assert h.summary()["buckets"] == {4.0: 1}
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_memoised(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("q") is reg.gauge("q")
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_gauge_mode_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.gauge("util", mode="mean")
+        with pytest.raises(ValueError, match="registered with mode"):
+            reg.gauge("util", mode="sum")
+
+    def test_summary_shapes(self):
+        reg = MetricsRegistry()
+        reg.gauge("q").sample(0.0, 3.0)
+        reg.counter("rounds").add(2)
+        reg.histogram("ops").observe(4.0)
+        summary = reg.summary()
+        assert summary["q"]["kind"] == "gauge"
+        assert summary["q"]["last"] == 3.0
+        assert summary["rounds"] == {"kind": "counter", "value": 2}
+        assert summary["ops"]["kind"] == "histogram"
+        assert summary["ops"]["count"] == 1
+
+    def test_to_records_rows(self):
+        reg = MetricsRegistry()
+        reg.gauge("q").sample(0.5, 3.0)
+        reg.counter("rounds").add(2)
+        h = reg.histogram("ops")
+        h.observe(0.0)
+        h.observe(3.0)
+        rows = reg.to_records()
+        kinds = [row["kind"] for row in rows]
+        assert kinds == ["gauge", "counter", "histogram_count",
+                         "histogram_sum", "histogram_bucket",
+                         "histogram_bucket"]
+        assert rows[0] == {"kind": "gauge", "name": "q", "t": 0.5,
+                           "value": 3.0}
+        # Zeros bucket exports at t=0.0, the 3.0 observation at its upper
+        # bound 4.0.
+        assert [(r["t"], r["value"]) for r in rows[-2:]] == [(0.0, 1),
+                                                             (4.0, 1)]
+
+
+class TestMergeMetrics:
+    def test_none_only_when_all_none(self):
+        assert merge_metrics([None, None]) is None
+        reg = MetricsRegistry()
+        reg.counter("c").add(1)
+        merged = merge_metrics([None, reg])
+        assert merged is not None and merged.counters["c"].value == 1
+
+    def test_merges_all_instruments(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("q").sample(0.0, 1.0)
+        b.gauge("q").sample(1.0, 2.0)
+        a.counter("rounds").add(3)
+        b.counter("rounds").add(4)
+        a.histogram("ops").observe(2.0)
+        b.histogram("ops").observe(8.0)
+        merged = a.merged_with(b)
+        assert merged.gauges["q"].values == [1.0, 3.0]
+        assert merged.counters["rounds"].value == 7
+        h = merged.histograms["ops"]
+        assert h.count == 2 and h.total == 10.0
+        assert (h.min_value, h.max_value) == (2.0, 8.0)
+
+    def test_partial_instruments_merge_over_present(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("only_a").sample(0.0, 5.0)
+        b.counter("only_b").add(1)
+        merged = merge_metrics([a, b])
+        assert merged.gauges["only_a"].values == [5.0]
+        assert merged.counters["only_b"].value == 1
+
+
+class TestServingProbes:
+    def test_interval_validated(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            ServingProbes(0.0)
+
+    def test_cadence(self):
+        probes = ServingProbes(1.0)
+        assert probes.due(0.0)
+        probes.mark_sampled(0.3)
+        assert probes.last_sample == 0.3
+        assert not probes.due(1.2)
+        assert probes.due(1.3)
+
+    def test_observe_round(self):
+        probes = ServingProbes(1.0)
+        probes.observe_round(10)
+        probes.observe_round(4)
+        assert probes.registry.counters["rounds"].value == 2
+        assert probes.registry.histograms["round_ops"].total == 14.0
+
+
+class TestExport:
+    @pytest.fixture
+    def registry(self):
+        reg = MetricsRegistry()
+        reg.gauge("q").sample(0.0, 1.0)
+        reg.counter("rounds").add(1)
+        return reg
+
+    def test_jsonl(self, registry, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        write_metrics(registry, str(path), extra={"design": "pregated"})
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == 2
+        assert all(row["design"] == "pregated" for row in rows)
+        assert rows[0]["kind"] == "gauge" and rows[0]["value"] == 1.0
+
+    def test_csv(self, registry, tmp_path):
+        path = tmp_path / "metrics.csv"
+        write_metrics(registry, str(path))
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert [row["kind"] for row in rows] == ["gauge", "counter"]
+
+    def test_multi_cell_rows(self, registry, tmp_path):
+        rows = []
+        append_metrics_rows(rows, registry, {"rate": 2.0})
+        append_metrics_rows(rows, registry, {"rate": 8.0})
+        path = tmp_path / "cells.jsonl"
+        write_metrics_rows(rows, str(path))
+        decoded = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {row["rate"] for row in decoded} == {2.0, 8.0}

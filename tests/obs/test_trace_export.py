@@ -1,0 +1,137 @@
+"""Tests for the Chrome trace-event / Perfetto JSON exporter."""
+
+import json
+
+import pytest
+
+from repro.obs.trace_export import (
+    SPAN_PID,
+    STREAM_TIDS,
+    build_chrome_trace,
+    span_trace_events,
+    timeline_trace_events,
+    write_chrome_trace,
+)
+from repro.serving.scheduler import make_scheduler
+from repro.system.hardware import SSD_SYSTEM
+from repro.workloads.arrivals import POISSON_QA_LOAD, generate_timed_requests
+from repro.workloads.generator import WorkloadSpec
+
+WORKLOAD = WorkloadSpec(name="trace_test", num_requests=4, input_length=12,
+                        output_length=5, routing_skew=1.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def served():
+    """A trace-recording, span-logged multi-GPU SSD-staged serve."""
+    scheduler = make_scheduler("pregated", "switch_base_64",
+                               system=SSD_SYSTEM, stage_policy="lru",
+                               stage_capacity=8, num_gpus=2, max_batch_size=4,
+                               record_trace=True, span_log=True)
+    requests = generate_timed_requests("switch_base_64", POISSON_QA_LOAD,
+                                       workload=WORKLOAD)
+    result = scheduler.serve(requests, offered_load=4.0)
+    return scheduler, result
+
+
+@pytest.fixture(scope="module")
+def payload(served):
+    scheduler, result = served
+    return build_chrome_trace(timeline=scheduler.last_timeline,
+                              spans=result.spans,
+                              metadata={"design": "pregated"})
+
+
+class TestPayloadSchema:
+    def test_round_trips_as_json(self, payload, tmp_path):
+        path = tmp_path / "trace.json"
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        reloaded = json.loads(path.read_text())
+        assert reloaded["displayTimeUnit"] == "ms"
+        assert reloaded["otherData"] == {"design": "pregated"}
+        assert isinstance(reloaded["traceEvents"], list)
+        assert reloaded["traceEvents"]
+
+    def test_write_chrome_trace_writes_payload(self, served, tmp_path):
+        scheduler, result = served
+        path = tmp_path / "trace.json"
+        payload = write_chrome_trace(str(path),
+                                     timeline=scheduler.last_timeline,
+                                     spans=result.spans)
+        assert json.loads(path.read_text()) == payload
+
+    def test_required_keys(self, payload):
+        for event in payload["traceEvents"]:
+            assert {"ph", "pid", "tid", "name"} <= set(event)
+            if event["ph"] == "X":
+                assert "ts" in event and "dur" in event
+                assert event["dur"] >= 0
+            if event["ph"] in ("s", "t", "f"):
+                assert "id" in event and "ts" in event
+
+    def test_needs_timeline_or_spans(self):
+        with pytest.raises(ValueError, match="nothing to export"):
+            build_chrome_trace()
+
+
+class TestTimelineEvents:
+    def test_lane_layout_and_monotonic_timestamps(self, served):
+        scheduler, _ = served
+        events = timeline_trace_events(scheduler.last_timeline)
+        lanes = {}
+        for event in events:
+            if event["ph"] != "X":
+                continue
+            lanes.setdefault((event["pid"], event["tid"]), []).append(event)
+        # Both devices present, compute + copy + stage lanes in use.
+        assert {pid for pid, _ in lanes} == {0, 1}
+        assert {tid for _, tid in lanes} >= {STREAM_TIDS["compute"],
+                                             STREAM_TIDS["copy"],
+                                             STREAM_TIDS["stage"]}
+        for (pid, tid), lane_events in lanes.items():
+            times = [e["ts"] for e in lane_events]
+            assert times == sorted(times), f"lane ({pid}, {tid}) out of order"
+
+    def test_ops_become_complete_events(self, served):
+        scheduler, _ = served
+        timeline = scheduler.last_timeline
+        events = timeline_trace_events(timeline)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == timeline.num_ops
+        categories = {e["cat"] for e in xs}
+        assert "expert_transfer" in categories
+        assert "stage_in" in categories
+
+    def test_flow_events_per_request(self, served):
+        scheduler, result = served
+        events = timeline_trace_events(scheduler.last_timeline)
+        flows = [e for e in events if e["ph"] in ("s", "t", "f")]
+        by_id = {}
+        for event in flows:
+            by_id.setdefault(event["id"], []).append(event["ph"])
+        assert set(by_id) == {r.request_id for r in result.requests}
+        for phases in by_id.values():
+            # One start, one finish, lm_head steps in between.
+            assert phases[0] == "s" and phases[-1] == "f"
+            assert all(ph == "t" for ph in phases[1:-1])
+
+
+class TestSpanEvents:
+    def test_one_track_per_request(self, served):
+        _, result = served
+        events = span_trace_events(result.spans)
+        tracks = {e["tid"] for e in events if e["ph"] == "X"}
+        assert tracks == {t.request_id for t in result.spans}
+        assert all(e["pid"] == SPAN_PID for e in events)
+
+    def test_span_args_carry_tree_structure(self, served):
+        _, result = served
+        events = [e for e in span_trace_events(result.spans)
+                  if e["ph"] == "X"]
+        roots = [e for e in events if e["args"]["parent"] == -1]
+        assert len(roots) == len(result.spans)
+        fetch_events = [e for e in events if e["cat"] == "expert_fetch"]
+        assert fetch_events
+        assert all(e["args"]["source_tier"] in ("dram", "ssd")
+                   for e in fetch_events)
