@@ -1,6 +1,7 @@
 """Reporting and figure/table reconstruction helpers."""
 
 from .simperf import run_simperf, write_simperf
+from .tensorperf import run_tensorperf, write_tensorperf
 from .report import (
     FigureReport,
     LOAD_REPORT_COLUMNS,
@@ -20,7 +21,9 @@ __all__ = [
     "normalise_series",
     "pick_reference",
     "run_simperf",
+    "run_tensorperf",
     "to_csv",
     "write_csv",
     "write_simperf",
+    "write_tensorperf",
 ]

@@ -16,7 +16,13 @@ CI runs and the quickest way to see the simulator end-to-end without pytest:
   modes (trace / no-trace / kernel / kernel+replay / probed); ``--full``
   runs the recorded 1.6k/16k/100k scaling ladder and rewrites
   ``BENCH_simperf.json``, and quick runs fail if the no-trace or probed
-  throughput drops below the recorded floor (the CI perf smoke).
+  throughput drops below the recorded floor (the CI perf smoke);
+* ``tensorperf`` — the real-model tensor engine's performance (forward /
+  train-step / generate throughput, eager vs lazy backend) on the model
+  shape ladder, with eager↔lazy parity checked and speedups reported
+  against the recorded pre-optimisation baseline; ``--full`` adds the
+  serving-scale rung and rewrites ``BENCH_tensorperf.json``, and every
+  run fails if eager train throughput drops below the recorded floor.
 
 ``--quick`` shrinks the request count and grid for CI smoke runs;
 ``--seed N`` reseeds the sweep's workload and arrival process;
@@ -37,6 +43,8 @@ from typing import Dict, List, Optional
 
 from .analysis.report import FigureReport, load_test_report
 from .analysis.simperf import SIMPERF_FILENAME, run_simperf, write_simperf
+from .analysis.tensorperf import (TENSORPERF_FILENAME, run_tensorperf,
+                                  write_tensorperf)
 from .moe.configs import get_config
 from .obs.probes import append_metrics_rows, write_metrics_rows
 from .obs.trace_export import write_chrome_trace
@@ -48,6 +56,9 @@ from .workloads.generator import WorkloadSpec
 
 #: Default output path of the ``simperf`` sweep (in the current directory).
 SIMPERF_JSON = SIMPERF_FILENAME
+
+#: Default output path of the ``tensorperf`` sweep (in the current directory).
+TENSORPERF_JSON = TENSORPERF_FILENAME
 
 #: Probe cadence (simulated seconds) for sweep cells when ``--metrics-out``
 #: is given, and for the ``trace`` scenario (always probed).
@@ -203,10 +214,58 @@ def run_simperf_sweep(quick: bool, workers: Optional[int] = None,
     return report
 
 
+def run_tensorperf_sweep(quick: bool, workers: Optional[int] = None,
+                         full: bool = False) -> FigureReport:
+    """Real-model tensor-path performance: eager vs lazy across the shape ladder."""
+    # Always serial: the measurement is the wall clock (main() rejects
+    # --workers for this sweep).
+    payload = run_tensorperf(quick=quick, full=full)
+    if full:
+        # Only the full ladder (including the serving-scale rung) is worth
+        # committing; smoke shapes must not overwrite the recorded artifact.
+        write_tensorperf(payload, TENSORPERF_JSON)
+    written = f" (written to {TENSORPERF_JSON})" if full else ""
+    report = FigureReport(
+        figure="tensorperf",
+        description=("Real-model tensor engine throughput, eager vs lazy, "
+                     f"against the recorded pre-optimisation baseline{written}"),
+        headers=["rung", "backend", "train steps/s", "train tok/s",
+                 "forward tok/s", "generate tok/s", "train speedup vs recorded"],
+    )
+    speedups = payload["speedup_over_recorded_baseline"]
+    for name, row in payload["ladder"].items():
+        for backend, metrics in row["backends"].items():
+            speedup = speedups.get(name, {}).get("train_steps_per_s")
+            report.add_row(
+                name, backend, round(metrics["train_steps_per_s"], 2),
+                round(metrics["train_tokens_per_s"]),
+                round(metrics["forward_tokens_per_s"]),
+                round(metrics["generate_tokens_per_s"]),
+                f"{speedup:.1f}x" if backend == "eager" and speedup else "")
+    parity = payload["parity"]
+    if max(parity["loss_abs_diff"], parity["grad_max_abs_diff"]) > parity["budget"]:
+        raise SystemExit(
+            f"tensorperf parity failure: eager vs lazy differ by "
+            f"{parity['grad_max_abs_diff']:.3e} (budget {parity['budget']:.0e})")
+    floors = payload["floors"]["eager_train_steps_per_s"]
+    for name, row in payload["ladder"].items():
+        floor = floors.get(name)
+        if floor is None:
+            continue
+        measured = row["backends"]["eager"]["train_steps_per_s"]
+        if measured < floor:
+            raise SystemExit(
+                f"tensorperf regression: eager train step ran {measured:.2f} "
+                f"steps/s on the {name} rung, below the recorded floor of "
+                f"{floor:.2f} (see {TENSORPERF_FILENAME})")
+    return report
+
+
 SWEEPS: Dict[str, object] = {
     "expert_parallel": run_expert_parallel,
     "serving_load": run_serving_load,
     "simperf": run_simperf_sweep,
+    "tensorperf": run_tensorperf_sweep,
     "trace": run_trace,
 }
 
@@ -243,22 +302,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
-    if args.sweep == "simperf" and args.workers is not None:
-        parser.error("simperf measures the simulator's wall-clock serially; "
+    if args.sweep in ("simperf", "tensorperf") and args.workers is not None:
+        parser.error(f"{args.sweep} measures wall-clock serially; "
                      "--workers would distort it")
     if args.sweep == "trace" and args.workers is not None:
         parser.error("trace serves one scenario; --workers does not apply")
-    if args.full and args.sweep != "simperf":
-        parser.error("--full only applies to the simperf sweep")
+    if args.full and args.sweep not in ("simperf", "tensorperf"):
+        parser.error("--full only applies to the simperf and tensorperf sweeps")
     if args.full and args.quick:
         parser.error("--full and --quick are mutually exclusive")
     if args.out is not None and args.sweep != "trace":
         parser.error("--out only applies to the trace sweep")
-    if args.seed is not None and args.sweep == "simperf":
-        parser.error("simperf measures the recorded (seed-pinned) scenario; "
-                     "--seed does not apply")
-    if args.metrics_out is not None and args.sweep == "simperf":
-        parser.error("simperf reports wall-clock, not probe series; "
+    if args.seed is not None and args.sweep in ("simperf", "tensorperf"):
+        parser.error(f"{args.sweep} measures the recorded (seed-pinned) "
+                     "scenario; --seed does not apply")
+    if args.metrics_out is not None and args.sweep in ("simperf", "tensorperf"):
+        parser.error(f"{args.sweep} reports wall-clock, not probe series; "
                      "--metrics-out does not apply")
     if args.profile and args.workers is not None and args.workers > 1:
         parser.error("--profile profiles the in-process sweep; it cannot "
@@ -271,7 +330,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.sweep == "trace":
         kwargs = {"out": args.out if args.out is not None else TRACE_JSON,
                   "seed": args.seed or 0, "metrics_out": args.metrics_out}
-    elif args.sweep == "simperf":
+    elif args.sweep in ("simperf", "tensorperf"):
         kwargs = {"workers": args.workers, "full": args.full}
     else:
         kwargs = {"workers": args.workers, "seed": args.seed or 0,

@@ -317,23 +317,28 @@ class PreGatedSwitchTransformer(Module):
                 traces.append(encoder_trace)
 
             kv_caches = [KVCache() for _ in range(self.config.num_decoder_layers)]
-            generated = np.full((batch, 1), bos_id, dtype=np.int64)
+            # Preallocated output buffer: the whole batch decodes in one
+            # tensor step per token, with no per-token reallocation.
+            generated = np.full((batch, max_new_tokens + 1), eos_id, dtype=np.int64)
+            generated[:, 0] = bos_id
+            length = 1
             finished = np.zeros(batch, dtype=bool)
             for _ in range(max_new_tokens):
                 step_trace: List[RoutingTraceEntry] = [] if collect_trace else None
-                last_tokens = generated[:, -1:]
+                last_tokens = generated[:, length - 1:length]
                 logits = self.decode(last_tokens, encoder_hidden,
                                      encoder_padding_mask=input_padding_mask,
                                      kv_caches=kv_caches, trace=step_trace, top_k=top_k)
                 next_ids = np.argmax(logits.numpy()[:, -1, :], axis=-1)
                 next_ids = np.where(finished, eos_id, next_ids)
-                generated = np.concatenate([generated, next_ids[:, None]], axis=1)
+                generated[:, length] = next_ids
+                length += 1
                 if collect_trace:
                     traces.append(step_trace)
                 finished |= next_ids == eos_id
                 if finished.all():
                     break
-        return generated, traces
+        return generated[:, :length], traces
 
     # ------------------------------------------------------------------
     # Weight reuse from a conventional model (Section IV-B)

@@ -305,6 +305,14 @@ TINY_MOE_8 = register(ModelConfig(
     vocab_size=64, bytes_per_param=BYTES_FP32,
 ))
 
+SWITCH_MINI_8 = register(ModelConfig(
+    name="switch_mini_8", label="Switch-Mini (8 experts)",
+    d_model=64, d_ff=128, num_heads=4,
+    num_encoder_layers=4, num_decoder_layers=4,
+    num_experts=8, top_k=1, moe_layer_frequency=1,
+    vocab_size=128, bytes_per_param=BYTES_FP32,
+))
+
 #: Configurations evaluated in the latency/throughput figures (Figs. 10-12).
 PERFORMANCE_CONFIGS = (
     "switch_base_8",

@@ -5,6 +5,11 @@ models are built from: a small reverse-mode autograd engine
 (:mod:`repro.tensor.autograd`), neural-network layers
 (:mod:`repro.tensor.layers`, :mod:`repro.tensor.attention`), functional ops
 (:mod:`repro.tensor.functional`) and optimisers (:mod:`repro.tensor.optim`).
+
+Two execution backends share one primitive registry
+(:mod:`repro.tensor.primitives`): the default eager engine and an opt-in
+lazy, fusing op-graph (:mod:`repro.tensor.lazy`) selected with
+:func:`use_backend`.
 """
 
 from .autograd import (
@@ -19,6 +24,7 @@ from .autograd import (
     where,
     zeros,
 )
+from .lazy import current_backend, use_backend
 from .attention import FeedForward, KVCache, MultiHeadAttention
 from .layers import Dropout, Embedding, LayerNorm, Linear
 from .module import Module, ModuleList, Parameter, Sequential
@@ -36,6 +42,8 @@ __all__ = [
     "tensor",
     "where",
     "zeros",
+    "current_backend",
+    "use_backend",
     "FeedForward",
     "KVCache",
     "MultiHeadAttention",

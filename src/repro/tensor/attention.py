@@ -9,41 +9,75 @@ paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from . import functional as F
-from .autograd import Tensor, concatenate
+from .autograd import Tensor, scaled_dot_product_attention
 from .layers import Linear
 from .module import Module
 
 _NEG_INF = -1e9
 
 
-@dataclass
 class KVCache:
     """Key/value cache for incremental decoding.
 
-    Keys and values are stored as plain numpy arrays of shape
-    ``(batch, length, dim)`` and grown as decode steps append to them.
+    Keys and values are stored in preallocated ``(batch, capacity, dim)``
+    buffers that double in capacity when full, so appending one token is an
+    amortised O(token) copy instead of re-concatenating the whole history
+    (which made a T-token decode O(T²)).  :attr:`keys` / :attr:`values`
+    expose zero-copy slice views of the filled prefix.
     """
 
-    keys: Optional[np.ndarray] = None
-    values: Optional[np.ndarray] = None
+    __slots__ = ("_keys", "_values", "_length")
+
+    _MIN_CAPACITY = 16
+
+    def __init__(self, keys: Optional[np.ndarray] = None,
+                 values: Optional[np.ndarray] = None) -> None:
+        self._keys: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+        self._length = 0
+        if keys is not None:
+            self.append(keys, values)
 
     def append(self, new_keys: np.ndarray, new_values: np.ndarray) -> None:
-        if self.keys is None:
-            self.keys = new_keys
-            self.values = new_values
-        else:
-            self.keys = np.concatenate([self.keys, new_keys], axis=1)
-            self.values = np.concatenate([self.values, new_values], axis=1)
+        new_keys = np.asarray(new_keys)
+        new_values = np.asarray(new_values)
+        batch, added, dim = new_keys.shape
+        needed = self._length + added
+        if self._keys is None:
+            capacity = max(self._MIN_CAPACITY, needed)
+            self._keys = np.empty((batch, capacity, dim), dtype=new_keys.dtype)
+            self._values = np.empty((batch, capacity, dim), dtype=new_values.dtype)
+        elif needed > self._keys.shape[1]:
+            capacity = self._keys.shape[1]
+            while capacity < needed:
+                capacity *= 2
+            for name in ("_keys", "_values"):
+                old = getattr(self, name)
+                grown = np.empty((batch, capacity, dim), dtype=old.dtype)
+                grown[:, :self._length] = old[:, :self._length]
+                setattr(self, name, grown)
+        self._keys[:, self._length:needed] = new_keys
+        self._values[:, self._length:needed] = new_values
+        self._length = needed
+
+    @property
+    def keys(self) -> Optional[np.ndarray]:
+        """View of the filled key prefix, ``(batch, length, dim)``."""
+        return None if self._keys is None else self._keys[:, :self._length]
+
+    @property
+    def values(self) -> Optional[np.ndarray]:
+        """View of the filled value prefix, ``(batch, length, dim)``."""
+        return None if self._values is None else self._values[:, :self._length]
 
     @property
     def length(self) -> int:
-        return 0 if self.keys is None else self.keys.shape[1]
+        return self._length
 
 
 class MultiHeadAttention(Module):
@@ -124,24 +158,24 @@ class MultiHeadAttention(Module):
             k = self._split_heads(k_new)
             v = self._split_heads(v_new)
 
-        scale = 1.0 / np.sqrt(self.head_dim)
-        scores = q.matmul(k.transpose(0, 1, 3, 2)) * scale  # (batch, heads, q_len, k_len)
-
-        q_len = scores.shape[2]
-        k_len = scores.shape[3]
+        q_len = q.shape[2]
+        k_len = k.shape[2]
+        mask: Optional[np.ndarray] = None
         if self.causal and kv_cache is None and q_len > 1:
             mask = F.causal_mask(q_len)[None, None, :, :]
-            scores = scores.masked_fill(mask, _NEG_INF)
         if key_padding_mask is not None:
             pad = np.asarray(key_padding_mask, dtype=bool)
             if pad.shape[-1] != k_len:
                 raise ValueError(
                     f"key_padding_mask length {pad.shape[-1]} does not match key length {k_len}"
                 )
-            scores = scores.masked_fill(pad[:, None, None, :], _NEG_INF)
+            pad = pad[:, None, None, :]
+            mask = pad if mask is None else (mask | pad)
 
-        weights = F.softmax(scores, axis=-1)
-        context = weights.matmul(v)
+        # Fused scores → mask → softmax → context kernel: one graph node
+        # (repro.tensor.primitives.SDPA) instead of ~6 per attention call.
+        context = scaled_dot_product_attention(
+            q, k, v, mask=mask, scale=1.0 / np.sqrt(self.head_dim))
         return self.out_proj(self._merge_heads(context))
 
 

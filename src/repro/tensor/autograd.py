@@ -5,14 +5,19 @@ reproduction.  It provides a :class:`Tensor` wrapper around ``numpy.ndarray``
 that records the operations applied to it and can back-propagate gradients
 through them with :meth:`Tensor.backward`.
 
-The design is intentionally small and explicit: each primitive operation
-builds a closure that knows how to push the output gradient back to its
-inputs.  Broadcasting is handled by summing gradients over broadcast
-dimensions (:func:`unbroadcast`).
+Every operation dispatches through the shared primitive registry
+(:mod:`repro.tensor.primitives`): a node stores which primitive produced it
+plus its parents and parameters, and the backward engine calls the
+primitive's VJP.  Because the lazy backend (:mod:`repro.tensor.lazy`)
+records the *same* primitives, gradients come from exactly one
+implementation regardless of execution backend — the backward pass is
+always eager numpy over materialised values.
 
-Only the operations required by the Switch-Transformer / Pre-gated MoE models
-are implemented, but they are implemented carefully and are covered by unit
-and property-based tests (``tests/tensor``).
+Broadcasting is handled by summing gradients over broadcast dimensions
+(:func:`unbroadcast`).  Only the operations required by the
+Switch-Transformer / Pre-gated MoE models are implemented, but they are
+implemented carefully and are covered by unit and property-based tests
+(``tests/tensor``).
 """
 
 from __future__ import annotations
@@ -21,9 +26,21 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.tensor import primitives as P
+from repro.tensor.primitives import unbroadcast  # noqa: F401  (re-export)
+
 ArrayLike = Union[np.ndarray, float, int, "Tensor"]
 
 _grad_enabled = True
+
+# Backend switch.  ``repro.tensor.lazy`` flips ``_backend_lazy`` via
+# ``use_backend`` and installs the two hooks below when it is imported, which
+# keeps this module free of a circular import.
+_backend_lazy = False
+_lazy_dispatch: Optional[Callable] = None
+_lazy_materialize: Optional[Callable] = None
+
+_EMPTY_PARAMS: dict = {}
 
 
 class no_grad:
@@ -49,26 +66,6 @@ def is_grad_enabled() -> bool:
     return _grad_enabled
 
 
-def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
-    """Reduce ``grad`` so that it has ``shape``.
-
-    When an operand was broadcast during the forward pass, the gradient
-    flowing back has the broadcast (larger) shape.  This helper sums the
-    gradient over the broadcast axes so it matches the original operand.
-    """
-    if grad.shape == shape:
-        return grad
-    # Sum over leading dimensions that were added by broadcasting.
-    extra_dims = grad.ndim - len(shape)
-    if extra_dims > 0:
-        grad = grad.sum(axis=tuple(range(extra_dims)))
-    # Sum over dimensions that were 1 in the original shape.
-    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
-    if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
-
-
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
@@ -88,7 +85,8 @@ class Tensor:
         :meth:`backward` is called on a downstream tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("_data", "grad", "requires_grad", "_prim", "_parents",
+                 "_params", "_backward", "_lazy", "name")
 
     def __init__(
         self,
@@ -98,31 +96,56 @@ class Tensor:
         _backward: Optional[Callable[[np.ndarray], None]] = None,
         name: str = "",
     ) -> None:
-        self.data = _as_array(data)
+        self._data = _as_array(data)
+        self._lazy = None
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _grad_enabled
         self._parents: Tuple[Tensor, ...] = tuple(_parents) if self.requires_grad else ()
         self._backward = _backward if self.requires_grad else None
+        self._prim = None
+        self._params = None
         self.name = name
+
+    # ------------------------------------------------------------------
+    # Data access (materialises lazy tensors on demand)
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        d = self._data
+        if d is None:
+            d = self._data = _lazy_materialize(self._lazy)
+        return d
+
+    @data.setter
+    def data(self, value) -> None:
+        self._data = value if isinstance(value, np.ndarray) else _as_array(value)
+        self._lazy = None
 
     # ------------------------------------------------------------------
     # Introspection helpers
     # ------------------------------------------------------------------
     @property
     def shape(self) -> Tuple[int, ...]:
-        return self.data.shape
+        if self._data is not None:
+            return self._data.shape
+        return self._lazy.shape
 
     @property
     def ndim(self) -> int:
-        return self.data.ndim
+        return len(self.shape)
 
     @property
     def size(self) -> int:
-        return self.data.size
+        size = 1
+        for dim in self.shape:
+            size *= dim
+        return size
 
     @property
     def dtype(self):
-        return self.data.dtype
+        if self._data is not None:
+            return self._data.dtype
+        return np.dtype(np.float64)
 
     def numpy(self) -> np.ndarray:
         """Return the underlying numpy array (not a copy)."""
@@ -151,6 +174,11 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
+        """Build a node with a custom backward closure.
+
+        Escape hatch for composite ops with hand-written gradients (e.g. the
+        grouped expert dispatch); regular ops go through the registry.
+        """
         requires = _grad_enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
@@ -164,10 +192,10 @@ class Tensor:
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Back-propagate gradients from this tensor to all ancestors.
 
-        Each op's backward closure accumulates into its parents' ``grad``
-        via :meth:`_stash`; the engine only has to visit nodes in reverse
-        topological order and invoke each node's closure with the node's
-        (by then fully accumulated) gradient.
+        The engine visits nodes in reverse topological order.  Registry
+        nodes invoke their primitive's VJP on the node's (by then fully
+        accumulated) gradient; custom nodes invoke their closure.  Either
+        way gradients accumulate into parents via :meth:`_stash`.
 
         Parameters
         ----------
@@ -177,10 +205,11 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor that does not require grad")
+        data = self.data
         if grad is None:
-            if self.data.size != 1:
+            if data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
-            grad = np.ones_like(self.data)
+            grad = np.ones_like(data)
         grad = _as_array(grad)
 
         # Iterative topological sort to avoid recursion limits on deep models.
@@ -202,102 +231,59 @@ class Tensor:
 
         self._stash(grad)
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+            node_grad = node.grad
+            if node_grad is None:
+                continue
+            if node._backward is not None:
+                node._backward(node_grad)
+            elif node._prim is not None:
+                parents = node._parents
+                inputs = tuple(p.data for p in parents)
+                needs = tuple(p.requires_grad for p in parents)
+                grads = node._prim.vjp(node_grad, node.data, inputs, needs,
+                                       node._params or _EMPTY_PARAMS)
+                for parent, parent_grad in zip(parents, grads):
+                    if parent_grad is not None and parent.requires_grad:
+                        parent._stash(parent_grad)
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data + other_t.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(unbroadcast(grad, self.shape))
-            if other_t.requires_grad:
-                other_t._stash(unbroadcast(grad, other_t.shape))
-
-        return self._binary(other_t, data, backward)
+        return _dispatch(P.ADD, (self, other if isinstance(other, Tensor) else Tensor(other)), None)
 
     def __radd__(self, other: ArrayLike) -> "Tensor":
         return self.__add__(other)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data - other_t.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(unbroadcast(grad, self.shape))
-            if other_t.requires_grad:
-                other_t._stash(unbroadcast(-grad, other_t.shape))
-
-        return self._binary(other_t, data, backward)
+        return _dispatch(P.SUB, (self, other if isinstance(other, Tensor) else Tensor(other)), None)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data * other_t.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(unbroadcast(grad * other_t.data, self.shape))
-            if other_t.requires_grad:
-                other_t._stash(unbroadcast(grad * self.data, other_t.shape))
-
-        return self._binary(other_t, data, backward)
+        return _dispatch(P.MUL, (self, other if isinstance(other, Tensor) else Tensor(other)), None)
 
     def __rmul__(self, other: ArrayLike) -> "Tensor":
         return self.__mul__(other)
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data / other_t.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(unbroadcast(grad / other_t.data, self.shape))
-            if other_t.requires_grad:
-                other_t._stash(
-                    unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape)
-                )
-
-        return self._binary(other_t, data, backward)
+        return _dispatch(P.DIV, (self, other if isinstance(other, Tensor) else Tensor(other)), None)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
-        return self * -1.0
+        return _dispatch(P.NEG, (self,), None)
 
     def __pow__(self, exponent: float) -> "Tensor":
-        data = self.data ** exponent
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(grad * exponent * self.data ** (exponent - 1))
-
-        return self._unary(data, backward)
+        return _dispatch(P.POW, (self,), {"exponent": exponent})
 
     # ------------------------------------------------------------------
     # Matrix multiply
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data @ other_t.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                grad_self = grad @ np.swapaxes(other_t.data, -1, -2)
-                self._stash(unbroadcast(grad_self, self.shape))
-            if other_t.requires_grad:
-                grad_other = np.swapaxes(self.data, -1, -2) @ grad
-                other_t._stash(unbroadcast(grad_other, other_t.shape))
-
-        return self._binary(other_t, data, backward)
+        return _dispatch(P.MATMUL, (self, other if isinstance(other, Tensor) else Tensor(other)), None)
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         return self.matmul(other)
@@ -308,28 +294,15 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        original_shape = self.shape
-        data = self.data.reshape(shape)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(grad.reshape(original_shape))
-
-        return self._unary(data, backward)
+        return _dispatch(P.RESHAPE, (self,), {"shape": shape})
 
     def transpose(self, *axes: int) -> "Tensor":
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
-        inverse = np.argsort(axes)
-        data = self.data.transpose(axes)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(grad.transpose(inverse))
-
-        return self._unary(data, backward)
+        inverse = tuple(int(i) for i in np.argsort(axes))
+        return _dispatch(P.TRANSPOSE, (self,), {"axes": axes, "inverse": inverse})
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -337,33 +310,16 @@ class Tensor:
         return self.transpose(*axes)
 
     def __getitem__(self, index) -> "Tensor":
+        # Fancy indexing depends on index *values*, so it is always eager —
+        # a materialisation point for the lazy graph.
         data = self.data[index]
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
-                self._stash(full)
-
-        return self._unary(data, backward)
+        return _wrap(data, P.GETITEM, (self,), {"index": index})
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            if axis is not None and not keepdims:
-                axes = (axis,) if isinstance(axis, int) else tuple(axis)
-                for ax in sorted(a % self.ndim for a in axes):
-                    g = np.expand_dims(g, ax)
-            self._stash(np.broadcast_to(g, self.shape).copy())
-
-        return self._unary(data, backward)
+        return _dispatch(P.SUM, (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -374,92 +330,32 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            expanded = data
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-                expanded = np.expand_dims(data, axis)
-            mask = (self.data == expanded).astype(self.data.dtype)
-            # Distribute gradient evenly across ties for determinism.
-            normaliser = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._stash(mask * g / np.maximum(normaliser, 1))
-
-        return self._unary(data, backward)
+        return _dispatch(P.MAX, (self,), {"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------
     # Elementwise non-linearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(grad * data)
-
-        return self._unary(data, backward)
+        return _dispatch(P.EXP, (self,), None)
 
     def log(self) -> "Tensor":
-        data = np.log(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(grad / self.data)
-
-        return self._unary(data, backward)
+        return _dispatch(P.LOG, (self,), None)
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(grad * (1.0 - data ** 2))
-
-        return self._unary(data, backward)
+        return _dispatch(P.TANH, (self,), None)
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(self.data.dtype)
-        data = self.data * mask
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(grad * mask)
-
-        return self._unary(data, backward)
+        return _dispatch(P.RELU, (self,), None)
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-self.data))
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(grad * data * (1.0 - data))
-
-        return self._unary(data, backward)
+        return _dispatch(P.SIGMOID, (self,), None)
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation)."""
-        x = self.data
-        c = np.sqrt(2.0 / np.pi)
-        inner = c * (x + 0.044715 * x ** 3)
-        tanh_inner = np.tanh(inner)
-        data = 0.5 * x * (1.0 + tanh_inner)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            sech2 = 1.0 - tanh_inner ** 2
-            d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
-            d = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
-            self._stash(grad * d)
-
-        return self._unary(data, backward)
+        return _dispatch(P.GELU, (self,), None)
 
     # ------------------------------------------------------------------
     # Masking / selection
@@ -467,31 +363,67 @@ class Tensor:
     def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
         """Return a tensor with positions where ``mask`` is true set to ``value``."""
         mask_arr = np.asarray(mask, dtype=bool)
-        data = np.where(mask_arr, value, self.data)
+        return _dispatch(P.MASKED_FILL, (self,), {"mask": mask_arr, "value": value})
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._stash(unbroadcast(np.where(mask_arr, 0.0, grad), self.shape))
+    # ------------------------------------------------------------------
+    # Fused NN kernels (single graph node each)
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        return _dispatch(P.SOFTMAX, (self,), {"axis": axis})
 
-        return self._unary(data, backward)
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        return _dispatch(P.LOG_SOFTMAX, (self,), {"axis": axis})
 
     # ------------------------------------------------------------------
     # Internal plumbing for gradient routing
     # ------------------------------------------------------------------
-    # Each op's backward closure calls parent._stash(g).  During a backward
-    # pass the engine drains the stash of a node right before invoking its
-    # own backward closure so gradients flow in topological order.
+    # The engine (or a custom op's closure) accumulates gradients into a
+    # node via ``_stash``.  The first stash copies — VJPs may return views
+    # or the upstream gradient itself — and later stashes add in place.
     def _stash(self, grad: np.ndarray) -> None:
-        if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        current = self.grad
+        if current is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        elif current.shape == grad.shape:
+            np.add(current, grad, out=current)
         else:
-            self.grad = self.grad + grad
+            self.grad = current + grad
 
-    def _unary(self, data: np.ndarray, backward: Callable[[np.ndarray], None]) -> "Tensor":
-        return Tensor._make(data, (self,), backward)
 
-    def _binary(self, other: "Tensor", data: np.ndarray, backward: Callable[[np.ndarray], None]) -> "Tensor":
-        return Tensor._make(data, (self, other), backward)
+def _wrap(data: np.ndarray, prim: P.Primitive, parents: Tuple[Tensor, ...],
+          params: Optional[dict]) -> Tensor:
+    """Build the output node for an already-computed primitive result."""
+    out = Tensor.__new__(Tensor)
+    out._data = data
+    out._lazy = None
+    out.grad = None
+    out._backward = None
+    out.name = ""
+    if _grad_enabled:
+        for parent in parents:
+            if parent.requires_grad:
+                out.requires_grad = True
+                out._prim = prim
+                out._parents = parents
+                out._params = params
+                return out
+    out.requires_grad = False
+    out._prim = None
+    out._parents = ()
+    out._params = None
+    return out
+
+
+def _dispatch(prim: P.Primitive, parents: Tuple[Tensor, ...],
+              params: Optional[dict]) -> Tensor:
+    """Execute ``prim`` on ``parents`` under the active backend."""
+    if _backend_lazy:
+        return _lazy_dispatch(prim, parents, params)
+    if params is None:
+        data = prim.forward(*[p.data for p in parents])
+    else:
+        data = prim.forward(*[p.data for p in parents], **params)
+    return _wrap(data, prim, parents, params)
 
 
 # ----------------------------------------------------------------------
@@ -518,33 +450,12 @@ def randn(shape: Sequence[int], scale: float = 1.0, rng: Optional[np.random.Gene
 
 def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
-    tensors = list(tensors)
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
-
-    def backward(grad: np.ndarray) -> None:
-        for t, start, end in zip(tensors, offsets[:-1], offsets[1:]):
-            if t.requires_grad:
-                index = [slice(None)] * grad.ndim
-                index[axis] = slice(int(start), int(end))
-                t._stash(grad[tuple(index)])
-
-    return Tensor._make(data, tensors, backward)
+    return _dispatch(P.CONCATENATE, tuple(tensors), {"axis": axis})
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient support."""
-    tensors = list(tensors)
-    data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(grad: np.ndarray) -> None:
-        split = np.moveaxis(grad, axis, 0)
-        for t, g in zip(tensors, split):
-            if t.requires_grad:
-                t._stash(g)
-
-    return Tensor._make(data, tensors, backward)
+    return _dispatch(P.STACK, tuple(tensors), {"axis": axis})
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -552,15 +463,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     cond = np.asarray(condition, dtype=bool)
     a_t = a if isinstance(a, Tensor) else Tensor(a)
     b_t = b if isinstance(b, Tensor) else Tensor(b)
-    data = np.where(cond, a_t.data, b_t.data)
-
-    def backward(grad: np.ndarray) -> None:
-        if a_t.requires_grad:
-            a_t._stash(unbroadcast(np.where(cond, grad, 0.0), a_t.shape))
-        if b_t.requires_grad:
-            b_t._stash(unbroadcast(np.where(cond, 0.0, grad), b_t.shape))
-
-    return Tensor._make(data, (a_t, b_t), backward)
+    return _dispatch(P.WHERE, (a_t, b_t), {"cond": cond})
 
 
 def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
@@ -570,12 +473,43 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     repeated indices accumulate correctly.
     """
     idx = np.asarray(indices, dtype=np.int64)
-    data = weight.data[idx]
+    return _dispatch(P.EMBEDDING, (weight,), {"indices": idx})
 
-    def backward(grad: np.ndarray) -> None:
-        if weight.requires_grad:
-            full = np.zeros_like(weight.data)
-            np.add.at(full, idx.reshape(-1), grad.reshape(-1, weight.shape[-1]))
-            weight._stash(full)
 
-    return Tensor._make(data, (weight,), backward)
+def layer_norm(x: Tensor, scale: Tensor, shift: Tensor, eps: float = 1e-6) -> Tensor:
+    """Fused layer normalisation over the last axis (one graph node)."""
+    params = {"eps": eps}
+    if _grad_enabled:
+        # Let the forward cache x̂/inv_std for the VJP (recomputed otherwise).
+        params["_saved"] = {}
+    return _dispatch(P.LAYER_NORM, (x, scale, shift), params)
+
+
+def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
+                                 mask: Optional[np.ndarray] = None,
+                                 scale: float = 1.0) -> Tensor:
+    """Fused attention core ``softmax(q @ k^T * scale) @ v`` (one node).
+
+    ``mask`` is a boolean array, broadcastable against the score matrix,
+    that marks positions to suppress.
+    """
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+    params = {"mask": mask, "scale": scale}
+    if _grad_enabled:
+        # Let the forward cache the softmax weights for the VJP.
+        params["_saved"] = {}
+    return _dispatch(P.SDPA, (q, k, v), params)
+
+
+def softmax_cross_entropy(logits: Tensor, targets: np.ndarray,
+                          weights: np.ndarray, denom: float) -> Tensor:
+    """Fused ``sum(weights * xent(logits, targets)) / denom`` (one node).
+
+    ``logits`` is ``(N, num_classes)``, ``targets`` ``(N,)`` int class ids,
+    ``weights`` ``(N,)`` per-row float weights (use 0.0 to ignore a row).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    return _dispatch(P.SOFTMAX_XENT, (logits,),
+                     {"targets": targets, "weights": weights, "denom": float(denom)})

@@ -11,24 +11,27 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .autograd import Tensor
+from .autograd import Tensor, softmax_cross_entropy
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
-    shifted = x - x.max(axis=axis, keepdims=True).detach()
-    exps = shifted.exp()
-    return exps / exps.sum(axis=axis, keepdims=True)
+    """Numerically stable softmax along ``axis`` (one fused graph node)."""
+    return x.softmax(axis=axis)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
-    shifted = x - x.max(axis=axis, keepdims=True).detach()
-    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+    """Numerically stable log-softmax along ``axis`` (one fused graph node)."""
+    return x.log_softmax(axis=axis)
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: Optional[int] = None) -> Tensor:
     """Token-level cross-entropy loss.
+
+    Computed as a single fused softmax–cross-entropy node
+    (:data:`repro.tensor.primitives.SOFTMAX_XENT`): the forward pass never
+    builds the full log-softmax tensor graph and the backward pass is the
+    closed-form ``softmax - one_hot`` instead of a scatter into the vocab
+    axis.
 
     Parameters
     ----------
@@ -51,13 +54,9 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: Optional[in
         mask = np.ones_like(flat_targets, dtype=bool)
     # Replace ignored targets with 0 so the gather is valid; they are masked out.
     safe_targets = np.where(mask, flat_targets, 0)
-
-    log_probs = log_softmax(flat_logits, axis=-1)
-    picked = log_probs[np.arange(flat_targets.shape[0]), safe_targets]
     weights = mask.astype(np.float64)
     denom = max(float(weights.sum()), 1.0)
-    loss = -(picked * Tensor(weights)).sum() * (1.0 / denom)
-    return loss
+    return softmax_cross_entropy(flat_logits, safe_targets, weights, denom)
 
 
 def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:

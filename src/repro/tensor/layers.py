@@ -12,7 +12,7 @@ from typing import Optional
 import numpy as np
 
 from . import functional as F
-from .autograd import Tensor, embedding_lookup
+from .autograd import Tensor, embedding_lookup, layer_norm
 from .initializers import truncated_normal, zeros_init, ones_init
 from .module import Module, Parameter
 
@@ -65,11 +65,9 @@ class LayerNorm(Module):
         self.shift = Parameter(zeros_init((dim,)), name="shift")
 
     def forward(self, x: Tensor) -> Tensor:
-        mean = x.mean(axis=-1, keepdims=True)
-        centered = x - mean
-        var = (centered * centered).mean(axis=-1, keepdims=True)
-        normed = centered / (var + self.eps).sqrt()
-        return normed * self.scale + self.shift
+        # Single fused graph node (repro.tensor.primitives.LAYER_NORM)
+        # instead of the ~9-op mean/var/normalise composite.
+        return layer_norm(x, self.scale, self.shift, self.eps)
 
 
 class Embedding(Module):

@@ -1,0 +1,281 @@
+"""Lazy, fusing op-graph backend for the tensor substrate.
+
+Instead of executing each primitive as it is issued (the eager engine in
+:mod:`repro.tensor.autograd`), this backend *records* an expression graph of
+:class:`LazyExpr` nodes over the shared primitive registry and only evaluates
+when a value is actually demanded (``tensor.data`` / ``.numpy()`` /
+``.item()`` / ``backward()``).
+
+At materialisation the evaluator walks the recorded graph once in
+topological order and
+
+* **fuses elementwise chains**: elementwise primitives execute with ``out=``
+  scratch buffers — an ``add → mul → relu → scale → bias`` chain becomes a
+  sequence of ufunc calls writing into at most two recycled buffers, i.e. a
+  single vectorized kernel with zero per-op allocation;
+* **reuses output buffers**: when a transient intermediate's last consumer
+  is a ufunc-safe elementwise op, the op writes *in place* into the dying
+  input's buffer; otherwise dead buffers return to a shape-keyed pool and
+  are handed to later nodes of the same shape.
+
+Gradients come from the same registry VJPs as the eager backend: under grad
+mode every recorded value is pinned (VJPs are pure functions of the forward
+values), and :meth:`Tensor.backward` materialises the loss then runs the
+ordinary eager backward pass.  This is why eager↔lazy parity is exact — the
+same float64 numpy kernels run in the same order either way.
+
+When the lazy graph stands down (evaluates eagerly despite the backend
+switch):
+
+* fancy indexing (``tensor[idx]``) — the result shape depends on the index
+  values;
+* ``detach()`` and any explicit ``.data`` / ``.numpy()`` / ``.item()``
+  access — the caller asked for concrete numbers;
+* custom closure ops built with ``Tensor._make`` (e.g. the grouped expert
+  dispatch), which consume materialised inputs.
+
+Usage::
+
+    from repro import tensor as T
+
+    with T.use_backend("lazy"):      # context manager ...
+        loss = model_loss(batch)
+        loss.backward()
+
+    T.use_backend("lazy")            # ... or global switch
+    T.use_backend("eager")
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import autograd as _ag
+from repro.tensor import primitives as P
+
+#: Elementwise primitives whose numpy ufunc tolerates ``out`` aliasing an
+#: input operand, enabling true in-place chain fusion.
+_UFUNC_SAFE = frozenset({
+    "add", "sub", "mul", "div", "neg", "pow",
+    "exp", "log", "tanh", "relu", "sigmoid",
+})
+
+#: Primitives whose result may be a *view* of their input.  Their inputs are
+#: pinned (the view keeps the base buffer alive) and their own value is
+#: never pooled.
+_VIEW_PRIMS = frozenset({"reshape", "transpose"})
+
+_EMPTY: dict = {}
+
+#: Evaluator counters, for tests and the perf benchmark's observability.
+_stats = {
+    "materializations": 0,   # materialise calls that had to evaluate nodes
+    "nodes_evaluated": 0,    # primitive executions
+    "elementwise_fused": 0,  # elementwise ops executed into a reused buffer
+    "inplace_reuses": 0,     # ... of which wrote in place into a dying input
+    "pool_reuses": 0,        # ... of which recycled a pooled dead buffer
+}
+
+
+def stats() -> dict:
+    """Return a copy of the lazy evaluator's counters."""
+    return dict(_stats)
+
+
+def reset_stats() -> None:
+    for key in _stats:
+        _stats[key] = 0
+
+
+class LazyExpr:
+    """One recorded primitive application in the deferred graph.
+
+    ``inputs`` holds :class:`LazyExpr` nodes for deferred operands and raw
+    ``numpy.ndarray`` leaves for concrete ones.  ``value`` caches the
+    materialised result; for transient (unpinned) nodes the evaluator may
+    release it for buffer reuse — a later demand recomputes from the
+    (pure) primitive graph.
+    """
+
+    __slots__ = ("prim", "inputs", "params", "shape", "value", "pinned", "owned")
+
+    def __init__(self, prim: P.Primitive, inputs: tuple, params: Optional[dict],
+                 shape: Tuple[int, ...], pinned: bool, owned: bool) -> None:
+        self.prim = prim
+        self.inputs = inputs
+        self.params = params
+        self.shape = shape
+        self.value: Optional[np.ndarray] = None
+        self.pinned = pinned
+        self.owned = owned
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "cached" if self.value is not None else "deferred"
+        return f"LazyExpr({self.prim.name}, shape={self.shape}, {state})"
+
+
+def _dispatch(prim: P.Primitive, parents: tuple, params: Optional[dict]):
+    """Record ``prim`` over ``parents`` as a deferred expression node."""
+    inputs = []
+    shapes = []
+    for parent in parents:
+        if parent._data is not None:
+            inputs.append(parent._data)
+            shapes.append(parent._data.shape)
+        else:
+            expr = parent._lazy
+            inputs.append(expr)
+            shapes.append(expr.shape)
+    if params is None:
+        shape = prim.shape(*shapes)
+    else:
+        shape = prim.shape(*shapes, **params)
+
+    grad_on = _ag._grad_enabled
+    is_view = prim.name in _VIEW_PRIMS
+    expr = LazyExpr(prim, tuple(inputs), params, tuple(shape),
+                    pinned=grad_on, owned=not is_view)
+    if is_view:
+        for inp in expr.inputs:
+            if type(inp) is LazyExpr:
+                inp.pinned = True
+
+    out = _ag.Tensor.__new__(_ag.Tensor)
+    out._data = None
+    out._lazy = expr
+    out.grad = None
+    out._backward = None
+    out.name = ""
+    if grad_on:
+        for parent in parents:
+            if parent.requires_grad:
+                out.requires_grad = True
+                out._prim = prim
+                out._parents = parents
+                out._params = params
+                return out
+    out.requires_grad = False
+    out._prim = None
+    out._parents = ()
+    out._params = None
+    return out
+
+
+def materialize(root: LazyExpr) -> np.ndarray:
+    """Evaluate ``root``, fusing elementwise chains and recycling buffers."""
+    if root.value is not None:
+        return root.value
+    # The returned array escapes into Tensor._data — it must never be
+    # released back into the buffer pool by a later materialisation.
+    root.pinned = True
+
+    # Iterative post-order over the not-yet-evaluated subgraph.
+    order: list[LazyExpr] = []
+    visited: set[int] = set()
+    stack: list[tuple[LazyExpr, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for inp in node.inputs:
+            if type(inp) is LazyExpr and inp.value is None and id(inp) not in visited:
+                stack.append((inp, False))
+
+    # Remaining-use counts *within this evaluation* drive buffer recycling.
+    uses: dict[int, int] = {}
+    for node in order:
+        for inp in node.inputs:
+            if type(inp) is LazyExpr:
+                uses[id(inp)] = uses.get(id(inp), 0) + 1
+
+    _stats["materializations"] += 1
+    _stats["nodes_evaluated"] += len(order)
+    pool: dict[Tuple[int, ...], list] = {}
+    for node in order:
+        values = [inp.value if type(inp) is LazyExpr else inp
+                  for inp in node.inputs]
+        prim = node.prim
+        params = node.params
+        if prim.elementwise:
+            out = None
+            if prim.name in _UFUNC_SAFE:
+                # Last consumer of a transient owned intermediate: write in
+                # place into the dying input's buffer.
+                for inp, value in zip(node.inputs, values):
+                    if (type(inp) is LazyExpr and not inp.pinned and inp.owned
+                            and uses.get(id(inp)) == 1
+                            and value.shape == node.shape):
+                        out = value
+                        _stats["inplace_reuses"] += 1
+                        break
+            if out is None and not node.pinned:
+                free = pool.get(node.shape)
+                if free:
+                    out = free.pop()
+                    _stats["pool_reuses"] += 1
+            if out is not None:
+                _stats["elementwise_fused"] += 1
+                result = (prim.forward(*values, out=out) if params is None
+                          else prim.forward(*values, out=out, **params))
+            else:
+                result = (prim.forward(*values) if params is None
+                          else prim.forward(*values, **params))
+        else:
+            result = (prim.forward(*values) if params is None
+                      else prim.forward(*values, **params))
+        node.value = result
+        # Release inputs whose last use this was.
+        for inp in node.inputs:
+            if type(inp) is LazyExpr:
+                remaining = uses[id(inp)] - 1
+                uses[id(inp)] = remaining
+                if remaining == 0 and not inp.pinned:
+                    buffer = inp.value
+                    inp.value = None
+                    if inp.owned and buffer is not result:
+                        pool.setdefault(buffer.shape, []).append(buffer)
+    return root.value
+
+
+class use_backend:
+    """Switch the tensor execution backend (``"eager"`` or ``"lazy"``).
+
+    Acts as a *global switch* the moment it is constructed, and as a
+    *context manager* that restores the previous backend on exit::
+
+        T.use_backend("lazy")          # stays lazy until switched back
+
+        with T.use_backend("lazy"):    # lazy inside the block only
+            ...
+    """
+
+    def __init__(self, name: str) -> None:
+        if name not in ("eager", "lazy"):
+            raise ValueError(f"unknown tensor backend {name!r}; "
+                             f"expected 'eager' or 'lazy'")
+        self._previous = _ag._backend_lazy
+        _ag._backend_lazy = name == "lazy"
+
+    def __enter__(self) -> "use_backend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ag._backend_lazy = self._previous
+
+
+def current_backend() -> str:
+    """Return the name of the active tensor backend."""
+    return "lazy" if _ag._backend_lazy else "eager"
+
+
+# Install the hooks the eager module dispatches through; keeping them here
+# avoids a circular import between autograd and lazy.
+_ag._lazy_dispatch = _dispatch
+_ag._lazy_materialize = materialize

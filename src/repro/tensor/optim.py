@@ -70,24 +70,37 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # One persistent scratch buffer per parameter keeps the update loop
+        # free of per-step allocations.
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
         self._step += 1
-        bias1 = 1.0 - self.beta1 ** self._step
-        bias2 = 1.0 - self.beta2 ** self._step
-        for param, m, v in zip(self.params, self._m, self._v):
-            if param.grad is None:
-                continue
+        # Bias corrections are scalars per step; folding them into the
+        # update as ``(lr / bias1) * m / (sqrt(v) / sqrt(bias2) + eps)``
+        # avoids materialising m_hat / v_hat arrays per parameter.
+        step_scale = self.lr / (1.0 - self.beta1 ** self._step)
+        denom_scale = 1.0 / np.sqrt(1.0 - self.beta2 ** self._step)
+        for param, m, v, scratch in zip(self.params, self._m, self._v,
+                                        self._scratch):
             grad = param.grad
+            if grad is None:
+                continue
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=scratch)
+            m += scratch
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - self.beta2
+            v += scratch
+            np.sqrt(v, out=scratch)
+            scratch *= denom_scale
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= step_scale
+            param.data -= scratch
 
 
 class LRSchedule:
@@ -142,9 +155,10 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     params = [p for p in params if p.grad is not None]
     if not params:
         return 0.0
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    total = float(np.sqrt(sum(
+        float(np.dot(g, g)) for g in (np.ravel(p.grad) for p in params))))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
-            p.grad = p.grad * scale
+            p.grad *= scale
     return total

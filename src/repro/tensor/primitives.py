@@ -1,0 +1,596 @@
+"""Shared primitive registry: one forward / one gradient per operation.
+
+Every differentiable operation of the tensor substrate is described once
+here, as a :class:`Primitive` bundling
+
+* ``forward`` — the numpy implementation (elementwise primitives accept an
+  ``out=`` buffer so the lazy backend can fuse chains without allocating);
+* ``vjp`` — the vector-Jacobian product.  VJPs are *pure* functions of
+  ``(grad, out, inputs, needs, params)`` — they never rely on state saved
+  during the forward pass, which is what lets the eager engine and the lazy
+  graph share them verbatim (materialise whenever, differentiate once);
+* ``shape`` — shape inference, so the lazy backend can answer ``.shape``
+  without evaluating;
+* ``elementwise`` — whether the op maps inputs to outputs pointwise
+  (possibly with broadcasting); these are the ops the lazy backend fuses.
+
+Both execution backends (:mod:`repro.tensor.autograd` eager,
+:mod:`repro.tensor.lazy` deferred) dispatch through this table, so adding an
+op here makes it available — with gradients — to both.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+_NEG_INF = -1e9
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    When an operand was broadcast during the forward pass, the gradient
+    flowing back has the broadcast (larger) shape.  This helper sums the
+    gradient over the broadcast axes so it matches the original operand.
+    """
+    if grad.shape == shape:
+        return grad
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Primitive:
+    """One operation: forward, gradient and shape rule under a single name."""
+
+    __slots__ = ("name", "forward", "vjp", "shape", "elementwise")
+
+    def __init__(self, name: str,
+                 forward: Callable[..., np.ndarray],
+                 vjp: Optional[Callable[..., Sequence[Optional[np.ndarray]]]],
+                 shape: Callable[..., Tuple[int, ...]],
+                 elementwise: bool = False) -> None:
+        self.name = name
+        self.forward = forward
+        self.vjp = vjp
+        self.shape = shape
+        self.elementwise = elementwise
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Primitive({self.name!r})"
+
+
+REGISTRY: Dict[str, Primitive] = {}
+
+
+def register(name: str, forward, vjp, shape, elementwise: bool = False) -> Primitive:
+    if name in REGISTRY:
+        raise ValueError(f"duplicate primitive {name!r}")
+    prim = Primitive(name, forward, vjp, shape, elementwise)
+    REGISTRY[name] = prim
+    return prim
+
+
+# ----------------------------------------------------------------------
+# Shape rules
+# ----------------------------------------------------------------------
+def _broadcast_shape(*shapes, **_params):
+    return np.broadcast_shapes(*shapes)
+
+
+def _same_shape(shape, **_params):
+    return shape
+
+
+def _reduce_shape(shape, axis=None, keepdims=False):
+    if axis is None:
+        return shape if keepdims and not shape else ((1,) * len(shape) if keepdims else ())
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(a % len(shape) for a in axes)
+    if keepdims:
+        return tuple(1 if i in axes else d for i, d in enumerate(shape))
+    return tuple(d for i, d in enumerate(shape) if i not in axes)
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+def _add_vjp(grad, out, inputs, needs, params):
+    a, b = inputs
+    return (unbroadcast(grad, a.shape) if needs[0] else None,
+            unbroadcast(grad, b.shape) if needs[1] else None)
+
+
+def _sub_vjp(grad, out, inputs, needs, params):
+    a, b = inputs
+    return (unbroadcast(grad, a.shape) if needs[0] else None,
+            unbroadcast(-grad, b.shape) if needs[1] else None)
+
+
+def _mul_vjp(grad, out, inputs, needs, params):
+    a, b = inputs
+    return (unbroadcast(grad * b, a.shape) if needs[0] else None,
+            unbroadcast(grad * a, b.shape) if needs[1] else None)
+
+
+def _div_vjp(grad, out, inputs, needs, params):
+    a, b = inputs
+    return (unbroadcast(grad / b, a.shape) if needs[0] else None,
+            unbroadcast(-grad * out / b, b.shape) if needs[1] else None)
+
+
+ADD = register("add", lambda a, b, out=None: np.add(a, b, out=out),
+               _add_vjp, _broadcast_shape, elementwise=True)
+SUB = register("sub", lambda a, b, out=None: np.subtract(a, b, out=out),
+               _sub_vjp, _broadcast_shape, elementwise=True)
+MUL = register("mul", lambda a, b, out=None: np.multiply(a, b, out=out),
+               _mul_vjp, _broadcast_shape, elementwise=True)
+DIV = register("div", lambda a, b, out=None: np.divide(a, b, out=out),
+               _div_vjp, _broadcast_shape, elementwise=True)
+NEG = register("neg", lambda a, out=None: np.negative(a, out=out),
+               lambda grad, out, inputs, needs, params: (-grad,),
+               _same_shape, elementwise=True)
+
+
+def _pow_forward(a, out=None, exponent=2.0):
+    return np.power(a, exponent, out=out)
+
+
+def _pow_vjp(grad, out, inputs, needs, params):
+    (a,) = inputs
+    exponent = params["exponent"]
+    return (grad * exponent * a ** (exponent - 1),)
+
+
+POW = register("pow", _pow_forward, _pow_vjp, _same_shape, elementwise=True)
+
+
+# ----------------------------------------------------------------------
+# Elementwise non-linearities
+# ----------------------------------------------------------------------
+EXP = register("exp", lambda a, out=None: np.exp(a, out=out),
+               lambda grad, out, inputs, needs, params: (grad * out,),
+               _same_shape, elementwise=True)
+LOG = register("log", lambda a, out=None: np.log(a, out=out),
+               lambda grad, out, inputs, needs, params: (grad / inputs[0],),
+               _same_shape, elementwise=True)
+TANH = register("tanh", lambda a, out=None: np.tanh(a, out=out),
+                lambda grad, out, inputs, needs, params: (grad * (1.0 - out * out),),
+                _same_shape, elementwise=True)
+SIGMOID = register(
+    "sigmoid",
+    lambda a, out=None: np.reciprocal(np.add(1.0, np.exp(np.negative(a, out=out), out=out), out=out), out=out)
+    if out is not None else 1.0 / (1.0 + np.exp(-a)),
+    lambda grad, out, inputs, needs, params: (grad * out * (1.0 - out),),
+    _same_shape, elementwise=True)
+
+
+def _relu_forward(a, out=None):
+    return np.maximum(a, 0.0, out=out)
+
+
+def _relu_vjp(grad, out, inputs, needs, params):
+    return (grad * (out > 0),)
+
+
+RELU = register("relu", _relu_forward, _relu_vjp, _same_shape, elementwise=True)
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def _gelu_forward(a, out=None):
+    inner = _GELU_C * (a + 0.044715 * a ** 3)
+    result = 0.5 * a * (1.0 + np.tanh(inner, out=inner))
+    if out is not None:
+        out[...] = result
+        return out
+    return result
+
+
+def _gelu_vjp(grad, out, inputs, needs, params):
+    x = inputs[0]
+    inner = _GELU_C * (x + 0.044715 * x ** 3)
+    tanh_inner = np.tanh(inner)
+    sech2 = 1.0 - tanh_inner ** 2
+    d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x ** 2)
+    d = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+    return (grad * d,)
+
+
+GELU = register("gelu", _gelu_forward, _gelu_vjp, _same_shape, elementwise=True)
+
+
+# ----------------------------------------------------------------------
+# Masking / selection (elementwise with constant operands)
+# ----------------------------------------------------------------------
+def _masked_fill_forward(a, out=None, mask=None, value=0.0):
+    if out is None:
+        return np.where(mask, value, a)
+    np.copyto(out, a)
+    np.copyto(out, value, where=mask)
+    return out
+
+
+def _masked_fill_vjp(grad, out, inputs, needs, params):
+    mask = params["mask"]
+    return (unbroadcast(np.where(mask, 0.0, grad), inputs[0].shape),)
+
+
+MASKED_FILL = register(
+    "masked_fill", _masked_fill_forward, _masked_fill_vjp,
+    lambda shape, mask=None, value=0.0: np.broadcast_shapes(shape, np.shape(mask)),
+    elementwise=True)
+
+
+def _where_forward(a, b, out=None, cond=None):
+    if out is None:
+        return np.where(cond, a, b)
+    np.copyto(out, b)
+    np.copyto(out, a, where=cond)
+    return out
+
+
+def _where_vjp(grad, out, inputs, needs, params):
+    cond = params["cond"]
+    a, b = inputs
+    return (unbroadcast(np.where(cond, grad, 0.0), a.shape) if needs[0] else None,
+            unbroadcast(np.where(cond, 0.0, grad), b.shape) if needs[1] else None)
+
+
+WHERE = register(
+    "where", _where_forward, _where_vjp,
+    lambda sa, sb, cond=None: np.broadcast_shapes(sa, sb, np.shape(cond)),
+    elementwise=True)
+
+
+# ----------------------------------------------------------------------
+# Matrix multiply
+# ----------------------------------------------------------------------
+def _matmul_vjp(grad, out, inputs, needs, params):
+    a, b = inputs
+    grad_a = grad_b = None
+    if needs[0]:
+        grad_a = unbroadcast(grad @ np.swapaxes(b, -1, -2), a.shape)
+    if needs[1]:
+        grad_b = unbroadcast(np.swapaxes(a, -1, -2) @ grad, b.shape)
+    return (grad_a, grad_b)
+
+
+def _matmul_shape(sa, sb):
+    if len(sa) == 1 and len(sb) == 1:
+        return ()
+    if len(sb) == 1:
+        return sa[:-1]
+    if len(sa) == 1:
+        return sb[:-2] + sb[-1:]
+    batch = np.broadcast_shapes(sa[:-2], sb[:-2])
+    return batch + (sa[-2], sb[-1])
+
+
+MATMUL = register("matmul", lambda a, b: a @ b, _matmul_vjp, _matmul_shape)
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+def _reshape_forward(a, shape=None):
+    return a.reshape(shape)
+
+
+def _reshape_vjp(grad, out, inputs, needs, params):
+    return (grad.reshape(inputs[0].shape),)
+
+
+def _reshape_shape(s, shape=None):
+    shape = tuple(shape)
+    if -1 in shape:
+        total = 1
+        for dim in s:
+            total *= dim
+        known = 1
+        for dim in shape:
+            if dim != -1:
+                known *= dim
+        shape = tuple(total // known if dim == -1 else dim for dim in shape)
+    return shape
+
+
+RESHAPE = register("reshape", _reshape_forward, _reshape_vjp, _reshape_shape)
+
+
+def _transpose_forward(a, axes=None, inverse=None):
+    return a.transpose(axes)
+
+
+def _transpose_vjp(grad, out, inputs, needs, params):
+    return (grad.transpose(params["inverse"]),)
+
+
+TRANSPOSE = register("transpose", _transpose_forward, _transpose_vjp,
+                     lambda s, axes=None, inverse=None: tuple(s[a] for a in axes))
+
+
+def _getitem_forward(a, index=None):
+    return a[index]
+
+
+def _getitem_vjp(grad, out, inputs, needs, params):
+    full = np.zeros_like(inputs[0])
+    np.add.at(full, params["index"], grad)
+    return (full,)
+
+
+# getitem shape depends on the index value; the dispatcher always evaluates
+# it eagerly (fancy indexing is a materialisation point for the lazy graph).
+GETITEM = register("getitem", _getitem_forward, _getitem_vjp,
+                   lambda s, index=None: None)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def _sum_forward(a, axis=None, keepdims=False):
+    return a.sum(axis=axis, keepdims=keepdims)
+
+
+def _sum_vjp(grad, out, inputs, needs, params):
+    a = inputs[0]
+    axis, keepdims = params["axis"], params["keepdims"]
+    g = grad
+    if axis is not None and not keepdims:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        for ax in sorted(ax % a.ndim for ax in axes):
+            g = np.expand_dims(g, ax)
+    return (np.broadcast_to(g, a.shape),)
+
+
+SUM = register("sum", _sum_forward, _sum_vjp,
+               lambda s, axis=None, keepdims=False: _reduce_shape(s, axis, keepdims))
+
+
+def _max_forward(a, axis=None, keepdims=False):
+    return a.max(axis=axis, keepdims=keepdims)
+
+
+def _max_vjp(grad, out, inputs, needs, params):
+    a = inputs[0]
+    axis, keepdims = params["axis"], params["keepdims"]
+    g = grad
+    expanded = out
+    if axis is not None and not keepdims:
+        g = np.expand_dims(g, axis)
+        expanded = np.expand_dims(out, axis)
+    mask = (a == expanded).astype(a.dtype)
+    normaliser = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+    return (mask * g / np.maximum(normaliser, 1),)
+
+
+MAX = register("max", _max_forward, _max_vjp,
+               lambda s, axis=None, keepdims=False: _reduce_shape(s, axis, keepdims))
+
+
+# ----------------------------------------------------------------------
+# Combinators
+# ----------------------------------------------------------------------
+def _concatenate_forward(*arrays, axis=-1):
+    return np.concatenate(arrays, axis=axis)
+
+
+def _concatenate_vjp(grad, out, inputs, needs, params):
+    axis = params["axis"]
+    sizes = [a.shape[axis] for a in inputs]
+    offsets = np.cumsum([0] + sizes)
+    grads = []
+    index = [slice(None)] * grad.ndim
+    for i, a in enumerate(inputs):
+        if not needs[i]:
+            grads.append(None)
+            continue
+        index[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
+        grads.append(grad[tuple(index)])
+    return grads
+
+
+def _concatenate_shape(*shapes, axis=-1):
+    total = sum(s[axis] for s in shapes)
+    base = list(shapes[0])
+    base[axis] = total
+    return tuple(base)
+
+
+CONCATENATE = register("concatenate", _concatenate_forward, _concatenate_vjp,
+                       _concatenate_shape)
+
+
+def _stack_forward(*arrays, axis=0):
+    return np.stack(arrays, axis=axis)
+
+
+def _stack_vjp(grad, out, inputs, needs, params):
+    split = np.moveaxis(grad, params["axis"], 0)
+    return [split[i] if needs[i] else None for i in range(len(inputs))]
+
+
+def _stack_shape(*shapes, axis=0):
+    base = list(shapes[0])
+    base.insert(axis if axis >= 0 else len(base) + 1 + axis, len(shapes))
+    return tuple(base)
+
+
+STACK = register("stack", _stack_forward, _stack_vjp, _stack_shape)
+
+
+def _embedding_forward(weight, indices=None):
+    return weight[indices]
+
+
+def _embedding_vjp(grad, out, inputs, needs, params):
+    weight = inputs[0]
+    idx = params["indices"]
+    full = np.zeros_like(weight)
+    np.add.at(full, idx.reshape(-1), grad.reshape(-1, weight.shape[-1]))
+    return (full,)
+
+
+EMBEDDING = register("embedding", _embedding_forward, _embedding_vjp,
+                     lambda s, indices=None: tuple(indices.shape) + (s[-1],))
+
+
+# ----------------------------------------------------------------------
+# Fused neural-network kernels
+# ----------------------------------------------------------------------
+# These collapse the composite op chains that dominate the model hot path
+# (normalisation, attention softmax, the loss) into single primitives: one
+# graph node, one forward call, one VJP — instead of ~10 of each.
+#
+# Saved activations: VJPs are pure functions of (grad, out, inputs, params),
+# so they can always recompute their intermediates — that purity is what
+# lets the lazy backend release and re-derive buffers.  As a *cache*, a
+# forward may deposit intermediates into a mutable ``params["_saved"]`` dict
+# when the caller provides one (the autograd layer does so only while
+# gradients are enabled); the VJP uses the deposit when present and falls
+# back to recomputation when not.  Correctness never depends on the cache.
+
+def _softmax(x, axis):
+    shifted = x - x.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
+
+
+def _softmax_forward(x, axis=-1):
+    return _softmax(x, axis)
+
+
+def _softmax_vjp(grad, out, inputs, needs, params):
+    axis = params["axis"]
+    inner = (grad * out).sum(axis=axis, keepdims=True)
+    return (out * (grad - inner),)
+
+
+SOFTMAX = register("softmax", _softmax_forward, _softmax_vjp, _same_shape)
+
+
+def _log_softmax_forward(x, axis=-1):
+    shifted = x - x.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    shifted -= lse
+    return shifted
+
+
+def _log_softmax_vjp(grad, out, inputs, needs, params):
+    axis = params["axis"]
+    return (grad - np.exp(out) * grad.sum(axis=axis, keepdims=True),)
+
+
+LOG_SOFTMAX = register("log_softmax", _log_softmax_forward, _log_softmax_vjp,
+                       _same_shape)
+
+
+def _layer_norm_forward(x, scale, shift, eps=1e-6, _saved=None):
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = np.mean(centered * centered, axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    centered *= inv_std
+    if _saved is not None:
+        _saved["xhat"] = centered
+        _saved["inv_std"] = inv_std
+    return centered * scale + shift
+
+
+def _layer_norm_vjp(grad, out, inputs, needs, params):
+    x, scale, shift = inputs
+    saved = params.get("_saved")
+    if saved and "xhat" in saved:
+        xhat, inv_std = saved["xhat"], saved["inv_std"]
+    else:
+        eps = params["eps"]
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = np.mean(centered * centered, axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + eps)
+        xhat = centered * inv_std
+    grad_x = grad_scale = grad_shift = None
+    if needs[0]:
+        g = grad * scale
+        grad_x = (g - g.mean(axis=-1, keepdims=True)
+                  - xhat * np.mean(g * xhat, axis=-1, keepdims=True)) * inv_std
+    reduce_axes = tuple(range(grad.ndim - 1))
+    if needs[1]:
+        grad_scale = (grad * xhat).sum(axis=reduce_axes)
+    if needs[2]:
+        grad_shift = grad.sum(axis=reduce_axes)
+    return (grad_x, grad_scale, grad_shift)
+
+
+LAYER_NORM = register("layer_norm", _layer_norm_forward, _layer_norm_vjp,
+                      lambda sx, sscale, sshift, eps=1e-6, _saved=None: sx)
+
+
+def _sdpa_forward(q, k, v, mask=None, scale=1.0, _saved=None):
+    scores = q @ np.swapaxes(k, -1, -2)
+    scores *= scale
+    if mask is not None:
+        np.copyto(scores, _NEG_INF, where=mask)
+    weights = _softmax(scores, -1)
+    if _saved is not None:
+        _saved["weights"] = weights
+    return weights @ v
+
+
+def _sdpa_vjp(grad, out, inputs, needs, params):
+    q, k, v = inputs
+    mask, scale = params["mask"], params["scale"]
+    saved = params.get("_saved")
+    if saved and "weights" in saved:
+        weights = saved["weights"]
+    else:
+        scores = q @ np.swapaxes(k, -1, -2)
+        scores *= scale
+        if mask is not None:
+            np.copyto(scores, _NEG_INF, where=mask)
+        weights = _softmax(scores, -1)
+    grad_q = grad_k = grad_v = None
+    if needs[2]:
+        grad_v = unbroadcast(np.swapaxes(weights, -1, -2) @ grad, v.shape)
+    grad_weights = grad @ np.swapaxes(v, -1, -2)
+    inner = (grad_weights * weights).sum(axis=-1, keepdims=True)
+    grad_scores = weights * (grad_weights - inner)
+    grad_scores *= scale
+    if needs[0]:
+        grad_q = unbroadcast(grad_scores @ k, q.shape)
+    if needs[1]:
+        grad_k = unbroadcast(np.swapaxes(grad_scores, -1, -2) @ q, k.shape)
+    return (grad_q, grad_k, grad_v)
+
+
+SDPA = register("sdpa", _sdpa_forward, _sdpa_vjp,
+                lambda sq, sk, sv, mask=None, scale=1.0, _saved=None: sq[:-1] + sv[-1:])
+
+
+def _softmax_xent_forward(logits, targets=None, weights=None, denom=1.0):
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=-1))
+    picked = shifted[np.arange(targets.shape[0]), targets]
+    return np.asarray(((lse - picked) * weights).sum() / denom)
+
+
+def _softmax_xent_vjp(grad, out, inputs, needs, params):
+    (logits,) = inputs
+    targets, weights, denom = params["targets"], params["weights"], params["denom"]
+    probs = _softmax(logits, -1)
+    probs[np.arange(targets.shape[0]), targets] -= 1.0
+    probs *= (weights / denom)[:, None]
+    probs *= grad
+    return (probs,)
+
+
+SOFTMAX_XENT = register("softmax_xent", _softmax_xent_forward, _softmax_xent_vjp,
+                        lambda s, targets=None, weights=None, denom=1.0: ())

@@ -1,0 +1,317 @@
+"""Eager ↔ lazy backend parity: same registry, identical results.
+
+The two backends share one primitive registry (:mod:`repro.tensor.primitives`)
+— the lazy backend records the same primitives it defers and the backward
+pass always runs the same VJPs over materialised values — so forward values
+and gradients must agree to :data:`BUDGET` (they are in fact bit-identical).
+The property-based suite drives random expression graphs, random shapes and
+broadcasting through every primitive; dedicated tests pin the backend
+switch semantics, the no-grad fusion path and the stand-down cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, no_grad, use_backend
+from repro.tensor import current_backend
+from repro.tensor import functional as F
+from repro.tensor.autograd import (concatenate, embedding_lookup, layer_norm,
+                                   scaled_dot_product_attention,
+                                   softmax_cross_entropy, stack, where)
+from repro.tensor import lazy
+
+BUDGET = 1e-9
+
+
+def _assert_close(a, b, label):
+    assert np.max(np.abs(np.asarray(a) - np.asarray(b))) <= BUDGET, label
+
+
+def run_both(build, n_inputs_grads):
+    """Run ``build`` under each backend; compare output and input grads.
+
+    ``build`` receives fresh input Tensors (created by ``n_inputs_grads``, a
+    callable returning a list of Tensors with ``requires_grad=True``) and
+    returns a Tensor; the harness reduces it to a scalar, runs backward,
+    and asserts value + gradient parity within :data:`BUDGET`.
+    """
+    results = {}
+    for backend in ("eager", "lazy"):
+        with use_backend(backend):
+            inputs = n_inputs_grads()
+            out = build(*inputs)
+            value = np.array(out.data, copy=True)
+            (out * out).sum().backward()
+            grads = [None if t.grad is None else np.array(t.grad, copy=True)
+                     for t in inputs]
+            results[backend] = (value, grads)
+    value_e, grads_e = results["eager"]
+    value_l, grads_l = results["lazy"]
+    _assert_close(value_e, value_l, "forward values diverged")
+    for i, (ge, gl) in enumerate(zip(grads_e, grads_l)):
+        assert (ge is None) == (gl is None)
+        if ge is not None:
+            _assert_close(ge, gl, f"gradient {i} diverged")
+
+
+def make_inputs(*shapes, seed=0):
+    def factory():
+        rng = np.random.default_rng(seed)
+        return [Tensor(rng.standard_normal(shape) + 0.1, requires_grad=True)
+                for shape in shapes]
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Per-primitive coverage: every op the registry exposes, both backends.
+# ----------------------------------------------------------------------
+BINARY_CASES = [
+    ("add", lambda a, b: a + b),
+    ("sub", lambda a, b: a - b),
+    ("mul", lambda a, b: a * b),
+    ("div", lambda a, b: a / (b * b + 1.0)),
+    ("where", lambda a, b: where(np.asarray(a.data) > 0, a, b)),
+]
+
+UNARY_CASES = [
+    ("neg", lambda a: -a),
+    ("pow", lambda a: (a * a + 1.0) ** 1.5),
+    ("exp", lambda a: a.exp()),
+    ("log", lambda a: (a * a + 1.0).log()),
+    ("sqrt", lambda a: (a * a + 1.0).sqrt()),
+    ("tanh", lambda a: a.tanh()),
+    ("sigmoid", lambda a: a.sigmoid()),
+    ("relu", lambda a: a.relu()),
+    ("gelu", lambda a: a.gelu()),
+    ("masked_fill", lambda a: a.masked_fill(np.asarray(a.data) < 0, -2.0)),
+    ("reshape", lambda a: a.reshape(-1)),
+    ("transpose", lambda a: a.transpose(1, 0)),
+    ("getitem", lambda a: a[1:, :2]),
+    ("sum", lambda a: a.sum(axis=1)),
+    ("sum_keepdims", lambda a: a.sum(axis=0, keepdims=True)),
+    ("mean", lambda a: a.mean(axis=-1)),
+    ("max", lambda a: a.max(axis=1)),
+    ("softmax", lambda a: a.softmax(axis=-1)),
+    ("log_softmax", lambda a: a.log_softmax(axis=-1)),
+]
+
+
+@pytest.mark.parametrize("name,fn", BINARY_CASES, ids=[c[0] for c in BINARY_CASES])
+def test_binary_primitive_parity(name, fn):
+    run_both(fn, make_inputs((3, 4), (3, 4)))
+
+
+@pytest.mark.parametrize("name,fn", BINARY_CASES[:4], ids=[c[0] for c in BINARY_CASES[:4]])
+def test_binary_primitive_broadcast_parity(name, fn):
+    run_both(fn, make_inputs((3, 4), (4,)))
+    run_both(fn, make_inputs((2, 1, 4), (3, 1)))
+
+
+@pytest.mark.parametrize("name,fn", UNARY_CASES, ids=[c[0] for c in UNARY_CASES])
+def test_unary_primitive_parity(name, fn):
+    run_both(fn, make_inputs((3, 4)))
+
+
+def test_matmul_parity():
+    run_both(lambda a, b: a @ b, make_inputs((3, 4), (4, 5)))
+    run_both(lambda a, b: a @ b, make_inputs((2, 3, 4), (4, 5)))
+
+
+def test_concatenate_stack_parity():
+    run_both(lambda a, b: concatenate([a, b], axis=1), make_inputs((3, 2), (3, 4)))
+    run_both(lambda a, b: stack([a, b], axis=0), make_inputs((3, 2), (3, 2)))
+
+
+def test_embedding_parity():
+    idx = np.array([[0, 2, 1], [2, 2, 0]])
+    run_both(lambda w: embedding_lookup(w, idx), make_inputs((4, 5)))
+
+
+def test_layer_norm_parity():
+    run_both(lambda x, s, b: layer_norm(x, s, b),
+             make_inputs((4, 6), (6,), (6,)))
+
+
+def test_sdpa_parity():
+    mask = np.triu(np.ones((5, 5), dtype=bool), k=1)[None, None]
+    run_both(lambda q, k, v: scaled_dot_product_attention(
+        q, k, v, mask=mask, scale=0.5),
+        make_inputs((2, 2, 5, 3), (2, 2, 5, 3), (2, 2, 5, 3)))
+
+
+def test_softmax_xent_parity():
+    targets = np.array([0, 3, 1, 2])
+    weights = np.array([1.0, 1.0, 0.0, 1.0])
+    run_both(lambda logits: softmax_cross_entropy(logits, targets, weights, 3.0),
+             make_inputs((4, 5)))
+
+
+# ----------------------------------------------------------------------
+# Property-based: random graphs of chained primitives.
+# ----------------------------------------------------------------------
+CHAIN_OPS = [
+    lambda t, o: t + o,
+    lambda t, o: t * o,
+    lambda t, o: t - o,
+    lambda t, o: t / (o * o + 1.5),
+    lambda t, o: t.relu() + o,
+    lambda t, o: (t * 0.5).tanh() * o,
+    lambda t, o: t.sigmoid() - o,
+    lambda t, o: (t + o).softmax(axis=-1),
+    lambda t, o: t.masked_fill(np.zeros(t.shape, dtype=bool), 0.0) + o,
+    lambda t, o: (t * o).sum(axis=-1, keepdims=True) + t,
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=5),
+    broadcast=st.booleans(),
+    ops=st.lists(st.integers(min_value=0, max_value=len(CHAIN_OPS) - 1),
+                 min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_random_graph_parity(rows, cols, broadcast, ops, seed):
+    shape_a = (rows, cols)
+    shape_b = (cols,) if broadcast else (rows, cols)
+
+    def build(a, b):
+        t = a
+        for op_idx in ops:
+            t = CHAIN_OPS[op_idx](t, b)
+        return t
+
+    run_both(build, make_inputs(shape_a, shape_b, seed=seed))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=st.lists(st.integers(min_value=0, max_value=len(CHAIN_OPS) - 1),
+                 min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_random_graph_no_grad_parity(ops, seed):
+    """Under ``no_grad`` the lazy evaluator recycles buffers — values must
+    still match the eager backend exactly."""
+    rng = np.random.default_rng(seed)
+    a_data = rng.standard_normal((3, 4))
+    b_data = rng.standard_normal((3, 4))
+    values = {}
+    for backend in ("eager", "lazy"):
+        with use_backend(backend), no_grad():
+            t, o = Tensor(a_data), Tensor(b_data)
+            for op_idx in ops:
+                t = CHAIN_OPS[op_idx](t, o)
+            values[backend] = np.array(t.data, copy=True)
+    _assert_close(values["eager"], values["lazy"], "no_grad values diverged")
+
+
+# ----------------------------------------------------------------------
+# Backend-switch semantics and the lazy evaluator's machinery.
+# ----------------------------------------------------------------------
+def test_use_backend_context_manager_restores():
+    assert current_backend() == "eager"
+    with use_backend("lazy"):
+        assert current_backend() == "lazy"
+        with use_backend("eager"):
+            assert current_backend() == "eager"
+        assert current_backend() == "lazy"
+    assert current_backend() == "eager"
+
+
+def test_use_backend_global_switch():
+    use_backend("lazy")
+    try:
+        assert current_backend() == "lazy"
+    finally:
+        use_backend("eager")
+    assert current_backend() == "eager"
+
+
+def test_use_backend_rejects_unknown():
+    with pytest.raises(ValueError):
+        use_backend("jit")
+
+
+def test_lazy_defers_until_demanded():
+    with use_backend("lazy"), no_grad():
+        a = Tensor(np.ones((2, 2)))
+        out = (a + 1.0) * 3.0
+        assert out._data is None          # recorded, not executed
+        assert out.shape == (2, 2)        # shape known without materialising
+        np.testing.assert_allclose(out.data, np.full((2, 2), 6.0))
+        assert out._data is not None      # demand materialised it
+
+
+def test_lazy_fuses_elementwise_chains():
+    lazy.reset_stats()
+    with use_backend("lazy"), no_grad():
+        t = Tensor(np.ones((64, 64)))
+        for _ in range(10):
+            t = (t * 0.5 + 1.0).relu()
+        value = t.data
+    counters = lazy.stats()
+    assert counters["materializations"] == 1
+    assert counters["nodes_evaluated"] == 30
+    # All but the first op of the chain can reuse a dying buffer.
+    assert counters["elementwise_fused"] >= counters["nodes_evaluated"] - 2
+    assert counters["inplace_reuses"] > 0
+    expected = np.ones((64, 64))
+    for _ in range(10):
+        expected = np.maximum(expected * 0.5 + 1.0, 0.0)
+    np.testing.assert_allclose(value, expected)
+
+
+def test_lazy_view_primitives_stay_safe():
+    """reshape/transpose return numpy views; the viewed buffer must not be
+    recycled into the pool and corrupted by later ops."""
+    with use_backend("lazy"), no_grad():
+        a = Tensor(np.arange(12.0).reshape(3, 4))
+        base = (a + 1.0) * 2.0
+        view = base.reshape(2, 6)
+        # Same-shape elementwise traffic that would love to recycle buffers.
+        noise = ((a * 3.0) + (a * 4.0)).reshape(2, 6) + 1.0
+        total = view + noise
+        expected = ((np.arange(12.0).reshape(3, 4) + 1.0) * 2.0).reshape(2, 6) \
+            + ((np.arange(12.0).reshape(3, 4) * 7.0).reshape(2, 6) + 1.0)
+        np.testing.assert_allclose(total.data, expected)
+
+
+def test_lazy_stands_down_for_fancy_indexing():
+    with use_backend("lazy"), no_grad():
+        a = Tensor(np.arange(12.0).reshape(3, 4))
+        picked = (a + 1.0)[np.array([0, 2])]
+        assert picked._data is not None   # getitem is always eager
+        np.testing.assert_allclose(
+            picked.data, (np.arange(12.0).reshape(3, 4) + 1.0)[[0, 2]])
+
+
+def test_lazy_backward_materialises_and_matches():
+    data = np.linspace(-1.0, 1.0, 12).reshape(3, 4)
+    with use_backend("lazy"):
+        t = Tensor(data, requires_grad=True)
+        loss = ((t * 2.0).tanh() + 1.0).sum()
+        loss.backward()
+        lazy_grad = np.array(t.grad, copy=True)
+    t2 = Tensor(data, requires_grad=True)
+    ((t2 * 2.0).tanh() + 1.0).sum().backward()
+    _assert_close(lazy_grad, t2.grad, "backward through lazy graph diverged")
+
+
+def test_released_transient_recomputes_if_redemanded():
+    """A transient whose buffer was recycled is recomputed from the pure
+    graph when a second materialisation demands it again."""
+    with use_backend("lazy"), no_grad():
+        a = Tensor(np.full((4, 4), 2.0))
+        mid = a * 3.0
+        first = (mid + 1.0).relu()
+        np.testing.assert_allclose(first.data, np.full((4, 4), 7.0))
+        # mid's buffer may have been consumed by the chain above; a new
+        # expression over mid must still see the right values.
+        second = mid + 10.0
+        np.testing.assert_allclose(second.data, np.full((4, 4), 16.0))

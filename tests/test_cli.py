@@ -96,6 +96,26 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["simperf", "--quick", "--seed", "1"])
 
+    def test_tensorperf_quick_smokes_without_writing_json(self, tmp_path,
+                                                          monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["tensorperf", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "train steps/s" in out
+        for token in ("tiny", "mini", "eager", "lazy"):
+            assert token in out
+        # Only --full (which adds the serving-scale rung) writes the
+        # artifact — a smoke shape must never overwrite the trajectory.
+        assert not os.path.exists(tmp_path / "BENCH_tensorperf.json")
+
+    def test_tensorperf_rejects_workers_and_seed(self):
+        with pytest.raises(SystemExit):
+            main(["tensorperf", "--quick", "--workers", "2"])
+        with pytest.raises(SystemExit):
+            main(["tensorperf", "--quick", "--seed", "1"])
+        with pytest.raises(SystemExit):
+            main(["tensorperf", "--full", "--quick"])
+
 
 class TestTraceCommand:
     def test_trace_quick_writes_perfetto_json(self, tmp_path, capsys):
