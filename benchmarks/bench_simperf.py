@@ -12,18 +12,24 @@ size 1 — the paper's serving mode), it compares the serving modes:
 * ``no_trace_probed`` — ``no_trace`` with sampled observability probes on,
   pinning the probe layer's overhead against the no-trace floor.
 
+Each run also measures the placement rungs — expert-cached and multi-GPU
+serving in the hot-expert regime — where the replay controller now
+engages (it used to stand down on any cache or shard map).
+
 The assertions pin the engine contract end-to-end: trace, no-trace and
 kernel simulate the *same* execution bit-for-bit (equal makespan, ops and
 token throughput); replay matches them to 1e-7 relative (1e-9 at test
 scale — the drift is float reassociation across closed-form windows)
-while skipping most decode rounds; and the replay engine is at least 4x
+while skipping most decode rounds; the replay engine is at least 4x
 faster than the scalar no-trace baseline on this scenario (the committed
 ``BENCH_simperf.json`` records ~25x at the 16k-request rung of the
-scaling ladder).
+scaling ladder); and on every cached / multi-GPU placement rung replay
+engages and clears 5x over the replay-off kernel.
 
 The default pytest run measures a few hundred requests (seconds); set
 ``SIMPERF_QUICK=1`` for the CI smoke shape or ``SIMPERF_FULL=1`` to
-regenerate the committed artifact's full 1.6k/16k/100k ladder (minutes).
+regenerate the committed artifact's full 1.6k/16k/100k/1M ladder
+(tens of minutes — the million-request rung alone is most of it).
 Only full runs overwrite ``BENCH_simperf.json`` — a smoke run must not
 replace the recorded scaling ladder.  ``python -m repro simperf`` runs the
 same measurement outside pytest.
@@ -99,6 +105,19 @@ def test_simperf_records_trajectory():
         # baseline (the committed full ladder records >= 10x at 16k).
         assert max(speedups.values()) >= 4.0, speedups
 
+    # Placement rungs: replay must engage and pay off on cached and
+    # multi-GPU serving, with the same exact-counter parity as the plain
+    # scenario (the committed artifact records >= 10x per rung).
+    placement_speedups = payload["kernel_replay_speedup_over_kernel"][
+        "placements"]
+    for name, rung in payload["placements"].items():
+        kernel, replay = rung["kernel"], rung["kernel_replay"]
+        rel = abs(replay["makespan_seconds"] - kernel["makespan_seconds"])
+        assert rel <= 1e-7 * kernel["makespan_seconds"], name
+        assert replay["total_ops"] == kernel["total_ops"], name
+        assert replay["replay_windows"] > 0, name
+        assert placement_speedups[name] >= 5.0, (name, placement_speedups)
+
     print()
     print(f"simperf ({payload['design']}/{payload['config']}, "
           f"in={payload['scenario']['input_length']} "
@@ -114,3 +133,10 @@ def test_simperf_records_trajectory():
     for size, speedup in sorted(speedups.items(), key=lambda kv: int(kv[0])):
         print(f"  {int(size):>6} req kernel_replay speedup over no_trace: "
               f"{speedup:.1f}x")
+    for name, rung in payload["placements"].items():
+        print(f"  [{name}] {rung['requests']} req: "
+              f"kernel {rung['kernel']['simulated_requests_per_second']:.1f} "
+              f"-> replay "
+              f"{rung['kernel_replay']['simulated_requests_per_second']:.1f} "
+              f"sim req/s ({placement_speedups[name]:.1f}x, "
+              f"{rung['kernel_replay']['replay_rounds']} replayed rounds)")

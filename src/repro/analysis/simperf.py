@@ -67,14 +67,32 @@ TRACE_POOL = 400
 #: Request counts of the recorded scaling sweep.  The trace mode only runs
 #: at the smallest count (it keeps every op in memory); the scalar modes
 #: stop at 16k (they are the slow baselines being replaced); the kernel +
-#: replay engine runs the full ladder.
+#: replay engine runs the full ladder up to the million-request rung.
 FULL_SIZES: Dict[int, Sequence[str]] = {
     1_600: ("trace", "no_trace", "kernel", "kernel_replay"),
     16_000: ("no_trace", "no_trace_probed", "kernel", "kernel_replay"),
     100_000: ("kernel_replay",),
+    1_000_000: ("kernel_replay",),
 }
 DEFAULT_REQUESTS = 400
 QUICK_REQUESTS = 120
+
+#: Placement rungs: kernel vs kernel+replay on the placements replay
+#: newly covers — expert caches and multi-GPU shards.  Replay needs the
+#: hit/miss outcomes and owner-device patterns to repeat, so these rungs
+#: route with a strongly skewed (hot-expert) distribution and longer
+#: generations: the cache-effective steady state of the Figure 15 study.
+PLACEMENT_SKEW = 12.0
+PLACEMENT_OUTPUT_LENGTH = 192
+PLACEMENTS: Dict[str, Dict[str, object]] = {
+    "cached_hot": {"cache_policy": "lru", "cache_capacity": 256},
+    "multi_gpu_hot": {"num_gpus": 2, "shard_policy": "round_robin"},
+    "cached_2gpu": {"cache_policy": "lru", "cache_capacity": 256,
+                    "num_gpus": 2, "shard_policy": "round_robin"},
+}
+PLACEMENT_REQUESTS_FULL = 400
+PLACEMENT_REQUESTS_DEFAULT = 200
+PLACEMENT_REQUESTS_QUICK = 80
 
 #: Serving-mode knobs, keyed by mode name.
 MODES: Dict[str, Dict[str, object]] = {
@@ -93,10 +111,12 @@ MODES: Dict[str, Dict[str, object]] = {
                         "record_trace": False, "probe_interval": 1.0},
 }
 
-#: CI floor: a quick run's no-trace throughput below this fails the perf
-#: smoke job (value is ~0.25x the measurement on the recording machine, so
-#: honest slowdowns trip it but CI-runner jitter does not).
+#: CI floors: a quick run's throughput below these fails the perf smoke
+#: job (values are ~0.25x the measurements on the recording machine, so
+#: honest slowdowns trip them but CI-runner jitter does not).
 NO_TRACE_FLOOR_REQ_PER_S = 4.0
+KERNEL_FLOOR_REQ_PER_S = 8.0
+KERNEL_REPLAY_FLOOR_REQ_PER_S = 80.0
 
 #: Canonical artifact filename (committed at the repo root; the CLI writes
 #: it to the current directory, the benchmark anchors it to the repo root).
@@ -104,7 +124,9 @@ SIMPERF_FILENAME = "BENCH_simperf.json"
 
 
 def build_requests(num_requests: int,
-                   pool_size: int = TRACE_POOL) -> List[TimedRequest]:
+                   pool_size: int = TRACE_POOL,
+                   skew: float = ROUTING_SKEW,
+                   output_length: int = OUTPUT_LENGTH) -> List[TimedRequest]:
     """The scenario's request stream, from a tiled pre-generated pool.
 
     Poisson arrivals at :data:`REQUEST_RATE` (seeded, vectorised); traces
@@ -112,10 +134,10 @@ def build_requests(num_requests: int,
     reused round-robin, so building a 100k-request stream costs seconds,
     not the minutes a fresh 100k-trace generation would.
     """
-    pool = TraceGenerator(get_config(DEFAULT_CONFIG), skew=ROUTING_SKEW,
+    pool = TraceGenerator(get_config(DEFAULT_CONFIG), skew=skew,
                           seed=SEED).workload(
         min(pool_size, num_requests), input_length=INPUT_LENGTH,
-        output_length=OUTPUT_LENGTH)
+        output_length=output_length)
     gaps = np.random.default_rng(SEED).exponential(
         1.0 / REQUEST_RATE, size=num_requests)
     arrivals = np.cumsum(gaps)
@@ -126,16 +148,20 @@ def build_requests(num_requests: int,
 
 def measure_mode(mode: str, requests: Sequence[TimedRequest],
                  config: str = DEFAULT_CONFIG,
-                 design: str = DEFAULT_DESIGN) -> Dict[str, float]:
+                 design: str = DEFAULT_DESIGN,
+                 **scheduler_kwargs: object) -> Dict[str, float]:
     """Serve the request stream in one mode; report the simulator's cost.
 
     Only :meth:`~repro.serving.scheduler.ContinuousBatchingScheduler.serve`
     is inside the timed region — scheduler construction and request
     generation are shared setup, identical across modes.
+    ``scheduler_kwargs`` layers placement knobs (cache, shards) on top of
+    the mode's engine knobs for the placement rungs.
     """
     knobs = MODES[mode]
     scheduler = ContinuousBatchingScheduler(
-        design, config, max_batch_size=MAX_BATCH_SIZE, **knobs)
+        design, config, max_batch_size=MAX_BATCH_SIZE, **knobs,
+        **scheduler_kwargs)
     num_requests = len(requests)
     started = time.perf_counter()
     result = scheduler.serve(requests, offered_load=REQUEST_RATE)
@@ -165,22 +191,39 @@ def run_simperf(quick: bool = False, full: bool = False,
     ``quick`` serves :data:`QUICK_REQUESTS` requests through the no-trace,
     kernel and kernel+replay modes (the CI smoke shape); the default serves
     :data:`DEFAULT_REQUESTS` through all four; ``full`` runs the recorded
-    1.6k/16k/100k scaling ladder of :data:`FULL_SIZES` (minutes of wall
-    time — the artifact-regeneration path, not a CI job).
+    1.6k/16k/100k/1M scaling ladder of :data:`FULL_SIZES` (minutes of wall
+    time — the artifact-regeneration path, not a CI job).  Every shape also
+    runs the :data:`PLACEMENTS` rungs (kernel vs kernel+replay on cached /
+    multi-GPU placements in the hot-expert regime).
     """
     if full:
         sizes = dict(FULL_SIZES)
+        placement_requests = PLACEMENT_REQUESTS_FULL
     else:
         requests = num_requests if num_requests is not None else (
             QUICK_REQUESTS if quick else DEFAULT_REQUESTS)
         modes = (("no_trace", "no_trace_probed", "kernel", "kernel_replay")
                  if quick else tuple(MODES))
         sizes = {requests: modes}
+        placement_requests = (PLACEMENT_REQUESTS_QUICK if quick
+                              else PLACEMENT_REQUESTS_DEFAULT)
     scaling: Dict[str, Dict[str, Dict[str, float]]] = {}
     for size, modes in sizes.items():
         stream = build_requests(size)
         scaling[str(size)] = {mode: measure_mode(mode, stream)
                               for mode in modes}
+    placement_stream = build_requests(placement_requests,
+                                      skew=PLACEMENT_SKEW,
+                                      output_length=PLACEMENT_OUTPUT_LENGTH)
+    placements: Dict[str, Dict[str, object]] = {}
+    for name, knobs in PLACEMENTS.items():
+        placements[name] = {
+            "knobs": dict(knobs),
+            "requests": placement_requests,
+            "kernel": measure_mode("kernel", placement_stream, **knobs),
+            "kernel_replay": measure_mode("kernel_replay", placement_stream,
+                                          **knobs),
+        }
     payload: Dict[str, object] = {
         "benchmark": "simperf",
         "config": DEFAULT_CONFIG,
@@ -194,9 +237,18 @@ def run_simperf(quick: bool = False, full: bool = False,
             "trace_pool": TRACE_POOL,
             "seed": SEED,
         },
-        "floors": {"no_trace_req_per_s": NO_TRACE_FLOOR_REQ_PER_S},
+        "placement_scenario": {
+            "routing_skew": PLACEMENT_SKEW,
+            "output_length": PLACEMENT_OUTPUT_LENGTH,
+        },
+        "floors": {
+            "no_trace_req_per_s": NO_TRACE_FLOOR_REQ_PER_S,
+            "kernel_req_per_s": KERNEL_FLOOR_REQ_PER_S,
+            "kernel_replay_req_per_s": KERNEL_REPLAY_FLOOR_REQ_PER_S,
+        },
         "python": platform.python_version(),
         "scaling": scaling,
+        "placements": placements,
     }
     speedups = {}
     for size, by_mode in scaling.items():
@@ -206,6 +258,20 @@ def run_simperf(quick: bool = False, full: bool = False,
             if base > 0:
                 speedups[size] = fast / base
     payload["kernel_replay_speedup_over_no_trace"] = speedups
+    over_kernel: Dict[str, Dict[str, float]] = {"scaling": {},
+                                                "placements": {}}
+    for size, by_mode in scaling.items():
+        if "kernel" in by_mode and "kernel_replay" in by_mode:
+            base = by_mode["kernel"]["simulated_requests_per_second"]
+            fast = by_mode["kernel_replay"]["simulated_requests_per_second"]
+            if base > 0:
+                over_kernel["scaling"][size] = fast / base
+    for name, rung in placements.items():
+        base = rung["kernel"]["simulated_requests_per_second"]
+        fast = rung["kernel_replay"]["simulated_requests_per_second"]
+        if base > 0:
+            over_kernel["placements"][name] = fast / base
+    payload["kernel_replay_speedup_over_kernel"] = over_kernel
     return payload
 
 

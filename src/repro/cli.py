@@ -13,10 +13,12 @@ CI runs and the quickest way to see the simulator end-to-end without pytest:
   metrics optionally exported via ``--metrics-out``;
 * ``simperf`` — the simulator's own performance (simulated requests per
   wall-clock second, peak resident op count) across the serving-engine
-  modes (trace / no-trace / kernel / kernel+replay / probed); ``--full``
-  runs the recorded 1.6k/16k/100k scaling ladder and rewrites
-  ``BENCH_simperf.json``, and quick runs fail if the no-trace or probed
-  throughput drops below the recorded floor (the CI perf smoke);
+  modes (trace / no-trace / kernel / kernel+replay / probed) plus the
+  cached / multi-GPU placement rungs; ``--full`` runs the recorded
+  1.6k/16k/100k/1M scaling ladder and rewrites ``BENCH_simperf.json``,
+  and quick runs fail if any mode's throughput drops below its recorded
+  floor or replay fails to engage on a placement rung (the CI perf
+  smoke);
 * ``tensorperf`` — the real-model tensor engine's performance (forward /
   train-step / generate throughput, eager vs lazy backend) on the model
   shape ladder, with eager↔lazy parity checked and speedups reported
@@ -197,11 +199,25 @@ def run_simperf_sweep(quick: bool, workers: Optional[int] = None,
                            round(row["simulated_requests_per_second"], 1),
                            row["total_ops"], row["peak_resident_ops"],
                            row["replay_rounds"])
-    floor = payload["floors"]["no_trace_req_per_s"]
+    for name, rung in payload["placements"].items():
+        for mode in ("kernel", "kernel_replay"):
+            row = rung[mode]
+            report.add_row(f"{rung['requests']} [{name}]", mode,
+                           round(row["wall_seconds"], 3),
+                           round(row["simulated_requests_per_second"], 1),
+                           row["total_ops"], row["peak_resident_ops"],
+                           row["replay_rounds"])
+    floors = payload["floors"]
     # The probed mode shares the no-trace floor: the sampled probe layer
     # must not cost a no-trace run more than the floor's jitter headroom.
+    floor_by_mode = {
+        "no_trace": floors["no_trace_req_per_s"],
+        "no_trace_probed": floors["no_trace_req_per_s"],
+        "kernel": floors["kernel_req_per_s"],
+        "kernel_replay": floors["kernel_replay_req_per_s"],
+    }
     for size, by_mode in payload["scaling"].items():
-        for mode in ("no_trace", "no_trace_probed"):
+        for mode, floor in floor_by_mode.items():
             measured_mode = by_mode.get(mode)
             if measured_mode is None:
                 continue
@@ -211,6 +227,14 @@ def run_simperf_sweep(quick: bool, workers: Optional[int] = None,
                     f"simperf regression: {mode} mode served {measured:.1f} "
                     f"sim req/s at {size} requests, below the recorded floor "
                     f"of {floor:.1f} (see {SIMPERF_FILENAME})")
+    # The placement rungs exist to prove replay covers cached / multi-GPU
+    # serving: a rung where no window fires is a regression even if the
+    # throughput floor holds.
+    for name, rung in payload["placements"].items():
+        if rung["kernel_replay"]["replay_windows"] <= 0:
+            raise SystemExit(
+                f"simperf regression: round replay never engaged on the "
+                f"{name} placement rung (see {SIMPERF_FILENAME})")
     return report
 
 

@@ -28,14 +28,17 @@ Replicas run concurrently, so cluster throughput divides total generated
 tokens by the slowest replica's makespan.
 
 The replicas' simulations are independent, so :meth:`ReplicaCluster.serve`
-can fan them out over a process pool (``max_workers``): each worker serves
-one replica's request list on a pickled copy of its scheduler and the
-per-replica results are merged in replica-id order, making the parallel run
-bit-identical to the serial one.  The trade-off is that the parent
-process's scheduler objects are not mutated in parallel mode — cache
-warmth and memory-pool peaks accumulated *inside* a parallel ``serve`` stay
-in the workers — so serve sequentially when chaining load tests that must
-share replica state.
+can fan them out over a process pool (``max_workers``).  The replica
+schedulers and the shared arrival stream travel to the workers as a
+*one-time payload* — inherited for free when workers fork, shipped once
+per worker through the pool initializer otherwise — and each work item is
+just ``(replica_id, request indices, offered_load)``, so no placement or
+trace data is re-pickled per replica.  Results are merged in replica-id
+order, making the parallel run bit-identical to the serial one.  The
+trade-off is that the parent process's scheduler objects are not mutated
+in parallel mode — cache warmth and memory-pool peaks accumulated
+*inside* a parallel ``serve`` stay in the workers — so serve sequentially
+when chaining load tests that must share replica state.
 """
 
 from __future__ import annotations
@@ -45,7 +48,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 from ..moe.configs import ModelConfig, get_config
-from ..sweeps import ordered_pool_map
+from ..sweeps import fork_start_method, ordered_pool_map
 from ..system.hardware import PAPER_SYSTEM, LinkSpec, SystemSpec
 from ..workloads.arrivals import TimedRequest
 from ..workloads.traces import RequestTrace
@@ -56,11 +59,30 @@ from .scheduler import ContinuousBatchingScheduler
 ROUTING_POLICIES = ("round_robin", "least_loaded", "cache_aware")
 
 
+#: One-time worker payload: ``(replica schedulers, shared request stream)``.
+#: Set in the parent before pool creation (inherited by forked workers) and
+#: re-set through the pool initializer where workers are spawned instead.
+_WORKER_PAYLOAD: "Optional[Tuple[list, list]]" = None
+
+
+def _set_worker_payload(payload) -> None:
+    """Install the shared serve payload (pool initializer / parent set-up)."""
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
 def _serve_replica(item) -> "Tuple[int, LoadTestResult]":
-    """Serve one replica's assignment (module-level for process-pool pickling)."""
-    replica_id, scheduler, assigned, offered_load = item
-    return replica_id, scheduler.serve(assigned, offered_load=offered_load,
-                                       replica=replica_id)
+    """Serve one replica's assignment (module-level for process-pool pickling).
+
+    The item carries only indices into the shared arrival stream; the
+    schedulers and requests come from the one-time payload.
+    """
+    replica_id, indices, offered_load = item
+    replicas, requests = _WORKER_PAYLOAD
+    assigned = [requests[i] for i in indices]
+    return replica_id, replicas[replica_id].serve(assigned,
+                                                  offered_load=offered_load,
+                                                  replica=replica_id)
 
 #: Router-side affinity window when no cache capacity is configured.
 DEFAULT_AFFINITY_WINDOW = 256
@@ -229,17 +251,33 @@ class ReplicaCluster:
         """Route and serve all requests; replicas simulate independently.
 
         ``max_workers`` (defaulting to the constructor's value) > 1 serves
-        the replicas on a process pool.  Results are merged in replica-id
-        order, so parallel and serial runs produce identical
-        :class:`ClusterResult`\\ s; in parallel mode each worker operates on
-        a pickled copy of its scheduler, so the parent's replica objects
+        the replicas on a process pool.  The schedulers and the request
+        stream ship to the workers once (fork inheritance, or the pool
+        initializer on spawn platforms) and each work item is only
+        ``(replica_id, indices, offered_load)``.  Results are merged in
+        replica-id order, so parallel and serial runs produce identical
+        :class:`ClusterResult`\\ s; in parallel mode each worker operates
+        on its own copy of the schedulers, so the parent's replica objects
         keep their pre-serve state (see the module docstring).
         """
         result = ClusterResult(design=self.design, config_name=self.config.name,
                                policy=self.policy, num_replicas=self.num_replicas)
         workers = max_workers if max_workers is not None else self.max_workers
-        items = [(replica_id, self.replicas[replica_id], assigned, offered_load)
+        requests = list(requests)
+        index_of = {id(request): i for i, request in enumerate(requests)}
+        items = [(replica_id, [index_of[id(r)] for r in assigned], offered_load)
                  for replica_id, assigned in enumerate(self.route(requests))]
-        for _, replica_result in ordered_pool_map(_serve_replica, items, workers):
-            result.replica_results.append(replica_result)
+        payload = (self.replicas, requests)
+        if fork_start_method():
+            initializer, initargs = None, ()
+        else:
+            initializer, initargs = _set_worker_payload, (payload,)
+        _set_worker_payload(payload)
+        try:
+            for _, replica_result in ordered_pool_map(
+                    _serve_replica, items, workers,
+                    initializer=initializer, initargs=initargs):
+                result.replica_results.append(replica_result)
+        finally:
+            _set_worker_payload(None)
         return result

@@ -114,6 +114,9 @@ class _RoundRecord:
     #: :meth:`ModelPlacement.replay_counters` taken after the round.
     counters: Tuple[int, ...]
     peak_gpu_bytes: int
+    #: :meth:`ModelPlacement.replay_residency_state` taken after the round
+    #: (``()`` for placements with no residency-style maps).
+    residency_state: tuple = ()
 
 
 def _quad_coeffs(v0: float, v1: float, v2: float) -> Tuple[float, float, float]:
@@ -190,6 +193,18 @@ class _RoundReplay:
         self.simulator = scheduler.simulator
         self.history: deque = deque(maxlen=self.HISTORY)
         self.cooldown = 0
+        # Residency-aware signature configuration: with residency/stage maps
+        # in play, each expert access's hit/miss outcome shapes the round
+        # (resident experts drop out of migration plans; stage hits skip the
+        # SSD read op), so the outcome joins the signature.  Retentive maps
+        # (capacity > 0) additionally pin *raw* expert ids: their policy
+        # state (LRU order, LFU counts) evolves per key, so anonymised
+        # collision patterns are not interchangeable across rounds.
+        self._has_maps = bool(self.placement._replay_maps)
+        self._outcome = self.placement.replay_outcome
+        self._raw_keys = self.placement.replay_retentive
+        self._epoch = self.placement.replay_epoch
+        self._decoder_gblock = self.placement.global_block_index("decoder", 0)
         # Telemetry (copied into the LoadTestResult by serve()).
         self.windows = 0
         self.rounds = 0
@@ -251,33 +266,50 @@ class _RoundReplay:
         Expert ids are anonymised to first-occurrence indices (the dedup
         collision pattern is what shapes the round, not the ids); shard
         ownership is included on multi-GPU replicas because it routes the
-        fetch lanes.
+        fetch lanes.  With residency/stage maps each access's predicted
+        hit/miss outcome is folded in (it decides whether fetch/stage ops
+        exist at all), and retentive maps switch the signature to raw
+        expert ids — see ``__init__``.  The memo is epoch-guarded: any
+        resident-set change invalidates previously computed signatures.
         """
         cache = state.step_sigs
-        sig = cache.get(step)
-        if sig is None:
-            multi = self.simulator.multi_device
-            acts = state.trace.decode_activations[step]
-            if not multi and all(len(e) == 1 for e in acts):
-                cache[step] = sig = self._top1_signature(len(acts))
-                return sig
-            owner = self.placement.owner_device
-            seen: Dict[Tuple[int, int], int] = {}
-            counter = 0
-            parts = []
-            for block, experts in enumerate(state.trace.decode_activations[step]):
-                entry = [len(experts)]
-                for expert in experts:
-                    expert = int(expert)
+        has_maps = self._has_maps
+        epoch = self._epoch() if has_maps else 0
+        cached = cache.get(step)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        multi = self.simulator.multi_device
+        acts = state.trace.decode_activations[step]
+        if not multi and not has_maps and all(len(e) == 1 for e in acts):
+            sig = self._top1_signature(len(acts))
+            cache[step] = (epoch, sig)
+            return sig
+        owner = self.placement.owner_device
+        outcome = self._outcome
+        raw = self._raw_keys
+        gblock = self._decoder_gblock
+        seen: Dict[Tuple[int, int], int] = {}
+        counter = 0
+        parts = []
+        for block, experts in enumerate(acts):
+            entry = [len(experts)]
+            for expert in experts:
+                expert = int(expert)
+                if raw:
+                    entry.append(expert)
+                else:
                     idx = seen.get((block, expert))
                     if idx is None:
                         seen[(block, expert)] = idx = counter
                         counter += 1
                     entry.append(idx)
-                    if multi:
-                        entry.append(owner(expert))
-                parts.append(tuple(entry))
-            sig = cache[step] = tuple(parts)
+                if multi:
+                    entry.append(owner(expert))
+                if has_maps:
+                    entry.append(outcome((gblock + block, expert)))
+            parts.append(tuple(entry))
+        sig = tuple(parts)
+        cache[step] = (epoch, sig)
         return sig
 
     def _round_signature(self, active: Sequence[_InFlightRequest],
@@ -294,6 +326,10 @@ class _RoundReplay:
             return self._step_signature(state, state.next_decode + offset)
         multi = self.simulator.multi_device
         owner = self.placement.owner_device
+        has_maps = self._has_maps
+        outcome = self._outcome
+        raw = self._raw_keys
+        gblock = self._decoder_gblock
         seen: Dict[Tuple[int, int], int] = {}
         counter = 0
         parts = []
@@ -303,13 +339,18 @@ class _RoundReplay:
                 entry = [len(experts)]
                 for expert in experts:
                     expert = int(expert)
-                    idx = seen.get((block, expert))
-                    if idx is None:
-                        seen[(block, expert)] = idx = counter
-                        counter += 1
-                    entry.append(idx)
+                    if raw:
+                        entry.append(expert)
+                    else:
+                        idx = seen.get((block, expert))
+                        if idx is None:
+                            seen[(block, expert)] = idx = counter
+                            counter += 1
+                        entry.append(idx)
                     if multi:
                         entry.append(owner(expert))
+                    if has_maps:
+                        entry.append(outcome((gblock + block, expert)))
                 parts.append(tuple(entry))
         return tuple(parts)
 
@@ -356,6 +397,14 @@ class _RoundReplay:
         if len({r.peak_gpu_bytes for r in records}) != 1:
             self.cooldown = self.COOLDOWN
             return False
+        # ---- residency maps exactly replayable over the window -------
+        residency_deltas: tuple = ()
+        if self._has_maps:
+            residency_deltas = self.placement.replay_residency_window(
+                [r.residency_state for r in records])
+            if residency_deltas is None:
+                self.cooldown = self.COOLDOWN
+                return False
         # ---- duration model still on the recorded roofline branch ----
         n = self._duration_model_bound(active, records, diff, n)
         if n < 1:
@@ -372,7 +421,7 @@ class _RoundReplay:
             if n < 1:
                 self.cooldown = self.COOLDOWN
                 return False
-        self._apply(timeline, active, records, n)
+        self._apply(timeline, active, records, n, residency_deltas)
         return True
 
     def _duration_model_bound(self, active, records, diff, n: int) -> int:
@@ -533,7 +582,8 @@ class _RoundReplay:
     # ------------------------------------------------------------------
     def _apply(self, timeline: ArrayTimeline,
                active: List[_InFlightRequest],
-               records: List[_RoundRecord], n: int) -> None:
+               records: List[_RoundRecord], n: int,
+               residency_deltas: tuple = ()) -> None:
         r0, r1, r2, r3 = records
         m = np.arange(1, n + 1, dtype=np.float64)
 
@@ -595,7 +645,8 @@ class _RoundReplay:
             category_count=accumulate_exact("category_count", int),
             category_duration=accumulate("category_duration"),
             category_bytes=accumulate_exact("category_bytes", float))
-        self.placement.replay_fast_forward(n, counter_delta)
+        self.placement.replay_fast_forward(n, counter_delta,
+                                           residency_deltas)
         self.windows += 1
         self.rounds += n
         self.ops += n * r3.num_ops
@@ -809,14 +860,16 @@ class ContinuousBatchingScheduler:
                                  record_trace=self.record_trace)
         self.last_timeline = timeline
         batched = isinstance(timeline, ArrayTimeline)
-        # Round replay needs deterministic per-round structure: no shared
-        # cache or staging state evolving across rounds, no trace rows to
-        # materialise, and the batched kernel's column template.
+        # Round replay needs the batched kernel's column template and no
+        # trace/span rows to materialise.  Cached, staged and multi-GPU
+        # placements are handled by the signature itself: residency hit/miss
+        # outcomes and shard ownership join the round signature, and the
+        # controller only fast-forwards windows over which every map's
+        # resident set is a fixed point and its policy state advances by an
+        # identical replayable delta each round.
         replay: Optional[_RoundReplay] = None
         if (batched and self.round_replay and not self.record_trace
-                and not self.span_log
-                and self.placement.residency is None
-                and self.placement.stage is None):
+                and not self.span_log):
             replay = _RoundReplay(self)
         self.last_replay = replay
         probes = (ServingProbes(self.probe_interval)
@@ -1044,7 +1097,8 @@ class ContinuousBatchingScheduler:
             lane_free_before=lane_free_before,
             snapshot=timeline.replay_snapshot(),
             counters=self.placement.replay_counters(),
-            peak_gpu_bytes=self.placement.peak_gpu_bytes))
+            peak_gpu_bytes=self.placement.peak_gpu_bytes,
+            residency_state=self.placement.replay_residency_state()))
 
     def _pass_fetches(self, batch: OpBatch, starts: np.ndarray,
                       ends: np.ndarray, bounds: Tuple[int, int, int, int],

@@ -24,6 +24,8 @@ from concurrent.futures import ProcessPoolExecutor
 from itertools import product
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
+import multiprocessing
+
 from .workloads import POISSON_QA_LOAD, LoadSpec
 
 
@@ -38,8 +40,22 @@ def _run_cell(item: Tuple[Callable[..., Any], Dict[str, Any]]) -> Any:
     return serve(**kwargs)
 
 
+def fork_start_method() -> bool:
+    """Whether worker processes inherit the parent's memory (``fork``).
+
+    Callers shipping a shared payload to the workers use this to pick the
+    transport: under ``fork`` a module-level global set before pool
+    creation is inherited for free; elsewhere (``spawn``/``forkserver``)
+    the payload must travel through a pool ``initializer`` and is pickled
+    once per worker.
+    """
+    return multiprocessing.get_start_method(allow_none=False) == "fork"
+
+
 def ordered_pool_map(fn: Callable[[Any], Any], items: Sequence[Any],
-                     max_workers: Optional[int]) -> list:
+                     max_workers: Optional[int],
+                     initializer: Optional[Callable[..., None]] = None,
+                     initargs: Tuple[Any, ...] = ()) -> list:
     """Map ``fn`` over ``items``, results in item order.
 
     The one pool/merge policy shared by :func:`run_grid` and
@@ -48,11 +64,18 @@ def ordered_pool_map(fn: Callable[[Any], Any], items: Sequence[Any],
     pool (``fn`` and the items must be picklable); otherwise they run
     serially in-process.  Either way the result list lines up with the
     input order, so parallel and serial runs are interchangeable.
+
+    ``initializer``/``initargs`` run once per worker process at pool
+    start-up — the hook for shipping a shared payload once instead of
+    re-pickling it into every item.  They are ignored on the serial path,
+    where ``fn`` already sees the caller's process state.
     """
     items = list(items)
     if max_workers is None or max_workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(max_workers, len(items))) as pool:
+    with ProcessPoolExecutor(max_workers=min(max_workers, len(items)),
+                             initializer=initializer,
+                             initargs=initargs) as pool:
         return list(pool.map(fn, items))
 
 

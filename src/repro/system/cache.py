@@ -52,6 +52,28 @@ class EvictionPolicy:
     def choose_victim(self, keys: List[ExpertKey]) -> ExpertKey:  # pragma: no cover
         raise NotImplementedError
 
+    # -- round-replay protocol ------------------------------------------
+    # Steady-state round replay skips scheduling rounds analytically, so a
+    # policy must be able to (1) snapshot the state that decides future
+    # evictions, (2) certify that one skipped round would change that state
+    # in a way that is exactly repeatable, and (3) apply n rounds' worth of
+    # that change in one step.  Order-based policies (LIFO/LRU) only qualify
+    # when the per-round state change is a fixed point (no change at all);
+    # count-based policies (LFU) additionally qualify when every key's count
+    # grows by the same amount each round (the n*delta fast-forward).
+
+    def replay_state(self) -> Tuple:
+        """Hashable snapshot of the eviction-deciding state."""
+        return ()
+
+    def replay_delta(self, prev: Tuple, cur: Tuple) -> Optional[Tuple]:
+        """Per-round state change between two snapshots; ``None`` if a
+        window of such rounds cannot be fast-forwarded exactly."""
+        return () if prev == cur else None
+
+    def replay_fast_forward(self, num_rounds: int, delta: Tuple) -> None:
+        """Apply ``num_rounds`` rounds' worth of a verified ``delta``."""
+
 
 class LIFOPolicy(EvictionPolicy):
     """Last-in-first-out replacement (the expert-buffering proposal of [14])."""
@@ -76,6 +98,9 @@ class LIFOPolicy(EvictionPolicy):
             if key in keys:
                 return key
         return keys[-1]
+
+    def replay_state(self) -> Tuple:
+        return tuple(self._stack)
 
 
 class LRUPolicy(EvictionPolicy):
@@ -103,6 +128,9 @@ class LRUPolicy(EvictionPolicy):
                 return key
         return keys[0]
 
+    def replay_state(self) -> Tuple:
+        return tuple(self._order)
+
 
 class LFUPolicy(EvictionPolicy):
     """Least-frequently-used replacement (SE-MoE's expert buffer)."""
@@ -123,6 +151,23 @@ class LFUPolicy(EvictionPolicy):
 
     def choose_victim(self, keys: List[ExpertKey]) -> ExpertKey:
         return min(keys, key=lambda k: self._counts.get(k, 0))
+
+    def replay_state(self) -> Tuple:
+        return tuple(sorted(self._counts.items()))
+
+    def replay_delta(self, prev: Tuple, cur: Tuple) -> Optional[Tuple]:
+        # Access counts grow monotonically, so a fixed point is the rare
+        # case — but a steady round bumps every key by a constant amount,
+        # which extrapolates exactly as long as the key set is stable.
+        if tuple(k for k, _ in prev) != tuple(k for k, _ in cur):
+            return None
+        return tuple((key, after - before)
+                     for (key, before), (_, after) in zip(prev, cur))
+
+    def replay_fast_forward(self, num_rounds: int, delta: Tuple) -> None:
+        for key, per_round in delta:
+            if per_round and key in self._counts:
+                self._counts[key] += num_rounds * per_round
 
 
 _POLICIES = {

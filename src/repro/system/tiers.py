@@ -254,6 +254,25 @@ class TierTransferStats:
                 if route.stage_hit is not None:
                     self.stage_misses += 1
 
+    # -- round-replay protocol ------------------------------------------
+    #: Number of integer counters :meth:`replay_counters` exposes.
+    REPLAY_WIDTH = 6
+
+    def replay_counters(self) -> tuple:
+        """Flat integer counters round replay extrapolates as ``n * delta``."""
+        return (self.fetches, self.pcie_bytes, self.ssd_bytes_read,
+                self.ssd_bytes_saved, self.stage_hits, self.stage_misses)
+
+    def replay_fast_forward(self, num_rounds: int, delta: tuple) -> None:
+        """Advance by ``num_rounds`` rounds of a verified per-round delta."""
+        fetches, pcie, ssd_read, ssd_saved, hits, misses = delta
+        self.fetches += num_rounds * fetches
+        self.pcie_bytes += num_rounds * pcie
+        self.ssd_bytes_read += num_rounds * ssd_read
+        self.ssd_bytes_saved += num_rounds * ssd_saved
+        self.stage_hits += num_rounds * hits
+        self.stage_misses += num_rounds * misses
+
     def snapshot(self) -> "TierTransferStats":
         return replace(self)
 

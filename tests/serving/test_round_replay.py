@@ -11,10 +11,15 @@ form instead of re-simulating each one.  These tests pin its contract:
   only skip rounds it can reproduce, never approximate counters);
 * the scalar engine and the array kernel are bit-identical (replay's
   baseline is itself exact);
-* replay actually fires on the steady-state single-GPU scenarios and
-  skips a meaningful share of rounds, and it never engages where its
-  preconditions fail (multi-GPU shards, DRAM staging, expert caches,
-  trace recording);
+* replay engages across the whole placement matrix — plain single-GPU,
+  multi-GPU shards, DRAM staging and expert caches under every eviction
+  policy — whenever the workload reaches a steady state whose rounds are
+  structurally identical (for shards and retentive caches that is the
+  hot-expert regime: stable activations, identical hit/miss outcomes);
+* it stands down, with exact parity preserved, when the steady state
+  genuinely churns (low-skew routing over a retentive cache: the
+  resident set / policy order drifts every round) or when trace
+  recording needs every op materialised;
 * boundary behaviour — staggered arrivals and completions land on the
   same timestamps with and without replay, i.e. fast-forward windows
   never cross an admission or completion event;
@@ -31,28 +36,75 @@ from repro.workloads import TimedRequest, TraceGenerator
 
 CONFIG = get_config("switch_base_64")
 
-#: Single-replica serving matrix: design + scheduler knobs.  Scenarios map
-#: to whether replay is expected to engage (single GPU, no residency cache,
-#: no DRAM stage) or must stay out of the way.
+#: Routing skew of the "mixed" regime: enough of a hot set for the plain
+#: scenarios' anonymised signatures to chain, but retentive caches and
+#: shard maps see churning keys and must stand down.
+MIXED_SKEW = 1.2
+#: Routing skew of the hot-expert steady state: decode rounds activate a
+#: stable expert set, so device patterns and hit/miss outcomes repeat and
+#: replay engages on every placement feature.
+HOT_SKEW = 8.0
+
+#: Single-replica serving matrix: design + scheduler knobs + whether replay
+#: must engage + the routing skew that produces the scenario's regime.
 SCENARIOS = {
-    "pregated": ("pregated", {}, True),
-    "ondemand": ("ondemand", {}, True),
-    "prefetch_all": ("prefetch_all", {}, True),
-    "gpu_only": ("gpu_only", {}, True),
-    "ondemand_ssd": ("ondemand", {"system": SSD_SYSTEM}, True),
-    "pregated_2gpu": ("pregated", {"num_gpus": 2}, False),
+    "pregated": ("pregated", {}, True, MIXED_SKEW),
+    "ondemand": ("ondemand", {}, True, MIXED_SKEW),
+    "prefetch_all": ("prefetch_all", {}, True, MIXED_SKEW),
+    "gpu_only": ("gpu_only", {}, True, MIXED_SKEW),
+    "ondemand_ssd": ("ondemand", {"system": SSD_SYSTEM}, True, MIXED_SKEW),
+    # Multi-GPU shards: the emitted round (dispatch/combine all-to-alls,
+    # per-device exec ops) follows the experts' owner devices, so replay
+    # engages once the hot expert set — and with it the device pattern —
+    # is stable.
+    "pregated_2gpu": ("pregated", {"num_gpus": 2}, True, HOT_SKEW),
     "ondemand_4gpu": ("ondemand", {"num_gpus": 4,
-                                   "shard_policy": "round_robin"}, False),
+                                   "shard_policy": "round_robin"}, True,
+                      HOT_SKEW),
+    # DRAM stage / expert caches: hit/miss outcomes join the signature and
+    # the resident set plus eviction-policy state must be exactly
+    # replayable across the window — the warm steady state.
     "pregated_ssd_staged": ("pregated", {"system": SSD_SYSTEM,
                                          "stage_policy": "lru",
-                                         "stage_capacity": 64}, False),
+                                         "stage_capacity": 64}, True,
+                            HOT_SKEW),
     "pregated_cached": ("pregated", {"cache_policy": "lru",
-                                     "cache_capacity": 32}, False),
+                                     "cache_capacity": 32}, True, HOT_SKEW),
+    "pregated_cached_lifo": ("pregated", {"cache_policy": "lifo",
+                                          "cache_capacity": 32}, True,
+                             HOT_SKEW),
+    # LFU counts grow every round; the controller fast-forwards them as
+    # exact n*delta bumps, so eviction decisions after the window match.
+    "pregated_cached_lfu": ("pregated", {"cache_policy": "lfu",
+                                         "cache_capacity": 32}, True,
+                            HOT_SKEW),
+    # Zero-capacity maps retain nothing between rounds (the parity
+    # scenarios): every round misses identically, so replay engages even
+    # in the mixed regime.
+    "pregated_cached_cap0": ("pregated", {"cache_policy": "lru",
+                                          "cache_capacity": 0}, True,
+                             MIXED_SKEW),
+    "pregated_staged_cap0": ("pregated", {"system": SSD_SYSTEM,
+                                          "stage_policy": "lru",
+                                          "stage_capacity": 0}, True,
+                             MIXED_SKEW),
+    # Cached multi-GPU: shard ownership and residency outcomes both in play.
+    "pregated_cached_2gpu": ("pregated", {"num_gpus": 2,
+                                          "cache_policy": "lru",
+                                          "cache_capacity": 32}, True,
+                             HOT_SKEW),
+    # Honest stand-downs: churning keys over retentive maps drift the
+    # resident set / policy order every round, so no window is ever exactly
+    # replayable — the controller must keep out of the way.
+    "pregated_cached_churn": ("pregated", {"cache_policy": "lru",
+                                           "cache_capacity": 32}, False,
+                              MIXED_SKEW),
+    "pregated_2gpu_churn": ("pregated", {"num_gpus": 2}, False, MIXED_SKEW),
 }
 
 
-def steady_requests(n=5, out=40, gap=0.05):
-    gen = TraceGenerator(CONFIG, skew=1.2, seed=11)
+def steady_requests(n=5, out=40, gap=0.05, skew=MIXED_SKEW, seed=11):
+    gen = TraceGenerator(CONFIG, skew=skew, seed=seed)
     return [TimedRequest(request_id=i, arrival_time=gap * i,
                          trace=gen.request_trace(input_length=6,
                                                  output_length=out))
@@ -83,6 +135,9 @@ def assert_replay_parity(kernel, replayed, label):
     if kernel.tier_stats is not None:
         assert replayed.tier_stats.as_dict() == \
             kernel.tier_stats.as_dict(), label
+    if kernel.cache_stats is not None:
+        assert replayed.cache_stats.as_dict() == \
+            kernel.cache_stats.as_dict(), label
     # Every request's every token lands on the same clock (1e-9: token
     # clocks inside a window are extrapolated quadratics).
     for a, b in zip(kernel.requests, replayed.requests):
@@ -98,8 +153,8 @@ def assert_replay_parity(kernel, replayed, label):
 class TestServeParityMatrix:
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_replay_matches_step_by_step(self, name):
-        design, kwargs, expect_replay = SCENARIOS[name]
-        requests = steady_requests()
+        design, kwargs, expect_replay, skew = SCENARIOS[name]
+        requests = steady_requests(skew=skew)
         scalar = serve(design, kwargs, "scalar", False, requests)
         kernel = serve(design, kwargs, "array", False, requests)
         replayed = serve(design, kwargs, "array", True, requests)
@@ -114,8 +169,8 @@ class TestServeParityMatrix:
             assert replayed.replay_rounds >= replayed.replay_windows
             assert replayed.replay_ops > 0
         else:
-            # Preconditions (single GPU, no cache/stage) not met: the
-            # controller must never fire — correctness over speed.
+            # The steady state churns the maps: the controller must never
+            # fire — correctness over speed.
             assert replayed.replay_windows == 0, name
             assert replayed.replay_ops == 0, name
 
@@ -139,6 +194,19 @@ class TestReplayEngagement:
         # Long identical decode tails: replay should cover over half the ops.
         assert replayed.replay_ops > replayed.timeline_total_ops / 2
         assert replayed.replay_rounds > 0
+
+    @pytest.mark.parametrize("name", ["pregated_cached", "pregated_2gpu",
+                                      "pregated_ssd_staged"])
+    def test_hot_steady_state_replays_meaningful_share(self, name):
+        """The newly covered placements replay a real share of the rounds."""
+        design, kwargs, _, skew = SCENARIOS[name]
+        requests = steady_requests(skew=skew)
+        scheduler = make_scheduler(design, CONFIG, max_batch_size=2,
+                                   timeline_engine="array", round_replay=True,
+                                   **kwargs)
+        replayed = scheduler.serve(requests)
+        assert replayed.replay_windows > 0, name
+        assert replayed.replay_ops > replayed.timeline_total_ops / 4, name
 
     def test_trace_recording_disables_replay(self):
         requests = steady_requests(n=2, out=24)

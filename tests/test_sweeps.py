@@ -2,8 +2,9 @@
 
 import pytest
 
+import repro.serving.cluster as cluster_module
 from repro.serving.cluster import ReplicaCluster
-from repro.sweeps import open_loop, run_grid
+from repro.sweeps import open_loop, ordered_pool_map, run_grid
 from repro.workloads.arrivals import POISSON_QA_LOAD, generate_timed_requests
 from repro.workloads.generator import WorkloadSpec
 
@@ -18,6 +19,20 @@ def combo_cell(a, b):
 
 def failing_cell(a, b):
     raise RuntimeError(f"boom {a}{b}")
+
+
+#: Set by :func:`_install_shared` in each pool worker (or the test process
+#: on the serial path) to exercise the one-time-payload initializer hook.
+_SHARED = None
+
+
+def _install_shared(value):
+    global _SHARED
+    _SHARED = value
+
+
+def _read_shared(_item):
+    return _SHARED
 
 
 class TestRunGrid:
@@ -48,6 +63,26 @@ class TestRunGrid:
         load = open_loop(12.5)
         assert load.request_rate == 12.5
         assert load.mode == POISSON_QA_LOAD.mode
+
+    def test_pool_initializer_ships_payload_once_per_worker(self):
+        # Every pooled call sees the payload installed by the initializer;
+        # the items themselves never carry it.
+        results = ordered_pool_map(_read_shared, [1, 2, 3, 4], max_workers=2,
+                                   initializer=_install_shared,
+                                   initargs=("payload",))
+        assert results == ["payload"] * 4
+
+    def test_serial_path_ignores_initializer(self):
+        # Serially the caller's process state is already in scope; the
+        # initializer must not clobber it.
+        _install_shared("parent-state")
+        try:
+            results = ordered_pool_map(_read_shared, [1], max_workers=4,
+                                       initializer=_install_shared,
+                                       initargs=("pool-only",))
+            assert results == ["parent-state"]
+        finally:
+            _install_shared(None)
 
 
 class TestParallelCluster:
@@ -82,6 +117,15 @@ class TestParallelCluster:
         with pytest.raises(ValueError):
             ReplicaCluster("pregated", "switch_base_64", num_replicas=2,
                            max_workers=0)
+
+    def test_serve_clears_shared_payload(self):
+        # The one-time payload is scoped to the serve call: holding the
+        # schedulers and request stream alive afterwards would leak them.
+        requests = self._requests()
+        cluster = ReplicaCluster("pregated", "switch_base_64", num_replicas=2,
+                                 max_workers=2)
+        cluster.serve(requests)
+        assert cluster_module._WORKER_PAYLOAD is None
 
     def test_single_replica_never_pools(self):
         requests = self._requests()
