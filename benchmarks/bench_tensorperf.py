@@ -4,46 +4,58 @@ Unlike the figure benchmarks (which measure the *simulated* designs) and
 ``bench_simperf`` (which measures the discrete-event simulator), this one
 measures the numpy tensor engine the functional models run on: forward,
 train-step and batched greedy-decode throughput on a shape ladder, for both
-tensor backends (eager and the lazy fusing op-graph), against the recorded
-pre-optimisation eager baseline in
+tensor backends (eager and the lazy fusing op-graph) crossed with the three
+precision policies (``pure_fp64`` / ``pure_fp32`` / ``mixed``), against the
+recorded pre-optimisation eager baseline in
 :data:`repro.analysis.tensorperf.RECORDED_EAGER_BASELINE`.
 
-The assertions pin the tentpole contract end-to-end:
+The assertions pin the tentpole contracts end-to-end:
 
 * eager and lazy agree on the loss and every parameter gradient to 1e-9
-  (they share one primitive registry, so the observed difference is 0.0);
-* eager train throughput stays above the recorded CI floor on the
-  always-measured rungs (~0.25x the recording-machine measurement, so
-  honest regressions trip it but runner jitter does not);
+  at every precision (they share one primitive registry, so the observed
+  difference is 0.0);
+* ``pure_fp64`` is exactly the ambient default (0.0 loss/grad delta) and
+  ``pure_fp32`` / ``mixed`` stay within the documented deviation budgets;
+* eager train throughput stays above the recorded CI floor per precision
+  on the always-measured rungs (~0.4x the recording-machine measurement,
+  so honest regressions trip them but runner jitter does not);
+* lazy ``generate_tokens_per_s`` is never below eager — batched greedy
+  decode stands the lazy graph down to the eager engine, so the two run
+  identical code; decode is timed with the backends interleaved, both
+  cells record the pooled best, and the lazy/eager decode-minimum ratio
+  (the stand-down health signal, ~1.0) is asserted per rung;
 * on the serving-scale rung (``--full`` / ``TENSORPERF_FULL=1`` runs) the
   engine clears **10x** the recorded pre-optimisation train-step
-  throughput — the committed ``BENCH_tensorperf.json`` records ~15x.
+  throughput, and ``mixed`` clears **1.8x** the same run's fp64 eager
+  train step — the fp32-BLAS precision tentpole.
 
 The default pytest run measures the tiny and mini rungs (tens of seconds);
 set ``TENSORPERF_QUICK=1`` for the CI smoke shape or ``TENSORPERF_FULL=1``
 to regenerate the committed artifact's full ladder including the
-serving-scale rung (minutes).  Only full runs overwrite
-``BENCH_tensorperf.json``.  ``python -m repro tensorperf`` runs the same
-measurement outside pytest.
+serving-scale rung and the Table-II-style accuracy-parity protocol
+(minutes).  Only full runs overwrite ``BENCH_tensorperf.json``.
+``python -m repro tensorperf`` runs the same measurement outside pytest.
 """
 
 from __future__ import annotations
 
 import os
 
-from repro.analysis.tensorperf import (EAGER_TRAIN_FLOOR_STEPS_PER_S,
-                                       PARITY_BUDGET, TENSORPERF_FILENAME,
+from repro.analysis.tensorperf import (GENERATE_STANDDOWN_FLOOR,
+                                       MIXED_TRAIN_SPEEDUP_BAR,
+                                       PARITY_BUDGET, PRECISIONS,
+                                       TENSORPERF_FILENAME,
+                                       TRAIN_FLOOR_STEPS_PER_S,
                                        run_tensorperf, write_tensorperf)
 
 #: Committed at the repo root so the perf trajectory is versioned.
 OUTPUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                            TENSORPERF_FILENAME)
 
-#: The tentpole bar: train-step throughput over the recorded
+#: The lazy-backend tentpole bar: train-step throughput over the recorded
 #: pre-optimisation baseline at the serving-scale rung.
 SERVING_RUNG = "tiny_serving"
 SERVING_SPEEDUP_BAR = 10.0
-
 
 def _env_flag(name: str) -> bool:
     return os.environ.get(name, "") not in ("", "0", "false", "False")
@@ -56,46 +68,84 @@ def test_tensorperf_records_trajectory():
     if full:
         write_tensorperf(payload, os.path.abspath(OUTPUT_PATH))
 
-    # Backend parity: one primitive registry, identical results.
-    parity = payload["parity"]
-    assert parity["loss_abs_diff"] <= PARITY_BUDGET, parity
-    assert parity["grad_max_abs_diff"] <= PARITY_BUDGET, parity
+    # Backend parity at every precision: one primitive registry, identical
+    # results.
+    for precision, parity in payload["parity"]["backend"].items():
+        assert parity["loss_abs_diff"] <= PARITY_BUDGET, (precision, parity)
+        assert parity["grad_max_abs_diff"] <= PARITY_BUDGET, (precision, parity)
+
+    # Precision parity against pure_fp64: the default policy is exact,
+    # the reduced-precision policies stay within the documented budgets.
+    for precision, parity in payload["parity"]["precision"].items():
+        assert parity["loss_abs_diff"] <= parity["loss_budget"], (precision, parity)
+        assert parity["grad_max_abs_diff"] <= parity["grad_budget"], (precision, parity)
 
     for name, row in payload["ladder"].items():
-        for backend, metrics in row["backends"].items():
-            assert metrics["train_steps_per_s"] > 0
-            assert metrics["forward_tokens_per_s"] > 0
-            assert metrics["generate_tokens_per_s"] > 0
-        floor = EAGER_TRAIN_FLOOR_STEPS_PER_S.get(name)
-        if floor is not None:
-            measured = row["backends"]["eager"]["train_steps_per_s"]
-            assert measured >= floor, (
-                f"eager train step ran {measured:.2f} steps/s on the {name} "
-                f"rung, below the recorded floor of {floor:.2f}")
+        for cell, metrics in row["cells"].items():
+            assert metrics["train_steps_per_s"] > 0, cell
+            assert metrics["forward_tokens_per_s"] > 0, cell
+            assert metrics["generate_tokens_per_s"] > 0, cell
+        for precision in PRECISIONS:
+            floor = TRAIN_FLOOR_STEPS_PER_S[precision].get(name)
+            if floor is not None:
+                measured = row["cells"][f"eager/{precision}"]["train_steps_per_s"]
+                assert measured >= floor, (
+                    f"eager/{precision} train step ran {measured:.2f} steps/s "
+                    f"on the {name} rung, below the recorded floor of "
+                    f"{floor:.2f}")
+            # Decode stands the lazy graph down to the eager engine, so
+            # the interleaved lazy/eager decode-minimum ratio sits at ~1.0
+            # and collapses to ~0.5 if the stand-down ever breaks.
+            ratio = row["cells"][f"lazy/{precision}"]["generate_lazy_over_eager"]
+            assert ratio >= GENERATE_STANDDOWN_FLOOR, (
+                f"lazy decode ran at {ratio:.2f}x eager on the {name} rung "
+                f"({precision}) — the greedy-decode stand-down looks broken")
 
     speedups = payload["speedup_over_recorded_baseline"]
     if SERVING_RUNG in payload["ladder"]:
-        # The tentpole claim, measured whenever the serving-scale rung runs:
-        # the pre-optimisation engine's per-expert scatter-matmul combine
-        # was quadratic in tokens, so at ~30k tokens/step the vectorized
-        # engine clears 10x its recorded throughput.
+        # The lazy-backend tentpole claim, measured whenever the
+        # serving-scale rung runs: the pre-optimisation engine's per-expert
+        # scatter-matmul combine was quadratic in tokens, so at ~30k
+        # tokens/step the vectorized engine clears 10x its recorded
+        # throughput.
         speedup = speedups[SERVING_RUNG]["train_steps_per_s"]
         assert speedup >= SERVING_SPEEDUP_BAR, (
             f"serving-rung train speedup {speedup:.1f}x is below the "
             f"{SERVING_SPEEDUP_BAR:.0f}x bar (see {TENSORPERF_FILENAME})")
+        # The precision tentpole claim: fp32 compute with fp64 masters and
+        # fp64 reductions breaks the float64 BLAS floor.
+        mixed = payload["mixed_train_speedup_over_fp64"][SERVING_RUNG]
+        assert mixed >= MIXED_TRAIN_SPEEDUP_BAR, (
+            f"serving-rung mixed-precision train speedup {mixed:.2f}x is "
+            f"below the {MIXED_TRAIN_SPEEDUP_BAR:.1f}x bar "
+            f"(see {TENSORPERF_FILENAME})")
+
+    if "accuracy_parity" in payload:
+        parity = payload["accuracy_parity"]
+        for metric, diff in parity["abs_diffs"].items():
+            assert diff <= parity["tolerance"], (metric, parity)
 
     print()
-    print("tensorperf (eager vs lazy, speedup vs recorded pre-optimisation "
-          "eager baseline):")
+    print("tensorperf (eager vs lazy x precision, speedup vs recorded "
+          "pre-optimisation eager baseline):")
     for name, row in payload["ladder"].items():
-        for backend, metrics in row["backends"].items():
+        for cell, metrics in row["cells"].items():
             speedup = speedups.get(name, {}).get("train_steps_per_s")
             suffix = (f"  train speedup {speedup:5.1f}x"
-                      if backend == "eager" and speedup else "")
-            print(f"  {name:>13} {backend:>5}: "
+                      if cell == "eager/pure_fp64" and speedup else "")
+            print(f"  {name:>13} {cell:>15}: "
                   f"{metrics['train_steps_per_s']:8.2f} train steps/s  "
                   f"{metrics['forward_tokens_per_s']:9.0f} fwd tok/s  "
                   f"{metrics['generate_tokens_per_s']:8.0f} gen tok/s{suffix}")
-    print(f"  parity: loss diff {parity['loss_abs_diff']:.1e}, "
-          f"grad diff {parity['grad_max_abs_diff']:.1e} "
-          f"(budget {parity['budget']:.0e})")
+        mixed = payload["mixed_train_speedup_over_fp64"].get(name)
+        if mixed:
+            print(f"  {name:>13} mixed vs fp64 train: {mixed:.2f}x")
+    for precision, parity in payload["parity"]["backend"].items():
+        print(f"  backend parity [{precision}]: "
+              f"loss diff {parity['loss_abs_diff']:.1e}, "
+              f"grad diff {parity['grad_max_abs_diff']:.1e} "
+              f"(budget {parity['budget']:.0e})")
+    for precision, parity in payload["parity"]["precision"].items():
+        print(f"  precision parity [{precision} vs pure_fp64]: "
+              f"loss diff {parity['loss_abs_diff']:.1e}, "
+              f"grad diff {parity['grad_max_abs_diff']:.1e}")

@@ -32,6 +32,7 @@ with co-tenant load.
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import time
@@ -41,7 +42,7 @@ import numpy as np
 
 from ..moe.configs import get_config
 from ..moe.transformer import SwitchTransformer
-from ..tensor import Adam, clip_grad_norm, no_grad, use_backend
+from ..tensor import Adam, clip_grad_norm, no_grad, use_backend, use_precision
 from ..tensor import functional as F
 
 #: Decoding ids shared by every rung (vocab ids 0/1 are pad/bos in the
@@ -60,11 +61,16 @@ RUNGS: Sequence[Dict[str, object]] = (
     {"name": "mini", "config": "switch_mini_8", "batch": 16,
      "input_length": 12, "output_length": 8, "reps": 6, "full_only": False},
     {"name": "tiny_serving", "config": "tiny_moe_8", "batch": 768,
-     "input_length": 24, "output_length": 16, "reps": 3, "full_only": True},
+     "input_length": 24, "output_length": 16, "reps": 4, "full_only": True},
 )
 
 #: Tensor backends compared at every rung.
 BACKENDS = ("eager", "lazy")
+
+#: Precision policies measured at every rung (the precision axis): the
+#: bit-identical default, pure fp32, and the mixed recipe (fp32 compute,
+#: fp64 master weights and fp64 softmax/LayerNorm/loss reductions).
+PRECISIONS = ("pure_fp64", "pure_fp32", "mixed")
 
 #: Pre-optimisation eager-engine throughput, measured at the commit before
 #: the lazy/fused backend landed (per-op graph, per-expert Python-loop
@@ -92,18 +98,56 @@ RECORDED_EAGER_BASELINE: Dict[str, Dict[str, float]] = {
     },
 }
 
-#: CI floors: a quick run's *eager* train throughput below these fails the
-#: perf smoke job.  Values are ~0.25x the measurement on the recording
-#: machine, so honest regressions trip them but CI-runner jitter does not.
-EAGER_TRAIN_FLOOR_STEPS_PER_S: Dict[str, float] = {
-    "tiny": 9.0,
-    "mini": 3.0,
+#: CI floors per precision policy: a quick run's *eager* train throughput
+#: below these fails the perf smoke job.  Values are ~0.4x the measurement
+#: on the recording machine (see the committed artifact), so honest
+#: regressions trip them but CI-runner jitter does not.  The fp64 floors
+#: were tightened from the pre-precision values (tiny 9.0 / mini 3.0,
+#: ~5x slack against the measured 46.5 / 16.9).
+TRAIN_FLOOR_STEPS_PER_S: Dict[str, Dict[str, float]] = {
+    "pure_fp64": {"tiny": 18.0, "mini": 6.0},
+    "pure_fp32": {"tiny": 22.0, "mini": 8.0},
+    "mixed": {"tiny": 20.0, "mini": 7.0},
 }
 
+#: Legacy alias (pre-precision name) for the fp64 floors.
+EAGER_TRAIN_FLOOR_STEPS_PER_S = TRAIN_FLOOR_STEPS_PER_S["pure_fp64"]
+
 #: Parity budget between the two backends (they share one primitive
-#: registry, so the observed difference is exactly zero; the budget is the
-#: acceptance bar).
+#: registry, so the observed difference is exactly zero at every precision;
+#: the budget is the acceptance bar).
 PARITY_BUDGET = 1e-9
+
+#: Budgets for each precision policy's loss / gradient deviation from
+#: ``pure_fp64`` on the parity protocol (documented in DESIGN.md).  The
+#: measured deviations are ~2.5e-7 (loss) and ~1e-6 (grads); the budgets
+#: keep two orders of magnitude of headroom.  ``pure_fp64`` is exact.
+PRECISION_LOSS_BUDGET: Dict[str, float] = {
+    "pure_fp64": 0.0, "pure_fp32": 5e-5, "mixed": 5e-5,
+}
+PRECISION_GRAD_BUDGET: Dict[str, float] = {
+    "pure_fp64": 0.0, "pure_fp32": 5e-4, "mixed": 5e-4,
+}
+
+#: The precision tentpole bar: ``mixed`` eager train-step throughput over
+#: the same run's ``pure_fp64`` eager value at the serving-scale rung.
+MIXED_TRAIN_SPEEDUP_BAR = 1.8
+
+#: Floor on the lazy/eager decode-minimum ratio recorded per rung and
+#: precision.  Batched greedy decode stands the lazy graph down to the
+#: eager engine, so both backends run *identical* code and the interleaved
+#: measurement's min ratio sits at ~1.0; a broken stand-down reinstates
+#: per-token graph build + materialise overhead and collapses it to ~0.5
+#: (0.43 observed).  0.75 clears quick-mode scheduler jitter on the
+#: millisecond-scale tiny rung while still tripping on the real failure.
+GENERATE_STANDDOWN_FLOOR = 0.75
+
+#: Maximum absolute Table-II-style metric difference (per metric) between a
+#: ``mixed`` and a ``pure_fp64`` fine-tuning run of the accuracy-parity
+#: protocol.  Discrete metrics over a 32-example eval set move in quanta of
+#: 1/32 ≈ 0.031 when a single argmax flips, so the tolerance admits a
+#: handful of flips but not a systematic accuracy loss.
+ACCURACY_PARITY_TOLERANCE = 0.1
 
 #: Canonical artifact filename (committed at the repo root).
 TENSORPERF_FILENAME = "BENCH_tensorperf.json"
@@ -131,17 +175,30 @@ def _rung_data(rung: Dict[str, object]):
 
 
 def measure_rung(rung: Dict[str, object], backend: str,
-                 reps: Optional[int] = None) -> Dict[str, float]:
-    """Measure forward / train / generate throughput at one ladder rung.
+                 reps: Optional[int] = None,
+                 precision: str = "pure_fp64",
+                 generate: bool = True) -> Dict[str, float]:
+    """Measure one ``backend/precision`` cell of a rung in isolation.
 
     Only the workload itself is inside the timed region; model
-    construction and input generation are shared setup.  The backend is
-    active for the whole measurement via :func:`repro.tensor.use_backend`.
+    construction and input generation are shared setup.  The backend and
+    precision policy are active for the whole measurement via
+    :func:`repro.tensor.use_backend` / :func:`repro.tensor.use_precision`.
+    ``generate=False`` skips the decode metric.
+
+    This is the standalone single-cell probe; ``run_tensorperf`` instead
+    measures all of a rung's cells with the timing rounds *interleaved*
+    (:func:`measure_rung_cells`), which is what makes the recorded
+    cross-cell ratios robust to host drift.
     """
     config, enc, dec, tgt = _rung_data(rung)
     reps = int(rung["reps"]) if reps is None else reps
     tokens = enc.size + dec.size
-    with use_backend(backend):
+    # Dead graphs from earlier cells otherwise linger into this cell's
+    # timed region and skew big-rung allocations (measured ~10% on the
+    # serving rung when it runs last in a full ladder).
+    gc.collect()
+    with use_backend(backend), use_precision(precision):
         model = SwitchTransformer(config, seed=SEED)
         model.train()
         opt = Adam(model.parameters(), lr=1e-4)
@@ -165,63 +222,260 @@ def measure_rung(rung: Dict[str, object], backend: str,
 
         t_forward = _best(forward, reps)
 
-        def generate():
-            return model.greedy_decode(enc, bos_id=BOS_ID, eos_id=EOS_ID,
-                                       max_new_tokens=rung["output_length"])
+        result = {
+            "backend": backend,
+            "precision": precision,
+            "train_steps_per_s": 1.0 / t_train,
+            "train_tokens_per_s": tokens / t_train,
+            "forward_tokens_per_s": tokens / t_forward,
+            "train_wall_seconds": t_train,
+        }
+        if generate:
+            def decode():
+                return model.greedy_decode(enc, bos_id=BOS_ID, eos_id=EOS_ID,
+                                           max_new_tokens=rung["output_length"])
 
-        generated, _ = generate()
-        gen_tokens = enc.shape[0] * (generated.shape[1] - 1)
-        t_generate = _best(generate, max(2, reps // 2))
+            generated, _ = decode()
+            gen_tokens = enc.shape[0] * (generated.shape[1] - 1)
+            result["generate_tokens_per_s"] = gen_tokens / _best(
+                decode, max(2, reps // 2))
+    return result
 
-    return {
-        "backend": backend,
-        "train_steps_per_s": 1.0 / t_train,
-        "train_tokens_per_s": tokens / t_train,
-        "forward_tokens_per_s": tokens / t_forward,
-        "generate_tokens_per_s": gen_tokens / t_generate,
-        "train_wall_seconds": t_train,
-    }
+
+def _interleaved_best(fn: Callable[[str], object],
+                      keys: Sequence[str], reps: int) -> Dict[str, float]:
+    """Per-key minimum wall time over ``reps`` interleaved timing rounds.
+
+    Each round times every key back-to-back, so slow monotonic host and
+    allocator drift lands on all keys equally instead of flattering
+    whichever key happens to be measured earlier — cross-key *ratios*
+    (mixed vs fp64, lazy vs eager) are what the acceptance bars compare,
+    and serial per-key timing was measurably biasing them by 10–20% on a
+    shared host.  One untimed warmup call per key precedes the rounds.
+    """
+    for key in keys:
+        fn(key)
+    times: Dict[str, list] = {key: [] for key in keys}
+    for _ in range(reps):
+        for key in keys:
+            started = time.perf_counter()
+            fn(key)
+            times[key].append(time.perf_counter() - started)
+    return {key: min(samples) for key, samples in times.items()}
+
+
+def measure_train_speedups(rung: Dict[str, object],
+                           reps: Optional[int] = None) -> Dict[str, float]:
+    """Eager train-step speedup of each policy over ``pure_fp64``, paired.
+
+    The precision tentpole bar compares policies *against each other*, so
+    it must not inherit the host drift that separates two serially-timed
+    cells: one model + optimiser per policy is built up front and the
+    timing rounds are interleaved (:func:`_interleaved_best`).  The
+    per-cell absolute numbers in the ladder deliberately stay serial —
+    that is the protocol :data:`RECORDED_EAGER_BASELINE` and the CI
+    floors were recorded with — while every recorded cross-policy ratio
+    comes from this paired measurement.
+    """
+    config, enc, dec, tgt = _rung_data(rung)
+    reps = int(rung["reps"]) if reps is None else reps
+    gc.collect()
+    setups: Dict[str, tuple] = {}
+    for precision in PRECISIONS:
+        with use_precision(precision):
+            model = SwitchTransformer(config, seed=SEED)
+            model.train()
+            opt = Adam(model.parameters(), lr=1e-4)
+        setups[precision] = (model, opt)
+
+    def train_step(precision):
+        model, opt = setups[precision]
+        with use_precision(precision):
+            out = model(enc, dec)
+            loss = F.cross_entropy(out.logits, tgt, ignore_index=0)
+            loss = loss + out.aux_loss * 1e-2
+            model.zero_grad()
+            loss.backward()
+            clip_grad_norm(model.parameters(), 1.0)
+            opt.step()
+
+    t_train = _interleaved_best(train_step, list(setups), reps)
+    return {precision: t_train["pure_fp64"] / t_train[precision]
+            for precision in PRECISIONS}
+
+
+def measure_generate(rung: Dict[str, object],
+                     reps: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+    """Batched greedy-decode throughput per precision, backends interleaved.
+
+    Decode stands the lazy graph down to the eager engine, so for a given
+    precision both backends execute *identical* code: there is one decode
+    throughput per (rung, precision), not one per backend.  Timing the
+    backends serially (as :func:`measure_rung` does for its other metrics)
+    systematically favours whichever cell runs earlier in the process's
+    life — allocator and host drift are monotonic — which showed up as a
+    phantom 5–15% lazy deficit.  Here each repetition times every backend
+    back-to-back under the same host conditions; the recorded throughput
+    is the best over the pooled samples, and the lazy/eager minimum ratio
+    is kept as the stand-down regression signal (~1.0 when healthy, ~0.5
+    if decode ever starts building per-token lazy graphs again —
+    :data:`GENERATE_STANDDOWN_FLOOR` polices it).
+    """
+    config, enc, _, _ = _rung_data(rung)
+    reps = int(rung["reps"]) if reps is None else reps
+    reps = max(2, reps // 2)
+    out: Dict[str, Dict[str, float]] = {}
+    for precision in PRECISIONS:
+        gc.collect()
+        models = {}
+        for backend in BACKENDS:
+            with use_backend(backend), use_precision(precision):
+                models[backend] = SwitchTransformer(config, seed=SEED).eval()
+
+        def decode(backend):
+            with use_backend(backend), use_precision(precision):
+                return models[backend].greedy_decode(
+                    enc, bos_id=BOS_ID, eos_id=EOS_ID,
+                    max_new_tokens=rung["output_length"])
+
+        gen_tokens = None
+        times: Dict[str, list] = {backend: [] for backend in BACKENDS}
+        for backend in BACKENDS:                      # untimed warmup
+            generated, _ = decode(backend)
+            gen_tokens = enc.shape[0] * (generated.shape[1] - 1)
+        for _ in range(reps):
+            for backend in BACKENDS:
+                started = time.perf_counter()
+                decode(backend)
+                times[backend].append(time.perf_counter() - started)
+        floor = min(min(samples) for samples in times.values())
+        out[precision] = {
+            "tokens_per_s": gen_tokens / floor,
+            "lazy_over_eager": min(times["eager"]) / min(times["lazy"]),
+        }
+    return out
+
+
+def _parity_train_step(config, enc, dec, tgt):
+    """Loss value and fp64 copies of every grad for one deterministic step."""
+    model = SwitchTransformer(config, seed=SEED)
+    model.train()
+    out = model(enc, dec)
+    loss = F.cross_entropy(out.logits, tgt, ignore_index=0)
+    loss = loss + out.aux_loss * 1e-2
+    model.zero_grad()
+    loss.backward()
+    return (
+        float(loss.item()),
+        [None if p.grad is None else np.asarray(p.grad, dtype=np.float64)
+         for p in model.parameters()],
+    )
+
+
+def _max_grad_diff(grads_a, grads_b) -> float:
+    diff = 0.0
+    for ga, gb in zip(grads_a, grads_b):
+        assert (ga is None) == (gb is None)
+        if ga is not None:
+            diff = max(diff, float(np.max(np.abs(ga - gb))))
+    return diff
 
 
 def measure_parity(config_name: str = "switch_mini_8", batch: int = 4,
-                   input_length: int = 6, output_length: int = 5) -> Dict[str, float]:
+                   input_length: int = 6, output_length: int = 5,
+                   precision: str = "pure_fp64") -> Dict[str, float]:
     """Max |eager − lazy| difference of the loss and every parameter grad.
 
     Runs the identical train-step computation (same seeds, same inputs)
-    once per backend and compares the loss value and all gradients.  The
-    backends share one primitive registry, so the difference is exactly
-    0.0; the recorded numbers make the parity claim auditable from the
-    artifact alone.
+    once per backend under ``precision`` and compares the loss value and
+    all gradients.  The backends share one primitive registry, so the
+    difference is exactly 0.0 at every precision; the recorded numbers
+    make the parity claim auditable from the artifact alone.
     """
     rung = {"config": config_name, "batch": batch, "input_length": input_length,
             "output_length": output_length}
     config, enc, dec, tgt = _rung_data(rung)
     results = {}
     for backend in BACKENDS:
-        with use_backend(backend):
-            model = SwitchTransformer(config, seed=SEED)
-            model.train()
-            out = model(enc, dec)
-            loss = F.cross_entropy(out.logits, tgt, ignore_index=0)
-            loss = loss + out.aux_loss * 1e-2
-            model.zero_grad()
-            loss.backward()
-            results[backend] = (
-                float(loss.item()),
-                [None if p.grad is None else np.array(p.grad)
-                 for p in model.parameters()],
-            )
+        with use_backend(backend), use_precision(precision):
+            results[backend] = _parity_train_step(config, enc, dec, tgt)
     loss_e, grads_e = results["eager"]
     loss_l, grads_l = results["lazy"]
-    grad_diff = 0.0
-    for ge, gl in zip(grads_e, grads_l):
-        assert (ge is None) == (gl is None)
-        if ge is not None:
-            grad_diff = max(grad_diff, float(np.max(np.abs(ge - gl))))
     return {
+        "precision": precision,
         "loss_abs_diff": abs(loss_e - loss_l),
-        "grad_max_abs_diff": grad_diff,
+        "grad_max_abs_diff": _max_grad_diff(grads_e, grads_l),
         "budget": PARITY_BUDGET,
+    }
+
+
+def measure_precision_parity(config_name: str = "switch_mini_8", batch: int = 4,
+                             input_length: int = 6,
+                             output_length: int = 5) -> Dict[str, Dict[str, float]]:
+    """Loss / grad deviation of every precision policy from ``pure_fp64``.
+
+    The ``pure_fp64`` entry compares an explicit ``use_precision
+    ("pure_fp64")`` run against the ambient-default run — it must be exactly
+    0.0 (the default policy *is* pure_fp64 and the engine is deterministic).
+    ``pure_fp32`` and ``mixed`` must stay within the documented budgets
+    (:data:`PRECISION_LOSS_BUDGET` / :data:`PRECISION_GRAD_BUDGET`).
+    """
+    rung = {"config": config_name, "batch": batch, "input_length": input_length,
+            "output_length": output_length}
+    config, enc, dec, tgt = _rung_data(rung)
+    loss_ref, grads_ref = _parity_train_step(config, enc, dec, tgt)
+    out: Dict[str, Dict[str, float]] = {}
+    for precision in PRECISIONS:
+        with use_precision(precision):
+            loss_p, grads_p = _parity_train_step(config, enc, dec, tgt)
+        out[precision] = {
+            "loss_abs_diff": abs(loss_p - loss_ref),
+            "grad_max_abs_diff": _max_grad_diff(grads_p, grads_ref),
+            "loss_budget": PRECISION_LOSS_BUDGET[precision],
+            "grad_budget": PRECISION_GRAD_BUDGET[precision],
+        }
+    return out
+
+
+def measure_accuracy_parity(config_name: str = "tiny_moe_8",
+                            task_name: str = "squad_like",
+                            steps: int = 40) -> Dict[str, object]:
+    """Table-II-style task accuracy under ``mixed`` vs ``pure_fp64``.
+
+    Runs the fine-tuning protocol (shared pre-trained weights, identical
+    recipe) once per policy and reports the absolute metric differences.
+    Discrete metrics over a small eval set move in quanta of 1/num_examples,
+    so the documented tolerance is generous relative to the float drift
+    that causes the flips.
+    """
+    from ..training.finetune import finetune_conventional, pretrain_conventional
+    from ..training.trainer import TrainingConfig
+    from ..data.tasks import make_task
+    from ..data.tokenizer import default_vocabulary
+
+    config = get_config(config_name)
+    tokenizer = default_vocabulary(num_content_words=config.vocab_size - 4)
+    scores: Dict[str, Dict[str, float]] = {}
+    for precision in ("pure_fp64", "mixed"):
+        training = TrainingConfig(steps=steps, batch_size=16, seed=SEED,
+                                  precision=precision)
+        task = make_task(task_name, tokenizer=tokenizer, seed=SEED)
+        pretrained = pretrain_conventional(config, task, seed=SEED,
+                                           training=TrainingConfig(
+                                               steps=60, batch_size=16,
+                                               seed=SEED, precision=precision))
+        outcome = finetune_conventional(pretrained, task, training,
+                                        train_size=128, eval_size=32)
+        scores[precision] = outcome.scores.as_dict()
+    diffs = {metric: abs(scores["mixed"][metric] - scores["pure_fp64"][metric])
+             for metric in ("rouge1", "rouge2", "exact_match", "f1")}
+    return {
+        "config": config_name,
+        "task": task_name,
+        "steps": steps,
+        "scores": scores,
+        "abs_diffs": diffs,
+        "tolerance": ACCURACY_PARITY_TOLERANCE,
     }
 
 
@@ -234,12 +488,29 @@ def run_tensorperf(quick: bool = False, full: bool = False) -> Dict[str, object]
     (minutes of wall time on the recording machine).
     """
     ladder: Dict[str, Dict[str, object]] = {}
+    train_speedups: Dict[str, Dict[str, float]] = {}
     for rung in RUNGS:
         if rung["full_only"] and not full:
             continue
         reps = max(2, int(rung["reps"]) // 2) if quick else None
-        by_backend = {backend: measure_rung(rung, backend, reps=reps)
-                      for backend in BACKENDS}
+        cells = {}
+        for precision in PRECISIONS:
+            for backend in BACKENDS:
+                cells[f"{backend}/{precision}"] = measure_rung(
+                    rung, backend, reps=reps, precision=precision,
+                    generate=False)
+        # Decode is timed once per precision with the backends interleaved
+        # (identical stood-down code — see measure_generate); both cells
+        # record the pooled best plus the lazy/eager stand-down ratio.
+        for precision, decode in measure_generate(rung, reps=reps).items():
+            for backend in BACKENDS:
+                cell = cells[f"{backend}/{precision}"]
+                cell["generate_tokens_per_s"] = decode["tokens_per_s"]
+                cell["generate_lazy_over_eager"] = decode["lazy_over_eager"]
+        # Cross-policy train ratios come from a paired interleaved
+        # measurement, not from dividing two serially-timed cells.
+        train_speedups[str(rung["name"])] = measure_train_speedups(
+            rung, reps=reps)
         ladder[str(rung["name"])] = {
             "config": rung["config"],
             "batch": rung["batch"],
@@ -247,14 +518,19 @@ def run_tensorperf(quick: bool = False, full: bool = False) -> Dict[str, object]
             "output_length": rung["output_length"],
             "tokens_per_step": rung["batch"] * (
                 rung["input_length"] + rung["output_length"]),
-            "backends": by_backend,
+            # Legacy view: the pure_fp64 cells keyed by backend only.
+            "backends": {backend: cells[f"{backend}/pure_fp64"]
+                         for backend in BACKENDS},
+            "cells": cells,
         }
     speedups: Dict[str, Dict[str, float]] = {}
+    mixed_speedups: Dict[str, float] = {
+        name: ratios["mixed"] for name, ratios in train_speedups.items()}
     for name, row in ladder.items():
+        eager = row["backends"]["eager"]
         base = RECORDED_EAGER_BASELINE.get(name)
         if base is None:
             continue
-        eager = row["backends"]["eager"]
         speedups[name] = {
             metric: eager[metric] / base[metric]
             for metric in ("train_steps_per_s", "forward_tokens_per_s",
@@ -265,12 +541,25 @@ def run_tensorperf(quick: bool = False, full: bool = False) -> Dict[str, object]
         "benchmark": "tensorperf",
         "python": platform.python_version(),
         "seed": SEED,
+        "precisions": list(PRECISIONS),
         "recorded_eager_baseline": RECORDED_EAGER_BASELINE,
-        "floors": {"eager_train_steps_per_s": EAGER_TRAIN_FLOOR_STEPS_PER_S},
+        "floors": {"eager_train_steps_per_s": EAGER_TRAIN_FLOOR_STEPS_PER_S,
+                   "train_steps_per_s": TRAIN_FLOOR_STEPS_PER_S},
         "ladder": ladder,
-        "parity": measure_parity(),
+        "parity": {
+            "backend": {precision: measure_parity(precision=precision)
+                        for precision in PRECISIONS},
+            "precision": measure_precision_parity(),
+        },
         "speedup_over_recorded_baseline": speedups,
+        "train_speedup_over_fp64": train_speedups,
+        "mixed_train_speedup_over_fp64": mixed_speedups,
+        "mixed_train_speedup_bar": MIXED_TRAIN_SPEEDUP_BAR,
     }
+    if full:
+        # Table-II-style accuracy parity of the mixed policy; a fine-tune
+        # protocol run, so only on artifact-regeneration (full) runs.
+        payload["accuracy_parity"] = measure_accuracy_parity()
     return payload
 
 

@@ -38,6 +38,7 @@ from ..tensor import (
     MultiHeadAttention,
     Tensor,
     no_grad,
+    use_backend,
 )
 from ..moe.configs import ModelConfig
 from ..moe.gating import RoutingDecision
@@ -309,7 +310,10 @@ class PreGatedSwitchTransformer(Module):
         input_ids = np.asarray(input_ids, dtype=np.int64)
         batch = input_ids.shape[0]
         traces: List[List[RoutingTraceEntry]] = []
-        with no_grad():
+        # Same eager stand-down as SwitchTransformer.greedy_decode: the
+        # token-by-token loop demands values each step, so lazy recording
+        # is pure overhead here.
+        with use_backend("eager"), no_grad():
             encoder_trace: List[RoutingTraceEntry] = [] if collect_trace else None
             encoder_hidden = self.encode(input_ids, padding_mask=input_padding_mask,
                                          trace=encoder_trace, top_k=top_k)

@@ -109,7 +109,7 @@ class ExpertPool(Module):
         tokens, d_model = x.shape
         k = routing.top_k
         flat_experts = routing.expert_indices.reshape(-1)
-        flat_weights = np.asarray(routing.expert_weights, dtype=np.float64).reshape(-1)
+        flat_weights = np.asarray(routing.expert_weights, dtype=x.dtype).reshape(-1)
         pair_tokens = np.arange(tokens * k) // k
         valid = flat_experts >= 0
         if not valid.all():
@@ -137,7 +137,7 @@ class ExpertPool(Module):
         stacked_wo = np.stack([p.data for p in wo_params])  # (E, d_ff, d_model)
         act_prim = P.RELU if self.experts[0].ffn.activation == "relu" else P.GELU
 
-        dispatch = np.zeros((len(active), capacity, d_model))
+        dispatch = np.zeros((len(active), capacity, d_model), dtype=x.dtype)
         dispatch[row, col] = x[sorted_tokens]
         pre_act = dispatch @ stacked_wi
         activated = act_prim.forward(pre_act)
@@ -202,7 +202,8 @@ class ExpertPool(Module):
                 weights = Tensor(slot_weights[token_idx][:, None])
                 contribution = expert_out * weights
                 # Scatter-add the contribution back into the output tensor.
-                scatter = np.zeros((tokens, len(token_idx)))
+                scatter = np.zeros((tokens, len(token_idx)),
+                                   dtype=contribution.dtype)
                 scatter[token_idx, np.arange(len(token_idx))] = 1.0
                 output = output + Tensor(scatter).matmul(contribution)
         return output

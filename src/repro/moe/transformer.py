@@ -32,6 +32,7 @@ from ..tensor import (
     MultiHeadAttention,
     Tensor,
     no_grad,
+    use_backend,
 )
 from .configs import ModelConfig
 from .gating import RoutingDecision
@@ -279,7 +280,11 @@ class SwitchTransformer(Module):
         input_ids = np.asarray(input_ids, dtype=np.int64)
         batch = input_ids.shape[0]
         traces: List[List[RoutingTraceEntry]] = []
-        with no_grad():
+        # Decode runs eagerly regardless of the active backend: every step
+        # immediately demands concrete logits (argmax → next token), so the
+        # lazy graph can never amortise — it only adds per-token record +
+        # materialise overhead (measurably slower at batch decode sizes).
+        with use_backend("eager"), no_grad():
             encoder_trace: List[RoutingTraceEntry] = [] if collect_trace else None
             encoder_hidden = self.encode(input_ids, padding_mask=input_padding_mask,
                                          trace=encoder_trace, top_k=top_k)

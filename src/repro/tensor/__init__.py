@@ -25,6 +25,12 @@ from .autograd import (
     zeros,
 )
 from .lazy import current_backend, use_backend
+from .precision import (
+    PrecisionPolicy,
+    current_precision,
+    current_precision_name,
+    use_precision,
+)
 from .attention import FeedForward, KVCache, MultiHeadAttention
 from .layers import Dropout, Embedding, LayerNorm, Linear
 from .module import Module, ModuleList, Parameter, Sequential
@@ -44,6 +50,10 @@ __all__ = [
     "zeros",
     "current_backend",
     "use_backend",
+    "PrecisionPolicy",
+    "current_precision",
+    "current_precision_name",
+    "use_precision",
     "FeedForward",
     "KVCache",
     "MultiHeadAttention",

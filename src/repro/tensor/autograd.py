@@ -26,6 +26,7 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.tensor import precision as PR
 from repro.tensor import primitives as P
 from repro.tensor.primitives import unbroadcast  # noqa: F401  (re-export)
 
@@ -66,10 +67,17 @@ def is_grad_enabled() -> bool:
     return _grad_enabled
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce ``value`` to an ndarray of the active policy's compute dtype.
+
+    An explicit ``dtype`` (already validated by the caller) overrides the
+    policy.  Existing arrays of the target dtype pass through without a
+    copy, which is what keeps ``pure_fp64`` bit-identical to the
+    historical always-float64 behaviour.
+    """
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=PR.compute_dtype() if dtype is None else dtype)
 
 
 class Tensor:
@@ -78,11 +86,16 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload.  Converted to ``float64`` by default for
-        numerical robustness of gradient checks.
+        Array-like payload.  Converted to the active precision policy's
+        compute dtype (``float64`` under the default ``pure_fp64``
+        policy) unless ``dtype`` is given explicitly.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` when
         :meth:`backward` is called on a downstream tensor.
+    dtype:
+        Optional explicit dtype.  Must be float32 or float64; anything
+        else raises ``ValueError`` naming the offending dtype instead of
+        silently coercing.
     """
 
     __slots__ = ("_data", "grad", "requires_grad", "_prim", "_parents",
@@ -95,8 +108,10 @@ class Tensor:
         _parents: Sequence["Tensor"] = (),
         _backward: Optional[Callable[[np.ndarray], None]] = None,
         name: str = "",
+        dtype=None,
     ) -> None:
-        self._data = _as_array(data)
+        self._data = _as_array(data, None if dtype is None
+                               else PR.validate_dtype(dtype))
         self._lazy = None
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _grad_enabled
@@ -145,7 +160,7 @@ class Tensor:
     def dtype(self):
         if self._data is not None:
             return self._data.dtype
-        return np.dtype(np.float64)
+        return self._lazy.dtype
 
     def numpy(self) -> np.ndarray:
         """Return the underlying numpy array (not a copy)."""
@@ -157,6 +172,18 @@ class Tensor:
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
         return Tensor(self.data, requires_grad=False)
+
+    def astype(self, dtype) -> "Tensor":
+        """Cast to ``dtype`` (float32/float64) as a differentiable op.
+
+        The gradient of a cast is a cast back to the input dtype.  Casting
+        to the tensor's own dtype returns ``self`` unchanged.  Unsupported
+        dtypes raise ``ValueError`` naming the offending dtype.
+        """
+        dtype = PR.validate_dtype(dtype)
+        if self.dtype == dtype:
+            return self
+        return _dispatch(P.ASTYPE, (self,), {"dtype": dtype})
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -383,7 +410,7 @@ class Tensor:
     def _stash(self, grad: np.ndarray) -> None:
         current = self.grad
         if current is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=PR.grad_dtype(), copy=True)
         elif current.shape == grad.shape:
             np.add(current, grad, out=current)
         else:
@@ -429,23 +456,33 @@ def _dispatch(prim: P.Primitive, parents: Tuple[Tensor, ...],
 # ----------------------------------------------------------------------
 # Free-function constructors and combinators
 # ----------------------------------------------------------------------
-def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+def tensor(data: ArrayLike, requires_grad: bool = False, dtype=None) -> Tensor:
     """Create a :class:`Tensor` from array-like data."""
-    return Tensor(data, requires_grad=requires_grad)
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
 
 
-def zeros(shape: Sequence[int], requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+def zeros(shape: Sequence[int], requires_grad: bool = False, dtype=None) -> Tensor:
+    dtype = PR.resolve_dtype(dtype)
+    return Tensor(np.zeros(shape, dtype=dtype),
+                  requires_grad=requires_grad, dtype=dtype)
 
 
-def ones(shape: Sequence[int], requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+def ones(shape: Sequence[int], requires_grad: bool = False, dtype=None) -> Tensor:
+    dtype = PR.resolve_dtype(dtype)
+    return Tensor(np.ones(shape, dtype=dtype),
+                  requires_grad=requires_grad, dtype=dtype)
 
 
 def randn(shape: Sequence[int], scale: float = 1.0, rng: Optional[np.random.Generator] = None,
-          requires_grad: bool = False) -> Tensor:
+          requires_grad: bool = False, dtype=None) -> Tensor:
+    # Always draw in float64 then cast, so every precision sees the *same*
+    # weights (down-cast), not a different random stream per dtype.
     rng = rng or np.random.default_rng()
-    return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)
+    values = rng.standard_normal(shape) * scale
+    dtype = PR.resolve_dtype(dtype)
+    if values.dtype != dtype:
+        values = values.astype(dtype)
+    return Tensor(values, requires_grad=requires_grad, dtype=dtype)
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
@@ -510,6 +547,6 @@ def softmax_cross_entropy(logits: Tensor, targets: np.ndarray,
     ``weights`` ``(N,)`` per-row float weights (use 0.0 to ignore a row).
     """
     targets = np.asarray(targets, dtype=np.int64)
-    weights = np.asarray(weights, dtype=np.float64)
+    weights = np.asarray(weights, dtype=PR.compute_dtype())
     return _dispatch(P.SOFTMAX_XENT, (logits,),
                      {"targets": targets, "weights": weights, "denom": float(denom)})

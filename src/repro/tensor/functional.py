@@ -11,6 +11,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from . import precision as PR
 from .autograd import Tensor, softmax_cross_entropy
 
 
@@ -54,15 +55,17 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: Optional[in
         mask = np.ones_like(flat_targets, dtype=bool)
     # Replace ignored targets with 0 so the gather is valid; they are masked out.
     safe_targets = np.where(mask, flat_targets, 0)
-    weights = mask.astype(np.float64)
+    weights = mask.astype(PR.compute_dtype())
     denom = max(float(weights.sum()), 1.0)
     return softmax_cross_entropy(flat_logits, safe_targets, weights, denom)
 
 
-def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+def one_hot(indices: np.ndarray, depth: int, dtype=None) -> np.ndarray:
     """Return a float one-hot encoding of integer ``indices``."""
     indices = np.asarray(indices, dtype=np.int64)
-    out = np.zeros(indices.shape + (depth,), dtype=np.float64)
+    out = np.zeros(indices.shape + (depth,),
+                   dtype=PR.compute_dtype() if dtype is None
+                   else PR.validate_dtype(dtype))
     np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
     return out
 
@@ -74,7 +77,7 @@ def dropout(x: Tensor, rate: float, training: bool, rng: Optional[np.random.Gene
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     rng = rng or np.random.default_rng()
-    keep = (rng.random(x.shape) >= rate).astype(np.float64)
+    keep = (rng.random(x.shape) >= rate).astype(PR.compute_dtype())
     return x * Tensor(keep / (1.0 - rate))
 
 

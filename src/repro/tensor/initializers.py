@@ -6,33 +6,49 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.tensor import precision as PR
 
-def xavier_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+
+def _finish(values: np.ndarray, dtype) -> np.ndarray:
+    """Cast freshly drawn fp64 values to the requested / policy dtype.
+
+    Draws always happen in float64 so every precision policy sees the *same*
+    initial weights (bit-for-bit after the cast) for a given seed.
+    """
+    target = PR.param_dtype() if dtype is None else PR.validate_dtype(dtype)
+    return values if values.dtype == target else values.astype(target)
+
+
+def xavier_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None,
+                   dtype=None) -> np.ndarray:
     """Glorot/Xavier uniform initialisation for weight matrices."""
     rng = rng or np.random.default_rng()
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=tuple(shape))
+    return _finish(rng.uniform(-limit, limit, size=tuple(shape)), dtype)
 
 
-def xavier_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def xavier_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None,
+                  dtype=None) -> np.ndarray:
     """Glorot/Xavier normal initialisation."""
     rng = rng or np.random.default_rng()
     fan_in, fan_out = _fans(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=tuple(shape))
+    return _finish(rng.normal(0.0, std, size=tuple(shape)), dtype)
 
 
-def kaiming_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def kaiming_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None,
+                   dtype=None) -> np.ndarray:
     """He initialisation suited to ReLU activations."""
     rng = rng or np.random.default_rng()
     fan_in, _ = _fans(shape)
     std = np.sqrt(2.0 / fan_in)
-    return rng.normal(0.0, std, size=tuple(shape))
+    return _finish(rng.normal(0.0, std, size=tuple(shape)), dtype)
 
 
 def truncated_normal(shape: Sequence[int], std: float = 0.02,
-                     rng: Optional[np.random.Generator] = None) -> np.ndarray:
+                     rng: Optional[np.random.Generator] = None,
+                     dtype=None) -> np.ndarray:
     """Truncated normal initialisation (values clipped at two standard deviations).
 
     Switch-Transformer initialises weights with a truncated normal scaled by
@@ -40,15 +56,17 @@ def truncated_normal(shape: Sequence[int], std: float = 0.02,
     """
     rng = rng or np.random.default_rng()
     values = rng.normal(0.0, std, size=tuple(shape))
-    return np.clip(values, -2 * std, 2 * std)
+    return _finish(np.clip(values, -2 * std, 2 * std), dtype)
 
 
-def zeros_init(shape: Sequence[int]) -> np.ndarray:
-    return np.zeros(tuple(shape))
+def zeros_init(shape: Sequence[int], dtype=None) -> np.ndarray:
+    return np.zeros(tuple(shape),
+                    dtype=PR.param_dtype() if dtype is None else PR.validate_dtype(dtype))
 
 
-def ones_init(shape: Sequence[int]) -> np.ndarray:
-    return np.ones(tuple(shape))
+def ones_init(shape: Sequence[int], dtype=None) -> np.ndarray:
+    return np.ones(tuple(shape),
+                   dtype=PR.param_dtype() if dtype is None else PR.validate_dtype(dtype))
 
 
 def _fans(shape: Sequence[int]) -> Tuple[int, int]:

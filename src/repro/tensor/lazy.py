@@ -53,6 +53,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.tensor import autograd as _ag
+from repro.tensor import precision as PR
 from repro.tensor import primitives as P
 
 #: Elementwise primitives whose numpy ufunc tolerates ``out`` aliasing an
@@ -99,43 +100,64 @@ class LazyExpr:
     (pure) primitive graph.
     """
 
-    __slots__ = ("prim", "inputs", "params", "shape", "value", "pinned", "owned")
+    __slots__ = ("prim", "inputs", "params", "shape", "dtype", "value",
+                 "pinned", "owned")
 
     def __init__(self, prim: P.Primitive, inputs: tuple, params: Optional[dict],
-                 shape: Tuple[int, ...], pinned: bool, owned: bool) -> None:
+                 shape: Tuple[int, ...], dtype: np.dtype, pinned: bool,
+                 owned: bool) -> None:
         self.prim = prim
         self.inputs = inputs
         self.params = params
         self.shape = shape
+        self.dtype = dtype
         self.value: Optional[np.ndarray] = None
         self.pinned = pinned
         self.owned = owned
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         state = "cached" if self.value is not None else "deferred"
-        return f"LazyExpr({self.prim.name}, shape={self.shape}, {state})"
+        return (f"LazyExpr({self.prim.name}, shape={self.shape}, "
+                f"dtype={self.dtype}, {state})")
 
 
 def _dispatch(prim: P.Primitive, parents: tuple, params: Optional[dict]):
     """Record ``prim`` over ``parents`` as a deferred expression node."""
     inputs = []
     shapes = []
+    dtypes = []
     for parent in parents:
         if parent._data is not None:
             inputs.append(parent._data)
             shapes.append(parent._data.shape)
+            dtypes.append(parent._data.dtype)
         else:
             expr = parent._lazy
             inputs.append(expr)
             shapes.append(expr.shape)
+            dtypes.append(expr.dtype)
     if params is None:
         shape = prim.shape(*shapes)
     else:
         shape = prim.shape(*shapes, **params)
 
+    # Dtype inference over ndarray/LazyExpr operands only — python scalars
+    # were already coerced to the compute dtype upstream, so NEP-50 weak
+    # promotion never leaks in here.
+    name = prim.name
+    if name == "astype":
+        dtype = params["dtype"]
+    elif name == "softmax_xent":
+        rdt = PR.reduction_dtype()
+        dtype = rdt if rdt.itemsize > dtypes[0].itemsize else dtypes[0]
+    elif len(dtypes) == 1:
+        dtype = dtypes[0]
+    else:
+        dtype = np.result_type(*dtypes)
+
     grad_on = _ag._grad_enabled
     is_view = prim.name in _VIEW_PRIMS
-    expr = LazyExpr(prim, tuple(inputs), params, tuple(shape),
+    expr = LazyExpr(prim, tuple(inputs), params, tuple(shape), np.dtype(dtype),
                     pinned=grad_on, owned=not is_view)
     if is_view:
         for inp in expr.inputs:
@@ -197,7 +219,9 @@ def materialize(root: LazyExpr) -> np.ndarray:
 
     _stats["materializations"] += 1
     _stats["nodes_evaluated"] += len(order)
-    pool: dict[Tuple[int, ...], list] = {}
+    # Keyed by (shape, dtype): an fp32 chain must never scribble into a
+    # recycled fp64 buffer (or vice versa) when precision policies mix.
+    pool: dict[tuple, list] = {}
     for node in order:
         values = [inp.value if type(inp) is LazyExpr else inp
                   for inp in node.inputs]
@@ -211,12 +235,13 @@ def materialize(root: LazyExpr) -> np.ndarray:
                 for inp, value in zip(node.inputs, values):
                     if (type(inp) is LazyExpr and not inp.pinned and inp.owned
                             and uses.get(id(inp)) == 1
-                            and value.shape == node.shape):
+                            and value.shape == node.shape
+                            and value.dtype == node.dtype):
                         out = value
                         _stats["inplace_reuses"] += 1
                         break
             if out is None and not node.pinned:
-                free = pool.get(node.shape)
+                free = pool.get((node.shape, node.dtype))
                 if free:
                     out = free.pop()
                     _stats["pool_reuses"] += 1
@@ -240,7 +265,8 @@ def materialize(root: LazyExpr) -> np.ndarray:
                     buffer = inp.value
                     inp.value = None
                     if inp.owned and buffer is not result:
-                        pool.setdefault(buffer.shape, []).append(buffer)
+                        pool.setdefault((buffer.shape, buffer.dtype),
+                                        []).append(buffer)
     return root.value
 
 

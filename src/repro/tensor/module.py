@@ -12,14 +12,21 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from . import precision as PR
 from .autograd import Tensor
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is a learnable model parameter."""
+    """A :class:`Tensor` that is a learnable model parameter.
 
-    def __init__(self, data, name: str = "") -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+    The payload is stored in the active precision policy's parameter dtype
+    (float64 under the default ``pure_fp64`` policy); pass ``dtype=`` to
+    override explicitly.
+    """
+
+    def __init__(self, data, name: str = "", dtype=None) -> None:
+        target = PR.param_dtype() if dtype is None else PR.validate_dtype(dtype)
+        super().__init__(np.asarray(data, dtype=target), requires_grad=True, name=name)
 
 
 class Module:

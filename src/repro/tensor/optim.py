@@ -12,6 +12,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from . import precision as PR
 from .module import Parameter
 
 
@@ -58,7 +59,16 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam optimiser (Kingma & Ba) with bias correction."""
+    """Adam optimiser (Kingma & Ba) with bias correction.
+
+    Under a precision policy with master weights (``mixed``), every
+    lower-precision parameter gets an fp64 *master copy* at construction
+    time; moments and the update are computed in fp64 against the master,
+    and the fp32 working copy is refreshed from it after every step.  This
+    keeps tiny per-step updates (lr·m̂ ≪ 1 ulp of fp32 weights) from being
+    rounded away — the classic mixed-precision training recipe.  Under the
+    pure policies no master exists and the update runs exactly as before.
+    """
 
     def __init__(self, params: Iterable[Parameter], lr: float = 1e-4,
                  betas: tuple = (0.9, 0.999), eps: float = 1e-8,
@@ -68,11 +78,25 @@ class Adam(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
         self._step = 0
-        self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
+        master_dtype = PR.master_dtype()
+        self._masters = [
+            p.data.astype(master_dtype)
+            if master_dtype is not None and p.data.dtype != master_dtype
+            else None
+            for p in self.params]
+        # Moments (and scratch) live at master precision when a master
+        # exists; otherwise at the parameter's own dtype.
+        states = [p.data if master is None else master
+                  for p, master in zip(self.params, self._masters)]
+        self._m = [np.zeros_like(s) for s in states]
+        self._v = [np.zeros_like(s) for s in states]
         # One persistent scratch buffer per parameter keeps the update loop
         # free of per-step allocations.
-        self._scratch = [np.empty_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(s) for s in states]
+        # Persistent wide landing pad for the fp32 gradient of each
+        # master-weight parameter (again: no per-step allocation).
+        self._grad_wide = [None if master is None else np.empty_like(master)
+                           for master in self._masters]
 
     def step(self) -> None:
         self._step += 1
@@ -81,13 +105,20 @@ class Adam(Optimizer):
         # avoids materialising m_hat / v_hat arrays per parameter.
         step_scale = self.lr / (1.0 - self.beta1 ** self._step)
         denom_scale = 1.0 / np.sqrt(1.0 - self.beta2 ** self._step)
-        for param, m, v, scratch in zip(self.params, self._m, self._v,
-                                        self._scratch):
+        for param, master, m, v, scratch, gwide in zip(
+                self.params, self._masters, self._m, self._v,
+                self._scratch, self._grad_wide):
             grad = param.grad
             if grad is None:
                 continue
+            if master is not None:
+                np.copyto(gwide, grad, casting="same_kind")
+                grad = gwide
+                target = master
+            else:
+                target = param.data
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                grad = grad + self.weight_decay * target
             m *= self.beta1
             np.multiply(grad, 1.0 - self.beta1, out=scratch)
             m += scratch
@@ -100,7 +131,11 @@ class Adam(Optimizer):
             scratch += self.eps
             np.divide(m, scratch, out=scratch)
             scratch *= step_scale
-            param.data -= scratch
+            if master is not None:
+                master -= scratch
+                np.copyto(param.data, master, casting="same_kind")
+            else:
+                param.data -= scratch
 
 
 class LRSchedule:

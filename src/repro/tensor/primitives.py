@@ -25,7 +25,25 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.tensor import precision as PR
+
 _NEG_INF = -1e9
+
+
+def _reduce_cast(x: np.ndarray):
+    """Up-cast ``x`` to the policy's reduction dtype when it is wider.
+
+    Returns ``(array, original_dtype_or_None)``: the numerically sensitive
+    fused reductions below compute in the policy's reduction dtype (fp64
+    under the ``mixed`` policy) and cast their results back to the input
+    dtype.  Under the pure policies input and reduction dtype coincide, so
+    this is a no-op — which is what keeps ``pure_fp64`` bit-identical to
+    the historical engine.
+    """
+    rdt = PR.reduction_dtype()
+    if x.dtype.itemsize < rdt.itemsize:
+        return x.astype(rdt), x.dtype
+    return x, None
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -181,7 +199,10 @@ def _relu_vjp(grad, out, inputs, needs, params):
 
 RELU = register("relu", _relu_forward, _relu_vjp, _same_shape, elementwise=True)
 
-_GELU_C = np.sqrt(2.0 / np.pi)
+# A python float on purpose: NEP-50 promotion makes a ``np.float64`` scalar
+# up-cast float32 operands, while a python float stays "weak" and preserves
+# the array dtype under every precision policy.
+_GELU_C = float(np.sqrt(2.0 / np.pi))
 
 
 def _gelu_forward(a, out=None):
@@ -465,39 +486,70 @@ def _softmax(x, axis):
 
 
 def _softmax_forward(x, axis=-1):
-    return _softmax(x, axis)
+    wide, narrow = _reduce_cast(x)
+    out = _softmax(wide, axis)
+    return out if narrow is None else out.astype(narrow)
 
 
 def _softmax_vjp(grad, out, inputs, needs, params):
     axis = params["axis"]
+    grad, narrow = _reduce_cast(grad)
+    if narrow is not None:
+        out = out.astype(grad.dtype)
     inner = (grad * out).sum(axis=axis, keepdims=True)
-    return (out * (grad - inner),)
+    gx = out * (grad - inner)
+    return (gx if narrow is None else gx.astype(narrow),)
 
 
 SOFTMAX = register("softmax", _softmax_forward, _softmax_vjp, _same_shape)
 
 
 def _log_softmax_forward(x, axis=-1):
+    x, narrow = _reduce_cast(x)
     shifted = x - x.max(axis=axis, keepdims=True)
     lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     shifted -= lse
-    return shifted
+    return shifted if narrow is None else shifted.astype(narrow)
 
 
 def _log_softmax_vjp(grad, out, inputs, needs, params):
     axis = params["axis"]
-    return (grad - np.exp(out) * grad.sum(axis=axis, keepdims=True),)
+    grad, narrow = _reduce_cast(grad)
+    if narrow is not None:
+        out = out.astype(grad.dtype)
+    gx = grad - np.exp(out) * grad.sum(axis=axis, keepdims=True)
+    return (gx if narrow is None else gx.astype(narrow),)
 
 
 LOG_SOFTMAX = register("log_softmax", _log_softmax_forward, _log_softmax_vjp,
                        _same_shape)
 
 
+def _reduce_acc(dtype: np.dtype) -> np.dtype:
+    """Accumulator dtype for ``dtype``-valued reductions under the policy.
+
+    Unlike :func:`_reduce_cast` this never copies the operand: it is meant
+    for numpy reductions that take a ``dtype=`` accumulator argument, so
+    only the O(n)-term sum runs in the wide dtype while the surrounding
+    elementwise arithmetic (and its memory traffic) stays narrow.
+    """
+    rdt = PR.reduction_dtype()
+    return rdt if np.dtype(dtype).itemsize < rdt.itemsize else np.dtype(dtype)
+
+
 def _layer_norm_forward(x, scale, shift, eps=1e-6, _saved=None):
-    mean = x.mean(axis=-1, keepdims=True)
-    centered = x - mean
-    var = np.mean(centered * centered, axis=-1, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps)
+    # Mean/variance sums accumulate in the policy's reduction dtype via the
+    # reductions' ``dtype=`` accumulator; the normalisation arithmetic stays
+    # in the input dtype.  Under ``mixed`` that keeps the fp64 digits where
+    # n-term cancellation actually loses them without materialising fp64
+    # copies of the (dominant) activations; under the pure policies every
+    # cast below is a no-op and the kernel is bit-identical to the
+    # historical engine.
+    acc = _reduce_acc(x.dtype)
+    mean = x.mean(axis=-1, keepdims=True, dtype=acc)
+    centered = x - mean.astype(x.dtype, copy=False)
+    var = np.mean(centered * centered, axis=-1, keepdims=True, dtype=acc)
+    inv_std = (1.0 / np.sqrt(var + eps)).astype(x.dtype, copy=False)
     centered *= inv_std
     if _saved is not None:
         _saved["xhat"] = centered
@@ -507,26 +559,33 @@ def _layer_norm_forward(x, scale, shift, eps=1e-6, _saved=None):
 
 def _layer_norm_vjp(grad, out, inputs, needs, params):
     x, scale, shift = inputs
+    acc = _reduce_acc(grad.dtype)
     saved = params.get("_saved")
     if saved and "xhat" in saved:
         xhat, inv_std = saved["xhat"], saved["inv_std"]
     else:
         eps = params["eps"]
-        mean = x.mean(axis=-1, keepdims=True)
-        centered = x - mean
-        var = np.mean(centered * centered, axis=-1, keepdims=True)
-        inv_std = 1.0 / np.sqrt(var + eps)
+        mean = x.mean(axis=-1, keepdims=True, dtype=acc)
+        centered = x - mean.astype(x.dtype, copy=False)
+        var = np.mean(centered * centered, axis=-1, keepdims=True, dtype=acc)
+        inv_std = (1.0 / np.sqrt(var + eps)).astype(x.dtype, copy=False)
         xhat = centered * inv_std
     grad_x = grad_scale = grad_shift = None
     if needs[0]:
         g = grad * scale
-        grad_x = (g - g.mean(axis=-1, keepdims=True)
-                  - xhat * np.mean(g * xhat, axis=-1, keepdims=True)) * inv_std
+        gm = g.mean(axis=-1, keepdims=True, dtype=acc).astype(g.dtype,
+                                                             copy=False)
+        gxm = np.mean(g * xhat, axis=-1, keepdims=True,
+                      dtype=acc).astype(g.dtype, copy=False)
+        grad_x = (g - gm - xhat * gxm) * inv_std
     reduce_axes = tuple(range(grad.ndim - 1))
     if needs[1]:
-        grad_scale = (grad * xhat).sum(axis=reduce_axes)
+        grad_scale = (grad * xhat).sum(axis=reduce_axes,
+                                       dtype=acc).astype(scale.dtype,
+                                                         copy=False)
     if needs[2]:
-        grad_shift = grad.sum(axis=reduce_axes)
+        grad_shift = grad.sum(axis=reduce_axes, dtype=acc).astype(shift.dtype,
+                                                                  copy=False)
     return (grad_x, grad_scale, grad_shift)
 
 
@@ -576,6 +635,9 @@ SDPA = register("sdpa", _sdpa_forward, _sdpa_vjp,
 
 
 def _softmax_xent_forward(logits, targets=None, weights=None, denom=1.0):
+    # The scalar loss stays in the reduction dtype (fp64 under ``mixed``):
+    # it is the root of the backward pass and the quantity experiments log.
+    logits, _ = _reduce_cast(logits)
     shifted = logits - logits.max(axis=-1, keepdims=True)
     lse = np.log(np.exp(shifted).sum(axis=-1))
     picked = shifted[np.arange(targets.shape[0]), targets]
@@ -585,12 +647,26 @@ def _softmax_xent_forward(logits, targets=None, weights=None, denom=1.0):
 def _softmax_xent_vjp(grad, out, inputs, needs, params):
     (logits,) = inputs
     targets, weights, denom = params["targets"], params["weights"], params["denom"]
-    probs = _softmax(logits, -1)
+    wide, narrow = _reduce_cast(logits)
+    probs = _softmax(wide, -1)
     probs[np.arange(targets.shape[0]), targets] -= 1.0
-    probs *= (weights / denom)[:, None]
+    probs *= (np.asarray(weights, dtype=probs.dtype) / denom)[:, None]
     probs *= grad
-    return (probs,)
+    return (probs if narrow is None else probs.astype(narrow),)
 
 
 SOFTMAX_XENT = register("softmax_xent", _softmax_xent_forward, _softmax_xent_vjp,
                         lambda s, targets=None, weights=None, denom=1.0: ())
+
+
+def _astype_forward(a, dtype=None):
+    return a.astype(dtype)
+
+
+def _astype_vjp(grad, out, inputs, needs, params):
+    return (grad.astype(inputs[0].dtype),)
+
+
+# Not elementwise: the lazy backend's fusion reuses ``out=`` buffers of the
+# chain's dtype, which a dtype-changing op cannot share.
+ASTYPE = register("astype", _astype_forward, _astype_vjp, _same_shape)

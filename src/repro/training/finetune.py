@@ -20,6 +20,7 @@ from ..data.tasks import SyntheticTask, make_task, train_eval_split
 from ..data.tokenizer import default_vocabulary
 from ..moe.configs import ModelConfig, get_config
 from ..moe.transformer import SwitchTransformer
+from ..tensor import use_precision
 from .trainer import Trainer, TrainingConfig, TrainingResult
 
 
@@ -61,9 +62,12 @@ def pretrain_conventional(config: "ModelConfig | str", task: SyntheticTask,
     distribution, which plays the same role — a shared, non-random starting
     point whose experts already carry useful structure.
     """
-    config = get_config(config) if isinstance(config, str) else config
-    model = SwitchTransformer(config, seed=seed)
     pre_cfg = training or TrainingConfig(steps=60, batch_size=16, seed=seed)
+    config = get_config(config) if isinstance(config, str) else config
+    # Build under the run's precision policy so parameter dtypes match what
+    # the trainer (and its Adam master weights) expect.
+    with use_precision(pre_cfg.precision):
+        model = SwitchTransformer(config, seed=seed)
     train_set, _ = train_eval_split(task, train_size=pre_cfg.batch_size * 8, eval_size=8,
                                     tokenizer=task.tokenizer)
     Trainer(model, pre_cfg).fit(train_set)
@@ -75,8 +79,9 @@ def finetune_conventional(pretrained: SwitchTransformer, task: SyntheticTask,
                           eval_size: int = 64) -> FinetuneOutcome:
     """Fine-tune the conventional architecture and evaluate it."""
     config = pretrained.config
-    model = SwitchTransformer(config, seed=training.seed)
-    model.load_state_dict(pretrained.state_dict())
+    with use_precision(training.precision):
+        model = SwitchTransformer(config, seed=training.seed)
+        model.load_state_dict(pretrained.state_dict())
     train_set, eval_set = train_eval_split(task, train_size, eval_size, tokenizer=task.tokenizer)
     trainer = Trainer(model, training)
     result = trainer.fit(train_set)
@@ -90,9 +95,10 @@ def finetune_pregated(pretrained: SwitchTransformer, task: SyntheticTask,
                       train_size: int = 256, eval_size: int = 64) -> FinetuneOutcome:
     """Fine-tune the pre-gated architecture (from the same pre-trained weights)."""
     config = pretrained.config
-    model = PreGatedSwitchTransformer(config, activation_level=activation_level,
-                                      seed=training.seed)
-    model.load_from_conventional(pretrained)
+    with use_precision(training.precision):
+        model = PreGatedSwitchTransformer(config, activation_level=activation_level,
+                                          seed=training.seed)
+        model.load_from_conventional(pretrained)
     train_set, eval_set = train_eval_split(task, train_size, eval_size, tokenizer=task.tokenizer)
     trainer = Trainer(model, training)
     result = trainer.fit(train_set)

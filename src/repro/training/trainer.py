@@ -20,7 +20,7 @@ from ..data.metrics import EvalScores, evaluate_predictions
 from ..data.tasks import Seq2SeqDataset
 from ..data.tokenizer import Tokenizer
 from ..moe.transformer import SwitchTransformer
-from ..tensor import Adam, clip_grad_norm
+from ..tensor import Adam, clip_grad_norm, use_precision
 from ..tensor import functional as F
 
 Model = Union[SwitchTransformer, PreGatedSwitchTransformer]
@@ -45,6 +45,11 @@ class TrainingConfig:
     max_grad_norm: float = 1.0
     log_every: int = 50
     seed: int = 0
+    #: Precision policy the whole run executes under ("pure_fp64",
+    #: "pure_fp32" or "mixed" — see :mod:`repro.tensor.precision`).  The
+    #: model should be *built* under the same policy so parameter dtypes
+    #: match; :class:`Trainer` activates it around every step and eval.
+    precision: str = "pure_fp64"
 
 
 @dataclass
@@ -70,12 +75,19 @@ class Trainer:
     def __init__(self, model: Model, config: Optional[TrainingConfig] = None) -> None:
         self.model = model
         self.config = config or TrainingConfig()
-        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        # The optimiser snapshots master weights under the active policy, so
+        # construct it under the configured one.
+        with use_precision(self.config.precision):
+            self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         self._rng = np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------------
     def train_step(self, batch) -> Dict[str, float]:
         """One optimisation step on a :class:`~repro.data.tasks.Batch`."""
+        with use_precision(self.config.precision):
+            return self._train_step(batch)
+
+    def _train_step(self, batch) -> Dict[str, float]:
         self.model.train()
         output = self.model(batch.encoder_ids, batch.decoder_input_ids,
                             input_padding_mask=batch.encoder_padding_mask)
@@ -114,6 +126,11 @@ class Trainer:
                  max_new_tokens: int = 8) -> EvalScores:
         """Greedy-decode the eval set and score it with the Table II metrics."""
         self.model.eval()
+        with use_precision(self.config.precision):
+            return self._evaluate(dataset, tokenizer, max_new_tokens)
+
+    def _evaluate(self, dataset: Seq2SeqDataset, tokenizer: Tokenizer,
+                  max_new_tokens: int) -> EvalScores:
         predictions: List[str] = []
         references: List[str] = []
         for batch in dataset.batches(self.config.batch_size):
